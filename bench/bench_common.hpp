@@ -1,0 +1,92 @@
+// Shared helpers for the benchmark harnesses. Each bench binary
+// regenerates one table/figure of the paper (see DESIGN.md §4) at scaled
+// budgets; RAINDROP_FULL=1 switches to the full-size experiment.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+#include "minic/codegen.hpp"
+#include "rop/rewriter.hpp"
+#include "vmobf/vmobf.hpp"
+#include "workload/randomfuns.hpp"
+
+namespace raindrop::bench {
+
+inline bool full_mode() {
+  const char* e = std::getenv("RAINDROP_FULL");
+  return e && *e == '1';
+}
+
+// Obfuscation configurations of Table I.
+struct NamedConfig {
+  std::string name;
+  bool is_rop = false;
+  double rop_k = 0.0;       // ROPk fraction
+  int vm_layers = 0;        // nVM
+  vmobf::ImpWhere imp = vmobf::ImpWhere::None;
+};
+
+inline std::vector<NamedConfig> table1_configs(bool full) {
+  std::vector<NamedConfig> cs;
+  cs.push_back({"NATIVE", false, 0, 0, vmobf::ImpWhere::None});
+  std::vector<double> ks =
+      full ? std::vector<double>{0.05, 0.25, 0.50, 0.75, 1.00}
+           : std::vector<double>{0.05, 0.50, 1.00};
+  for (double k : ks) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "ROP%.2f", k);
+    cs.push_back({buf, true, k, 0, vmobf::ImpWhere::None});
+  }
+  if (full) {
+    cs.push_back({"1VM-IMPall", false, 0, 1, vmobf::ImpWhere::All});
+    cs.push_back({"2VM", false, 0, 2, vmobf::ImpWhere::None});
+    cs.push_back({"2VM-IMPfirst", false, 0, 2, vmobf::ImpWhere::First});
+    cs.push_back({"2VM-IMPlast", false, 0, 2, vmobf::ImpWhere::Last});
+    cs.push_back({"2VM-IMPall", false, 0, 2, vmobf::ImpWhere::All});
+    cs.push_back({"3VM", false, 0, 3, vmobf::ImpWhere::None});
+    cs.push_back({"3VM-IMPfirst", false, 0, 3, vmobf::ImpWhere::First});
+    cs.push_back({"3VM-IMPlast", false, 0, 3, vmobf::ImpWhere::Last});
+    cs.push_back({"3VM-IMPall", false, 0, 3, vmobf::ImpWhere::All});
+  } else {
+    cs.push_back({"2VM", false, 0, 2, vmobf::ImpWhere::None});
+    cs.push_back({"2VM-IMPall", false, 0, 2, vmobf::ImpWhere::All});
+    cs.push_back({"3VM-IMPall", false, 0, 3, vmobf::ImpWhere::All});
+  }
+  return cs;
+}
+
+// Builds the obfuscated image for a single-function module. Returns
+// false when the configuration does not apply (e.g. VM on asm bodies).
+inline bool build_config(const workload::RandomFun& rf,
+                         const NamedConfig& nc, std::uint64_t seed,
+                         Image* out) {
+  minic::Module mod = rf.module;
+  if (nc.vm_layers > 0) {
+    if (!vmobf::virtualize_layers(mod, rf.name, nc.vm_layers, nc.imp, seed))
+      return false;
+  }
+  Image img = minic::compile(mod);
+  if (nc.is_rop) {
+    // Table II setup (§VII-B): P1 {n=4,s=n,p=32} + P3 variant 1 at
+    // fraction k; P2 and gadget confusion disabled as they do not affect
+    // DSE (the paper states this explicitly).
+    rop::ObfConfig c;
+    c.seed = seed;
+    c.p1 = true;
+    c.p2 = false;
+    c.p3_fraction = nc.rop_k;
+    c.p3_variant = 1;
+    c.gadget_confusion = false;
+    rop::Rewriter rw(&img, c);
+    auto res = rw.rewrite_function(rf.name);
+    if (!res.ok) return false;
+  }
+  *out = std::move(img);
+  return true;
+}
+
+}  // namespace raindrop::bench

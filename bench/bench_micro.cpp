@@ -1,0 +1,110 @@
+// google-benchmark microbenchmarks for the infrastructure hot paths:
+// CPU interpretation throughput (native vs ROP chain dispatch), rewriter
+// throughput, and solver evaluation -- the knobs that size every scaled
+// experiment in this repo.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "minic/interp.hpp"
+#include "solver/solver.hpp"
+#include "workload/randomfuns.hpp"
+
+using namespace raindrop;
+using namespace raindrop::bench;
+
+namespace {
+
+workload::RandomFun target() {
+  workload::RandomFunSpec spec;
+  spec.control = 2;  // (for (for (bb 4)))
+  spec.type = minic::Type::I32;
+  spec.seed = 1;
+  return workload::make_random_fun(spec);
+}
+
+void BM_CpuNative(benchmark::State& state) {
+  auto rf = target();
+  Image img = minic::compile(rf.module);
+  Memory mem = img.load();
+  std::uint64_t fn = img.function(rf.name)->addr;
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    auto r = call_function(mem, fn, {{42}});
+    benchmark::DoNotOptimize(r.rax);
+    insns += r.insns;
+  }
+  state.counters["insns/iter"] =
+      benchmark::Counter(static_cast<double>(insns) / state.iterations());
+}
+BENCHMARK(BM_CpuNative);
+
+void BM_CpuRopChain(benchmark::State& state) {
+  auto rf = target();
+  Image img = minic::compile(rf.module);
+  rop::Rewriter rw(&img, rop::rop_k(0.0, 3));
+  if (!rw.rewrite_function(rf.name).ok) {
+    state.SkipWithError("rewrite failed");
+    return;
+  }
+  Memory mem = img.load();
+  std::uint64_t fn = img.function(rf.name)->addr;
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    auto r = call_function(mem, fn, {{42}});
+    benchmark::DoNotOptimize(r.rax);
+    insns += r.insns;
+  }
+  state.counters["insns/iter"] =
+      benchmark::Counter(static_cast<double>(insns) / state.iterations());
+}
+BENCHMARK(BM_CpuRopChain);
+
+void BM_RewriteFunction(benchmark::State& state) {
+  auto rf = target();
+  for (auto _ : state) {
+    Image img = minic::compile(rf.module);
+    rop::Rewriter rw(&img, rop::rop_k(0.5, 3));
+    auto r = rw.rewrite_function(rf.name);
+    benchmark::DoNotOptimize(r.stats.gadget_slots);
+  }
+}
+BENCHMARK(BM_RewriteFunction);
+
+void BM_InterpOracle(benchmark::State& state) {
+  auto rf = target();
+  minic::Interp in(rf.module);
+  for (auto _ : state) {
+    auto r = in.call(rf.name, {{42}});
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_InterpOracle);
+
+void BM_SolverExhaustive2Byte(benchmark::State& state) {
+  solver::ExprPool pool;
+  // h = ((in0|in1<<8) * 0x101 + 7) ^ 0x55aa ; h == C for a known input
+  auto in = pool.bin(solver::Ex::Or, pool.var(0),
+                     pool.bin(solver::Ex::Shl, pool.var(1),
+                              pool.constant(8)));
+  auto h = pool.bin(solver::Ex::Xor,
+                    pool.add(pool.bin(solver::Ex::Mul, in,
+                                      pool.constant(0x101)),
+                             pool.constant(7)),
+                    pool.constant(0x55aa));
+  solver::Assignment want{};
+  want[0] = 0xbe;
+  want[1] = 0x7a;
+  auto target_c = pool.constant(pool.eval(h, want));
+  auto eq = pool.eq(h, target_c);
+  for (auto _ : state) {
+    solver::Solver s(&pool);
+    std::vector<solver::ExprRef> cs{eq};
+    auto sol = s.solve(cs, 2, Deadline(10.0));
+    benchmark::DoNotOptimize(sol.has_value());
+  }
+}
+BENCHMARK(BM_SolverExhaustive2Byte);
+
+}  // namespace
+
+BENCHMARK_MAIN();

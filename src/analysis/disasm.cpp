@@ -1,0 +1,255 @@
+#include "analysis/disasm.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "isa/encode.hpp"
+
+namespace raindrop::analysis {
+
+using isa::Op;
+
+std::optional<CfgInsn> decode_at(const Image& img, std::uint64_t addr) {
+  std::uint8_t buf[16];
+  for (int i = 0; i < 16; ++i) buf[i] = img.byte_at(addr + i);
+  auto dec = isa::decode(buf);
+  if (!dec) return std::nullopt;
+  return CfgInsn{addr, dec->length, dec->insn};
+}
+
+namespace {
+
+// The jump-table heuristic: a dispatch site `jmp qword [r*8 + table]`
+// dominated by a bounds check `cmp r, span; jae default`. We trust the
+// bounds check to size the table (what Ghidra's switch recovery does
+// from the dominating comparison). The comparison may live in a
+// *previous* basic block (the jcc ends it), so we walk backwards over
+// already-decoded instructions rather than the current run.
+std::optional<JumpTable> recover_table(
+    const Image& img, const std::map<std::uint64_t, CfgInsn>& insns,
+    std::uint64_t site) {
+  auto it = insns.find(site);
+  if (it == insns.end()) return std::nullopt;
+  const isa::Insn& j = it->second.insn;
+  if (j.op != Op::JMP_M || !j.mem.has_index || j.mem.has_base ||
+      j.mem.scale_log2 != 3)
+    return std::nullopt;
+  // Walk back through contiguous predecessors looking for the bounds
+  // check on the index register.
+  std::int64_t span = -1;
+  std::uint64_t cur = site;
+  for (int steps = 0; steps < 16; ++steps) {
+    // Predecessor = the decoded instruction ending exactly at `cur`.
+    auto pit = insns.lower_bound(cur);
+    if (pit == insns.begin()) break;
+    --pit;
+    if (pit->second.addr + pit->second.length != cur) break;
+    const isa::Insn& in = pit->second.insn;
+    if (in.op == Op::CMP_RI && in.r1 == j.mem.index) {
+      span = in.imm;
+      break;
+    }
+    // The index register must not be redefined in between.
+    if (in.op != Op::JCC_REL && in.r1 == j.mem.index &&
+        !(in.op == Op::CMP_RR || in.op == Op::TEST_RR)) {
+      // sub r, min is part of the dispatch idiom; keep walking.
+      if (in.op != Op::SUB_RI) break;
+    }
+    cur = pit->second.addr;
+  }
+  if (span <= 0 || span > 4096) return std::nullopt;
+  JumpTable jt;
+  jt.table_addr = static_cast<std::uint64_t>(j.mem.disp);
+  for (std::int64_t k = 0; k < span; ++k)
+    jt.targets.push_back(img.u64_at(jt.table_addr + 8 * k));
+  return jt;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> Cfg::rpo() const {
+  std::vector<std::uint64_t> order;
+  std::set<std::uint64_t> seen;
+  // Iterative post-order DFS from entry.
+  std::vector<std::pair<std::uint64_t, std::size_t>> stack;
+  if (blocks.count(entry)) stack.push_back({entry, 0});
+  seen.insert(entry);
+  while (!stack.empty()) {
+    auto& [addr, idx] = stack.back();
+    const BasicBlock& bb = blocks.at(addr);
+    if (idx < bb.succs.size()) {
+      std::uint64_t s = bb.succs[idx++];
+      if (!seen.count(s) && blocks.count(s)) {
+        seen.insert(s);
+        stack.push_back({s, 0});
+      }
+    } else {
+      order.push_back(addr);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+const BasicBlock* Cfg::block_of(std::uint64_t insn_addr) const {
+  auto it = blocks.upper_bound(insn_addr);
+  if (it == blocks.begin()) return nullptr;
+  --it;
+  const BasicBlock& bb = it->second;
+  if (insn_addr >= bb.start && insn_addr < bb.end()) return &bb;
+  return nullptr;
+}
+
+Cfg build_cfg(const Image& img, std::uint64_t entry, std::uint64_t size) {
+  Cfg cfg;
+  cfg.entry = entry;
+  const std::uint64_t lo = entry, hi = entry + size;
+  auto in_fn = [&](std::uint64_t a) { return a >= lo && a < hi; };
+
+  // Pass 1: discover instructions and leaders. Jump-table dispatch sites
+  // are resolved after straight-line discovery (the bounds check usually
+  // sits in a predecessor block), then discovery continues from the case
+  // targets until a fixpoint.
+  std::map<std::uint64_t, CfgInsn> insns;
+  std::set<std::uint64_t> leaders{entry};
+  std::vector<std::uint64_t> work{entry};
+  std::set<std::uint64_t> visited;
+  std::map<std::uint64_t, JumpTable> tables;   // keyed by JMP_M insn addr
+  std::set<std::uint64_t> pending_tables;      // unresolved dispatch sites
+
+  for (;;) {
+    while (!work.empty()) {
+      std::uint64_t addr = work.back();
+      work.pop_back();
+      bool hit_terminator = false;
+      while (in_fn(addr) && !visited.count(addr)) {
+        auto ci = decode_at(img, addr);
+        if (!ci) {
+          cfg.error = "undecodable instruction";
+          return cfg;
+        }
+        visited.insert(addr);
+        insns[addr] = *ci;
+        const isa::Insn& in = ci->insn;
+        std::uint64_t next = addr + ci->length;
+        if (isa::is_terminator(in.op)) {
+          switch (in.op) {
+            case Op::JMP_REL: {
+              std::uint64_t t = next + static_cast<std::uint64_t>(in.imm);
+              if (!in_fn(t)) {
+                cfg.error = "branch outside function";
+                return cfg;
+              }
+              leaders.insert(t);
+              work.push_back(t);
+              break;
+            }
+            case Op::JCC_REL: {
+              std::uint64_t t = next + static_cast<std::uint64_t>(in.imm);
+              if (!in_fn(t) || !in_fn(next)) {
+                cfg.error = "branch outside function";
+                return cfg;
+              }
+              leaders.insert(t);
+              leaders.insert(next);
+              work.push_back(t);
+              work.push_back(next);
+              break;
+            }
+            case Op::JMP_M:
+              pending_tables.insert(addr);
+              break;
+            case Op::JMP_R:
+              cfg.error = "unresolved indirect jump (register)";
+              return cfg;
+            default:
+              break;  // ret/hlt/ud
+          }
+          hit_terminator = true;
+          break;  // end of run
+        }
+        addr = next;
+      }
+      // A run that walked into already-decoded code (e.g. a loop head)
+      // starts a block there. Runs ended by their own terminator must
+      // not mark the terminator as a leader.
+      if (!hit_terminator && in_fn(addr) && visited.count(addr))
+        leaders.insert(addr);
+    }
+    // Try to resolve pending dispatch sites now that more code is known.
+    bool progress = false;
+    for (auto it = pending_tables.begin(); it != pending_tables.end();) {
+      auto jt = recover_table(img, insns, *it);
+      if (!jt) {
+        ++it;
+        continue;
+      }
+      for (std::uint64_t t : jt->targets) {
+        if (!in_fn(t)) {
+          cfg.error = "jump table target outside function";
+          return cfg;
+        }
+        leaders.insert(t);
+        work.push_back(t);
+      }
+      tables[*it] = *jt;
+      it = pending_tables.erase(it);
+      progress = true;
+    }
+    if (!progress && work.empty()) break;
+  }
+  if (!pending_tables.empty()) {
+    cfg.error = "unresolved indirect jump";
+    return cfg;
+  }
+
+  // Pass 2: carve blocks at leaders.
+  for (std::uint64_t leader : leaders) {
+    if (!insns.count(leader)) continue;
+    BasicBlock bb;
+    bb.start = leader;
+    std::uint64_t a = leader;
+    while (insns.count(a)) {
+      const CfgInsn& ci = insns.at(a);
+      bb.insns.push_back(ci);
+      std::uint64_t next = a + ci.length;
+      const isa::Insn& in = ci.insn;
+      if (isa::is_terminator(in.op)) {
+        switch (in.op) {
+          case Op::JMP_REL:
+            bb.succs.push_back(next + static_cast<std::uint64_t>(in.imm));
+            break;
+          case Op::JCC_REL:
+            bb.succs.push_back(next + static_cast<std::uint64_t>(in.imm));
+            bb.succs.push_back(next);  // fallthrough second
+            break;
+          case Op::JMP_M: {
+            auto it = tables.find(a);
+            if (it != tables.end()) {
+              bb.jump_table = it->second;
+              std::set<std::uint64_t> uniq(it->second.targets.begin(),
+                                           it->second.targets.end());
+              bb.succs.assign(uniq.begin(), uniq.end());
+            }
+            break;
+          }
+          default:
+            break;  // ret/hlt/ud: no successors
+        }
+        break;
+      }
+      if (leaders.count(next)) {  // falls into the next block
+        bb.succs.push_back(next);
+        break;
+      }
+      a = next;
+    }
+    cfg.blocks[leader] = std::move(bb);
+  }
+
+  cfg.complete = true;
+  return cfg;
+}
+
+}  // namespace raindrop::analysis

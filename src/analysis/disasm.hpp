@@ -1,0 +1,60 @@
+// Disassembly and CFG reconstruction over MiniX86 images. Stands in for
+// the off-the-shelf tools the paper drives (Ghidra primarily, §IV-B1):
+// recursive descent from the function entry, with the jump-table heuristic
+// Ghidra applies to optimised switch dispatch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+#include "isa/insn.hpp"
+
+namespace raindrop::analysis {
+
+struct CfgInsn {
+  std::uint64_t addr = 0;
+  std::size_t length = 0;
+  isa::Insn insn;
+};
+
+struct JumpTable {
+  std::uint64_t table_addr = 0;
+  std::vector<std::uint64_t> targets;  // case block addresses, in slot order
+};
+
+struct BasicBlock {
+  std::uint64_t start = 0;
+  std::vector<CfgInsn> insns;
+  std::vector<std::uint64_t> succs;          // intra-procedural successors
+  std::optional<JumpTable> jump_table;       // set on table-dispatch blocks
+  std::uint64_t end() const {
+    return insns.empty() ? start
+                         : insns.back().addr + insns.back().length;
+  }
+};
+
+struct Cfg {
+  std::uint64_t entry = 0;
+  std::map<std::uint64_t, BasicBlock> blocks;
+  bool complete = false;   // false: reconstruction failed (§VII-C1 class)
+  std::string error;
+
+  // Blocks in reverse post order (stable iteration for dataflow).
+  std::vector<std::uint64_t> rpo() const;
+  const BasicBlock* block_of(std::uint64_t insn_addr) const;
+};
+
+// Decodes a single instruction from the image at `addr`.
+std::optional<CfgInsn> decode_at(const Image& img, std::uint64_t addr);
+
+// Recursive-descent CFG reconstruction for the function at
+// [entry, entry+size). Indirect jumps are resolved only through the
+// jump-table heuristic (preceding bounds check); a bare `jmp reg` makes
+// the CFG incomplete, mirroring real-tool failure modes.
+Cfg build_cfg(const Image& img, std::uint64_t entry, std::uint64_t size);
+
+}  // namespace raindrop::analysis

@@ -1,0 +1,202 @@
+#include "analysis/liveness.hpp"
+
+namespace raindrop::analysis {
+
+using isa::Insn;
+using isa::Op;
+using isa::Reg;
+
+namespace {
+
+void add_mem_uses(const isa::MemRef& m, RegSet& s) {
+  if (m.has_base) s.add(m.base);
+  if (m.has_index) s.add(m.index);
+}
+
+const Reg kCallerSaved[] = {Reg::RAX, Reg::RCX, Reg::RDX, Reg::RSI,
+                            Reg::RDI, Reg::R8,  Reg::R9,  Reg::R10,
+                            Reg::R11};
+const Reg kArgRegs[] = {Reg::RDI, Reg::RSI, Reg::RDX,
+                        Reg::RCX, Reg::R8, Reg::R9};
+
+}  // namespace
+
+RegSet insn_uses(const Insn& i) {
+  RegSet s;
+  switch (sig_of(i.op)) {
+    case isa::Sig::RR: case isa::Sig::RRS:
+      s.add(i.r2);
+      if (i.op != Op::MOV_RR && i.op != Op::MOVZX && i.op != Op::MOVSX)
+        s.add(i.r1);
+      break;
+    case isa::Sig::RI32: case isa::Sig::RI64:
+      if (i.op != Op::MOV_RI32 && i.op != Op::MOV_RI64) s.add(i.r1);
+      break;
+    case isa::Sig::R:
+      if (i.op != Op::POP_R && i.op != Op::SETCC && i.op != Op::RDFLAGS)
+        s.add(i.r1);
+      break;
+    case isa::Sig::RM:
+      add_mem_uses(i.mem, s);
+      if (i.op == Op::ADD_RM || i.op == Op::XCHG_RM) s.add(i.r1);
+      break;
+    case isa::Sig::RMS:
+      add_mem_uses(i.mem, s);
+      if (i.op == Op::STORE) s.add(i.r1);
+      break;
+    case isa::Sig::M: case isa::Sig::MI32:
+      add_mem_uses(i.mem, s);
+      break;
+    case isa::Sig::CCRR:
+      s.add(i.r1);
+      s.add(i.r2);
+      break;
+    case isa::Sig::CCR:
+      break;  // setcc writes only
+    default:
+      break;
+  }
+  switch (i.op) {
+    case Op::PUSH_R:
+      s.add(i.r1);
+      s.add(Reg::RSP);
+      break;
+    case Op::PUSH_I32: case Op::POP_R: case Op::PUSHF: case Op::POPF:
+    case Op::RET:
+      s.add(Reg::RSP);
+      break;
+    case Op::CALL_REL: case Op::CALL_R:
+      if (i.op == Op::CALL_R) s.add(i.r1);
+      s.add(Reg::RSP);
+      // ABI: the callee may read any argument register.
+      for (Reg r : kArgRegs) s.add(r);
+      break;
+    case Op::RDFLAGS:
+      break;
+    default:
+      break;
+  }
+  if (isa::reads_flags(i.op)) s.add_flags();
+  // INC/DEC preserve CF, so downstream CF readers still see the old value:
+  // treat them as using flags to keep the partial update sound.
+  if (isa::preserves_cf(i.op)) s.add_flags();
+  return s;
+}
+
+RegSet insn_defs(const Insn& i) {
+  RegSet s;
+  switch (i.op) {
+    case Op::MOV_RR: case Op::MOV_RI64: case Op::MOV_RI32: case Op::LEA:
+    case Op::LOAD: case Op::LOADS: case Op::MOVZX: case Op::MOVSX:
+    case Op::CMOV: case Op::SETCC: case Op::RDFLAGS: case Op::POP_R:
+    case Op::ADD_RM:
+      s.add(i.r1);
+      break;
+    case Op::ADD_RR: case Op::SUB_RR: case Op::AND_RR: case Op::OR_RR:
+    case Op::XOR_RR: case Op::ADC_RR: case Op::SBB_RR: case Op::IMUL_RR:
+    case Op::UDIV_RR: case Op::UREM_RR: case Op::SHL_RR: case Op::SHR_RR:
+    case Op::SAR_RR:
+    case Op::ADD_RI: case Op::SUB_RI: case Op::AND_RI: case Op::OR_RI:
+    case Op::XOR_RI: case Op::IMUL_RI: case Op::SHL_RI: case Op::SHR_RI:
+    case Op::SAR_RI:
+    case Op::NEG_R: case Op::NOT_R: case Op::INC_R: case Op::DEC_R:
+      s.add(i.r1);
+      break;
+    case Op::XCHG_RR:
+      s.add(i.r1);
+      s.add(i.r2);
+      break;
+    case Op::XCHG_RM:
+      s.add(i.r1);
+      break;
+    case Op::PUSH_R: case Op::PUSH_I32: case Op::PUSHF: case Op::POPF:
+    case Op::RET:
+      s.add(Reg::RSP);
+      break;
+    case Op::CALL_REL: case Op::CALL_R:
+      for (Reg r : kCallerSaved) s.add(r);
+      s.add(Reg::RSP);
+      break;
+    default:
+      break;
+  }
+  if (i.op == Op::POP_R) s.add(Reg::RSP);
+  if (isa::writes_flags(i.op)) s.add_flags();
+  if (i.op == Op::CALL_REL || i.op == Op::CALL_R) s.add_flags();
+  return s;
+}
+
+RegSet exit_live_set() {
+  RegSet s;
+  s.add(Reg::RAX);
+  s.add(Reg::RSP);
+  s.add(Reg::RBP);
+  s.add(Reg::RBX);
+  s.add(Reg::R12);
+  s.add(Reg::R13);
+  s.add(Reg::R14);
+  s.add(Reg::R15);
+  return s;
+}
+
+namespace {
+// Uses of an instruction, refined for direct calls when the callee's
+// argument count is known from the image's function table.
+RegSet uses_with_image(const CfgInsn& ci, const Image* img) {
+  RegSet uses = insn_uses(ci.insn);
+  if (img && ci.insn.op == Op::CALL_REL) {
+    std::uint64_t target = ci.addr + ci.length +
+                           static_cast<std::uint64_t>(ci.insn.imm);
+    const FunctionSym* callee = img->function_at(target);
+    if (callee && callee->arg_count < 6) {
+      for (int i = callee->arg_count; i < 6; ++i) uses.remove(kArgRegs[i]);
+    }
+  }
+  return uses;
+}
+}  // namespace
+
+Liveness compute_liveness(const Cfg& cfg, const Image* img) {
+  Liveness lv;
+  std::map<std::uint64_t, RegSet> block_out;
+  for (const auto& [a, bb] : cfg.blocks) {
+    block_out[a] = RegSet();
+    lv.block_in[a] = RegSet();
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Backward analysis: iterate blocks in reverse RPO.
+    auto order = cfg.rpo();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const BasicBlock& bb = cfg.blocks.at(*it);
+      RegSet out;
+      bool has_succ = false;
+      for (std::uint64_t s : bb.succs) {
+        auto sit = lv.block_in.find(s);
+        if (sit != lv.block_in.end()) {
+          out = out | sit->second;
+          has_succ = true;
+        }
+      }
+      if (!has_succ) out = exit_live_set();
+      if (!(block_out[*it] == out)) {
+        block_out[*it] = out;
+        changed = true;
+      }
+      RegSet cur = out;
+      for (std::size_t k = bb.insns.size(); k-- > 0;) {
+        const CfgInsn& ci = bb.insns[k];
+        lv.live_out[ci.addr] = cur;
+        cur = cur.minus(insn_defs(ci.insn)) | uses_with_image(ci, img);
+      }
+      if (!(lv.block_in[*it] == cur)) {
+        lv.block_in[*it] = cur;
+        changed = true;
+      }
+    }
+  }
+  return lv;
+}
+
+}  // namespace raindrop::analysis

@@ -1,0 +1,72 @@
+// Register + flags liveness over a reconstructed CFG. This is the
+// backward analysis the paper leans on (§IV-B1, footnote 1): a register
+// is live if the function may read it before writing it, ending, or
+// making a call that may clobber it. The rewriter uses live-out sets to
+// pick scratch registers and to decide when CPU flags must be preserved
+// across flag-polluting gadgets (§IV-B2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "analysis/disasm.hpp"
+#include "isa/insn.hpp"
+
+namespace raindrop::analysis {
+
+// Compact register set; bit 16 tracks the CPU flags as a unit.
+class RegSet {
+ public:
+  static constexpr int kFlagsBit = 16;
+
+  RegSet() = default;
+  static RegSet all_regs() { return RegSet(0xffff); }
+
+  void add(isa::Reg r) { bits_ |= 1u << static_cast<int>(r); }
+  void add_flags() { bits_ |= 1u << kFlagsBit; }
+  void remove(isa::Reg r) { bits_ &= ~(1u << static_cast<int>(r)); }
+  void remove_flags() { bits_ &= ~(1u << kFlagsBit); }
+  bool has(isa::Reg r) const { return bits_ & (1u << static_cast<int>(r)); }
+  bool has_flags() const { return bits_ & (1u << kFlagsBit); }
+  bool empty() const { return bits_ == 0; }
+
+  RegSet operator|(RegSet o) const { return RegSet(bits_ | o.bits_); }
+  RegSet operator&(RegSet o) const { return RegSet(bits_ & o.bits_); }
+  RegSet minus(RegSet o) const { return RegSet(bits_ & ~o.bits_); }
+  bool operator==(const RegSet&) const = default;
+  std::uint32_t raw() const { return bits_; }
+
+ private:
+  explicit RegSet(std::uint32_t bits) : bits_(bits) {}
+  std::uint32_t bits_ = 0;
+};
+
+// Architectural uses/defs of one instruction (memory operands contribute
+// their base/index registers as uses). CALLs model the ABI: they use the
+// argument registers and RSP, and clobber all caller-saved registers,
+// RAX and the flags.
+RegSet insn_uses(const isa::Insn& insn);
+RegSet insn_defs(const isa::Insn& insn);
+
+struct Liveness {
+  // Live-out set per instruction address (live *after* the instruction).
+  std::map<std::uint64_t, RegSet> live_out;
+  // Live-in per block start.
+  std::map<std::uint64_t, RegSet> block_in;
+
+  RegSet out_at(std::uint64_t insn_addr) const {
+    auto it = live_out.find(insn_addr);
+    return it == live_out.end() ? RegSet::all_regs() : it->second;
+  }
+};
+
+// Set live at function exits: return value, stack registers, and the
+// callee-saved registers our ABI expects survive the call.
+RegSet exit_live_set();
+
+// When `img` is given, direct calls use the callee's recorded argument
+// count instead of the worst-case six ABI registers -- the precision a
+// real binary-rewriting pipeline recovers from prototypes/heuristics.
+Liveness compute_liveness(const Cfg& cfg, const Image* img = nullptr);
+
+}  // namespace raindrop::analysis

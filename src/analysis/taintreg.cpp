@@ -1,0 +1,138 @@
+#include "analysis/taintreg.hpp"
+
+#include <set>
+
+namespace raindrop::analysis {
+
+using isa::Insn;
+using isa::Op;
+using isa::Reg;
+
+namespace {
+
+const Reg kArgRegs[] = {Reg::RDI, Reg::RSI, Reg::RDX,
+                        Reg::RCX, Reg::R8, Reg::R9};
+
+// State: tainted registers + tainted rbp-relative frame slots.
+struct State {
+  RegSet regs;
+  std::set<std::int64_t> slots;  // rbp-relative displacements
+
+  bool merge(const State& o) {
+    RegSet nr = regs | o.regs;
+    std::size_t before = slots.size();
+    slots.insert(o.slots.begin(), o.slots.end());
+    bool changed = !(nr == regs) || slots.size() != before;
+    regs = nr;
+    return changed;
+  }
+};
+
+bool is_frame_slot(const isa::MemRef& m) {
+  return m.has_base && m.base == Reg::RBP && !m.has_index && !m.rip_rel;
+}
+
+void step(State& st, const Insn& i) {
+  auto src_tainted = [&](void) -> bool {
+    RegSet uses = insn_uses(i);
+    // Flags taint is not tracked (matches explicit-flow taint tools).
+    uses.remove_flags();
+    uses.remove(Reg::RSP);
+    uses.remove(Reg::RBP);
+    return !(uses & st.regs).empty();
+  };
+  switch (i.op) {
+    case Op::LOAD: case Op::LOADS:
+      if (is_frame_slot(i.mem)) {
+        if (st.slots.count(i.mem.disp))
+          st.regs.add(i.r1);
+        else
+          st.regs.remove(i.r1);
+      } else {
+        // Loads from globals/heap: untainted unless the address itself is
+        // tainted (tainted-pointer dereference propagates, like libdft).
+        bool addr_taint =
+            (i.mem.has_base && st.regs.has(i.mem.base)) ||
+            (i.mem.has_index && st.regs.has(i.mem.index));
+        if (addr_taint)
+          st.regs.add(i.r1);
+        else
+          st.regs.remove(i.r1);
+      }
+      return;
+    case Op::STORE:
+      if (is_frame_slot(i.mem)) {
+        if (st.regs.has(i.r1))
+          st.slots.insert(i.mem.disp);
+        else
+          st.slots.erase(i.mem.disp);
+      }
+      return;
+    case Op::CALL_REL: case Op::CALL_R: {
+      // Return value tainted iff any argument register was tainted;
+      // caller-saved registers lose their taint.
+      bool arg_taint = false;
+      for (Reg r : kArgRegs) arg_taint |= st.regs.has(r);
+      for (Reg r : {Reg::RAX, Reg::RCX, Reg::RDX, Reg::RSI, Reg::RDI,
+                    Reg::R8, Reg::R9, Reg::R10, Reg::R11})
+        st.regs.remove(r);
+      if (arg_taint) st.regs.add(Reg::RAX);
+      return;
+    }
+    case Op::PUSH_R: case Op::PUSH_I32: case Op::PUSHF: case Op::POPF:
+      return;  // transient stack traffic: not tracked
+    case Op::POP_R:
+      st.regs.remove(i.r1);  // conservative: popped values untainted
+      return;
+    default:
+      break;
+  }
+  RegSet defs = insn_defs(i);
+  defs.remove_flags();
+  if (defs.empty()) return;
+  bool t = src_tainted();
+  for (int r = 0; r < isa::kNumRegs; ++r) {
+    Reg reg = static_cast<Reg>(r);
+    if (!defs.has(reg)) continue;
+    if (t)
+      st.regs.add(reg);
+    else
+      st.regs.remove(reg);
+  }
+}
+
+}  // namespace
+
+TaintInfo compute_taint(const Cfg& cfg, int arg_count) {
+  TaintInfo info;
+  std::map<std::uint64_t, State> block_in;
+  State entry_state;
+  for (int i = 0; i < arg_count && i < 6; ++i)
+    entry_state.regs.add(kArgRegs[i]);
+  block_in[cfg.entry] = entry_state;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint64_t a : cfg.rpo()) {
+      auto bit = block_in.find(a);
+      if (bit == block_in.end()) continue;
+      State st = bit->second;
+      const BasicBlock& bb = cfg.blocks.at(a);
+      for (const CfgInsn& ci : bb.insns) {
+        info.tainted_in[ci.addr] = st.regs;
+        step(st, ci.insn);
+      }
+      for (std::uint64_t s : bb.succs) {
+        auto [it, inserted] = block_in.try_emplace(s, st);
+        if (inserted)
+          changed = true;
+        else if (it->second.merge(st))
+          changed = true;
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace raindrop::analysis

@@ -1,0 +1,33 @@
+// Forward input-taint analysis over registers and frame slots: which
+// registers hold input-derived ("symbolic", in the paper's wording)
+// values at each program point. The rewriter uses it to pick P3 sites
+// (§V-C requires the obfuscated variable to be input-dependent) and to
+// choose the registers P1's opaque index function f(x) combines (§V-A).
+//
+// The paper uses angr's symbolic execution for this (§V footnote 4); a
+// flow-insensitive-through-memory taint DFA is an adequate substitute
+// because our compiler keeps stack frames rbp-relative and static.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "analysis/disasm.hpp"
+#include "analysis/liveness.hpp"
+
+namespace raindrop::analysis {
+
+struct TaintInfo {
+  // Tainted register set *before* each instruction.
+  std::map<std::uint64_t, RegSet> tainted_in;
+
+  RegSet at(std::uint64_t insn_addr) const {
+    auto it = tainted_in.find(insn_addr);
+    return it == tainted_in.end() ? RegSet() : it->second;
+  }
+};
+
+// `arg_count` determines how many ABI argument registers start tainted.
+TaintInfo compute_taint(const Cfg& cfg, int arg_count);
+
+}  // namespace raindrop::analysis

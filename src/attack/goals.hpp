@@ -1,0 +1,24 @@
+// Deobfuscation goals shared by the attack engines (§III): G1 secret
+// finding and G2 code coverage, with the "all or nothing" coverage
+// criterion of §VII-B2.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+namespace raindrop::attack {
+
+enum class Goal { kSecretFinding, kCodeCoverage };
+
+struct AttackOutcome {
+  bool success = false;
+  double seconds = 0;
+  std::uint64_t traces = 0;        // concrete executions / states explored
+  std::uint64_t solver_queries = 0;
+  std::uint64_t secret = 0;        // winning input when G1 succeeded
+  std::set<std::int64_t> covered;  // probes reached (G2)
+  std::string note;
+};
+
+}  // namespace raindrop::attack

@@ -1,0 +1,95 @@
+#include "attack/ropdissector.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "isa/encode.hpp"
+
+namespace raindrop::attack {
+
+namespace {
+
+struct GadgetShape {
+  int pops = 0;             // immediate slots the gadget consumes
+  bool rsp_add = false;     // contains add rsp, reg (branch site)
+  bool ends_ret = false;
+};
+
+std::optional<GadgetShape> decode_gadget(const Memory& mem,
+                                         std::uint64_t addr, int max_insns) {
+  GadgetShape g;
+  std::uint64_t p = addr;
+  for (int n = 0; n < max_insns; ++n) {
+    std::uint8_t buf[16];
+    for (int i = 0; i < 16; ++i) buf[i] = mem.read_u8(p + i);
+    auto dec = isa::decode(buf);
+    if (!dec) return std::nullopt;
+    const isa::Insn& in = dec->insn;
+    if (in.op == isa::Op::RET) {
+      g.ends_ret = true;
+      return g;
+    }
+    if (in.op == isa::Op::JMP_R) {
+      g.ends_ret = true;  // JOP terminator: also chain-compatible
+      return g;
+    }
+    if (isa::is_branch(in.op) || in.op == isa::Op::HLT ||
+        in.op == isa::Op::UD)
+      return std::nullopt;
+    if (in.op == isa::Op::POP_R) ++g.pops;
+    if (in.op == isa::Op::ADD_RR && in.r1 == isa::Reg::RSP) g.rsp_add = true;
+    p += dec->length;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+RopDissectorResult ropdissector_scan(const Memory& dump,
+                                     std::uint64_t chain_addr,
+                                     std::uint64_t chain_size,
+                                     std::uint64_t text_lo,
+                                     std::uint64_t text_hi,
+                                     bool gadget_guessing) {
+  RopDissectorResult res;
+  auto plausible = [&](std::uint64_t qword) {
+    return qword >= text_lo && qword < text_hi;
+  };
+
+  // Stride-8 pass (the classic chain layout assumption).
+  for (std::uint64_t off = 0; off + 8 <= chain_size; off += 8) {
+    std::uint64_t q = dump.read_u64(chain_addr + off);
+    if (!plausible(q)) continue;
+    auto g = decode_gadget(dump, q, 8);
+    if (!g) continue;
+    ++res.aligned_slots;
+    res.aligned_coverage += 8;
+    if (g->rsp_add) ++res.branch_sites;
+  }
+
+  if (!gadget_guessing) return res;
+
+  // Speculative walks from *every* byte offset: count how many offsets
+  // look like the start of a chain block (>=3 chained gadgets). Unaligned
+  // filler and disguised immediates multiply these candidates.
+  for (std::uint64_t off = 0; off + 8 <= chain_size; ++off) {
+    std::uint64_t pos = off;
+    int chained = 0;
+    while (pos + 8 <= chain_size && chained < 16) {
+      std::uint64_t q = dump.read_u64(chain_addr + pos);
+      if (!plausible(q)) break;
+      auto g = decode_gadget(dump, q, 8);
+      if (!g) break;
+      ++chained;
+      pos += 8 + 8 * static_cast<std::uint64_t>(g->pops);
+      if (g->rsp_add) break;  // unknown displacement: walk ends
+    }
+    if (chained >= 3) {
+      ++res.guess_starts;
+      res.guess_candidate_blocks += 1;
+    }
+  }
+  return res;
+}
+
+}  // namespace raindrop::attack

@@ -1,0 +1,30 @@
+// ROPDissector-style static chain analysis (§III-B2): stride-8 scanning
+// of a memory dump for plausible gadget addresses, branch-site
+// identification via gadget-body dataflow, and the speculative
+// gadget-guessing mode that gadget confusion is designed to explode
+// (§V-D, §VII-A2).
+#pragma once
+
+#include <cstdint>
+
+#include "mem/memory.hpp"
+
+namespace raindrop::attack {
+
+struct RopDissectorResult {
+  std::uint64_t aligned_slots = 0;      // stride-8 plausible gadget slots
+  std::uint64_t branch_sites = 0;       // gadgets containing add rsp, reg
+  std::uint64_t aligned_coverage = 0;   // chain bytes explained by stride-8
+  // Gadget-guessing mode: speculative chain walks from every byte offset.
+  std::uint64_t guess_starts = 0;       // offsets starting a >=3-gadget walk
+  std::uint64_t guess_candidate_blocks = 0;
+};
+
+RopDissectorResult ropdissector_scan(const Memory& dump,
+                                     std::uint64_t chain_addr,
+                                     std::uint64_t chain_size,
+                                     std::uint64_t text_lo,
+                                     std::uint64_t text_hi,
+                                     bool gadget_guessing);
+
+}  // namespace raindrop::attack

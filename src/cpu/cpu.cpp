@@ -1,0 +1,428 @@
+#include "cpu/cpu.hpp"
+
+#include <cinttypes>
+
+namespace raindrop {
+
+using isa::Cond;
+using isa::Insn;
+using isa::Op;
+using isa::Reg;
+
+namespace {
+constexpr std::uint64_t kSignBit = 1ull << 63;
+
+std::uint64_t sext(std::uint64_t v, unsigned size) {
+  if (size >= 8) return v;
+  unsigned bits = size * 8;
+  std::uint64_t m = 1ull << (bits - 1);
+  v &= (1ull << bits) - 1;
+  return (v ^ m) - m;
+}
+std::uint64_t zext(std::uint64_t v, unsigned size) {
+  if (size >= 8) return v;
+  return v & ((1ull << (size * 8)) - 1);
+}
+}  // namespace
+
+bool Cpu::eval_cond(Cond cc) const {
+  bool cf = flags_ & isa::kCF, zf = flags_ & isa::kZF, sf = flags_ & isa::kSF,
+       of = flags_ & isa::kOF;
+  switch (cc) {
+    case Cond::E: return zf;
+    case Cond::NE: return !zf;
+    case Cond::B: return cf;
+    case Cond::AE: return !cf;
+    case Cond::BE: return cf || zf;
+    case Cond::A: return !cf && !zf;
+    case Cond::L: return sf != of;
+    case Cond::GE: return sf == of;
+    case Cond::LE: return zf || (sf != of);
+    case Cond::G: return !zf && (sf == of);
+    case Cond::S: return sf;
+    case Cond::NS: return !sf;
+    case Cond::O: return of;
+    case Cond::NO: return !of;
+  }
+  return false;
+}
+
+CpuStatus Cpu::fault_out(const std::string& reason) {
+  fault_ = CpuFault{rip_, reason};
+  return CpuStatus::kFault;
+}
+
+bool Cpu::effective_addr(const isa::MemRef& m, std::uint64_t insn_end,
+                         std::uint64_t& out) const {
+  std::uint64_t a = static_cast<std::uint64_t>(m.disp);
+  if (m.rip_rel) a += insn_end;
+  if (m.has_base) a += regs_[static_cast<int>(m.base)];
+  if (m.has_index)
+    a += regs_[static_cast<int>(m.index)] << m.scale_log2;
+  out = a;
+  return true;
+}
+
+void Cpu::set_flags_logic(std::uint64_t r) {
+  flags_ = 0;
+  if (r == 0) flags_ |= isa::kZF;
+  if (r & kSignBit) flags_ |= isa::kSF;
+}
+
+void Cpu::set_flags_add(std::uint64_t a, std::uint64_t b,
+                        std::uint64_t carry_in, std::uint64_t r) {
+  flags_ = 0;
+  // Carry out of unsigned addition a + b + carry_in.
+  if (r < a || (carry_in && r == a)) flags_ |= isa::kCF;
+  if (r == 0) flags_ |= isa::kZF;
+  if (r & kSignBit) flags_ |= isa::kSF;
+  if (~(a ^ b) & (a ^ r) & kSignBit) flags_ |= isa::kOF;
+}
+
+void Cpu::set_flags_sub(std::uint64_t a, std::uint64_t b,
+                        std::uint64_t borrow_in, std::uint64_t r) {
+  flags_ = 0;
+  if (a < b || (borrow_in && a == b)) flags_ |= isa::kCF;
+  if (r == 0) flags_ |= isa::kZF;
+  if (r & kSignBit) flags_ |= isa::kSF;
+  if ((a ^ b) & (a ^ r) & kSignBit) flags_ |= isa::kOF;
+}
+
+CpuStatus Cpu::run(std::uint64_t max_insns) {
+  std::uint64_t end = insn_count_ + max_insns;
+  while (insn_count_ < end) {
+    CpuStatus st = step();
+    if (st != CpuStatus::kRunning) return st;
+  }
+  return CpuStatus::kBudgetExceeded;
+}
+
+CpuStatus Cpu::step() {
+  if (enforce_nx_ && !(mem_->perm_at(rip_) & kPermX)) {
+    return fault_out("execute permission violation");
+  }
+  auto it = decode_cache_.find(rip_);
+  if (it == decode_cache_.end()) {
+    // Decode from memory. 16 bytes cover the longest instruction.
+    std::uint8_t buf[16];
+    for (int i = 0; i < 16; ++i) buf[i] = mem_->read_u8(rip_ + i);
+    auto dec = isa::decode(std::span<const std::uint8_t>(buf, 16));
+    if (!dec) return fault_out("undecodable instruction");
+    it = decode_cache_.emplace(rip_, *dec).first;
+  }
+  const isa::Decoded& d = it->second;
+  if (insn_hook_ && !insn_hook_(*this, rip_, d.insn)) {
+    return fault_out("aborted by hook");
+  }
+  ++insn_count_;
+  return exec(d.insn, rip_ + d.length);
+}
+
+CpuStatus Cpu::exec(const Insn& i, std::uint64_t next_rip) {
+  auto R = [&](Reg r) -> std::uint64_t& { return regs_[static_cast<int>(r)]; };
+  std::uint64_t ea = 0;
+  rip_ = next_rip;  // default fallthrough; branches overwrite
+
+  switch (i.op) {
+    case Op::NOP:
+      break;
+    case Op::HLT:
+      return CpuStatus::kHalted;
+    case Op::UD:
+      rip_ = next_rip - isa::encoded_length(i);
+      return fault_out("ud");
+    case Op::TRACE:
+      probes_.push_back(i.imm);
+      break;
+
+    case Op::MOV_RR:
+      R(i.r1) = R(i.r2);
+      break;
+    case Op::MOV_RI64:
+    case Op::MOV_RI32:
+      R(i.r1) = static_cast<std::uint64_t>(i.imm);
+      break;
+    case Op::LEA:
+      effective_addr(i.mem, next_rip, ea);
+      R(i.r1) = ea;
+      break;
+    case Op::LOAD:
+      effective_addr(i.mem, next_rip, ea);
+      R(i.r1) = zext(mem_->read(ea, i.size), i.size);
+      break;
+    case Op::LOADS:
+      effective_addr(i.mem, next_rip, ea);
+      R(i.r1) = sext(mem_->read(ea, i.size), i.size);
+      break;
+    case Op::STORE: {
+      effective_addr(i.mem, next_rip, ea);
+      if (mem_->perm_at(ea) & kPermX) invalidate_decode_cache();
+      mem_->write(ea, R(i.r1), i.size);
+      break;
+    }
+    case Op::XCHG_RR:
+      std::swap(R(i.r1), R(i.r2));
+      break;
+    case Op::XCHG_RM: {
+      effective_addr(i.mem, next_rip, ea);
+      std::uint64_t tmp = mem_->read_u64(ea);
+      if (mem_->perm_at(ea) & kPermX) invalidate_decode_cache();
+      mem_->write_u64(ea, R(i.r1));
+      R(i.r1) = tmp;
+      break;
+    }
+
+    case Op::PUSH_R: {
+      std::uint64_t v = R(i.r1);
+      R(Reg::RSP) -= 8;
+      mem_->write_u64(R(Reg::RSP), v);
+      break;
+    }
+    case Op::POP_R: {
+      std::uint64_t v = mem_->read_u64(R(Reg::RSP));
+      R(Reg::RSP) += 8;
+      R(i.r1) = v;  // pop rsp loads the value, like x86
+      break;
+    }
+    case Op::PUSH_I32:
+      R(Reg::RSP) -= 8;
+      mem_->write_u64(R(Reg::RSP), static_cast<std::uint64_t>(i.imm));
+      break;
+    case Op::PUSHF:
+      R(Reg::RSP) -= 8;
+      mem_->write_u64(R(Reg::RSP), flags_);
+      break;
+    case Op::POPF:
+      flags_ = mem_->read_u64(R(Reg::RSP)) & 0xf;
+      R(Reg::RSP) += 8;
+      break;
+
+    case Op::ADD_RR: case Op::ADD_RI: case Op::ADD_RM: {
+      std::uint64_t a = R(i.r1);
+      std::uint64_t b;
+      if (i.op == Op::ADD_RR) {
+        b = R(i.r2);
+      } else if (i.op == Op::ADD_RI) {
+        b = static_cast<std::uint64_t>(i.imm);
+      } else {
+        effective_addr(i.mem, next_rip, ea);
+        b = mem_->read_u64(ea);
+      }
+      std::uint64_t r = a + b;
+      set_flags_add(a, b, 0, r);
+      R(i.r1) = r;
+      break;
+    }
+    case Op::ADC_RR: {
+      std::uint64_t a = R(i.r1), b = R(i.r2);
+      std::uint64_t cin = (flags_ & isa::kCF) ? 1 : 0;
+      std::uint64_t r = a + b + cin;
+      set_flags_add(a, b, cin, r);
+      R(i.r1) = r;
+      break;
+    }
+    case Op::SUB_RR: case Op::SUB_RI: {
+      std::uint64_t a = R(i.r1);
+      std::uint64_t b = i.op == Op::SUB_RR ? R(i.r2)
+                                           : static_cast<std::uint64_t>(i.imm);
+      std::uint64_t r = a - b;
+      set_flags_sub(a, b, 0, r);
+      R(i.r1) = r;
+      break;
+    }
+    case Op::SBB_RR: {
+      std::uint64_t a = R(i.r1), b = R(i.r2);
+      std::uint64_t bin = (flags_ & isa::kCF) ? 1 : 0;
+      std::uint64_t r = a - b - bin;
+      set_flags_sub(a, b, bin, r);
+      R(i.r1) = r;
+      break;
+    }
+    case Op::CMP_RR: case Op::CMP_RI: {
+      std::uint64_t a = R(i.r1);
+      std::uint64_t b = i.op == Op::CMP_RR ? R(i.r2)
+                                           : static_cast<std::uint64_t>(i.imm);
+      set_flags_sub(a, b, 0, a - b);
+      break;
+    }
+    case Op::AND_RR: case Op::AND_RI: {
+      std::uint64_t b = i.op == Op::AND_RR ? R(i.r2)
+                                           : static_cast<std::uint64_t>(i.imm);
+      R(i.r1) &= b;
+      set_flags_logic(R(i.r1));
+      break;
+    }
+    case Op::OR_RR: case Op::OR_RI: {
+      std::uint64_t b = i.op == Op::OR_RR ? R(i.r2)
+                                          : static_cast<std::uint64_t>(i.imm);
+      R(i.r1) |= b;
+      set_flags_logic(R(i.r1));
+      break;
+    }
+    case Op::XOR_RR: case Op::XOR_RI: {
+      std::uint64_t b = i.op == Op::XOR_RR ? R(i.r2)
+                                           : static_cast<std::uint64_t>(i.imm);
+      R(i.r1) ^= b;
+      set_flags_logic(R(i.r1));
+      break;
+    }
+    case Op::TEST_RR: case Op::TEST_RI: {
+      std::uint64_t b = i.op == Op::TEST_RR ? R(i.r2)
+                                            : static_cast<std::uint64_t>(i.imm);
+      set_flags_logic(R(i.r1) & b);
+      break;
+    }
+    case Op::IMUL_RR: case Op::IMUL_RI: {
+      std::int64_t a = static_cast<std::int64_t>(R(i.r1));
+      std::int64_t b = i.op == Op::IMUL_RR
+                           ? static_cast<std::int64_t>(R(i.r2))
+                           : i.imm;
+      // Detect signed overflow via __int128 (flags CF=OF=overflow).
+      __int128 wide = static_cast<__int128>(a) * b;
+      std::int64_t r = static_cast<std::int64_t>(wide);
+      flags_ = 0;
+      if (wide != static_cast<__int128>(r)) flags_ |= isa::kCF | isa::kOF;
+      if (r == 0) flags_ |= isa::kZF;
+      if (r < 0) flags_ |= isa::kSF;
+      R(i.r1) = static_cast<std::uint64_t>(r);
+      break;
+    }
+    case Op::UDIV_RR: case Op::UREM_RR: {
+      std::uint64_t b = R(i.r2);
+      if (b == 0) return fault_out("division by zero");
+      std::uint64_t r = i.op == Op::UDIV_RR ? R(i.r1) / b : R(i.r1) % b;
+      R(i.r1) = r;
+      set_flags_logic(r);
+      break;
+    }
+    case Op::SHL_RR: case Op::SHL_RI: {
+      unsigned c = (i.op == Op::SHL_RR ? R(i.r2) : i.imm) & 63;
+      std::uint64_t a = R(i.r1);
+      std::uint64_t r = c ? (a << c) : a;
+      flags_ = 0;
+      if (c && ((a >> (64 - c)) & 1)) flags_ |= isa::kCF;
+      if (r == 0) flags_ |= isa::kZF;
+      if (r & kSignBit) flags_ |= isa::kSF;
+      R(i.r1) = r;
+      break;
+    }
+    case Op::SHR_RR: case Op::SHR_RI: {
+      unsigned c = (i.op == Op::SHR_RR ? R(i.r2) : i.imm) & 63;
+      std::uint64_t a = R(i.r1);
+      std::uint64_t r = c ? (a >> c) : a;
+      flags_ = 0;
+      if (c && ((a >> (c - 1)) & 1)) flags_ |= isa::kCF;
+      if (r == 0) flags_ |= isa::kZF;
+      if (r & kSignBit) flags_ |= isa::kSF;
+      R(i.r1) = r;
+      break;
+    }
+    case Op::SAR_RR: case Op::SAR_RI: {
+      unsigned c = (i.op == Op::SAR_RR ? R(i.r2) : i.imm) & 63;
+      std::int64_t a = static_cast<std::int64_t>(R(i.r1));
+      std::int64_t r = c ? (a >> c) : a;
+      flags_ = 0;
+      if (c && ((static_cast<std::uint64_t>(a) >> (c - 1)) & 1))
+        flags_ |= isa::kCF;
+      if (r == 0) flags_ |= isa::kZF;
+      if (r < 0) flags_ |= isa::kSF;
+      R(i.r1) = static_cast<std::uint64_t>(r);
+      break;
+    }
+    case Op::ADD_MI: case Op::SUB_MI: {
+      effective_addr(i.mem, next_rip, ea);
+      std::uint64_t a = mem_->read_u64(ea);
+      std::uint64_t b = static_cast<std::uint64_t>(i.imm);
+      std::uint64_t r = i.op == Op::ADD_MI ? a + b : a - b;
+      if (i.op == Op::ADD_MI)
+        set_flags_add(a, b, 0, r);
+      else
+        set_flags_sub(a, b, 0, r);
+      if (mem_->perm_at(ea) & kPermX) invalidate_decode_cache();
+      mem_->write_u64(ea, r);
+      break;
+    }
+
+    case Op::NEG_R: {
+      std::uint64_t a = R(i.r1);
+      std::uint64_t r = 0 - a;
+      set_flags_sub(0, a, 0, r);  // CF = (a != 0), like x86
+      R(i.r1) = r;
+      break;
+    }
+    case Op::NOT_R:
+      R(i.r1) = ~R(i.r1);  // no flags, like x86
+      break;
+    case Op::INC_R: {
+      std::uint64_t cf = flags_ & isa::kCF;  // INC preserves CF
+      std::uint64_t a = R(i.r1), r = a + 1;
+      set_flags_add(a, 1, 0, r);
+      flags_ = (flags_ & ~std::uint64_t(isa::kCF)) | cf;
+      R(i.r1) = r;
+      break;
+    }
+    case Op::DEC_R: {
+      std::uint64_t cf = flags_ & isa::kCF;
+      std::uint64_t a = R(i.r1), r = a - 1;
+      set_flags_sub(a, 1, 0, r);
+      flags_ = (flags_ & ~std::uint64_t(isa::kCF)) | cf;
+      R(i.r1) = r;
+      break;
+    }
+
+    case Op::MOVZX:
+      R(i.r1) = zext(R(i.r2), i.size);
+      break;
+    case Op::MOVSX:
+      R(i.r1) = sext(R(i.r2), i.size);
+      break;
+    case Op::CMOV:
+      if (eval_cond(i.cc)) R(i.r1) = R(i.r2);
+      break;
+    case Op::SETCC:
+      R(i.r1) = eval_cond(i.cc) ? 1 : 0;
+      break;
+    case Op::RDFLAGS:
+      R(i.r1) = flags_;
+      break;
+    case Op::WRFLAGS:
+      flags_ = R(i.r1) & 0xf;
+      break;
+
+    case Op::JMP_REL:
+      rip_ = next_rip + static_cast<std::uint64_t>(i.imm);
+      break;
+    case Op::JCC_REL:
+      if (eval_cond(i.cc)) rip_ = next_rip + static_cast<std::uint64_t>(i.imm);
+      break;
+    case Op::JMP_R:
+      rip_ = R(i.r1);
+      break;
+    case Op::JMP_M:
+      effective_addr(i.mem, next_rip, ea);
+      rip_ = mem_->read_u64(ea);
+      break;
+    case Op::CALL_REL:
+      R(Reg::RSP) -= 8;
+      mem_->write_u64(R(Reg::RSP), next_rip);
+      rip_ = next_rip + static_cast<std::uint64_t>(i.imm);
+      break;
+    case Op::CALL_R: {
+      std::uint64_t target = R(i.r1);
+      R(Reg::RSP) -= 8;
+      mem_->write_u64(R(Reg::RSP), next_rip);
+      rip_ = target;
+      break;
+    }
+    case Op::RET:
+      rip_ = mem_->read_u64(R(Reg::RSP));
+      R(Reg::RSP) += 8;
+      break;
+
+    case Op::kCount:
+      return fault_out("bad opcode");
+  }
+  return CpuStatus::kRunning;
+}
+
+}  // namespace raindrop

@@ -1,0 +1,100 @@
+// The MiniX86 interpreter. Executes native code and ROP chains alike:
+// a chain is just data in .data that RET walks, exactly as on real
+// hardware. Exposes tracing hooks used by the dynamic attacks (DSE
+// shadow execution, TDS trace recording, ROPMEMU-style chain emulation).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/encode.hpp"
+#include "isa/insn.hpp"
+#include "mem/memory.hpp"
+
+namespace raindrop {
+
+enum class CpuStatus {
+  kRunning,
+  kHalted,          // HLT reached
+  kFault,           // bad decode / NX violation / div by zero / UD
+  kBudgetExceeded,  // instruction budget exhausted
+};
+
+struct CpuFault {
+  std::uint64_t rip = 0;
+  std::string reason;
+};
+
+class Cpu {
+ public:
+  explicit Cpu(Memory* mem) : mem_(mem) {}
+
+  // Register file.
+  std::uint64_t reg(isa::Reg r) const { return regs_[static_cast<int>(r)]; }
+  void set_reg(isa::Reg r, std::uint64_t v) { regs_[static_cast<int>(r)] = v; }
+  std::uint64_t rip() const { return rip_; }
+  void set_rip(std::uint64_t v) { rip_ = v; }
+  std::uint64_t flags() const { return flags_; }  // packed CF/ZF/SF/OF
+  void set_flags(std::uint64_t f) { flags_ = f & 0xf; }
+  bool eval_cond(isa::Cond cc) const;
+
+  Memory& mem() { return *mem_; }
+  const Memory& mem() const { return *mem_; }
+
+  // Runs until halt/fault or until `max_insns` more instructions executed.
+  CpuStatus run(std::uint64_t max_insns);
+  // Executes exactly one instruction.
+  CpuStatus step();
+
+  std::uint64_t insn_count() const { return insn_count_; }
+  const std::optional<CpuFault>& fault() const { return fault_; }
+
+  // Coverage probes hit by TRACE instructions, in execution order.
+  const std::vector<std::int64_t>& trace_probes() const { return probes_; }
+  void clear_trace_probes() { probes_.clear(); }
+
+  // Optional per-instruction hook: called *before* executing the decoded
+  // instruction at `addr`. Returning false aborts the run with a fault
+  // (used by attack engines to cut exploration).
+  using InsnHook = std::function<bool(Cpu&, std::uint64_t addr,
+                                      const isa::Insn&)>;
+  void set_insn_hook(InsnHook hook) { insn_hook_ = std::move(hook); }
+
+  // Enforce NX: RIP must lie in a kPermX region. On by default; the image
+  // loader maps regions. Tests running raw code can disable it.
+  void set_enforce_nx(bool on) { enforce_nx_ = on; }
+
+  // Decoded-instruction cache. Safe because we (like the paper, §IV-C)
+  // do not support self-modifying code; writes through the CPU to an
+  // executable region invalidate the whole cache defensively.
+  void invalidate_decode_cache() { decode_cache_.clear(); }
+
+ private:
+  CpuStatus fault_out(const std::string& reason);
+  bool effective_addr(const isa::MemRef& m, std::uint64_t insn_end,
+                      std::uint64_t& out) const;
+  void set_flags_logic(std::uint64_t result);
+  void set_flags_add(std::uint64_t a, std::uint64_t b, std::uint64_t carry_in,
+                     std::uint64_t result);
+  void set_flags_sub(std::uint64_t a, std::uint64_t b, std::uint64_t borrow_in,
+                     std::uint64_t result);
+  CpuStatus exec(const isa::Insn& insn, std::uint64_t next_rip);
+
+  Memory* mem_;
+  std::array<std::uint64_t, isa::kNumRegs> regs_{};
+  std::uint64_t rip_ = 0;
+  std::uint64_t flags_ = 0;
+  std::uint64_t insn_count_ = 0;
+  std::optional<CpuFault> fault_;
+  std::vector<std::int64_t> probes_;
+  InsnHook insn_hook_;
+  bool enforce_nx_ = true;
+  std::unordered_map<std::uint64_t, isa::Decoded> decode_cache_;
+};
+
+}  // namespace raindrop

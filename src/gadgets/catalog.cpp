@@ -1,0 +1,175 @@
+#include "gadgets/catalog.hpp"
+
+#include <cassert>
+
+#include "isa/encode.hpp"
+
+namespace raindrop::gadgets {
+
+using analysis::insn_defs;
+using analysis::insn_uses;
+using isa::Insn;
+using isa::Op;
+using isa::Reg;
+
+GadgetPool::GadgetPool(Image* img, std::uint64_t seed, int max_variants,
+                       std::string section)
+    : img_(img), rng_(seed), max_variants_(max_variants),
+      section_(std::move(section)) {}
+
+std::string GadgetPool::key_of(std::span<const Insn> core, bool jop,
+                               Reg jop_target) {
+  std::vector<std::uint8_t> bytes;
+  for (const Insn& i : core) isa::encode(i, bytes);
+  if (jop) {
+    bytes.push_back(0xfe);
+    bytes.push_back(static_cast<std::uint8_t>(jop_target));
+  }
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::uint64_t GadgetPool::synthesize(std::span<const Insn> core, bool jop,
+                                     Reg jop_target, RegSet junk_allowed) {
+  // Junk must not disturb the core dataflow: exclude every register the
+  // core touches (and the JOP target). Junk is flag-neutral by
+  // construction (mov-immediate only), so gadgets that *read* flags from
+  // the surrounding chain context stay correct.
+  RegSet excluded;
+  for (const Insn& i : core) {
+    excluded = excluded | insn_uses(i) | insn_defs(i);
+  }
+  excluded.add(Reg::RSP);
+  if (jop) excluded.add(jop_target);
+  std::vector<Reg> junk_regs;
+  for (int r = 0; r < isa::kNumRegs; ++r) {
+    Reg reg = static_cast<Reg>(r);
+    if (junk_allowed.has(reg) && !excluded.has(reg)) junk_regs.push_back(reg);
+  }
+
+  Gadget g;
+  std::size_t junk_count =
+      junk_regs.empty() ? 0 : rng_.below(3);  // 0..2 junk insns
+  std::vector<Insn> body;
+  for (std::size_t j = 0; j < junk_count; ++j) {
+    Reg jr = rng_.pick(junk_regs);
+    // Dynamically dead data: looks meaningful, contributes nothing.
+    std::int64_t v = static_cast<std::int64_t>(rng_.next() & 0x7fffffff);
+    body.push_back(rng_.chance(1, 2) ? isa::ib::mov_i32(jr, v)
+                                     : isa::ib::mov_i64(jr, v));
+    g.extra_clobbers.add(jr);
+  }
+  // Interleave: junk first keeps flag-reading cores safe; occasionally
+  // sandwich one junk insn inside the core when the core is flag-free.
+  body.insert(body.end(), core.begin(), core.end());
+
+  std::vector<std::uint8_t> bytes;
+  for (const Insn& i : body) {
+    std::size_t n = isa::encode(i, bytes);
+    assert(n > 0 && "unencodable gadget body");
+    (void)n;
+  }
+  if (jop)
+    isa::encode(isa::ib::jmp_r(jop_target), bytes);
+  else
+    isa::encode(isa::ib::ret(), bytes);
+
+  g.addr = img_->append(section_, bytes);
+  g.body = std::move(body);
+  g.jop = jop;
+  g.jop_target = jop_target;
+  synth_bytes_ += bytes.size();
+  by_addr_[g.addr] = g;
+  by_core_[key_of(core, jop, jop_target)].push_back(g);
+  return g.addr;
+}
+
+std::uint64_t GadgetPool::want(std::span<const Insn> core,
+                               RegSet allowed_clobbers) {
+  const std::string key = key_of(core, false, Reg::RAX);
+  auto it = by_core_.find(key);
+  std::vector<const Gadget*> fits;
+  if (it != by_core_.end()) {
+    for (const Gadget& g : it->second)
+      if ((g.extra_clobbers.minus(allowed_clobbers)).empty())
+        fits.push_back(&g);
+  }
+  // Diversification policy: keep growing variants up to the budget, then
+  // pick uniformly among the fits (multiple equivalent gadgets serving
+  // one purpose at different program points, §I).
+  bool may_grow =
+      (it == by_core_.end() || static_cast<int>(it->second.size()) <
+                                   max_variants_);
+  if (fits.empty() || (may_grow && rng_.chance(1, 3)))
+    return synthesize(core, false, Reg::RAX, allowed_clobbers);
+  return fits[rng_.below(fits.size())]->addr;
+}
+
+std::uint64_t GadgetPool::want_jop(std::span<const Insn> core, Reg jop_target,
+                                   RegSet allowed_clobbers) {
+  const std::string key = key_of(core, true, jop_target);
+  auto it = by_core_.find(key);
+  if (it != by_core_.end()) {
+    for (const Gadget& g : it->second)
+      if ((g.extra_clobbers.minus(allowed_clobbers)).empty()) return g.addr;
+  }
+  return synthesize(core, true, jop_target, allowed_clobbers);
+}
+
+std::uint64_t GadgetPool::want_ret() {
+  return want(std::span<const Insn>{}, RegSet());
+}
+
+std::size_t GadgetPool::harvest(std::uint64_t lo, std::uint64_t hi) {
+  std::size_t added = 0;
+  for (std::uint64_t a = lo; a < hi; ++a) {
+    std::vector<Insn> body;
+    std::uint64_t p = a;
+    bool ok = false;
+    for (int n = 0; n < 4 && p < hi; ++n) {
+      std::uint8_t buf[16];
+      for (int i = 0; i < 16; ++i) buf[i] = img_->byte_at(p + i);
+      auto dec = isa::decode(buf);
+      if (!dec) break;
+      if (dec->insn.op == Op::RET) {
+        ok = true;
+        break;
+      }
+      // Only side-effect-free-on-memory bodies are safely reusable.
+      if (dec->insn.op == Op::STORE || dec->insn.op == Op::XCHG_RM ||
+          dec->insn.op == Op::ADD_MI || dec->insn.op == Op::SUB_MI ||
+          isa::is_branch(dec->insn.op) || dec->insn.op == Op::HLT ||
+          dec->insn.op == Op::UD || dec->insn.op == Op::TRACE)
+        break;
+      body.push_back(dec->insn);
+      p += dec->length;
+    }
+    if (!ok || body.empty()) continue;
+    std::string key = key_of(body, false, Reg::RAX);
+    auto& vec = by_core_[key];
+    bool dup = false;
+    for (const Gadget& g : vec) dup |= g.addr == a;
+    if (dup) continue;
+    Gadget g;
+    g.addr = a;
+    g.body = body;
+    vec.push_back(g);
+    by_addr_[a] = g;
+    ++added;
+  }
+  return added;
+}
+
+const Gadget* GadgetPool::at(std::uint64_t addr) const {
+  auto it = by_addr_.find(addr);
+  return it == by_addr_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t GadgetPool::random_gadget_addr(Rng& rng) const {
+  if (by_addr_.empty()) return 0;
+  std::size_t k = static_cast<std::size_t>(rng.below(by_addr_.size()));
+  auto it = by_addr_.begin();
+  std::advance(it, static_cast<long>(k));
+  return it->first;
+}
+
+}  // namespace raindrop::gadgets

@@ -1,0 +1,84 @@
+// Gadget pool for the ROP encoder (§IV-A1). The paper's rewriter draws
+// from artificial gadgets planted as dead code in .text, combined with
+// gadgets already present in unobfuscated program parts. We do the same:
+//  * want() returns a gadget whose executed semantics equal the requested
+//    core instruction sequence (followed by ret / jmp reg),
+//  * variants are diversified with dynamically-dead junk instructions
+//    that only touch caller-approved clobber registers (§V-D: one gadget
+//    serves different purposes; extra instructions are dynamically dead),
+//  * harvest() registers gadgets found by scanning existing code.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/liveness.hpp"
+#include "image/image.hpp"
+#include "isa/insn.hpp"
+#include "support/rng.hpp"
+
+namespace raindrop::gadgets {
+
+using analysis::RegSet;
+
+struct Gadget {
+  std::uint64_t addr = 0;
+  std::vector<isa::Insn> body;   // executed instructions, excl. terminator
+  bool jop = false;              // terminates with jmp r instead of ret
+  isa::Reg jop_target = isa::Reg::RAX;
+  RegSet extra_clobbers;         // junk side effects beyond the core
+};
+
+class GadgetPool {
+ public:
+  // New gadgets are synthesized into `section` of the image (defaults to
+  // .text: dead code in the executable segment, like the paper).
+  GadgetPool(Image* img, std::uint64_t seed, int max_variants = 4,
+             std::string section = ".text");
+
+  // Returns the address of a ret-terminated gadget executing exactly
+  // `core`, whose extra side effects are registers within
+  // `allowed_clobbers`. Synthesizes a new (possibly junk-diversified)
+  // variant when needed.
+  std::uint64_t want(std::span<const isa::Insn> core, RegSet allowed_clobbers);
+
+  // Same, for a JOP gadget terminated by `jmp jop_target` (used by the
+  // stack-switching call sequence, §IV-B2 step C).
+  std::uint64_t want_jop(std::span<const isa::Insn> core, isa::Reg jop_target,
+                         RegSet allowed_clobbers);
+
+  // Plain `ret` gadget.
+  std::uint64_t want_ret();
+
+  // Scans [lo, hi) for pre-existing usable gadget bodies and registers
+  // them (gadgets "already available in program parts left unobfuscated").
+  // Returns how many were registered.
+  std::size_t harvest(std::uint64_t lo, std::uint64_t hi);
+
+  const Gadget* at(std::uint64_t addr) const;
+  std::size_t unique_count() const { return by_addr_.size(); }
+  std::size_t synthesized_bytes() const { return synth_bytes_; }
+
+  // A uniformly random existing gadget address (0 if the pool is empty);
+  // gadget confusion uses these as disguise bases for immediates (§V-D).
+  std::uint64_t random_gadget_addr(Rng& rng) const;
+
+ private:
+  std::uint64_t synthesize(std::span<const isa::Insn> core, bool jop,
+                           isa::Reg jop_target, RegSet junk_allowed);
+  static std::string key_of(std::span<const isa::Insn> core, bool jop,
+                            isa::Reg jop_target);
+
+  Image* img_;
+  Rng rng_;
+  int max_variants_;
+  std::string section_;
+  std::map<std::string, std::vector<Gadget>> by_core_;
+  std::map<std::uint64_t, Gadget> by_addr_;
+  std::size_t synth_bytes_ = 0;
+};
+
+}  // namespace raindrop::gadgets

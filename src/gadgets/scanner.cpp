@@ -1,0 +1,51 @@
+#include "gadgets/scanner.hpp"
+
+#include "isa/encode.hpp"
+
+namespace raindrop::gadgets {
+
+namespace {
+
+template <typename ByteAt>
+std::vector<ScannedGadget> scan_impl(ByteAt byte_at, std::uint64_t lo,
+                                     std::uint64_t hi, int max_insns) {
+  std::vector<ScannedGadget> out;
+  for (std::uint64_t a = lo; a < hi; ++a) {
+    ScannedGadget g;
+    g.addr = a;
+    std::uint64_t p = a;
+    bool ok = false;
+    for (int n = 0; n <= max_insns && p < hi; ++n) {
+      std::uint8_t buf[16];
+      for (int i = 0; i < 16; ++i) buf[i] = byte_at(p + i);
+      auto dec = isa::decode(buf);
+      if (!dec) break;
+      if (dec->insn.op == isa::Op::RET) {
+        ok = true;
+        break;
+      }
+      if (isa::is_branch(dec->insn.op) || dec->insn.op == isa::Op::HLT)
+        break;
+      g.insns.push_back(dec->insn);
+      p += dec->length;
+    }
+    if (ok) out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ScannedGadget> scan(const Image& img, std::uint64_t lo,
+                                std::uint64_t hi, int max_insns) {
+  return scan_impl([&](std::uint64_t a) { return img.byte_at(a); }, lo, hi,
+                   max_insns);
+}
+
+std::vector<ScannedGadget> scan_memory(const Memory& mem, std::uint64_t lo,
+                                       std::uint64_t hi, int max_insns) {
+  return scan_impl([&](std::uint64_t a) { return mem.read_u8(a); }, lo, hi,
+                   max_insns);
+}
+
+}  // namespace raindrop::gadgets

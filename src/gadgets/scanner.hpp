@@ -1,0 +1,28 @@
+// Byte-granularity gadget scanner, in the style of exploitation tooling
+// (and of ROPDissector's "gadget guessing", §VII-A2): decodes at *every*
+// offset, including unaligned ones, and records ret-terminated sequences.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hpp"
+#include "isa/insn.hpp"
+
+namespace raindrop::gadgets {
+
+struct ScannedGadget {
+  std::uint64_t addr = 0;
+  std::vector<isa::Insn> insns;  // excluding the final ret
+};
+
+// Scans [lo, hi) of the image for sequences of at most `max_insns`
+// instructions ending in ret.
+std::vector<ScannedGadget> scan(const Image& img, std::uint64_t lo,
+                                std::uint64_t hi, int max_insns = 5);
+
+// Same over raw loaded memory (attack-side view: works from a dump).
+std::vector<ScannedGadget> scan_memory(const Memory& mem, std::uint64_t lo,
+                                       std::uint64_t hi, int max_insns = 5);
+
+}  // namespace raindrop::gadgets

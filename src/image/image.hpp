@@ -1,0 +1,111 @@
+// Program image ("MiniELF"): sections, symbols and a loader. This plays
+// the role of the x64 ELF binaries the paper's rewriter consumes: the
+// compiler emits .text/.rodata/.data, the gadget synthesizer appends
+// artificial gadgets to .text, and the ROP rewriter embeds chains in a
+// dedicated data section and patches function bodies with pivot stubs
+// (§IV-A4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cpu/cpu.hpp"
+#include "isa/insn.hpp"
+#include "mem/memory.hpp"
+
+namespace raindrop {
+
+// Fixed layout, mirroring a classic non-PIE Linux binary (the paper's
+// rewritten binaries are loaded at fixed addresses too, §IV-C).
+inline constexpr std::uint64_t kTextBase = 0x400000;
+inline constexpr std::uint64_t kRodataBase = 0x1000000;
+inline constexpr std::uint64_t kDataBase = 0x2000000;
+inline constexpr std::uint64_t kRopDataBase = 0x3000000;  // embedded chains
+inline constexpr std::uint64_t kHeapBase = 0x4000000;
+inline constexpr std::uint64_t kStackBase = 0x7ff00000;
+inline constexpr std::uint64_t kStackSize = 0x100000;
+inline constexpr std::uint64_t kHltPad = 0x10000;  // sentinel return target
+
+struct FunctionSym {
+  std::string name;
+  std::uint64_t addr = 0;
+  std::uint64_t size = 0;
+  bool rop_rewritten = false;  // body replaced with a pivot stub
+  int arg_count = 6;  // ABI argument registers holding inputs (taint
+                      // sources); 6 = conservative when unknown
+};
+
+class Image {
+ public:
+  Image();
+
+  // -- Section building -----------------------------------------------
+  // Appends bytes to a section, returns the address they landed at.
+  std::uint64_t append(const std::string& section,
+                       std::span<const std::uint8_t> bytes);
+  std::uint64_t append_zeros(const std::string& section, std::size_t n);
+  // Reserves space and returns its address without writing.
+  std::uint64_t reserve(const std::string& section, std::size_t n);
+  // Patches already-emitted bytes (label fixups, jump tables, stubs).
+  void patch(std::uint64_t addr, std::span<const std::uint8_t> bytes);
+  void patch_u64(std::uint64_t addr, std::uint64_t value);
+  void patch_u32(std::uint64_t addr, std::uint32_t value);
+
+  std::uint8_t byte_at(std::uint64_t addr) const;
+  std::uint64_t u64_at(std::uint64_t addr) const;
+  std::uint64_t section_end(const std::string& section) const;
+  std::uint64_t section_base(const std::string& section) const;
+  // Current contents of a section (for scanners).
+  std::vector<std::uint8_t> section_bytes(const std::string& section) const;
+  bool in_section(const std::string& section, std::uint64_t addr) const;
+
+  // -- Symbols ----------------------------------------------------------
+  void add_function(FunctionSym fn);
+  FunctionSym* function(const std::string& name);
+  const FunctionSym* function(const std::string& name) const;
+  const std::vector<FunctionSym>& functions() const { return funcs_; }
+  std::vector<FunctionSym>& functions() { return funcs_; }
+  const FunctionSym* function_at(std::uint64_t addr) const;
+
+  void add_object(const std::string& name, std::uint64_t addr,
+                  std::uint64_t size);
+  std::optional<std::uint64_t> object_addr(const std::string& name) const;
+
+  // -- Loading ----------------------------------------------------------
+  // Materialises the image into a Memory (regions + bytes + stack + pad).
+  Memory load() const;
+
+ private:
+  struct Section {
+    std::uint64_t base = 0;
+    Perm perm = kPermR;
+    std::vector<std::uint8_t> bytes;
+  };
+  Section& sec(const std::string& name);
+  const Section& sec(const std::string& name) const;
+
+  std::map<std::string, Section> sections_;
+  std::vector<FunctionSym> funcs_;
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> objects_;
+};
+
+// -- Execution helpers --------------------------------------------------
+// Calls a function in a fresh copy of the loaded memory following the
+// SysV-like convention (args in RDI,RSI,RDX,RCX,R8,R9; result in RAX).
+struct CallResult {
+  CpuStatus status = CpuStatus::kHalted;
+  std::uint64_t rax = 0;
+  std::uint64_t insns = 0;
+  std::vector<std::int64_t> probes;
+  std::string fault_reason;
+};
+
+CallResult call_function(const Memory& loaded, std::uint64_t fn_addr,
+                         std::span<const std::uint64_t> args,
+                         std::uint64_t insn_budget = 200'000'000);
+
+}  // namespace raindrop

@@ -1,0 +1,312 @@
+#include "isa/encode.hpp"
+
+#include <limits>
+
+namespace raindrop::isa {
+
+namespace {
+
+bool fits_s32(std::int64_t v) {
+  return v >= std::numeric_limits<std::int32_t>::min() &&
+         v <= std::numeric_limits<std::int32_t>::max();
+}
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_s32(std::vector<std::uint8_t>& out, std::int64_t v) {
+  auto u = static_cast<std::uint32_t>(static_cast<std::int32_t>(v));
+  for (int i = 0; i < 4; ++i) out.push_back((u >> (8 * i)) & 0xff);
+}
+
+void put_s64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) out.push_back((u >> (8 * i)) & 0xff);
+}
+
+bool put_mem(std::vector<std::uint8_t>& out, const MemRef& m) {
+  if (!fits_s32(m.disp)) return false;
+  std::uint8_t flags = 0;
+  if (m.has_base) flags |= 1;
+  if (m.has_index) flags |= 2;
+  flags |= (m.scale_log2 & 3) << 2;
+  if (m.rip_rel) flags |= 16;
+  put_u8(out, flags);
+  put_u8(out, static_cast<std::uint8_t>(
+                  (static_cast<int>(m.base) << 4) | static_cast<int>(m.index)));
+  put_s32(out, m.disp);
+  return true;
+}
+
+bool valid_size(std::uint8_t s, bool allow8) {
+  return s == 1 || s == 2 || s == 4 || (allow8 && s == 8);
+}
+
+}  // namespace
+
+Sig sig_of(Op op) {
+  switch (op) {
+    case Op::NOP: case Op::HLT: case Op::UD: case Op::PUSHF: case Op::POPF:
+    case Op::RET:
+      return Sig::NONE;
+    case Op::TRACE: case Op::PUSH_I32:
+      return Sig::I32;
+    case Op::MOV_RR: case Op::XCHG_RR:
+    case Op::ADD_RR: case Op::SUB_RR: case Op::AND_RR: case Op::OR_RR:
+    case Op::XOR_RR: case Op::ADC_RR: case Op::SBB_RR: case Op::CMP_RR:
+    case Op::TEST_RR: case Op::IMUL_RR: case Op::UDIV_RR: case Op::UREM_RR:
+    case Op::SHL_RR: case Op::SHR_RR: case Op::SAR_RR:
+      return Sig::RR;
+    case Op::MOV_RI64:
+      return Sig::RI64;
+    case Op::MOV_RI32:
+    case Op::ADD_RI: case Op::SUB_RI: case Op::AND_RI: case Op::OR_RI:
+    case Op::XOR_RI: case Op::CMP_RI: case Op::TEST_RI: case Op::IMUL_RI:
+    case Op::SHL_RI: case Op::SHR_RI: case Op::SAR_RI:
+      return Sig::RI32;
+    case Op::LEA: case Op::XCHG_RM: case Op::ADD_RM:
+      return Sig::RM;
+    case Op::LOAD: case Op::LOADS: case Op::STORE:
+      return Sig::RMS;
+    case Op::MOVZX: case Op::MOVSX:
+      return Sig::RRS;
+    case Op::JMP_M:
+      return Sig::M;
+    case Op::ADD_MI: case Op::SUB_MI:
+      return Sig::MI32;
+    case Op::CMOV:
+      return Sig::CCRR;
+    case Op::SETCC:
+      return Sig::CCR;
+    case Op::PUSH_R: case Op::POP_R: case Op::NEG_R: case Op::NOT_R:
+    case Op::INC_R: case Op::DEC_R: case Op::RDFLAGS: case Op::WRFLAGS:
+    case Op::JMP_R: case Op::CALL_R:
+      return Sig::R;
+    case Op::JMP_REL: case Op::CALL_REL:
+      return Sig::REL32;
+    case Op::JCC_REL:
+      return Sig::CCREL32;
+    case Op::kCount:
+      break;
+  }
+  return Sig::NONE;
+}
+
+std::size_t encode(const Insn& insn, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  if (insn.op >= Op::kCount) return 0;
+  put_u8(out, static_cast<std::uint8_t>(insn.op));
+  bool ok = true;
+  switch (sig_of(insn.op)) {
+    case Sig::NONE:
+      break;
+    case Sig::R:
+      put_u8(out, static_cast<std::uint8_t>(insn.r1));
+      break;
+    case Sig::RR:
+      put_u8(out, static_cast<std::uint8_t>(
+                      (static_cast<int>(insn.r1) << 4) |
+                      static_cast<int>(insn.r2)));
+      break;
+    case Sig::RI64:
+      put_u8(out, static_cast<std::uint8_t>(insn.r1));
+      put_s64(out, insn.imm);
+      break;
+    case Sig::RI32:
+      ok = fits_s32(insn.imm);
+      put_u8(out, static_cast<std::uint8_t>(insn.r1));
+      put_s32(out, insn.imm);
+      break;
+    case Sig::I32:
+      ok = fits_s32(insn.imm);
+      put_s32(out, insn.imm);
+      break;
+    case Sig::RM:
+      put_u8(out, static_cast<std::uint8_t>(insn.r1));
+      ok = put_mem(out, insn.mem);
+      break;
+    case Sig::RMS:
+      ok = valid_size(insn.size, insn.op != Op::LOADS);
+      put_u8(out, static_cast<std::uint8_t>(insn.r1));
+      if (ok) ok = put_mem(out, insn.mem);
+      put_u8(out, insn.size);
+      break;
+    case Sig::RRS:
+      ok = valid_size(insn.size, false);
+      put_u8(out, static_cast<std::uint8_t>(
+                      (static_cast<int>(insn.r1) << 4) |
+                      static_cast<int>(insn.r2)));
+      put_u8(out, insn.size);
+      break;
+    case Sig::M:
+      ok = put_mem(out, insn.mem);
+      break;
+    case Sig::MI32:
+      ok = put_mem(out, insn.mem) && fits_s32(insn.imm);
+      put_s32(out, insn.imm);
+      break;
+    case Sig::CCRR:
+      put_u8(out, static_cast<std::uint8_t>(insn.cc));
+      put_u8(out, static_cast<std::uint8_t>(
+                      (static_cast<int>(insn.r1) << 4) |
+                      static_cast<int>(insn.r2)));
+      break;
+    case Sig::CCR:
+      put_u8(out, static_cast<std::uint8_t>(insn.cc));
+      put_u8(out, static_cast<std::uint8_t>(insn.r1));
+      break;
+    case Sig::REL32:
+      ok = fits_s32(insn.imm);
+      put_s32(out, insn.imm);
+      break;
+    case Sig::CCREL32:
+      ok = fits_s32(insn.imm);
+      put_u8(out, static_cast<std::uint8_t>(insn.cc));
+      put_s32(out, insn.imm);
+      break;
+  }
+  if (!ok) {
+    out.resize(start);
+    return 0;
+  }
+  return out.size() - start;
+}
+
+std::vector<std::uint8_t> encode_one(const Insn& insn) {
+  std::vector<std::uint8_t> out;
+  encode(insn, out);
+  return out;
+}
+
+std::size_t encoded_length(const Insn& insn) {
+  // Cheap: encode into a scratch buffer. Instruction encoding is not a
+  // hot path (chains are materialised once).
+  std::vector<std::uint8_t> tmp;
+  return encode(insn, tmp);
+}
+
+namespace {
+
+struct Reader {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos = 0;
+
+  bool u8(std::uint8_t& v) {
+    if (pos >= bytes.size()) return false;
+    v = bytes[pos++];
+    return true;
+  }
+  bool s32(std::int64_t& v) {
+    if (pos + 4 > bytes.size()) return false;
+    std::uint32_t u = 0;
+    for (int i = 0; i < 4; ++i) u |= std::uint32_t(bytes[pos + i]) << (8 * i);
+    pos += 4;
+    v = static_cast<std::int32_t>(u);
+    return true;
+  }
+  bool s64(std::int64_t& v) {
+    if (pos + 8 > bytes.size()) return false;
+    std::uint64_t u = 0;
+    for (int i = 0; i < 8; ++i) u |= std::uint64_t(bytes[pos + i]) << (8 * i);
+    pos += 8;
+    v = static_cast<std::int64_t>(u);
+    return true;
+  }
+  bool mem(MemRef& m) {
+    std::uint8_t flags = 0, regs = 0;
+    if (!u8(flags) || !u8(regs)) return false;
+    if (flags & ~0x1fu) return false;  // reserved bits must be zero
+    m.has_base = flags & 1;
+    m.has_index = flags & 2;
+    m.scale_log2 = (flags >> 2) & 3;
+    m.rip_rel = flags & 16;
+    if (m.rip_rel && (m.has_base || m.has_index)) return false;
+    m.base = static_cast<Reg>(regs >> 4);
+    m.index = static_cast<Reg>(regs & 15);
+    return s32(m.disp);
+  }
+};
+
+}  // namespace
+
+std::optional<Decoded> decode(std::span<const std::uint8_t> bytes) {
+  Reader r{bytes};
+  std::uint8_t opb = 0;
+  if (!r.u8(opb)) return std::nullopt;
+  if (opb >= static_cast<std::uint8_t>(Op::kCount)) return std::nullopt;
+  Insn insn;
+  insn.op = static_cast<Op>(opb);
+  std::uint8_t b = 0;
+  bool ok = true;
+  switch (sig_of(insn.op)) {
+    case Sig::NONE:
+      break;
+    case Sig::R:
+      ok = r.u8(b);
+      if (ok && b > 15) return std::nullopt;
+      insn.r1 = static_cast<Reg>(b & 15);
+      break;
+    case Sig::RR:
+      ok = r.u8(b);
+      insn.r1 = static_cast<Reg>(b >> 4);
+      insn.r2 = static_cast<Reg>(b & 15);
+      break;
+    case Sig::RI64:
+      ok = r.u8(b) && b <= 15 && r.s64(insn.imm);
+      insn.r1 = static_cast<Reg>(b & 15);
+      break;
+    case Sig::RI32:
+      ok = r.u8(b) && b <= 15 && r.s32(insn.imm);
+      insn.r1 = static_cast<Reg>(b & 15);
+      break;
+    case Sig::I32:
+      ok = r.s32(insn.imm);
+      break;
+    case Sig::RM:
+      ok = r.u8(b) && b <= 15 && r.mem(insn.mem);
+      insn.r1 = static_cast<Reg>(b & 15);
+      break;
+    case Sig::RMS:
+      ok = r.u8(b) && b <= 15 && r.mem(insn.mem) && r.u8(insn.size);
+      insn.r1 = static_cast<Reg>(b & 15);
+      if (ok) ok = valid_size(insn.size, insn.op != Op::LOADS);
+      break;
+    case Sig::RRS:
+      ok = r.u8(b) && r.u8(insn.size) && valid_size(insn.size, false);
+      insn.r1 = static_cast<Reg>(b >> 4);
+      insn.r2 = static_cast<Reg>(b & 15);
+      break;
+    case Sig::M:
+      ok = r.mem(insn.mem);
+      break;
+    case Sig::MI32:
+      ok = r.mem(insn.mem) && r.s32(insn.imm);
+      break;
+    case Sig::CCRR:
+      ok = r.u8(b) && b < kNumConds;
+      insn.cc = static_cast<Cond>(b);
+      if (ok) ok = r.u8(b);
+      insn.r1 = static_cast<Reg>(b >> 4);
+      insn.r2 = static_cast<Reg>(b & 15);
+      break;
+    case Sig::CCR:
+      ok = r.u8(b) && b < kNumConds;
+      insn.cc = static_cast<Cond>(b);
+      if (ok) ok = r.u8(b) && b <= 15;
+      insn.r1 = static_cast<Reg>(b & 15);
+      break;
+    case Sig::REL32:
+      ok = r.s32(insn.imm);
+      break;
+    case Sig::CCREL32:
+      ok = r.u8(b) && b < kNumConds;
+      insn.cc = static_cast<Cond>(b);
+      if (ok) ok = r.s32(insn.imm);
+      break;
+  }
+  if (!ok) return std::nullopt;
+  return Decoded{insn, r.pos};
+}
+
+}  // namespace raindrop::isa

@@ -1,0 +1,387 @@
+#include "isa/insn.hpp"
+
+namespace raindrop::isa {
+
+const char* reg_name(Reg r) {
+  static const char* names[] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                                "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                                "r12", "r13", "r14", "r15"};
+  return names[static_cast<int>(r) & 15];
+}
+
+Cond negate(Cond c) {
+  switch (c) {
+    case Cond::E: return Cond::NE;
+    case Cond::NE: return Cond::E;
+    case Cond::B: return Cond::AE;
+    case Cond::AE: return Cond::B;
+    case Cond::BE: return Cond::A;
+    case Cond::A: return Cond::BE;
+    case Cond::L: return Cond::GE;
+    case Cond::GE: return Cond::L;
+    case Cond::LE: return Cond::G;
+    case Cond::G: return Cond::LE;
+    case Cond::S: return Cond::NS;
+    case Cond::NS: return Cond::S;
+    case Cond::O: return Cond::NO;
+    case Cond::NO: return Cond::O;
+  }
+  return Cond::E;
+}
+
+const char* cond_name(Cond c) {
+  static const char* names[] = {"e",  "ne", "b", "ae", "be", "a",  "l",
+                                "ge", "le", "g", "s",  "ns", "o",  "no"};
+  return names[static_cast<int>(c) % kNumConds];
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::NOP: return "nop";
+    case Op::HLT: return "hlt";
+    case Op::UD: return "ud";
+    case Op::TRACE: return "trace";
+    case Op::MOV_RR: return "mov";
+    case Op::MOV_RI64: return "mov";
+    case Op::MOV_RI32: return "mov";
+    case Op::LEA: return "lea";
+    case Op::LOAD: return "mov";
+    case Op::LOADS: return "movsx";
+    case Op::STORE: return "mov";
+    case Op::XCHG_RR: return "xchg";
+    case Op::XCHG_RM: return "xchg";
+    case Op::PUSH_R: return "push";
+    case Op::POP_R: return "pop";
+    case Op::PUSH_I32: return "push";
+    case Op::PUSHF: return "pushf";
+    case Op::POPF: return "popf";
+    case Op::ADD_RR: case Op::ADD_RI: case Op::ADD_RM: case Op::ADD_MI:
+      return "add";
+    case Op::SUB_RR: case Op::SUB_RI: case Op::SUB_MI: return "sub";
+    case Op::AND_RR: case Op::AND_RI: return "and";
+    case Op::OR_RR: case Op::OR_RI: return "or";
+    case Op::XOR_RR: case Op::XOR_RI: return "xor";
+    case Op::ADC_RR: return "adc";
+    case Op::SBB_RR: return "sbb";
+    case Op::CMP_RR: case Op::CMP_RI: return "cmp";
+    case Op::TEST_RR: case Op::TEST_RI: return "test";
+    case Op::IMUL_RR: case Op::IMUL_RI: return "imul";
+    case Op::UDIV_RR: return "udiv";
+    case Op::UREM_RR: return "urem";
+    case Op::SHL_RR: case Op::SHL_RI: return "shl";
+    case Op::SHR_RR: case Op::SHR_RI: return "shr";
+    case Op::SAR_RR: case Op::SAR_RI: return "sar";
+    case Op::NEG_R: return "neg";
+    case Op::NOT_R: return "not";
+    case Op::INC_R: return "inc";
+    case Op::DEC_R: return "dec";
+    case Op::MOVZX: return "movzx";
+    case Op::MOVSX: return "movsx";
+    case Op::CMOV: return "cmov";
+    case Op::SETCC: return "set";
+    case Op::RDFLAGS: return "rdflags";
+    case Op::WRFLAGS: return "wrflags";
+    case Op::JMP_REL: return "jmp";
+    case Op::JCC_REL: return "j";
+    case Op::JMP_R: return "jmp";
+    case Op::JMP_M: return "jmp";
+    case Op::CALL_REL: return "call";
+    case Op::CALL_R: return "call";
+    case Op::RET: return "ret";
+    case Op::kCount: break;
+  }
+  return "?";
+}
+
+namespace ib {
+namespace {
+Insn base(Op op) {
+  Insn i;
+  i.op = op;
+  return i;
+}
+}  // namespace
+
+Insn nop() { return base(Op::NOP); }
+Insn hlt() { return base(Op::HLT); }
+Insn ud() { return base(Op::UD); }
+Insn trace(std::int64_t id) {
+  Insn i = base(Op::TRACE);
+  i.imm = id;
+  return i;
+}
+Insn mov(Reg d, Reg s) {
+  Insn i = base(Op::MOV_RR);
+  i.r1 = d;
+  i.r2 = s;
+  return i;
+}
+Insn mov_i64(Reg d, std::int64_t v) {
+  Insn i = base(Op::MOV_RI64);
+  i.r1 = d;
+  i.imm = v;
+  return i;
+}
+Insn mov_i32(Reg d, std::int64_t v) {
+  Insn i = base(Op::MOV_RI32);
+  i.r1 = d;
+  i.imm = v;
+  return i;
+}
+Insn lea(Reg d, MemRef m) {
+  Insn i = base(Op::LEA);
+  i.r1 = d;
+  i.mem = m;
+  return i;
+}
+Insn load(Reg d, MemRef m, std::uint8_t size) {
+  Insn i = base(Op::LOAD);
+  i.r1 = d;
+  i.mem = m;
+  i.size = size;
+  return i;
+}
+Insn loads(Reg d, MemRef m, std::uint8_t size) {
+  Insn i = base(Op::LOADS);
+  i.r1 = d;
+  i.mem = m;
+  i.size = size;
+  return i;
+}
+Insn store(MemRef m, Reg s, std::uint8_t size) {
+  Insn i = base(Op::STORE);
+  i.r1 = s;
+  i.mem = m;
+  i.size = size;
+  return i;
+}
+Insn xchg(Reg a, Reg b) {
+  Insn i = base(Op::XCHG_RR);
+  i.r1 = a;
+  i.r2 = b;
+  return i;
+}
+Insn xchg_m(Reg a, MemRef m) {
+  Insn i = base(Op::XCHG_RM);
+  i.r1 = a;
+  i.mem = m;
+  return i;
+}
+Insn push(Reg r) {
+  Insn i = base(Op::PUSH_R);
+  i.r1 = r;
+  return i;
+}
+Insn pop(Reg r) {
+  Insn i = base(Op::POP_R);
+  i.r1 = r;
+  return i;
+}
+Insn push_i32(std::int64_t v) {
+  Insn i = base(Op::PUSH_I32);
+  i.imm = v;
+  return i;
+}
+Insn pushf() { return base(Op::PUSHF); }
+Insn popf() { return base(Op::POPF); }
+Insn alu_rr(Op op, Reg d, Reg s) {
+  Insn i = base(op);
+  i.r1 = d;
+  i.r2 = s;
+  return i;
+}
+Insn alu_ri(Op op, Reg d, std::int64_t v) {
+  Insn i = base(op);
+  i.r1 = d;
+  i.imm = v;
+  return i;
+}
+Insn add(Reg d, Reg s) { return alu_rr(Op::ADD_RR, d, s); }
+Insn add_i(Reg d, std::int64_t v) { return alu_ri(Op::ADD_RI, d, v); }
+Insn sub(Reg d, Reg s) { return alu_rr(Op::SUB_RR, d, s); }
+Insn sub_i(Reg d, std::int64_t v) { return alu_ri(Op::SUB_RI, d, v); }
+Insn and_(Reg d, Reg s) { return alu_rr(Op::AND_RR, d, s); }
+Insn and_i(Reg d, std::int64_t v) { return alu_ri(Op::AND_RI, d, v); }
+Insn or_(Reg d, Reg s) { return alu_rr(Op::OR_RR, d, s); }
+Insn or_i(Reg d, std::int64_t v) { return alu_ri(Op::OR_RI, d, v); }
+Insn xor_(Reg d, Reg s) { return alu_rr(Op::XOR_RR, d, s); }
+Insn xor_i(Reg d, std::int64_t v) { return alu_ri(Op::XOR_RI, d, v); }
+Insn adc(Reg d, Reg s) { return alu_rr(Op::ADC_RR, d, s); }
+Insn sbb(Reg d, Reg s) { return alu_rr(Op::SBB_RR, d, s); }
+Insn cmp(Reg a, Reg b) { return alu_rr(Op::CMP_RR, a, b); }
+Insn cmp_i(Reg a, std::int64_t v) { return alu_ri(Op::CMP_RI, a, v); }
+Insn test(Reg a, Reg b) { return alu_rr(Op::TEST_RR, a, b); }
+Insn test_i(Reg a, std::int64_t v) { return alu_ri(Op::TEST_RI, a, v); }
+Insn imul(Reg d, Reg s) { return alu_rr(Op::IMUL_RR, d, s); }
+Insn imul_i(Reg d, std::int64_t v) { return alu_ri(Op::IMUL_RI, d, v); }
+Insn udiv(Reg d, Reg s) { return alu_rr(Op::UDIV_RR, d, s); }
+Insn urem(Reg d, Reg s) { return alu_rr(Op::UREM_RR, d, s); }
+Insn shl(Reg d, Reg s) { return alu_rr(Op::SHL_RR, d, s); }
+Insn shl_i(Reg d, std::int64_t v) { return alu_ri(Op::SHL_RI, d, v); }
+Insn shr(Reg d, Reg s) { return alu_rr(Op::SHR_RR, d, s); }
+Insn shr_i(Reg d, std::int64_t v) { return alu_ri(Op::SHR_RI, d, v); }
+Insn sar(Reg d, Reg s) { return alu_rr(Op::SAR_RR, d, s); }
+Insn sar_i(Reg d, std::int64_t v) { return alu_ri(Op::SAR_RI, d, v); }
+Insn add_m(Reg d, MemRef m) {
+  Insn i = base(Op::ADD_RM);
+  i.r1 = d;
+  i.mem = m;
+  return i;
+}
+Insn add_mi(MemRef m, std::int64_t v) {
+  Insn i = base(Op::ADD_MI);
+  i.mem = m;
+  i.imm = v;
+  return i;
+}
+Insn sub_mi(MemRef m, std::int64_t v) {
+  Insn i = base(Op::SUB_MI);
+  i.mem = m;
+  i.imm = v;
+  return i;
+}
+Insn neg(Reg r) {
+  Insn i = base(Op::NEG_R);
+  i.r1 = r;
+  return i;
+}
+Insn not_(Reg r) {
+  Insn i = base(Op::NOT_R);
+  i.r1 = r;
+  return i;
+}
+Insn inc(Reg r) {
+  Insn i = base(Op::INC_R);
+  i.r1 = r;
+  return i;
+}
+Insn dec(Reg r) {
+  Insn i = base(Op::DEC_R);
+  i.r1 = r;
+  return i;
+}
+Insn movzx(Reg d, Reg s, std::uint8_t size) {
+  Insn i = base(Op::MOVZX);
+  i.r1 = d;
+  i.r2 = s;
+  i.size = size;
+  return i;
+}
+Insn movsx(Reg d, Reg s, std::uint8_t size) {
+  Insn i = base(Op::MOVSX);
+  i.r1 = d;
+  i.r2 = s;
+  i.size = size;
+  return i;
+}
+Insn cmov(Cond cc, Reg d, Reg s) {
+  Insn i = base(Op::CMOV);
+  i.cc = cc;
+  i.r1 = d;
+  i.r2 = s;
+  return i;
+}
+Insn setcc(Cond cc, Reg d) {
+  Insn i = base(Op::SETCC);
+  i.cc = cc;
+  i.r1 = d;
+  return i;
+}
+Insn rdflags(Reg d) {
+  Insn i = base(Op::RDFLAGS);
+  i.r1 = d;
+  return i;
+}
+Insn wrflags(Reg s) {
+  Insn i = base(Op::WRFLAGS);
+  i.r1 = s;
+  return i;
+}
+Insn jmp(std::int64_t rel) {
+  Insn i = base(Op::JMP_REL);
+  i.imm = rel;
+  return i;
+}
+Insn jcc(Cond cc, std::int64_t rel) {
+  Insn i = base(Op::JCC_REL);
+  i.cc = cc;
+  i.imm = rel;
+  return i;
+}
+Insn jmp_r(Reg r) {
+  Insn i = base(Op::JMP_R);
+  i.r1 = r;
+  return i;
+}
+Insn jmp_m(MemRef m) {
+  Insn i = base(Op::JMP_M);
+  i.mem = m;
+  return i;
+}
+Insn call(std::int64_t rel) {
+  Insn i = base(Op::CALL_REL);
+  i.imm = rel;
+  return i;
+}
+Insn call_r(Reg r) {
+  Insn i = base(Op::CALL_R);
+  i.r1 = r;
+  return i;
+}
+Insn ret() { return base(Op::RET); }
+}  // namespace ib
+
+bool is_branch(Op op) {
+  switch (op) {
+    case Op::JMP_REL: case Op::JCC_REL: case Op::JMP_R: case Op::JMP_M:
+    case Op::CALL_REL: case Op::CALL_R: case Op::RET:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_cond_branch(Op op) { return op == Op::JCC_REL; }
+
+bool is_terminator(Op op) {
+  switch (op) {
+    case Op::JMP_REL: case Op::JCC_REL: case Op::JMP_R: case Op::JMP_M:
+    case Op::RET: case Op::HLT: case Op::UD:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool writes_flags(Op op) {
+  switch (op) {
+    case Op::ADD_RR: case Op::SUB_RR: case Op::AND_RR: case Op::OR_RR:
+    case Op::XOR_RR: case Op::ADC_RR: case Op::SBB_RR: case Op::CMP_RR:
+    case Op::TEST_RR: case Op::IMUL_RR: case Op::UDIV_RR: case Op::UREM_RR:
+    case Op::SHL_RR: case Op::SHR_RR: case Op::SAR_RR:
+    case Op::ADD_RI: case Op::SUB_RI: case Op::AND_RI: case Op::OR_RI:
+    case Op::XOR_RI: case Op::CMP_RI: case Op::TEST_RI: case Op::IMUL_RI:
+    case Op::SHL_RI: case Op::SHR_RI: case Op::SAR_RI:
+    case Op::ADD_RM: case Op::ADD_MI: case Op::SUB_MI:
+    case Op::NEG_R: case Op::INC_R: case Op::DEC_R:
+    case Op::WRFLAGS: case Op::POPF:
+      return true;
+    default:
+      // NOT does not touch flags, exactly like x86.
+      return false;
+  }
+}
+
+bool reads_flags(Op op) {
+  switch (op) {
+    case Op::CMOV: case Op::SETCC: case Op::JCC_REL: case Op::ADC_RR:
+    case Op::SBB_RR: case Op::RDFLAGS: case Op::PUSHF:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool preserves_cf(Op op) { return op == Op::INC_R || op == Op::DEC_R; }
+
+}  // namespace raindrop::isa

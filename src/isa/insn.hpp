@@ -1,0 +1,234 @@
+// MiniX86: an x86-64-flavoured ISA used as the paper's execution substrate.
+//
+// Why a custom ISA (see DESIGN.md): the paper rewrites compiled x64 Linux
+// binaries. We reproduce the complete pipeline on a miniature machine that
+// keeps every property the paper's techniques rely on:
+//   * 16 GPRs with RSP acting as the ROP virtual program counter,
+//   * CF/ZF/SF/OF condition flags that gadgets can leak (neg/adc tricks),
+//   * variable-length byte encoding, so decoding at unaligned offsets
+//     yields different instruction streams (gadget confusion, §V-D),
+//   * push/pop/call/ret stack discipline and RIP-relative addressing
+//     (the roplet kinds of §IV-B1 all have a natural counterpart).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace raindrop::isa {
+
+// Register numbering mirrors x86-64 (RSP = 4, RBP = 5) so that stack
+// idioms read naturally in dumps.
+enum class Reg : std::uint8_t {
+  RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5, RSI = 6, RDI = 7,
+  R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+};
+inline constexpr int kNumRegs = 16;
+const char* reg_name(Reg r);
+
+// Condition codes (subset of x86).
+enum class Cond : std::uint8_t {
+  E = 0, NE, B, AE, BE, A, L, GE, LE, G, S, NS, O, NO,
+};
+inline constexpr int kNumConds = 14;
+Cond negate(Cond c);
+const char* cond_name(Cond c);
+
+// Packed RFLAGS layout used by RDFLAGS/WRFLAGS and the CPU.
+inline constexpr std::uint64_t kCF = 1u << 0;
+inline constexpr std::uint64_t kZF = 1u << 1;
+inline constexpr std::uint64_t kSF = 1u << 2;
+inline constexpr std::uint64_t kOF = 1u << 3;
+
+enum class Op : std::uint8_t {
+  NOP = 0,
+  HLT,       // stop the machine (top-level return)
+  UD,        // undefined instruction: always faults
+  TRACE,     // coverage probe: record imm32 (Tigress RandomFunsTrace analog)
+
+  MOV_RR, MOV_RI64, MOV_RI32,  // MOV_RI32 sign-extends imm32 to 64 bits
+  LEA,                         // r1 = effective address of mem
+  LOAD,                        // r1 = zx([mem], size in {1,2,4,8})
+  LOADS,                       // r1 = sx([mem], size in {1,2,4})
+  STORE,                       // [mem] = low `size` bytes of r1
+  XCHG_RR,
+  XCHG_RM,                     // xchg r1, qword [mem] (stack switching, §IV)
+
+  PUSH_R, POP_R, PUSH_I32, PUSHF, POPF,
+
+  // Binary ALU, reg-reg. CMP/TEST set flags only.
+  ADD_RR, SUB_RR, AND_RR, OR_RR, XOR_RR, ADC_RR, SBB_RR,
+  CMP_RR, TEST_RR, IMUL_RR, UDIV_RR, UREM_RR, SHL_RR, SHR_RR, SAR_RR,
+
+  // Binary ALU, reg-imm32 (sign-extended).
+  ADD_RI, SUB_RI, AND_RI, OR_RI, XOR_RI,
+  CMP_RI, TEST_RI, IMUL_RI, SHL_RI, SHR_RI, SAR_RI,
+
+  ADD_RM,   // r1 += qword [mem]
+  ADD_MI,   // qword [mem] += imm32 (sx)
+  SUB_MI,   // qword [mem] -= imm32 (sx)
+
+  // Unary ALU. INC/DEC preserve CF like x86 (needed by the adc trick).
+  NEG_R, NOT_R, INC_R, DEC_R,
+
+  MOVZX, MOVSX,   // r1 = extend(low `size` bytes of r2), size in {1,2,4}
+  CMOV,           // if cc: r1 = r2 (does not touch flags)
+  SETCC,          // r1 = cc ? 1 : 0
+  RDFLAGS,        // r1 = packed flags (LAHF analog covering CF/ZF/SF/OF)
+  WRFLAGS,        // packed flags = low nibble of r1
+
+  JMP_REL, JCC_REL,   // rel32 relative to the end of the instruction
+  JMP_R,              // jump to r1 (JOP-style)
+  JMP_M,              // jump to qword [mem] (switch tables)
+  CALL_REL, CALL_R,   // push return address; transfer
+  RET,
+
+  kCount,
+};
+inline constexpr int kNumOps = static_cast<int>(Op::kCount);
+const char* op_name(Op op);
+
+// Memory operand: [base + index*scale + disp] or [rip + disp].
+struct MemRef {
+  bool has_base = false;
+  bool has_index = false;
+  bool rip_rel = false;  // disp relative to the *end* of the instruction
+  Reg base = Reg::RAX;
+  Reg index = Reg::RAX;
+  std::uint8_t scale_log2 = 0;  // scale in {1,2,4,8}
+  std::int64_t disp = 0;        // encoded as int32
+
+  static MemRef abs(std::int64_t address) {
+    MemRef m;
+    m.disp = address;
+    return m;
+  }
+  static MemRef base_disp(Reg b, std::int64_t d = 0) {
+    MemRef m;
+    m.has_base = true;
+    m.base = b;
+    m.disp = d;
+    return m;
+  }
+  static MemRef base_index(Reg b, Reg i, std::uint8_t scale_log2,
+                           std::int64_t d = 0) {
+    MemRef m;
+    m.has_base = true;
+    m.base = b;
+    m.has_index = true;
+    m.index = i;
+    m.scale_log2 = scale_log2;
+    m.disp = d;
+    return m;
+  }
+  static MemRef index_disp(Reg i, std::uint8_t scale_log2, std::int64_t d) {
+    MemRef m;
+    m.has_index = true;
+    m.index = i;
+    m.scale_log2 = scale_log2;
+    m.disp = d;
+    return m;
+  }
+  static MemRef rip(std::int64_t d) {
+    MemRef m;
+    m.rip_rel = true;
+    m.disp = d;
+    return m;
+  }
+  bool operator==(const MemRef&) const = default;
+};
+
+// A decoded instruction. Which fields are meaningful depends on `op`
+// (see Sig in encode.hpp). Kept as a plain value type: cheap to copy,
+// trivially hashable by bytes after encode().
+struct Insn {
+  Op op = Op::NOP;
+  Reg r1 = Reg::RAX;
+  Reg r2 = Reg::RAX;
+  Cond cc = Cond::E;
+  std::uint8_t size = 8;  // operand size for LOAD/LOADS/STORE/MOVZX/MOVSX
+  MemRef mem;
+  std::int64_t imm = 0;
+
+  bool operator==(const Insn&) const = default;
+};
+
+// ---- Builders: make code that *constructs* instructions read like asm ----
+namespace ib {
+Insn nop();
+Insn hlt();
+Insn ud();
+Insn trace(std::int64_t id);
+Insn mov(Reg d, Reg s);
+Insn mov_i64(Reg d, std::int64_t v);
+Insn mov_i32(Reg d, std::int64_t v);
+Insn lea(Reg d, MemRef m);
+Insn load(Reg d, MemRef m, std::uint8_t size = 8);
+Insn loads(Reg d, MemRef m, std::uint8_t size);
+Insn store(MemRef m, Reg s, std::uint8_t size = 8);
+Insn xchg(Reg a, Reg b);
+Insn xchg_m(Reg a, MemRef m);
+Insn push(Reg r);
+Insn pop(Reg r);
+Insn push_i32(std::int64_t v);
+Insn pushf();
+Insn popf();
+Insn alu_rr(Op op, Reg d, Reg s);
+Insn alu_ri(Op op, Reg d, std::int64_t v);
+Insn add(Reg d, Reg s);
+Insn add_i(Reg d, std::int64_t v);
+Insn sub(Reg d, Reg s);
+Insn sub_i(Reg d, std::int64_t v);
+Insn and_(Reg d, Reg s);
+Insn and_i(Reg d, std::int64_t v);
+Insn or_(Reg d, Reg s);
+Insn or_i(Reg d, std::int64_t v);
+Insn xor_(Reg d, Reg s);
+Insn xor_i(Reg d, std::int64_t v);
+Insn adc(Reg d, Reg s);
+Insn sbb(Reg d, Reg s);
+Insn cmp(Reg a, Reg b);
+Insn cmp_i(Reg a, std::int64_t v);
+Insn test(Reg a, Reg b);
+Insn test_i(Reg a, std::int64_t v);
+Insn imul(Reg d, Reg s);
+Insn imul_i(Reg d, std::int64_t v);
+Insn udiv(Reg d, Reg s);
+Insn urem(Reg d, Reg s);
+Insn shl(Reg d, Reg s);
+Insn shl_i(Reg d, std::int64_t v);
+Insn shr(Reg d, Reg s);
+Insn shr_i(Reg d, std::int64_t v);
+Insn sar(Reg d, Reg s);
+Insn sar_i(Reg d, std::int64_t v);
+Insn add_m(Reg d, MemRef m);
+Insn add_mi(MemRef m, std::int64_t v);
+Insn sub_mi(MemRef m, std::int64_t v);
+Insn neg(Reg r);
+Insn not_(Reg r);
+Insn inc(Reg r);
+Insn dec(Reg r);
+Insn movzx(Reg d, Reg s, std::uint8_t size);
+Insn movsx(Reg d, Reg s, std::uint8_t size);
+Insn cmov(Cond cc, Reg d, Reg s);
+Insn setcc(Cond cc, Reg d);
+Insn rdflags(Reg d);
+Insn wrflags(Reg s);
+Insn jmp(std::int64_t rel);
+Insn jcc(Cond cc, std::int64_t rel);
+Insn jmp_r(Reg r);
+Insn jmp_m(MemRef m);
+Insn call(std::int64_t rel);
+Insn call_r(Reg r);
+Insn ret();
+}  // namespace ib
+
+// Classification helpers shared by analyses.
+bool is_branch(Op op);          // any control transfer
+bool is_cond_branch(Op op);     // JCC_REL
+bool is_terminator(Op op);      // ends a basic block
+bool writes_flags(Op op);       // may modify any of CF/ZF/SF/OF
+bool reads_flags(Op op);        // CMOV/SETCC/JCC/ADC/SBB/RDFLAGS/PUSHF
+bool preserves_cf(Op op);       // INC/DEC keep CF
+
+}  // namespace raindrop::isa

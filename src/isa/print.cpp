@@ -1,0 +1,99 @@
+#include "isa/print.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "isa/encode.hpp"
+
+namespace raindrop::isa {
+
+namespace {
+std::string imm_str(std::int64_t v) {
+  char buf[32];
+  if (v < 0)
+    std::snprintf(buf, sizeof(buf), "-0x%" PRIx64, static_cast<std::uint64_t>(-v));
+  else
+    std::snprintf(buf, sizeof(buf), "0x%" PRIx64, static_cast<std::uint64_t>(v));
+  return buf;
+}
+const char* size_prefix(std::uint8_t size) {
+  switch (size) {
+    case 1: return "byte ptr ";
+    case 2: return "word ptr ";
+    case 4: return "dword ptr ";
+    default: return "qword ptr ";
+  }
+}
+}  // namespace
+
+std::string to_string(const MemRef& m) {
+  std::string s = "[";
+  bool first = true;
+  if (m.rip_rel) {
+    s += "rip";
+    first = false;
+  }
+  if (m.has_base) {
+    s += reg_name(m.base);
+    first = false;
+  }
+  if (m.has_index) {
+    if (!first) s += " + ";
+    s += reg_name(m.index);
+    if (m.scale_log2) {
+      s += "*";
+      s += std::to_string(1 << m.scale_log2);
+    }
+    first = false;
+  }
+  if (m.disp != 0 || first) {
+    if (!first) s += m.disp < 0 ? " - " : " + ";
+    s += imm_str(first ? m.disp : (m.disp < 0 ? -m.disp : m.disp));
+  }
+  s += "]";
+  return s;
+}
+
+std::string to_string(const Insn& i) {
+  std::string name = op_name(i.op);
+  switch (sig_of(i.op)) {
+    case Sig::NONE:
+      return name;
+    case Sig::R:
+      return name + " " + reg_name(i.r1);
+    case Sig::RR:
+      return name + " " + reg_name(i.r1) + ", " + reg_name(i.r2);
+    case Sig::RI64:
+    case Sig::RI32:
+      return name + " " + reg_name(i.r1) + ", " + imm_str(i.imm);
+    case Sig::I32:
+      return name + " " + imm_str(i.imm);
+    case Sig::RM:
+      return name + " " + reg_name(i.r1) + ", " + to_string(i.mem);
+    case Sig::RMS:
+      if (i.op == Op::STORE)
+        return name + " " + size_prefix(i.size) + to_string(i.mem) + ", " +
+               reg_name(i.r1);
+      return name + " " + reg_name(i.r1) + ", " + size_prefix(i.size) +
+             to_string(i.mem);
+    case Sig::RRS:
+      return name + " " + reg_name(i.r1) + ", " + reg_name(i.r2) + ":" +
+             std::to_string(i.size);
+    case Sig::M:
+      return name + " qword ptr " + to_string(i.mem);
+    case Sig::MI32:
+      return name + " qword ptr " + to_string(i.mem) + ", " + imm_str(i.imm);
+    case Sig::CCRR:
+      return name + cond_name(i.cc) + " " + reg_name(i.r1) + ", " +
+             reg_name(i.r2);
+    case Sig::CCR:
+      return name + cond_name(i.cc) + " " + reg_name(i.r1);
+    case Sig::REL32:
+      return name + " " + imm_str(i.imm);
+    case Sig::CCREL32:
+      return name + cond_name(i.cc) + " " + imm_str(i.imm);
+  }
+  return name;
+}
+
+}  // namespace raindrop::isa

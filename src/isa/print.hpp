@@ -1,0 +1,14 @@
+// Human-readable rendering of MiniX86 instructions, used by disassembler
+// dumps, chain listings (like the paper's Figure 1) and test diagnostics.
+#pragma once
+
+#include <string>
+
+#include "isa/insn.hpp"
+
+namespace raindrop::isa {
+
+std::string to_string(const MemRef& mem);
+std::string to_string(const Insn& insn);
+
+}  // namespace raindrop::isa

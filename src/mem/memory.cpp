@@ -1,0 +1,92 @@
+#include "mem/memory.hpp"
+
+#include <cstring>
+
+namespace raindrop {
+
+Memory::Page& Memory::page_for(std::uint64_t addr) {
+  std::uint64_t key = addr >> kPageBits;
+  auto it = pages_.find(key);
+  if (it == pages_.end()) {
+    it = pages_.emplace(key, std::make_shared<Page>()).first;
+  } else if (it->second.use_count() > 1) {
+    // Copy-on-write: pages are shared between cloned memories (attack
+    // engines fork states constantly; deep copies would dominate runtime).
+    it->second = std::make_shared<Page>(*it->second);
+  }
+  return *it->second;
+}
+
+const Memory::Page* Memory::page_for(std::uint64_t addr) const {
+  auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t Memory::read_u8(std::uint64_t addr) const {
+  const Page* p = page_for(addr);
+  return p ? p->bytes[addr & (kPageSize - 1)] : 0;
+}
+
+void Memory::write_u8(std::uint64_t addr, std::uint8_t v) {
+  page_for(addr).bytes[addr & (kPageSize - 1)] = v;
+}
+
+std::uint64_t Memory::read(std::uint64_t addr, unsigned size) const {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < size; ++i)
+    v |= std::uint64_t(read_u8(addr + i)) << (8 * i);
+  return v;
+}
+
+void Memory::write(std::uint64_t addr, std::uint64_t v, unsigned size) {
+  for (unsigned i = 0; i < size; ++i)
+    write_u8(addr + i, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Memory::write_bytes(std::uint64_t addr,
+                         std::span<const std::uint8_t> bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) write_u8(addr + i, bytes[i]);
+}
+
+std::vector<std::uint8_t> Memory::read_bytes(std::uint64_t addr,
+                                             std::size_t len) const {
+  std::vector<std::uint8_t> out(len);
+  for (std::size_t i = 0; i < len; ++i) out[i] = read_u8(addr + i);
+  return out;
+}
+
+void Memory::map_region(std::uint64_t addr, std::uint64_t size, Perm perm,
+                        std::string name) {
+  regions_.push_back(Region{addr, size, perm, std::move(name)});
+}
+
+bool Memory::is_mapped(std::uint64_t addr) const {
+  for (const auto& r : regions_)
+    if (r.contains(addr)) return true;
+  return false;
+}
+
+Perm Memory::perm_at(std::uint64_t addr) const {
+  for (const auto& r : regions_)
+    if (r.contains(addr)) return r.perm;
+  return kPermNone;
+}
+
+const std::string* Memory::region_name(std::uint64_t addr) const {
+  for (const auto& r : regions_)
+    if (r.contains(addr)) return &r.name;
+  return nullptr;
+}
+
+const Memory::Region* Memory::find_region(const std::string& name) const {
+  for (const auto& r : regions_)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+Memory Memory::clone() const {
+  // Shallow copy; pages become shared and copy-on-write on next write.
+  return *this;
+}
+
+}  // namespace raindrop

@@ -1,0 +1,80 @@
+// Sparse paged memory with section-level permissions. This is the address
+// space both native code and ROP chains live in: .text gadgets, .data
+// chains, the native stack and the stack-switching array ss all map here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace raindrop {
+
+enum Perm : std::uint8_t {
+  kPermNone = 0,
+  kPermR = 1,
+  kPermW = 2,
+  kPermX = 4,
+  kPermRW = kPermR | kPermW,
+  kPermRX = kPermR | kPermX,
+  kPermRWX = kPermR | kPermW | kPermX,
+};
+
+class Memory {
+ public:
+  static constexpr std::uint64_t kPageBits = 12;
+  static constexpr std::uint64_t kPageSize = 1ull << kPageBits;
+
+  // Plain byte access. Reads of unmapped memory return 0 -- callers that
+  // must fault on bad accesses use the checked_* API instead.
+  std::uint8_t read_u8(std::uint64_t addr) const;
+  void write_u8(std::uint64_t addr, std::uint8_t v);
+
+  std::uint64_t read(std::uint64_t addr, unsigned size) const;  // LE
+  void write(std::uint64_t addr, std::uint64_t v, unsigned size);
+
+  std::uint64_t read_u64(std::uint64_t addr) const { return read(addr, 8); }
+  void write_u64(std::uint64_t addr, std::uint64_t v) { write(addr, v, 8); }
+
+  void write_bytes(std::uint64_t addr, std::span<const std::uint8_t> bytes);
+  std::vector<std::uint8_t> read_bytes(std::uint64_t addr,
+                                       std::size_t len) const;
+
+  // Region bookkeeping. Regions are what the CPU consults for NX checks
+  // and what attacks use to tell ".text addresses" from data.
+  void map_region(std::uint64_t addr, std::uint64_t size, Perm perm,
+                  std::string name);
+  bool is_mapped(std::uint64_t addr) const;
+  Perm perm_at(std::uint64_t addr) const;
+  const std::string* region_name(std::uint64_t addr) const;
+
+  struct Region {
+    std::uint64_t start = 0;
+    std::uint64_t size = 0;
+    Perm perm = kPermNone;
+    std::string name;
+    bool contains(std::uint64_t a) const {
+      return a >= start && a - start < size;
+    }
+  };
+  const std::vector<Region>& regions() const { return regions_; }
+  const Region* find_region(const std::string& name) const;
+
+  // Deep copy (forking attack states, checkpoint/restore in tests).
+  Memory clone() const;
+
+ private:
+  struct Page {
+    std::array<std::uint8_t, kPageSize> bytes{};
+  };
+  Page& page_for(std::uint64_t addr);
+  const Page* page_for(std::uint64_t addr) const;
+
+  std::unordered_map<std::uint64_t, std::shared_ptr<Page>> pages_;
+  std::vector<Region> regions_;
+};
+
+}  // namespace raindrop

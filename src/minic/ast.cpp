@@ -1,0 +1,210 @@
+#include "minic/ast.hpp"
+
+namespace raindrop::minic {
+
+int type_size(Type t) {
+  switch (t) {
+    case Type::I8: case Type::U8: return 1;
+    case Type::I16: case Type::U16: return 2;
+    case Type::I32: case Type::U32: return 4;
+    case Type::I64: case Type::U64: return 8;
+  }
+  return 8;
+}
+
+bool type_signed(Type t) {
+  switch (t) {
+    case Type::I8: case Type::I16: case Type::I32: case Type::I64: return true;
+    default: return false;
+  }
+}
+
+Type unsigned_of(int size) {
+  switch (size) {
+    case 1: return Type::U8;
+    case 2: return Type::U16;
+    case 4: return Type::U32;
+    default: return Type::U64;
+  }
+}
+
+Type signed_of(int size) {
+  switch (size) {
+    case 1: return Type::I8;
+    case 2: return Type::I16;
+    case 4: return Type::I32;
+    default: return Type::I64;
+  }
+}
+
+ExprPtr e_int(std::int64_t v, Type t) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Int;
+  e->type = t;
+  e->ival = v;
+  return e;
+}
+
+ExprPtr e_var(std::string name, Type t) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Var;
+  e->type = t;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr e_index(std::string array, ExprPtr idx, Type elem_type) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Index;
+  e->type = elem_type;
+  e->name = std::move(array);
+  e->a = std::move(idx);
+  return e;
+}
+
+ExprPtr e_un(UnOp op, ExprPtr a) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Unary;
+  e->type = a->type;
+  e->uop = op;
+  e->a = std::move(a);
+  return e;
+}
+
+ExprPtr e_bin(BinOp op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Binary;
+  bool is_cmp = op == BinOp::Eq || op == BinOp::Ne || op == BinOp::Lt ||
+                op == BinOp::Le || op == BinOp::Gt || op == BinOp::Ge ||
+                op == BinOp::LAnd || op == BinOp::LOr;
+  e->type = is_cmp ? Type::I32 : a->type;
+  e->bop = op;
+  e->a = std::move(a);
+  e->b = std::move(b);
+  return e;
+}
+
+ExprPtr e_call(std::string fn, std::vector<ExprPtr> args, Type ret) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Call;
+  e->type = ret;
+  e->name = std::move(fn);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr e_cast(Type t, ExprPtr a) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Cast;
+  e->type = t;
+  e->a = std::move(a);
+  return e;
+}
+
+namespace {
+StmtPtr make(Stmt::Kind k) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = k;
+  return s;
+}
+}  // namespace
+
+StmtPtr s_decl(Type t, std::string name, ExprPtr init) {
+  auto s = make(Stmt::Kind::Decl);
+  s->type = t;
+  s->name = std::move(name);
+  s->value = std::move(init);
+  return s;
+}
+
+StmtPtr s_assign(std::string name, ExprPtr value) {
+  auto s = make(Stmt::Kind::Assign);
+  s->name = std::move(name);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr s_assign_index(std::string array, ExprPtr index, ExprPtr value) {
+  auto s = make(Stmt::Kind::Assign);
+  s->name = std::move(array);
+  s->index = std::move(index);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr s_expr(ExprPtr e) {
+  auto s = make(Stmt::Kind::ExprSt);
+  s->value = std::move(e);
+  return s;
+}
+
+StmtPtr s_if(ExprPtr cond, std::vector<StmtPtr> then_body,
+             std::vector<StmtPtr> else_body) {
+  auto s = make(Stmt::Kind::If);
+  s->cond = std::move(cond);
+  s->then_body = std::move(then_body);
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+StmtPtr s_while(ExprPtr cond, std::vector<StmtPtr> body) {
+  auto s = make(Stmt::Kind::While);
+  s->cond = std::move(cond);
+  s->then_body = std::move(body);
+  return s;
+}
+
+StmtPtr s_do_while(std::vector<StmtPtr> body, ExprPtr cond) {
+  auto s = make(Stmt::Kind::DoWhile);
+  s->cond = std::move(cond);
+  s->then_body = std::move(body);
+  return s;
+}
+
+StmtPtr s_switch(ExprPtr cond, std::vector<SwitchCase> cases,
+                 std::vector<StmtPtr> default_body) {
+  auto s = make(Stmt::Kind::Switch);
+  s->cond = std::move(cond);
+  s->cases = std::move(cases);
+  s->default_body = std::move(default_body);
+  return s;
+}
+
+StmtPtr s_return(ExprPtr value) {
+  auto s = make(Stmt::Kind::Return);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr s_break() { return make(Stmt::Kind::Break); }
+StmtPtr s_continue() { return make(Stmt::Kind::Continue); }
+
+StmtPtr s_trace(std::int64_t probe_id) {
+  auto s = make(Stmt::Kind::Trace);
+  s->ival = probe_id;
+  return s;
+}
+
+StmtPtr s_asm(std::vector<isa::Insn> insns) {
+  auto s = make(Stmt::Kind::RawAsm);
+  s->asm_insns = std::move(insns);
+  return s;
+}
+
+Function* Module::function(const std::string& name) {
+  for (auto& f : functions)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+const Function* Module::function(const std::string& name) const {
+  for (const auto& f : functions)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+const Global* Module::global(const std::string& name) const {
+  for (const auto& g : globals)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+}  // namespace raindrop::minic

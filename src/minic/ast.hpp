@@ -1,0 +1,149 @@
+// MiniC: the tiny typed C-like language our workloads are written in.
+// Plays the role of the C sources (Tigress RandomFuns output, clbg
+// programs, base64) that the paper compiles with gcc before rewriting.
+//
+// Semantics (deliberately simple, shared bit-exactly by the interpreter
+// and the code generator; see interp.cpp):
+//   * all values are 64-bit internally; a variable's declared type takes
+//     effect on assignment (truncate + extend by signedness) and on array
+//     element accesses (element-sized loads/stores);
+//   * Div/Rem are unsigned 64-bit; division by zero traps;
+//   * Shr is arithmetic for signed types, logical for unsigned;
+//   * comparisons are signed iff the left operand's type is signed and
+//     yield 0/1; logical &&/|| short-circuit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/insn.hpp"
+
+namespace raindrop::minic {
+
+enum class Type : std::uint8_t { I8, I16, I32, I64, U8, U16, U32, U64 };
+int type_size(Type t);
+bool type_signed(Type t);
+Type unsigned_of(int size);
+Type signed_of(int size);
+
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+  Eq, Ne, Lt, Le, Gt, Ge, LAnd, LOr,
+};
+enum class UnOp : std::uint8_t { Neg, Not, LNot };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    Int,     // ival
+    Var,     // name (local, param or global scalar)
+    Index,   // name[a]  (global array)
+    Unary,   // uop a
+    Binary,  // a bop b
+    Call,    // name(args...)
+    Cast,    // (type) a
+  };
+  Kind kind = Kind::Int;
+  Type type = Type::I64;
+  std::int64_t ival = 0;
+  std::string name;
+  UnOp uop = UnOp::Neg;
+  BinOp bop = BinOp::Add;
+  ExprPtr a, b;
+  std::vector<ExprPtr> args;
+};
+
+ExprPtr e_int(std::int64_t v, Type t = Type::I64);
+ExprPtr e_var(std::string name, Type t = Type::I64);
+ExprPtr e_index(std::string array, ExprPtr idx, Type elem_type);
+ExprPtr e_un(UnOp op, ExprPtr a);
+ExprPtr e_bin(BinOp op, ExprPtr a, ExprPtr b);
+ExprPtr e_call(std::string fn, std::vector<ExprPtr> args, Type ret);
+ExprPtr e_cast(Type t, ExprPtr a);
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<Stmt>;
+
+struct SwitchCase {
+  std::int64_t value = 0;
+  std::vector<StmtPtr> body;  // falls through to next case unless Break
+};
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    Decl,     // type name = init
+    Assign,   // name = value  |  name[index] = value (array set if index)
+    ExprSt,   // evaluate for side effects (calls)
+    If,       // cond, then_body, else_body
+    While,    // cond, body
+    DoWhile,  // body, cond
+    Switch,   // cond, cases, default_body
+    Return,   // value (may be null -> 0)
+    Break,
+    Continue,
+    Trace,    // coverage probe (Tigress RandomFunsTrace analog): ival
+    RawAsm,   // verbatim machine instructions (corpus stress patterns)
+  };
+  Kind kind = Kind::ExprSt;
+  Type type = Type::I64;        // Decl
+  std::string name;             // Decl/Assign target
+  ExprPtr index;                // Assign to array element when non-null
+  ExprPtr value;                // Decl init / Assign value / Return / ExprSt
+  ExprPtr cond;                 // If/While/DoWhile/Switch selector
+  std::vector<StmtPtr> then_body, else_body;  // If; While/DoWhile use then_
+  std::vector<SwitchCase> cases;
+  std::vector<StmtPtr> default_body;
+  std::int64_t ival = 0;        // Trace probe id
+  std::vector<isa::Insn> asm_insns;  // RawAsm
+};
+
+StmtPtr s_decl(Type t, std::string name, ExprPtr init);
+StmtPtr s_assign(std::string name, ExprPtr value);
+StmtPtr s_assign_index(std::string array, ExprPtr index, ExprPtr value);
+StmtPtr s_expr(ExprPtr e);
+StmtPtr s_if(ExprPtr cond, std::vector<StmtPtr> then_body,
+             std::vector<StmtPtr> else_body = {});
+StmtPtr s_while(ExprPtr cond, std::vector<StmtPtr> body);
+StmtPtr s_do_while(std::vector<StmtPtr> body, ExprPtr cond);
+StmtPtr s_switch(ExprPtr cond, std::vector<SwitchCase> cases,
+                 std::vector<StmtPtr> default_body);
+StmtPtr s_return(ExprPtr value);
+StmtPtr s_break();
+StmtPtr s_continue();
+StmtPtr s_trace(std::int64_t probe_id);
+StmtPtr s_asm(std::vector<isa::Insn> insns);
+
+struct Param {
+  std::string name;
+  Type type = Type::I64;
+};
+
+struct Function {
+  std::string name;
+  Type ret = Type::I64;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+};
+
+struct Global {
+  std::string name;
+  Type elem = Type::I64;
+  std::size_t count = 1;              // >1 means array
+  std::vector<std::int64_t> init;     // element values (zero-padded)
+  bool read_only = false;             // placed in .rodata
+};
+
+struct Module {
+  std::vector<Global> globals;
+  std::vector<Function> functions;
+
+  Function* function(const std::string& name);
+  const Function* function(const std::string& name) const;
+  const Global* global(const std::string& name) const;
+};
+
+}  // namespace raindrop::minic

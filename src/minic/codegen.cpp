@@ -1,0 +1,698 @@
+#include "minic/codegen.hpp"
+
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "isa/encode.hpp"
+
+namespace raindrop::minic {
+
+using isa::Cond;
+using isa::Insn;
+using isa::MemRef;
+using isa::Op;
+using isa::Reg;
+namespace ib = isa::ib;
+
+namespace {
+
+const Reg kArgRegs[] = {Reg::RDI, Reg::RSI, Reg::RDX,
+                        Reg::RCX, Reg::R8, Reg::R9};
+// Temporary pool for expression evaluation. Disjoint from the arg regs so
+// argument marshalling never collides with live temporaries.
+const Reg kPool[] = {Reg::R10, Reg::R11, Reg::RBX, Reg::R12, Reg::R13,
+                     Reg::R14};
+constexpr int kPoolSize = 6;
+
+struct GlobalInfo {
+  std::uint64_t addr = 0;
+  Type elem = Type::I64;
+  std::size_t count = 1;
+};
+
+struct ModuleCtx {
+  const Module* mod = nullptr;
+  CodegenOptions opts;
+  std::map<std::string, GlobalInfo> globals;
+  // Call fixups: address of the CALL_REL rel32 field -> callee name.
+  std::vector<std::pair<std::uint64_t, std::string>> call_fixups;
+};
+
+class FnEmitter {
+ public:
+  FnEmitter(ModuleCtx& mc, Image& img, const Function& fn)
+      : mc_(mc), img_(img), fn_(fn) {}
+
+  void run();
+
+ private:
+  // ---- low-level emission ----
+  std::uint64_t here() const { return base_ + bytes_.size(); }
+  void emit(const Insn& insn) {
+    std::size_t n = isa::encode(insn, bytes_);
+    if (n == 0) throw std::runtime_error("unencodable insn in codegen");
+  }
+
+  // ---- labels ----
+  int new_label() {
+    label_pos_.push_back(~0ull);
+    return static_cast<int>(label_pos_.size()) - 1;
+  }
+  void bind(int label) { label_pos_[label] = here(); }
+  void emit_jmp(int label) {
+    emit(ib::jmp(0));
+    jump_fixups_.push_back({here() - 4, label});
+  }
+  void emit_jcc(Cond cc, int label) {
+    emit(ib::jcc(cc, 0));
+    jump_fixups_.push_back({here() - 4, label});
+  }
+
+  // ---- virtual evaluation stack ----
+  struct Entry {
+    bool in_reg = true;
+    Reg reg = Reg::RAX;
+  };
+  Reg alloc_reg() {
+    for (Reg r : kPool) {
+      if (!used_[static_cast<int>(r)]) {
+        used_[static_cast<int>(r)] = true;
+        return r;
+      }
+    }
+    // Spill everything: push reg entries deepest-first so later pops
+    // (always topmost-first) unwind in LIFO order.
+    for (auto& e : vstack_) {
+      if (e.in_reg) {
+        emit(ib::push(e.reg));
+        used_[static_cast<int>(e.reg)] = false;
+        e.in_reg = false;
+      }
+    }
+    used_[static_cast<int>(kPool[0])] = true;
+    return kPool[0];
+  }
+  void free_reg(Reg r) { used_[static_cast<int>(r)] = false; }
+  void push_entry(Reg r) { vstack_.push_back(Entry{true, r}); }
+  Reg pop_entry() {
+    assert(!vstack_.empty());
+    Entry e = vstack_.back();
+    vstack_.pop_back();
+    if (e.in_reg) return e.reg;
+    Reg r = alloc_reg();
+    emit(ib::pop(r));
+    return r;
+  }
+  void spill_all() {
+    for (auto& e : vstack_) {
+      if (e.in_reg) {
+        emit(ib::push(e.reg));
+        used_[static_cast<int>(e.reg)] = false;
+        e.in_reg = false;
+      }
+    }
+  }
+
+  // ---- helpers ----
+  int local_offset(const std::string& name) {
+    auto it = local_off_.find(name);
+    if (it == local_off_.end())
+      throw std::runtime_error(fn_.name + ": unknown local " + name);
+    return it->second;
+  }
+  bool is_local(const std::string& name) const {
+    return local_off_.count(name) != 0;
+  }
+  const GlobalInfo& global(const std::string& name) {
+    auto it = mc_.globals.find(name);
+    if (it == mc_.globals.end())
+      throw std::runtime_error(fn_.name + ": unknown global " + name);
+    return it->second;
+  }
+  Type local_type(const std::string& name) {
+    auto it = local_type_.find(name);
+    return it == local_type_.end() ? Type::I64 : it->second;
+  }
+  MemRef local_ref(const std::string& name) {
+    return MemRef::base_disp(Reg::RBP, -local_offset(name));
+  }
+  MemRef global_scalar_ref(const GlobalInfo& gi) {
+    if (mc_.opts.rip_relative_globals) {
+      // disp is relative to the end of the instruction; patched by the
+      // emit path since we know `here()` only after encoding. We encode
+      // a placeholder and fix it below in load/store helpers.
+      return MemRef::rip(0);
+    }
+    return MemRef::abs(static_cast<std::int64_t>(gi.addr));
+  }
+  // Emits an instruction whose mem operand is rip-relative to `target`.
+  void emit_rip(Insn insn, std::uint64_t target) {
+    // Two-step: encode once to learn the length, then set disp and
+    // re-encode for real.
+    std::vector<std::uint8_t> tmp;
+    std::size_t len = isa::encode(insn, tmp);
+    if (len == 0) throw std::runtime_error("unencodable rip insn");
+    insn.mem.disp =
+        static_cast<std::int64_t>(target) -
+        static_cast<std::int64_t>(here() + len);
+    emit(insn);
+  }
+  void truncate_reg(Reg r, Type t) {
+    int size = type_size(t);
+    if (size >= 8) return;
+    if (type_signed(t))
+      emit(ib::movsx(r, r, static_cast<std::uint8_t>(size)));
+    else
+      emit(ib::movzx(r, r, static_cast<std::uint8_t>(size)));
+  }
+
+  // ---- expression / statement lowering ----
+  void eval(const Expr& e);
+  void eval_call(const Expr& e);
+  void emit_branch(const Expr& cond, int true_lbl, int false_lbl);
+  void exec_block(const std::vector<StmtPtr>& body);
+  void exec(const Stmt& s);
+  void lower_switch(const Stmt& s);
+
+  ModuleCtx& mc_;
+  Image& img_;
+  const Function& fn_;
+  std::uint64_t base_ = 0;
+  std::vector<std::uint8_t> bytes_;
+  std::vector<Entry> vstack_;
+  bool used_[isa::kNumRegs] = {};
+  std::map<std::string, int> local_off_;
+  std::map<std::string, Type> local_type_;
+  int frame_size_ = 0;
+  std::vector<std::uint64_t> label_pos_;
+  std::vector<std::pair<std::uint64_t, int>> jump_fixups_;  // rel32 site
+  // Jump tables: (table addr in .rodata, case labels).
+  std::vector<std::pair<std::uint64_t, std::vector<int>>> table_fixups_;
+  int epilogue_label_ = -1;
+  std::vector<int> break_stack_, continue_stack_;
+
+  friend void collect_locals(const std::vector<StmtPtr>& body,
+                             FnEmitter& fe);
+};
+
+void collect_locals(const std::vector<StmtPtr>& body, FnEmitter& fe) {
+  for (const auto& sp : body) {
+    const Stmt& s = *sp;
+    if (s.kind == Stmt::Kind::Decl && !fe.local_off_.count(s.name)) {
+      fe.frame_size_ += 8;
+      fe.local_off_[s.name] = fe.frame_size_;
+      fe.local_type_[s.name] = s.type;
+    }
+    collect_locals(s.then_body, fe);
+    collect_locals(s.else_body, fe);
+    collect_locals(s.default_body, fe);
+    for (const auto& c : s.cases) collect_locals(c.body, fe);
+  }
+}
+
+void FnEmitter::eval_call(const Expr& e) {
+  if (e.args.size() > 6)
+    throw std::runtime_error("more than 6 call arguments");
+  spill_all();
+  for (const auto& a : e.args) eval(*a);
+  for (std::size_t i = e.args.size(); i-- > 0;) {
+    Reg r = pop_entry();
+    emit(ib::mov(kArgRegs[i], r));
+    free_reg(r);
+  }
+  emit(ib::call(0));
+  mc_.call_fixups.push_back({here() - 4, e.name});
+  Reg r = alloc_reg();
+  emit(ib::mov(r, Reg::RAX));
+  push_entry(r);
+}
+
+void FnEmitter::eval(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::Int: {
+      Reg r = alloc_reg();
+      // Use the shorter 32-bit form whenever the value fits; mirrors how
+      // real compilers pick encodings and diversifies instruction lengths.
+      if (e.ival >= INT32_MIN && e.ival <= INT32_MAX)
+        emit(ib::mov_i32(r, e.ival));
+      else
+        emit(ib::mov_i64(r, e.ival));
+      push_entry(r);
+      return;
+    }
+    case Expr::Kind::Var: {
+      Reg r = alloc_reg();
+      if (is_local(e.name)) {
+        emit(ib::load(r, local_ref(e.name)));
+      } else {
+        const GlobalInfo& gi = global(e.name);
+        if (mc_.opts.rip_relative_globals)
+          emit_rip(ib::load(r, MemRef::rip(0)), gi.addr);
+        else
+          emit(ib::load(r, MemRef::abs(static_cast<std::int64_t>(gi.addr))));
+      }
+      push_entry(r);
+      return;
+    }
+    case Expr::Kind::Index: {
+      const GlobalInfo& gi = global(e.name);
+      int esz = type_size(gi.elem);
+      eval(*e.a);
+      Reg ri = pop_entry();
+      std::uint8_t scale = esz == 1 ? 0 : esz == 2 ? 1 : esz == 4 ? 2 : 3;
+      MemRef m = MemRef::index_disp(ri, scale,
+                                    static_cast<std::int64_t>(gi.addr));
+      if (esz < 8 && type_signed(gi.elem))
+        emit(ib::loads(ri, m, static_cast<std::uint8_t>(esz)));
+      else
+        emit(ib::load(ri, m, static_cast<std::uint8_t>(esz)));
+      push_entry(ri);
+      return;
+    }
+    case Expr::Kind::Unary: {
+      if (e.uop == UnOp::LNot) {
+        eval(*e.a);
+        Reg r = pop_entry();
+        emit(ib::test(r, r));
+        emit(ib::setcc(Cond::E, r));
+        push_entry(r);
+        return;
+      }
+      eval(*e.a);
+      Reg r = pop_entry();
+      emit(e.uop == UnOp::Neg ? ib::neg(r) : ib::not_(r));
+      push_entry(r);
+      return;
+    }
+    case Expr::Kind::Binary: {
+      if (e.bop == BinOp::LAnd || e.bop == BinOp::LOr) {
+        // Short-circuit with branches, then materialize 0/1. The result
+        // register is allocated *before* the branch so any spill code it
+        // triggers executes unconditionally.
+        Reg r = alloc_reg();
+        int lbl_true = new_label(), lbl_false = new_label(),
+            lbl_done = new_label();
+        emit_branch(e, lbl_true, lbl_false);
+        bind(lbl_true);
+        emit(ib::mov_i32(r, 1));
+        emit_jmp(lbl_done);
+        bind(lbl_false);
+        emit(ib::mov_i32(r, 0));
+        bind(lbl_done);
+        push_entry(r);
+        return;
+      }
+      eval(*e.a);
+      eval(*e.b);
+      Reg rb = pop_entry();
+      Reg ra = pop_entry();
+      bool sgn = type_signed(e.a->type);
+      switch (e.bop) {
+        case BinOp::Add: emit(ib::add(ra, rb)); break;
+        case BinOp::Sub: emit(ib::sub(ra, rb)); break;
+        case BinOp::Mul: emit(ib::imul(ra, rb)); break;
+        case BinOp::Div: emit(ib::udiv(ra, rb)); break;
+        case BinOp::Rem: emit(ib::urem(ra, rb)); break;
+        case BinOp::And: emit(ib::and_(ra, rb)); break;
+        case BinOp::Or: emit(ib::or_(ra, rb)); break;
+        case BinOp::Xor: emit(ib::xor_(ra, rb)); break;
+        case BinOp::Shl: emit(ib::shl(ra, rb)); break;
+        case BinOp::Shr:
+          emit(sgn ? ib::sar(ra, rb) : ib::shr(ra, rb));
+          break;
+        case BinOp::Eq: case BinOp::Ne: case BinOp::Lt: case BinOp::Le:
+        case BinOp::Gt: case BinOp::Ge: {
+          emit(ib::cmp(ra, rb));
+          Cond cc;
+          switch (e.bop) {
+            case BinOp::Eq: cc = Cond::E; break;
+            case BinOp::Ne: cc = Cond::NE; break;
+            case BinOp::Lt: cc = sgn ? Cond::L : Cond::B; break;
+            case BinOp::Le: cc = sgn ? Cond::LE : Cond::BE; break;
+            case BinOp::Gt: cc = sgn ? Cond::G : Cond::A; break;
+            default: cc = sgn ? Cond::GE : Cond::AE; break;
+          }
+          emit(ib::setcc(cc, ra));
+          break;
+        }
+        case BinOp::LAnd: case BinOp::LOr:
+          break;  // handled above
+      }
+      free_reg(rb);
+      push_entry(ra);
+      return;
+    }
+    case Expr::Kind::Call:
+      eval_call(e);
+      return;
+    case Expr::Kind::Cast: {
+      eval(*e.a);
+      Reg r = pop_entry();
+      truncate_reg(r, e.type);
+      push_entry(r);
+      return;
+    }
+  }
+}
+
+void FnEmitter::emit_branch(const Expr& cond, int true_lbl, int false_lbl) {
+  if (cond.kind == Expr::Kind::Unary && cond.uop == UnOp::LNot) {
+    emit_branch(*cond.a, false_lbl, true_lbl);
+    return;
+  }
+  if (cond.kind == Expr::Kind::Binary) {
+    if (cond.bop == BinOp::LAnd) {
+      int mid = new_label();
+      emit_branch(*cond.a, mid, false_lbl);
+      bind(mid);
+      emit_branch(*cond.b, true_lbl, false_lbl);
+      return;
+    }
+    if (cond.bop == BinOp::LOr) {
+      int mid = new_label();
+      emit_branch(*cond.a, true_lbl, mid);
+      bind(mid);
+      emit_branch(*cond.b, true_lbl, false_lbl);
+      return;
+    }
+    bool sgn = type_signed(cond.a->type);
+    Cond cc;
+    bool is_cmp = true;
+    switch (cond.bop) {
+      case BinOp::Eq: cc = Cond::E; break;
+      case BinOp::Ne: cc = Cond::NE; break;
+      case BinOp::Lt: cc = sgn ? Cond::L : Cond::B; break;
+      case BinOp::Le: cc = sgn ? Cond::LE : Cond::BE; break;
+      case BinOp::Gt: cc = sgn ? Cond::G : Cond::A; break;
+      case BinOp::Ge: cc = sgn ? Cond::GE : Cond::AE; break;
+      default: is_cmp = false; cc = Cond::NE; break;
+    }
+    if (is_cmp) {
+      eval(*cond.a);
+      eval(*cond.b);
+      Reg rb = pop_entry();
+      Reg ra = pop_entry();
+      emit(ib::cmp(ra, rb));
+      free_reg(ra);
+      free_reg(rb);
+      emit_jcc(cc, true_lbl);
+      emit_jmp(false_lbl);
+      return;
+    }
+  }
+  // Generic: branch on value != 0.
+  eval(cond);
+  Reg r = pop_entry();
+  emit(ib::test(r, r));
+  free_reg(r);
+  emit_jcc(Cond::NE, true_lbl);
+  emit_jmp(false_lbl);
+}
+
+void FnEmitter::lower_switch(const Stmt& s) {
+  eval(*s.cond);
+  Reg r = pop_entry();
+  int end_lbl = new_label();
+  int default_lbl = new_label();
+  std::vector<int> case_lbls;
+  for (std::size_t i = 0; i < s.cases.size(); ++i)
+    case_lbls.push_back(new_label());
+
+  std::int64_t mn = INT64_MAX, mx = INT64_MIN;
+  for (const auto& c : s.cases) {
+    mn = std::min(mn, c.value);
+    mx = std::max(mx, c.value);
+  }
+  std::uint64_t span =
+      s.cases.empty() ? 0 : static_cast<std::uint64_t>(mx - mn) + 1;
+  bool dense = mc_.opts.jump_tables && s.cases.size() >= 3 && span <= 128 &&
+               span <= 3 * s.cases.size();
+  if (dense) {
+    // Jump table lowering: this is the indirect-branch shape that the
+    // paper's rewriter resolves via CFG reconstruction (Appendix A).
+    if (mn != 0) emit(ib::sub_i(r, mn));
+    emit(ib::cmp_i(r, static_cast<std::int64_t>(span)));
+    emit_jcc(Cond::AE, default_lbl);
+    std::uint64_t table = img_.reserve(".rodata", span * 8);
+    emit(ib::jmp_m(MemRef::index_disp(r, 3,
+                                      static_cast<std::int64_t>(table))));
+    // Table entries: default for holes, case label addresses otherwise.
+    std::vector<int> slot_labels(span, default_lbl);
+    for (std::size_t i = 0; i < s.cases.size(); ++i)
+      slot_labels[static_cast<std::uint64_t>(s.cases[i].value - mn)] =
+          case_lbls[i];
+    table_fixups_.push_back({table, slot_labels});
+  } else {
+    for (std::size_t i = 0; i < s.cases.size(); ++i) {
+      emit(ib::cmp_i(r, s.cases[i].value));
+      emit_jcc(Cond::E, case_lbls[i]);
+    }
+    emit_jmp(default_lbl);
+  }
+  free_reg(r);
+
+  break_stack_.push_back(end_lbl);
+  for (std::size_t i = 0; i < s.cases.size(); ++i) {
+    bind(case_lbls[i]);
+    exec_block(s.cases[i].body);  // fallthrough to next case
+  }
+  bind(default_lbl);
+  exec_block(s.default_body);
+  break_stack_.pop_back();
+  bind(end_lbl);
+}
+
+void FnEmitter::exec_block(const std::vector<StmtPtr>& body) {
+  for (const auto& s : body) exec(*s);
+}
+
+void FnEmitter::exec(const Stmt& s) {
+  switch (s.kind) {
+    case Stmt::Kind::Decl: {
+      if (s.value) {
+        eval(*s.value);
+        Reg r = pop_entry();
+        truncate_reg(r, s.type);
+        emit(ib::store(local_ref(s.name), r));
+        free_reg(r);
+      } else {
+        Reg r = alloc_reg();
+        emit(ib::xor_(r, r));
+        emit(ib::store(local_ref(s.name), r));
+        free_reg(r);
+      }
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      if (s.index) {  // array element store
+        const GlobalInfo& gi = global(s.name);
+        int esz = type_size(gi.elem);
+        eval(*s.index);
+        eval(*s.value);
+        Reg rv = pop_entry();
+        Reg ri = pop_entry();
+        std::uint8_t scale = esz == 1 ? 0 : esz == 2 ? 1 : esz == 4 ? 2 : 3;
+        emit(ib::store(MemRef::index_disp(
+                           ri, scale, static_cast<std::int64_t>(gi.addr)),
+                       rv, static_cast<std::uint8_t>(esz)));
+        free_reg(rv);
+        free_reg(ri);
+        return;
+      }
+      eval(*s.value);
+      Reg r = pop_entry();
+      if (is_local(s.name)) {
+        truncate_reg(r, local_type(s.name));
+        emit(ib::store(local_ref(s.name), r));
+      } else {
+        const GlobalInfo& gi = global(s.name);
+        truncate_reg(r, gi.elem);
+        if (mc_.opts.rip_relative_globals)
+          emit_rip(ib::store(MemRef::rip(0), r), gi.addr);
+        else
+          emit(ib::store(MemRef::abs(static_cast<std::int64_t>(gi.addr)), r));
+      }
+      free_reg(r);
+      return;
+    }
+    case Stmt::Kind::ExprSt:
+      if (s.value) {
+        eval(*s.value);
+        free_reg(pop_entry());
+      }
+      return;
+    case Stmt::Kind::If: {
+      int t = new_label(), f = new_label(), done = new_label();
+      emit_branch(*s.cond, t, f);
+      bind(t);
+      exec_block(s.then_body);
+      emit_jmp(done);
+      bind(f);
+      exec_block(s.else_body);
+      bind(done);
+      return;
+    }
+    case Stmt::Kind::While: {
+      int head = new_label(), body = new_label(), done = new_label();
+      bind(head);
+      emit_branch(*s.cond, body, done);
+      bind(body);
+      break_stack_.push_back(done);
+      continue_stack_.push_back(head);
+      exec_block(s.then_body);
+      break_stack_.pop_back();
+      continue_stack_.pop_back();
+      emit_jmp(head);
+      bind(done);
+      return;
+    }
+    case Stmt::Kind::DoWhile: {
+      int body = new_label(), cond = new_label(), done = new_label();
+      bind(body);
+      break_stack_.push_back(done);
+      continue_stack_.push_back(cond);
+      exec_block(s.then_body);
+      break_stack_.pop_back();
+      continue_stack_.pop_back();
+      bind(cond);
+      emit_branch(*s.cond, body, done);
+      bind(done);
+      return;
+    }
+    case Stmt::Kind::Switch:
+      lower_switch(s);
+      return;
+    case Stmt::Kind::Return:
+      if (s.value) {
+        eval(*s.value);
+        Reg r = pop_entry();
+        emit(ib::mov(Reg::RAX, r));
+        free_reg(r);
+      } else {
+        emit(ib::xor_(Reg::RAX, Reg::RAX));
+      }
+      truncate_reg(Reg::RAX, fn_.ret);
+      emit_jmp(epilogue_label_);
+      return;
+    case Stmt::Kind::Break:
+      if (break_stack_.empty())
+        throw std::runtime_error("break outside loop/switch");
+      emit_jmp(break_stack_.back());
+      return;
+    case Stmt::Kind::Continue:
+      if (continue_stack_.empty())
+        throw std::runtime_error("continue outside loop");
+      emit_jmp(continue_stack_.back());
+      return;
+    case Stmt::Kind::Trace:
+      emit(ib::trace(s.ival));
+      return;
+    case Stmt::Kind::RawAsm:
+      for (const auto& i : s.asm_insns) emit(i);
+      return;
+  }
+}
+
+void FnEmitter::run() {
+  base_ = img_.section_end(".text");
+  epilogue_label_ = new_label();
+
+  // Frame slots for params first, then declared locals.
+  for (const auto& p : fn_.params) {
+    frame_size_ += 8;
+    local_off_[p.name] = frame_size_;
+    local_type_[p.name] = p.type;
+  }
+  collect_locals(fn_.body, *this);
+
+  // Prologue.
+  emit(ib::push(Reg::RBP));
+  emit(ib::mov(Reg::RBP, Reg::RSP));
+  emit(ib::sub_i(Reg::RSP, frame_size_ + 8));
+  for (std::size_t i = 0; i < fn_.params.size(); ++i) {
+    if (i >= 6) throw std::runtime_error("more than 6 parameters");
+    Reg a = kArgRegs[i];
+    truncate_reg(a, fn_.params[i].type);
+    emit(ib::store(local_ref(fn_.params[i].name), a));
+  }
+
+  exec_block(fn_.body);
+
+  // Implicit `return 0` at the end of the body.
+  emit(ib::xor_(Reg::RAX, Reg::RAX));
+
+  bind(epilogue_label_);
+  emit(ib::mov(Reg::RSP, Reg::RBP));
+  emit(ib::pop(Reg::RBP));
+  emit(ib::ret());
+
+  // Resolve intra-function jumps (rel32 from the end of the field).
+  for (auto [site, label] : jump_fixups_) {
+    std::uint64_t target = label_pos_[label];
+    assert(target != ~0ull && "unbound label");
+    std::int64_t rel = static_cast<std::int64_t>(target) -
+                       static_cast<std::int64_t>(site + 4);
+    std::uint32_t u = static_cast<std::uint32_t>(static_cast<std::int32_t>(rel));
+    for (int i = 0; i < 4; ++i)
+      bytes_[site - base_ + i] = (u >> (8 * i)) & 0xff;
+  }
+
+  std::uint64_t addr = img_.append(".text", bytes_);
+  assert(addr == base_);
+  (void)addr;
+
+  // Jump tables hold absolute case-block addresses (like compiled C).
+  for (const auto& [table, labels] : table_fixups_) {
+    for (std::size_t i = 0; i < labels.size(); ++i)
+      img_.patch_u64(table + i * 8, label_pos_[labels[i]]);
+  }
+
+  img_.add_function(FunctionSym{fn_.name, base_, bytes_.size(),
+                                /*rop_rewritten=*/false,
+                                static_cast<int>(fn_.params.size())});
+}
+
+}  // namespace
+
+Image compile(const Module& mod, const CodegenOptions& opts) {
+  Image img;
+  ModuleCtx mc;
+  mc.mod = &mod;
+  mc.opts = opts;
+
+  // Globals first so functions can reference their addresses.
+  for (const auto& g : mod.globals) {
+    const std::string section = g.read_only ? ".rodata" : ".data";
+    int esz = g.count > 1 ? type_size(g.elem) : 8;  // scalars get a qword
+    std::uint64_t addr = img.reserve(section, g.count * esz);
+    for (std::size_t i = 0; i < g.count; ++i) {
+      std::int64_t v = i < g.init.size() ? g.init[i] : 0;
+      std::uint8_t b[8];
+      for (int k = 0; k < 8; ++k)
+        b[k] = (static_cast<std::uint64_t>(v) >> (8 * k)) & 0xff;
+      img.patch(addr + i * esz,
+                std::span<const std::uint8_t>(b, static_cast<size_t>(esz)));
+    }
+    img.add_object(g.name, addr, g.count * esz);
+    mc.globals[g.name] = GlobalInfo{addr, g.elem, g.count};
+  }
+
+  for (const auto& fn : mod.functions) {
+    FnEmitter fe(mc, img, fn);
+    fe.run();
+  }
+
+  // Cross-function call fixups.
+  for (auto& [site, callee] : mc.call_fixups) {
+    const FunctionSym* f = img.function(callee);
+    if (!f) throw std::runtime_error("call to unknown function " + callee);
+    std::int64_t rel = static_cast<std::int64_t>(f->addr) -
+                       static_cast<std::int64_t>(site + 4);
+    img.patch_u32(site, static_cast<std::uint32_t>(
+                            static_cast<std::int32_t>(rel)));
+  }
+  return img;
+}
+
+}  // namespace raindrop::minic

@@ -1,0 +1,39 @@
+// MiniC -> MiniX86 code generator. Stands in for gcc -O1 in the paper's
+// pipeline: it produces the compiled binaries (Image) that the ROP
+// rewriter consumes. Emits realistic code shapes the rewriter must cope
+// with: rbp frames, push/pop around calls, rip-relative global accesses,
+// dense-switch jump tables in .rodata, setcc/cmov idioms.
+//
+// ABI (SysV-like): args in RDI,RSI,RDX,RCX,R8,R9 (max 6); return in RAX;
+// caller-saved temporaries (the generator saves live temps around calls);
+// RBP is the frame pointer; locals live at [rbp - 8*k].
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "image/image.hpp"
+#include "minic/ast.hpp"
+
+namespace raindrop::minic {
+
+struct CodegenOptions {
+  // Use rip-relative addressing for scalar globals (exercises the
+  // "instruction pointer reference" roplet kind, §IV-B1).
+  bool rip_relative_globals = true;
+  // Lower dense switches to jump tables in .rodata (the indirect-branch
+  // case the paper handles via Ghidra-recovered targets, §IV-C, App. A).
+  bool jump_tables = true;
+};
+
+struct CompileError {
+  std::string function;
+  std::string message;
+};
+
+// Compiles the whole module into a fresh Image. Throws std::runtime_error
+// on malformed input (unknown identifiers, >6 args): workload generators
+// are trusted code, so malformed ASTs are programming errors.
+Image compile(const Module& mod, const CodegenOptions& opts = {});
+
+}  // namespace raindrop::minic

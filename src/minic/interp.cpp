@@ -1,0 +1,322 @@
+#include "minic/interp.hpp"
+
+namespace raindrop::minic {
+
+namespace {
+std::int64_t truncate_to(Type t, std::int64_t v) {
+  int size = type_size(t);
+  if (size >= 8) return v;
+  std::uint64_t u = static_cast<std::uint64_t>(v) & ((1ull << (size * 8)) - 1);
+  if (type_signed(t)) {
+    std::uint64_t m = 1ull << (size * 8 - 1);
+    return static_cast<std::int64_t>((u ^ m) - m);
+  }
+  return static_cast<std::int64_t>(u);
+}
+}  // namespace
+
+void Interp::trap(const std::string& msg) {
+  if (!trapped_) {
+    trapped_ = true;
+    result_->ok = false;
+    result_->error = msg;
+  }
+}
+
+std::int64_t Interp::coerce(Type t, std::int64_t v) {
+  return truncate_to(t, v);
+}
+
+InterpResult Interp::call(const std::string& fn,
+                          std::span<const std::int64_t> args) {
+  InterpResult res;
+  if (!globals_init_) {
+    globals_init_ = true;
+    for (const auto& g : mod_.globals) {
+      auto& store = globals_[g.name];
+      store.assign(g.count, 0);
+      for (std::size_t i = 0; i < g.init.size() && i < g.count; ++i)
+        store[i] = truncate_to(g.elem, g.init[i]);
+    }
+  }
+  const Function* f = mod_.function(fn);
+  if (!f) {
+    res.error = "no such function: " + fn;
+    return res;
+  }
+  result_ = &res;
+  trapped_ = false;
+  res.ok = true;
+  Frame frame;
+  for (std::size_t i = 0; i < f->params.size(); ++i) {
+    std::int64_t v = i < args.size() ? args[i] : 0;
+    frame.locals[f->params[i].name] = coerce(f->params[i].type, v);
+    frame.local_types[f->params[i].name] = f->params[i].type;
+  }
+  retval_ = 0;
+  ++depth_;
+  if (depth_ > 64) {
+    trap("interp recursion limit");
+  } else {
+    exec_block(f->body, frame);
+  }
+  --depth_;
+  res.value = coerce(f->ret, retval_);
+  result_ = nullptr;
+  return res;
+}
+
+std::optional<std::int64_t> Interp::global(const std::string& name,
+                                           std::size_t index) const {
+  auto it = globals_.find(name);
+  if (it == globals_.end() || index >= it->second.size()) return std::nullopt;
+  return it->second[index];
+}
+
+void Interp::set_global(const std::string& name, std::size_t index,
+                        std::int64_t value) {
+  auto it = globals_.find(name);
+  if (it != globals_.end() && index < it->second.size())
+    it->second[index] = value;
+}
+
+std::int64_t Interp::eval(const Expr& e, Frame& f) {
+  if (trapped_) return 0;
+  if (++result_->steps > budget_) {
+    trap("interp budget exceeded");
+    return 0;
+  }
+  switch (e.kind) {
+    case Expr::Kind::Int:
+      return e.ival;
+    case Expr::Kind::Var: {
+      auto it = f.locals.find(e.name);
+      if (it != f.locals.end()) return it->second;
+      auto git = globals_.find(e.name);
+      if (git != globals_.end() && !git->second.empty())
+        return git->second[0];
+      trap("unbound variable " + e.name);
+      return 0;
+    }
+    case Expr::Kind::Index: {
+      auto git = globals_.find(e.name);
+      if (git == globals_.end()) {
+        trap("no such array " + e.name);
+        return 0;
+      }
+      std::uint64_t idx = static_cast<std::uint64_t>(eval(*e.a, f));
+      if (idx >= git->second.size()) {
+        trap("array index out of bounds");
+        return 0;
+      }
+      return git->second[idx];
+    }
+    case Expr::Kind::Unary: {
+      std::int64_t a = eval(*e.a, f);
+      switch (e.uop) {
+        case UnOp::Neg:
+          return static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(a));
+        case UnOp::Not:
+          return ~a;
+        case UnOp::LNot:
+          return a == 0 ? 1 : 0;
+      }
+      return 0;
+    }
+    case Expr::Kind::Binary: {
+      // Short-circuit forms first.
+      if (e.bop == BinOp::LAnd) {
+        return eval(*e.a, f) != 0 && eval(*e.b, f) != 0 ? 1 : 0;
+      }
+      if (e.bop == BinOp::LOr) {
+        return eval(*e.a, f) != 0 || eval(*e.b, f) != 0 ? 1 : 0;
+      }
+      std::int64_t a = eval(*e.a, f);
+      std::int64_t b = eval(*e.b, f);
+      std::uint64_t ua = static_cast<std::uint64_t>(a);
+      std::uint64_t ub = static_cast<std::uint64_t>(b);
+      bool sgn = type_signed(e.a->type);
+      switch (e.bop) {
+        case BinOp::Add: return static_cast<std::int64_t>(ua + ub);
+        case BinOp::Sub: return static_cast<std::int64_t>(ua - ub);
+        case BinOp::Mul: return static_cast<std::int64_t>(ua * ub);
+        case BinOp::Div:
+          if (ub == 0) { trap("division by zero"); return 0; }
+          return static_cast<std::int64_t>(ua / ub);
+        case BinOp::Rem:
+          if (ub == 0) { trap("division by zero"); return 0; }
+          return static_cast<std::int64_t>(ua % ub);
+        case BinOp::And: return a & b;
+        case BinOp::Or: return a | b;
+        case BinOp::Xor: return a ^ b;
+        case BinOp::Shl: return static_cast<std::int64_t>(ua << (ub & 63));
+        case BinOp::Shr:
+          if (sgn) return a >> (ub & 63);
+          return static_cast<std::int64_t>(ua >> (ub & 63));
+        case BinOp::Eq: return a == b ? 1 : 0;
+        case BinOp::Ne: return a != b ? 1 : 0;
+        case BinOp::Lt: return (sgn ? a < b : ua < ub) ? 1 : 0;
+        case BinOp::Le: return (sgn ? a <= b : ua <= ub) ? 1 : 0;
+        case BinOp::Gt: return (sgn ? a > b : ua > ub) ? 1 : 0;
+        case BinOp::Ge: return (sgn ? a >= b : ua >= ub) ? 1 : 0;
+        case BinOp::LAnd: case BinOp::LOr: break;  // handled above
+      }
+      return 0;
+    }
+    case Expr::Kind::Call: {
+      const Function* callee = mod_.function(e.name);
+      if (!callee) {
+        trap("no such function " + e.name);
+        return 0;
+      }
+      std::vector<std::int64_t> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) args.push_back(eval(*a, f));
+      if (trapped_) return 0;
+      // Recursive call sharing globals and the result accumulator.
+      Frame frame;
+      for (std::size_t i = 0; i < callee->params.size(); ++i) {
+        std::int64_t v = i < args.size() ? args[i] : 0;
+        frame.locals[callee->params[i].name] =
+            coerce(callee->params[i].type, v);
+        frame.local_types[callee->params[i].name] = callee->params[i].type;
+      }
+      std::int64_t saved_ret = retval_;
+      retval_ = 0;
+      ++depth_;
+      if (depth_ > 64) {
+        trap("interp recursion limit");
+      } else {
+        exec_block(callee->body, frame);
+      }
+      --depth_;
+      std::int64_t out = coerce(callee->ret, retval_);
+      retval_ = saved_ret;
+      return out;
+    }
+    case Expr::Kind::Cast:
+      return coerce(e.type, eval(*e.a, f));
+  }
+  return 0;
+}
+
+Interp::Flow Interp::exec_block(const std::vector<StmtPtr>& body, Frame& f) {
+  for (const auto& s : body) {
+    Flow fl = exec(*s, f);
+    if (trapped_) return Flow::Return;
+    if (fl != Flow::Normal) return fl;
+  }
+  return Flow::Normal;
+}
+
+Interp::Flow Interp::exec(const Stmt& s, Frame& f) {
+  if (trapped_) return Flow::Return;
+  if (++result_->steps > budget_) {
+    trap("interp budget exceeded");
+    return Flow::Return;
+  }
+  switch (s.kind) {
+    case Stmt::Kind::Decl: {
+      std::int64_t v = s.value ? eval(*s.value, f) : 0;
+      f.locals[s.name] = coerce(s.type, v);
+      f.local_types[s.name] = s.type;
+      return Flow::Normal;
+    }
+    case Stmt::Kind::Assign: {
+      std::int64_t v = eval(*s.value, f);
+      if (s.index) {
+        auto git = globals_.find(s.name);
+        if (git == globals_.end()) {
+          trap("no such array " + s.name);
+          return Flow::Return;
+        }
+        std::uint64_t idx = static_cast<std::uint64_t>(eval(*s.index, f));
+        if (idx >= git->second.size()) {
+          trap("array index out of bounds");
+          return Flow::Return;
+        }
+        const Global* g = mod_.global(s.name);
+        git->second[idx] = truncate_to(g->elem, v);
+        return Flow::Normal;
+      }
+      auto it = f.locals.find(s.name);
+      if (it != f.locals.end()) {
+        // Assignments truncate to the declared type, like C. Codegen
+        // mirrors this with a movsx/movzx before the frame-slot store.
+        it->second = coerce(f.local_types[s.name], v);
+        return Flow::Normal;
+      }
+      auto git = globals_.find(s.name);
+      if (git != globals_.end() && !git->second.empty()) {
+        const Global* g = mod_.global(s.name);
+        git->second[0] = truncate_to(g->elem, v);
+        return Flow::Normal;
+      }
+      trap("assign to unbound " + s.name);
+      return Flow::Return;
+    }
+    case Stmt::Kind::ExprSt:
+      if (s.value) eval(*s.value, f);
+      return Flow::Normal;
+    case Stmt::Kind::If:
+      if (eval(*s.cond, f) != 0) return exec_block(s.then_body, f);
+      return exec_block(s.else_body, f);
+    case Stmt::Kind::While:
+      while (!trapped_ && eval(*s.cond, f) != 0) {
+        Flow fl = exec_block(s.then_body, f);
+        if (fl == Flow::Break) break;
+        if (fl == Flow::Return) return fl;
+        if (++result_->steps > budget_) {
+          trap("interp budget exceeded");
+          return Flow::Return;
+        }
+      }
+      return Flow::Normal;
+    case Stmt::Kind::DoWhile:
+      do {
+        Flow fl = exec_block(s.then_body, f);
+        if (fl == Flow::Break) break;
+        if (fl == Flow::Return) return fl;
+        if (++result_->steps > budget_) {
+          trap("interp budget exceeded");
+          return Flow::Return;
+        }
+      } while (!trapped_ && eval(*s.cond, f) != 0);
+      return Flow::Normal;
+    case Stmt::Kind::Switch: {
+      // Lowering places the default block after the last case, so falling
+      // through the final case enters `default` -- C semantics when the
+      // default label is written last, which is what codegen implements.
+      std::int64_t v = eval(*s.cond, f);
+      bool matched = false;
+      for (const auto& c : s.cases) {
+        if (!matched && c.value != v) continue;
+        matched = true;  // fallthrough into following cases
+        Flow fl = exec_block(c.body, f);
+        if (fl == Flow::Break) return Flow::Normal;
+        if (fl == Flow::Return || fl == Flow::Continue) return fl;
+      }
+      Flow fl = exec_block(s.default_body, f);
+      if (fl == Flow::Break) return Flow::Normal;
+      if (fl == Flow::Return || fl == Flow::Continue) return fl;
+      return Flow::Normal;
+    }
+    case Stmt::Kind::Return:
+      retval_ = s.value ? eval(*s.value, f) : 0;
+      return Flow::Return;
+    case Stmt::Kind::Break:
+      return Flow::Break;
+    case Stmt::Kind::Continue:
+      return Flow::Continue;
+    case Stmt::Kind::Trace:
+      result_->probes.push_back(s.ival);
+      return Flow::Normal;
+    case Stmt::Kind::RawAsm:
+      // Raw machine fragments have no source-level semantics; the corpus
+      // only uses side-effect-free patterns, so the interpreter skips them.
+      return Flow::Normal;
+  }
+  return Flow::Normal;
+}
+
+}  // namespace raindrop::minic

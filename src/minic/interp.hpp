@@ -1,0 +1,70 @@
+// Reference interpreter for MiniC. Serves three roles:
+//  1. semantic oracle for differential tests against compiled/rewritten
+//     code (native vs ROP chain vs VM-obfuscated must all agree with it);
+//  2. secret derivation for RandomFuns point tests (run the hash on a
+//     chosen winning input, capture the state constant);
+//  3. ground-truth coverage (which probes are reachable for given inputs).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace raindrop::minic {
+
+struct InterpResult {
+  bool ok = false;           // false: trap (div by zero, missing fn, ...)
+  std::string error;
+  std::int64_t value = 0;    // function return value
+  std::vector<std::int64_t> probes;  // TRACE hits in execution order
+  std::uint64_t steps = 0;   // statements executed (budget accounting)
+};
+
+class Interp {
+ public:
+  explicit Interp(const Module& m, std::uint64_t step_budget = 50'000'000)
+      : mod_(m), budget_(step_budget) {}
+  // The interpreter only borrows the module: binding a temporary would
+  // dangle after the constructor returns.
+  explicit Interp(Module&&, std::uint64_t = 0) = delete;
+
+  // Calls `fn` with the given argument values. Globals persist across
+  // calls on the same Interp instance (like a loaded process image).
+  InterpResult call(const std::string& fn,
+                    std::span<const std::int64_t> args);
+
+  // Direct access to a global (scalar: index 0).
+  std::optional<std::int64_t> global(const std::string& name,
+                                     std::size_t index = 0) const;
+  void set_global(const std::string& name, std::size_t index,
+                  std::int64_t value);
+
+ private:
+  struct Frame {
+    std::map<std::string, std::int64_t> locals;
+    std::map<std::string, Type> local_types;
+  };
+  enum class Flow { Normal, Break, Continue, Return };
+
+  std::int64_t eval(const Expr& e, Frame& f);
+  Flow exec_block(const std::vector<StmtPtr>& body, Frame& f);
+  Flow exec(const Stmt& s, Frame& f);
+  void trap(const std::string& msg);
+  std::int64_t coerce(Type t, std::int64_t v);
+
+  const Module& mod_;
+  std::uint64_t budget_;
+  std::map<std::string, std::vector<std::int64_t>> globals_;
+  bool globals_init_ = false;
+  InterpResult* result_ = nullptr;
+  std::int64_t retval_ = 0;
+  bool trapped_ = false;
+  int depth_ = 0;
+};
+
+}  // namespace raindrop::minic

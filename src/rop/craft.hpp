@@ -1,0 +1,39 @@
+// Internal interface between the Rewriter facade and the chain-crafting
+// stage (§IV-B2). Not part of the public API surface.
+#pragma once
+
+#include <span>
+
+#include "gadgets/catalog.hpp"
+#include "rop/chain.hpp"
+#include "rop/predicates.hpp"
+#include "rop/rewriter.hpp"
+#include "rop/roplet.hpp"
+
+namespace raindrop::rop {
+
+struct CraftOutput {
+  bool ok = false;
+  RewriteFailure failure = RewriteFailure::None;
+  std::string detail;
+  Chain chain;
+  std::size_t program_points = 0;
+};
+
+struct CraftEnv {
+  Image* img = nullptr;
+  gadgets::GadgetPool* pool = nullptr;
+  const ObfConfig* cfg = nullptr;
+  Rng* rng = nullptr;
+  std::uint64_t ss_addr = 0;
+  std::uint64_t funcret_gadget = 0;
+  std::span<const std::uint64_t> spill_slots;
+  const P1Array* p1 = nullptr;  // embedded array (addr set) or nullptr
+  const analysis::Liveness* liveness = nullptr;
+  std::uint64_t fn_addr = 0;
+  std::uint64_t fn_stub_end = 0;  // fn_addr + pivot stub size
+};
+
+CraftOutput craft_chain(const CraftEnv& env, const TranslateResult& tr);
+
+}  // namespace raindrop::rop

@@ -1,0 +1,153 @@
+#include "rop/predicates.hpp"
+
+namespace raindrop::rop {
+
+using isa::Cond;
+using isa::Reg;
+namespace ib = isa::ib;
+
+P1Array P1Array::generate(Rng& rng, int n, int s, int p, std::uint64_t m) {
+  P1Array a;
+  a.n = n;
+  a.s = s;
+  a.p = p;
+  a.m = m;
+  a.residues.resize(n);
+  for (int b = 0; b < n; ++b) a.residues[b] = rng.below(m);
+  a.cells.resize(static_cast<std::size_t>(s) * p);
+  for (int j = 0; j < p; ++j) {
+    for (int c = 0; c < s; ++c) {
+      std::uint64_t v = rng.below(1ull << 32);
+      if (c < n) {
+        // Force v ≡ a_c (mod m) while keeping it "seemingly random".
+        v = v - (v % m) + a.residues[c];
+      }
+      a.cells[static_cast<std::size_t>(j) * s + c] = v;
+    }
+  }
+  return a;
+}
+
+bool P1Array::invariant_holds() const {
+  if (cells.size() != static_cast<std::size_t>(s) * p) return false;
+  for (int b = 0; b < n; ++b)
+    for (int j = 0; j < p; ++j)
+      if (cells[static_cast<std::size_t>(j) * s + b] % m != residues[b])
+        return false;
+  return true;
+}
+
+bool cond_holds(Cond cc, std::uint64_t a, std::uint64_t b) {
+  std::int64_t sa = static_cast<std::int64_t>(a);
+  std::int64_t sb = static_cast<std::int64_t>(b);
+  switch (cc) {
+    case Cond::E: return a == b;
+    case Cond::NE: return a != b;
+    case Cond::B: return a < b;
+    case Cond::AE: return a >= b;
+    case Cond::BE: return a <= b;
+    case Cond::A: return a > b;
+    case Cond::L: return sa < sb;
+    case Cond::GE: return sa >= sb;
+    case Cond::LE: return sa <= sb;
+    case Cond::G: return sa > sb;
+    case Cond::S: return static_cast<std::int64_t>(a - b) < 0;
+    case Cond::NS: return static_cast<std::int64_t>(a - b) >= 0;
+    case Cond::O: case Cond::NO: return false;  // not covered by P2
+  }
+  return false;
+}
+
+namespace {
+
+// dst = notZero(dst) = (dst | -dst) >> 63, flag-independent.
+void emit_not_zero(std::vector<MicroOp>& v, Reg dst, Reg t) {
+  v.push_back(MicroOp::of(ib::mov(t, dst)));
+  v.push_back(MicroOp::of(ib::neg(t)));
+  v.push_back(MicroOp::of(ib::or_(dst, t)));
+  v.push_back(MicroOp::of(ib::shr_i(dst, 63)));
+}
+
+// dst = borrow-out of (x - y) = ((~x & y) | ((~x | y) & (x - y))) >> 63,
+// i.e. the unsigned x < y predicate. Uses dst and two scratches.
+void emit_borrow(std::vector<MicroOp>& v, Reg x, Reg y, Reg dst, Reg t1,
+                 Reg t2) {
+  v.push_back(MicroOp::of(ib::mov(dst, x)));
+  v.push_back(MicroOp::of(ib::not_(dst)));       // dst = ~x
+  v.push_back(MicroOp::of(ib::mov(t1, dst)));
+  v.push_back(MicroOp::of(ib::and_(t1, y)));     // t1 = ~x & y
+  v.push_back(MicroOp::of(ib::or_(dst, y)));     // dst = ~x | y
+  v.push_back(MicroOp::of(ib::mov(t2, x)));
+  v.push_back(MicroOp::of(ib::sub(t2, y)));      // t2 = x - y
+  v.push_back(MicroOp::of(ib::and_(dst, t2)));
+  v.push_back(MicroOp::of(ib::or_(dst, t1)));
+  v.push_back(MicroOp::of(ib::shr_i(dst, 63)));
+}
+
+// dst = signed x < y = ((x-y) ^ ((x^y) & ((x-y)^x))) >> 63.
+void emit_slt(std::vector<MicroOp>& v, Reg x, Reg y, Reg dst, Reg t1,
+              Reg t2) {
+  v.push_back(MicroOp::of(ib::mov(dst, x)));
+  v.push_back(MicroOp::of(ib::sub(dst, y)));     // dst = x - y
+  v.push_back(MicroOp::of(ib::mov(t1, x)));
+  v.push_back(MicroOp::of(ib::xor_(t1, y)));     // t1 = x ^ y
+  v.push_back(MicroOp::of(ib::mov(t2, dst)));
+  v.push_back(MicroOp::of(ib::xor_(t2, x)));     // t2 = (x-y) ^ x
+  v.push_back(MicroOp::of(ib::and_(t1, t2)));
+  v.push_back(MicroOp::of(ib::xor_(dst, t1)));
+  v.push_back(MicroOp::of(ib::shr_i(dst, 63)));
+}
+
+}  // namespace
+
+std::optional<std::vector<MicroOp>> cond_bit_microops(
+    Cond cc, Reg a, bool b_is_imm, Reg b, std::int64_t b_imm, Reg dst,
+    Reg t1, Reg t2, Reg t3) {
+  std::vector<MicroOp> v;
+  // Materialise an immediate right operand into t3 first, then treat it
+  // as a register operand (t3 stays untouched until consumed).
+  Reg rb = b;
+  if (b_is_imm) {
+    v.push_back(MicroOp::constant(t3, b_imm));
+    rb = t3;
+  }
+  bool negate_out = false;
+  switch (cc) {
+    case Cond::E: negate_out = true; [[fallthrough]];
+    case Cond::NE: {
+      // notZero(a - rb).
+      v.push_back(MicroOp::of(ib::mov(dst, a)));
+      v.push_back(MicroOp::of(ib::sub(dst, rb)));
+      emit_not_zero(v, dst, t1);
+      break;
+    }
+    case Cond::AE: negate_out = true; [[fallthrough]];
+    case Cond::B:
+      emit_borrow(v, a, rb, dst, t1, t2);
+      break;
+    case Cond::BE: negate_out = true; [[fallthrough]];
+    case Cond::A:
+      emit_borrow(v, rb, a, dst, t1, t2);  // a > b  <=>  b < a
+      break;
+    case Cond::GE: negate_out = true; [[fallthrough]];
+    case Cond::L:
+      emit_slt(v, a, rb, dst, t1, t2);
+      break;
+    case Cond::LE: negate_out = true; [[fallthrough]];
+    case Cond::G:
+      emit_slt(v, rb, a, dst, t1, t2);
+      break;
+    case Cond::NS: negate_out = true; [[fallthrough]];
+    case Cond::S:
+      v.push_back(MicroOp::of(ib::mov(dst, a)));
+      v.push_back(MicroOp::of(ib::sub(dst, rb)));
+      v.push_back(MicroOp::of(ib::shr_i(dst, 63)));
+      break;
+    case Cond::O: case Cond::NO:
+      return std::nullopt;
+  }
+  if (negate_out) v.push_back(MicroOp::of(ib::xor_i(dst, 1)));
+  return v;
+}
+
+}  // namespace raindrop::rop

@@ -1,0 +1,75 @@
+// Building blocks for the strengthening predicates of §V.
+//
+// P1 (§V-A): a periodic opaque array. For branch slot b, every p-th cell
+// starting at b holds a value v with v ≡ a_b (mod m); the chain extracts
+// a_b through an input-dependent index f(x), so SE sees aliasing across
+// all p candidate cells while any concrete execution works.
+//
+// P2 (§V-B): flag-independent recomputation of a branch condition from
+// the original compare operands. Flipping the CPU flags does not change
+// these bits, so a brute-forced alternate path derails on rsp += x*(...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/insn.hpp"
+#include "support/rng.hpp"
+
+namespace raindrop::rop {
+
+struct P1Array {
+  std::uint64_t addr = 0;  // set when embedded in the image
+  int n = 4, s = 4, p = 32;
+  std::uint64_t m = 7;
+  std::vector<std::uint64_t> cells;     // s*p cells
+  std::vector<std::uint64_t> residues;  // a_b for b in [0, n)
+
+  // Generates cells satisfying the periodic invariant; garbage cells
+  // (slots n..s-1 of each period) are fully random.
+  static P1Array generate(Rng& rng, int n, int s, int p, std::uint64_t m);
+
+  // Invariant check (used by property tests and by P3-v2 validation).
+  bool invariant_holds() const;
+};
+
+// A micro-op is either a concrete instruction (to be wrapped in its own
+// gadget) or a constant load (lowered as `pop dst` + chain immediate,
+// possibly disguised by gadget confusion).
+struct MicroOp {
+  enum class K { Insn, Const };
+  K k = K::Insn;
+  isa::Insn insn;
+  isa::Reg dst = isa::Reg::RAX;
+  std::int64_t value = 0;
+
+  static MicroOp of(const isa::Insn& i) {
+    MicroOp m;
+    m.k = K::Insn;
+    m.insn = i;
+    return m;
+  }
+  static MicroOp constant(isa::Reg dst, std::int64_t v) {
+    MicroOp m;
+    m.k = K::Const;
+    m.dst = dst;
+    m.value = v;
+    return m;
+  }
+};
+
+// Emits micro-ops computing dst = 1 iff `cc` holds for operands (a, b),
+// without reading CPU flags (bit tricks on two's complement values:
+// notZero / borrow-out / sign-with-overflow-correction). `b_imm` is used
+// when `b_is_imm` (it is materialised into t3). Requires three scratch
+// registers t1..t3, all distinct from a/b/dst and from each other.
+// Returns nullopt for conditions P2 does not cover (O/NO).
+std::optional<std::vector<MicroOp>> cond_bit_microops(
+    isa::Cond cc, isa::Reg a, bool b_is_imm, isa::Reg b, std::int64_t b_imm,
+    isa::Reg dst, isa::Reg t1, isa::Reg t2, isa::Reg t3);
+
+// Reference implementation of the same predicate (oracle for tests).
+bool cond_holds(isa::Cond cc, std::uint64_t a, std::uint64_t b);
+
+}  // namespace raindrop::rop

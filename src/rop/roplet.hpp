@@ -1,0 +1,78 @@
+// Roplets: the simple custom middle representation of §IV-B1. The
+// translator turns each basic block into a sequence of roplets; the
+// crafting stage lowers each roplet by selecting suitable gadgets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/disasm.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/taintreg.hpp"
+#include "isa/insn.hpp"
+
+namespace raindrop::rop {
+
+enum class RopletKind {
+  IntraTransfer,      // direct branches + switch-table indirect branches
+  InterTransfer,      // calls to ROP and non-ROP functions
+  Epilogue,           // ret (and tail-jump epilogue variants)
+  DirectStackAccess,  // push / pop / pushf / popf
+  StackPtrRef,        // RSP read as operand or arithmetic on RSP
+  InsnPtrRef,         // rip-relative addressing (globals in .data)
+  DataMove,           // mov-like transfers not covered above
+  Alu,                // arithmetic and logic
+};
+
+// Compare operands feeding a conditional branch, recovered by the
+// translator so P2 can rebuild the condition flag-independently (§V-B).
+struct CmpOperands {
+  isa::Reg a = isa::Reg::RAX;
+  bool b_is_imm = false;
+  isa::Reg b_reg = isa::Reg::RAX;
+  std::int64_t b_imm = 0;
+};
+
+struct Roplet {
+  RopletKind kind = RopletKind::DataMove;
+  isa::Insn orig;             // original instruction (rip-rel already
+                              // rewritten to absolute by the translator)
+  std::uint64_t orig_addr = 0;
+
+  // Annotations from the support analyses.
+  analysis::RegSet live_out;  // live after this instruction
+  analysis::RegSet tainted;   // input-derived registers before it
+
+  // IntraTransfer:
+  std::uint64_t branch_target = 0;          // direct target block address
+  bool is_conditional = false;
+  std::optional<CmpOperands> cmp;           // for P2
+  std::optional<analysis::JumpTable> jump_table;  // indirect via table
+
+  // InterTransfer:
+  std::uint64_t call_target = 0;   // callee address (0 for register calls)
+  bool call_is_indirect = false;
+};
+
+struct TranslatedBlock {
+  std::uint64_t start = 0;
+  std::vector<Roplet> roplets;
+  std::vector<std::uint64_t> succs;
+};
+
+struct TranslateResult {
+  bool ok = false;
+  std::string error;          // first unsupported construct, if any
+  std::vector<TranslatedBlock> blocks;  // in layout (address) order
+};
+
+// Translates a reconstructed CFG into roplets, annotating each with
+// liveness and taint facts. Fails (ok=false) on constructs the rewriter
+// does not support: push rsp / push [rsp+imm] style accesses (§VII-C1
+// counts these), flags live across a branch, HLT/UD inside a function.
+TranslateResult translate(const analysis::Cfg& cfg,
+                          const analysis::Liveness& lv,
+                          const analysis::TaintInfo& taint);
+
+}  // namespace raindrop::rop

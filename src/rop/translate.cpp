@@ -1,0 +1,207 @@
+#include <algorithm>
+
+#include "rop/roplet.hpp"
+
+namespace raindrop::rop {
+
+using analysis::BasicBlock;
+using analysis::Cfg;
+using analysis::CfgInsn;
+using isa::Insn;
+using isa::Op;
+using isa::Reg;
+
+namespace {
+
+bool mem_uses_rsp(const isa::MemRef& m) {
+  return (m.has_base && m.base == Reg::RSP) ||
+         (m.has_index && m.index == Reg::RSP);
+}
+
+bool insn_references_rsp(const Insn& i) {
+  switch (i.op) {
+    case Op::PUSH_R:
+      return i.r1 == Reg::RSP;  // push rsp: unsupported (paper limitation)
+    case Op::POP_R:
+      return false;  // pop reg handled as stack access even for rsp? no:
+                     // pop rsp is exotic; flag it below
+    default:
+      break;
+  }
+  switch (isa::sig_of(i.op)) {
+    case isa::Sig::RR:
+      return i.r1 == Reg::RSP || i.r2 == Reg::RSP;
+    case isa::Sig::RI32: case isa::Sig::RI64:
+      return i.r1 == Reg::RSP;
+    case isa::Sig::R:
+      return i.r1 == Reg::RSP;
+    case isa::Sig::RM: case isa::Sig::RMS:
+      return i.r1 == Reg::RSP || mem_uses_rsp(i.mem);
+    case isa::Sig::M: case isa::Sig::MI32:
+      return mem_uses_rsp(i.mem);
+    case isa::Sig::CCRR:
+      return i.r1 == Reg::RSP || i.r2 == Reg::RSP;
+    case isa::Sig::CCR:
+      return i.r1 == Reg::RSP;
+    default:
+      return false;
+  }
+}
+
+// Finds the compare instruction that set the flags consumed by the block
+// terminator, scanning backwards past flag-neutral instructions.
+std::optional<CmpOperands> find_cmp(const std::vector<CfgInsn>& insns) {
+  for (std::size_t i = insns.size(); i-- > 0;) {
+    const Insn& in = insns[i].insn;
+    if (!isa::writes_flags(in.op)) continue;
+    if (in.op == Op::CMP_RR)
+      return CmpOperands{in.r1, false, in.r2, 0};
+    if (in.op == Op::CMP_RI)
+      return CmpOperands{in.r1, true, Reg::RAX, in.imm};
+    if (in.op == Op::TEST_RR && in.r1 == in.r2)
+      return CmpOperands{in.r1, true, Reg::RAX, 0};  // test r,r == cmp r,0
+    return std::nullopt;  // some other flag producer: P2 not applicable
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+TranslateResult translate(const Cfg& cfg, const analysis::Liveness& lv,
+                          const analysis::TaintInfo& taint) {
+  TranslateResult out;
+  for (const auto& [addr, bb] : cfg.blocks) {
+    TranslatedBlock tb;
+    tb.start = addr;
+    tb.succs = bb.succs;
+    for (std::size_t k = 0; k < bb.insns.size(); ++k) {
+      const CfgInsn& ci = bb.insns[k];
+      const Insn& in = ci.insn;
+      Roplet r;
+      r.orig = in;
+      r.orig_addr = ci.addr;
+      r.live_out = lv.out_at(ci.addr);
+      r.tainted = taint.at(ci.addr);
+
+      switch (in.op) {
+        case Op::JMP_REL:
+          r.kind = RopletKind::IntraTransfer;
+          r.branch_target = ci.addr + ci.length +
+                            static_cast<std::uint64_t>(in.imm);
+          break;
+        case Op::JCC_REL: {
+          r.kind = RopletKind::IntraTransfer;
+          r.is_conditional = true;
+          r.branch_target = ci.addr + ci.length +
+                            static_cast<std::uint64_t>(in.imm);
+          if (r.live_out.has_flags()) {
+            out.error = "flags live across conditional branch";
+            return out;
+          }
+          std::vector<CfgInsn> prefix(bb.insns.begin(),
+                                      bb.insns.begin() + k);
+          r.cmp = find_cmp(prefix);
+          break;
+        }
+        case Op::JMP_M:
+          r.kind = RopletKind::IntraTransfer;
+          if (!bb.jump_table) {
+            out.error = "indirect jump without recovered table";
+            return out;
+          }
+          r.jump_table = bb.jump_table;
+          break;
+        case Op::JMP_R:
+          out.error = "indirect register jump";
+          return out;
+        case Op::CALL_REL:
+          r.kind = RopletKind::InterTransfer;
+          r.call_target = ci.addr + ci.length +
+                          static_cast<std::uint64_t>(in.imm);
+          break;
+        case Op::CALL_R:
+          r.kind = RopletKind::InterTransfer;
+          r.call_is_indirect = true;
+          break;
+        case Op::RET:
+          r.kind = RopletKind::Epilogue;
+          break;
+        case Op::HLT: case Op::UD:
+          out.error = "hlt/ud inside function body";
+          return out;
+        case Op::PUSH_R:
+          if (in.r1 == Reg::RSP) {
+            out.error = "push rsp";  // §VII-C1 failure class
+            return out;
+          }
+          r.kind = RopletKind::DirectStackAccess;
+          break;
+        case Op::POP_R:
+          if (in.r1 == Reg::RSP) {
+            out.error = "pop rsp";
+            return out;
+          }
+          r.kind = RopletKind::DirectStackAccess;
+          break;
+        case Op::PUSH_I32: case Op::PUSHF: case Op::POPF:
+          r.kind = RopletKind::DirectStackAccess;
+          break;
+        default:
+          if (insn_references_rsp(in)) {
+            // Only the forms our stack-pointer-reference lowering knows:
+            // mov r, rsp / mov rsp, r / add|sub rsp, imm.
+            bool supported =
+                (in.op == Op::MOV_RR &&
+                 (in.r1 == Reg::RSP || in.r2 == Reg::RSP)) ||
+                ((in.op == Op::ADD_RI || in.op == Op::SUB_RI) &&
+                 in.r1 == Reg::RSP);
+            if (!supported) {
+              out.error = "unsupported rsp reference";
+              return out;
+            }
+            r.kind = RopletKind::StackPtrRef;
+            break;
+          }
+          if (in.mem.rip_rel &&
+              (isa::sig_of(in.op) == isa::Sig::RM ||
+               isa::sig_of(in.op) == isa::Sig::RMS ||
+               isa::sig_of(in.op) == isa::Sig::M ||
+               isa::sig_of(in.op) == isa::Sig::MI32)) {
+            // Rewrite rip-relative to absolute now that the address is
+            // known (§IV-B1: "transform RIP-relative addressing instances
+            // in absolute references").
+            r.kind = RopletKind::InsnPtrRef;
+            std::int64_t target =
+                static_cast<std::int64_t>(ci.addr + ci.length) + in.mem.disp;
+            r.orig.mem = isa::MemRef::abs(target);
+            break;
+          }
+          switch (in.op) {
+            case Op::MOV_RR: case Op::MOV_RI64: case Op::MOV_RI32:
+            case Op::LEA: case Op::LOAD: case Op::LOADS: case Op::STORE:
+            case Op::XCHG_RR: case Op::XCHG_RM: case Op::MOVZX:
+            case Op::MOVSX: case Op::CMOV: case Op::SETCC:
+            case Op::RDFLAGS: case Op::WRFLAGS: case Op::TRACE:
+            case Op::NOP:
+              r.kind = RopletKind::DataMove;
+              break;
+            default:
+              r.kind = RopletKind::Alu;
+              break;
+          }
+          break;
+      }
+      if (in.op == Op::NOP) continue;  // drop padding
+      tb.roplets.push_back(std::move(r));
+    }
+    out.blocks.push_back(std::move(tb));
+  }
+  std::sort(out.blocks.begin(), out.blocks.end(),
+            [](const TranslatedBlock& a, const TranslatedBlock& b) {
+              return a.start < b.start;
+            });
+  out.ok = true;
+  return out;
+}
+
+}  // namespace raindrop::rop

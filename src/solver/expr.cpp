@@ -1,0 +1,349 @@
+#include "solver/expr.hpp"
+
+#include <functional>
+
+namespace raindrop::solver {
+
+namespace {
+std::uint64_t sext_bytes(std::uint64_t v, int bytes) {
+  if (bytes >= 8) return v;
+  int bits = bytes * 8;
+  std::uint64_t m = 1ull << (bits - 1);
+  v &= (1ull << bits) - 1;
+  return (v ^ m) - m;
+}
+std::uint64_t zext_bytes(std::uint64_t v, int bytes) {
+  if (bytes >= 8) return v;
+  return v & ((1ull << (bytes * 8)) - 1);
+}
+
+std::uint64_t fold(Ex op, std::uint64_t a, std::uint64_t b) {
+  switch (op) {
+    case Ex::Add: return a + b;
+    case Ex::Sub: return a - b;
+    case Ex::Mul: return a * b;
+    case Ex::UDiv: return b ? a / b : 0;
+    case Ex::URem: return b ? a % b : a;
+    case Ex::And: return a & b;
+    case Ex::Or: return a | b;
+    case Ex::Xor: return a ^ b;
+    case Ex::Shl: return a << (b & 63);
+    case Ex::LShr: return a >> (b & 63);
+    case Ex::AShr:
+      return static_cast<std::uint64_t>(static_cast<std::int64_t>(a) >>
+                                        (b & 63));
+    case Ex::Eq: return a == b ? 1 : 0;
+    case Ex::Ne: return a != b ? 1 : 0;
+    case Ex::Ult: return a < b ? 1 : 0;
+    case Ex::Slt:
+      return static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b) ? 1
+                                                                         : 0;
+    default: return 0;
+  }
+}
+}  // namespace
+
+ExprPool::ExprPool() {
+  // Node 0: the constant 0 (handy canonical element).
+  Node z;
+  z.op = Ex::Const;
+  z.cval = 0;
+  nodes_.push_back(z);
+}
+
+ExprRef ExprPool::intern(Node n) {
+  std::uint64_t h = static_cast<std::uint64_t>(n.op) * 0x9e3779b97f4a7c15ull;
+  h ^= n.cval + 0x517cc1b727220a95ull * (n.a + 1);
+  h ^= (std::uint64_t(n.b + 1) << 21) ^ (std::uint64_t(n.c + 1) << 42);
+  h ^= n.aux * 0xff51afd7ed558ccdull;
+  auto& bucket = buckets_[h];
+  for (ExprRef r : bucket) {
+    const Node& m = nodes_[r];
+    if (m.op == n.op && m.aux == n.aux && m.a == n.a && m.b == n.b &&
+        m.c == n.c && m.cval == n.cval)
+      return r;
+  }
+  ExprRef r = static_cast<ExprRef>(nodes_.size());
+  // Support computation.
+  if (n.op == Ex::Var) {
+    n.support = 1u << n.aux;
+  } else {
+    n.support = 0;
+    if (n.a != kNoExpr) n.support |= nodes_[n.a].support;
+    if (n.b != kNoExpr) n.support |= nodes_[n.b].support;
+    if (n.c != kNoExpr) n.support |= nodes_[n.c].support;
+  }
+  nodes_.push_back(n);
+  bucket.push_back(r);
+  return r;
+}
+
+ExprRef ExprPool::constant(std::uint64_t v) {
+  if (v == 0) return 0;
+  Node n;
+  n.op = Ex::Const;
+  n.cval = v;
+  return intern(n);
+}
+
+ExprRef ExprPool::var(int byte_index) {
+  Node n;
+  n.op = Ex::Var;
+  n.aux = static_cast<std::uint8_t>(byte_index);
+  return intern(n);
+}
+
+bool ExprPool::is_const(ExprRef r, std::uint64_t* value) const {
+  const Node& n = nodes_[r];
+  if (n.op != Ex::Const) return false;
+  if (value) *value = n.cval;
+  return true;
+}
+
+bool ExprPool::eq_operands(ExprRef r, ExprRef* lhs, ExprRef* rhs) const {
+  const Node& n = nodes_[r];
+  if (n.op != Ex::Eq) return false;
+  *lhs = n.a;
+  *rhs = n.b;
+  return true;
+}
+
+ExprRef ExprPool::bin(Ex op, ExprRef a, ExprRef b) {
+  std::uint64_t ca, cb;
+  bool a_const = is_const(a, &ca), b_const = is_const(b, &cb);
+  if (a_const && b_const) return constant(fold(op, ca, cb));
+  // Identities that keep DSE traces lean.
+  if (b_const) {
+    if (cb == 0 && (op == Ex::Add || op == Ex::Sub || op == Ex::Or ||
+                    op == Ex::Xor || op == Ex::Shl || op == Ex::LShr ||
+                    op == Ex::AShr))
+      return a;
+    if (cb == 0 && op == Ex::And) return constant(0);
+    if (cb == 1 && op == Ex::Mul) return a;
+    if (cb == 0 && op == Ex::Mul) return constant(0);
+  }
+  if (a_const && ca == 0) {
+    if (op == Ex::Add || op == Ex::Or || op == Ex::Xor) return b;
+    if (op == Ex::And || op == Ex::Mul) return constant(0);
+  }
+  if (a == b) {
+    if (op == Ex::Sub || op == Ex::Xor) return constant(0);
+    if (op == Ex::And || op == Ex::Or) return a;
+    if (op == Ex::Eq) return constant(1);
+    if (op == Ex::Ne || op == Ex::Ult || op == Ex::Slt) return constant(0);
+  }
+  Node n;
+  n.op = op;
+  n.a = a;
+  n.b = b;
+  return intern(n);
+}
+
+ExprRef ExprPool::un(Ex op, ExprRef a) {
+  std::uint64_t ca;
+  if (is_const(a, &ca))
+    return constant(op == Ex::Not ? ~ca : 0 - ca);
+  Node n;
+  n.op = op;
+  n.a = a;
+  return intern(n);
+}
+
+ExprRef ExprPool::ite(ExprRef c, ExprRef a, ExprRef b) {
+  std::uint64_t cc;
+  if (is_const(c, &cc)) return cc ? a : b;
+  if (a == b) return a;
+  Node n;
+  n.op = Ex::Ite;
+  n.a = c;
+  n.b = a;
+  n.c = b;
+  return intern(n);
+}
+
+ExprRef ExprPool::ext(Ex op, ExprRef a, int bytes) {
+  if (bytes >= 8) return a;
+  std::uint64_t ca;
+  if (is_const(a, &ca))
+    return constant(op == Ex::SExt ? sext_bytes(ca, bytes)
+                                   : zext_bytes(ca, bytes));
+  Node n;
+  n.op = op;
+  n.a = a;
+  n.aux = static_cast<std::uint8_t>(bytes);
+  return intern(n);
+}
+
+std::uint64_t ExprPool::eval(ExprRef root,
+                             std::span<const std::uint8_t> input) {
+  ++stamp_;
+  memo_val_.resize(nodes_.size());
+  memo_stamp_.resize(nodes_.size(), 0);
+  // Iterative post-order to survive deep DAGs.
+  std::vector<ExprRef> stack{root};
+  while (!stack.empty()) {
+    ExprRef r = stack.back();
+    if (memo_stamp_[r] == stamp_) {
+      stack.pop_back();
+      continue;
+    }
+    const Node& n = nodes_[r];
+    if (n.op == Ex::Const) {
+      memo_val_[r] = n.cval;
+      memo_stamp_[r] = stamp_;
+      stack.pop_back();
+      continue;
+    }
+    if (n.op == Ex::Var) {
+      memo_val_[r] = n.aux < input.size() ? input[n.aux] : 0;
+      memo_stamp_[r] = stamp_;
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (ExprRef k : {n.a, n.b, n.c}) {
+      if (k != kNoExpr && memo_stamp_[k] != stamp_) {
+        stack.push_back(k);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    std::uint64_t va = n.a != kNoExpr ? memo_val_[n.a] : 0;
+    std::uint64_t vb = n.b != kNoExpr ? memo_val_[n.b] : 0;
+    std::uint64_t vc = n.c != kNoExpr ? memo_val_[n.c] : 0;
+    std::uint64_t v = 0;
+    switch (n.op) {
+      case Ex::Not: v = ~va; break;
+      case Ex::Neg: v = 0 - va; break;
+      case Ex::Ite: v = va ? vb : vc; break;
+      case Ex::SExt: v = sext_bytes(va, n.aux); break;
+      case Ex::ZExt: v = zext_bytes(va, n.aux); break;
+      default: v = fold(n.op, va, vb); break;
+    }
+    memo_val_[r] = v;
+    memo_stamp_[r] = stamp_;
+    stack.pop_back();
+  }
+  return memo_val_[root];
+}
+
+std::uint32_t ExprPool::support(ExprRef r) const { return nodes_[r].support; }
+
+std::size_t ExprPool::node_count(ExprRef root) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<ExprRef> stack{root};
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    ExprRef r = stack.back();
+    stack.pop_back();
+    if (seen[r]) continue;
+    seen[r] = true;
+    ++count;
+    const Node& n = nodes_[r];
+    for (ExprRef k : {n.a, n.b, n.c})
+      if (k != kNoExpr) stack.push_back(k);
+  }
+  return count;
+}
+
+ExprPool::Batch::Batch(const ExprPool& pool, std::span<const ExprRef> roots)
+    : pool_(pool), roots_(roots.begin(), roots.end()) {
+  pos_.assign(pool.nodes_.size(), 0);
+  // Iterative DFS producing topological (post) order over the union DAG.
+  std::vector<std::pair<ExprRef, bool>> stack;
+  for (ExprRef r : roots_) stack.push_back({r, false});
+  while (!stack.empty()) {
+    auto [r, expanded] = stack.back();
+    stack.pop_back();
+    if (pos_[r]) continue;
+    const Node& n = pool.nodes_[r];
+    if (expanded) {
+      pos_[r] = static_cast<std::uint32_t>(order_.size()) + 1;
+      order_.push_back(r);
+      continue;
+    }
+    stack.push_back({r, true});
+    for (ExprRef k : {n.a, n.b, n.c})
+      if (k != kNoExpr && !pos_[k]) stack.push_back({k, false});
+  }
+  values_.resize(order_.size());
+  flat_.resize(order_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    const Node& n = pool_.nodes_[order_[i]];
+    Flat f;
+    f.op = n.op;
+    f.aux = n.aux;
+    f.cval = n.cval;
+    f.ia = n.a != kNoExpr ? pos_[n.a] - 1 : static_cast<std::uint32_t>(i);
+    f.ib = n.b != kNoExpr ? pos_[n.b] - 1 : static_cast<std::uint32_t>(i);
+    f.ic = n.c != kNoExpr ? pos_[n.c] - 1 : static_cast<std::uint32_t>(i);
+    flat_[i] = f;
+  }
+}
+
+bool ExprPool::Batch::all_true(std::span<const std::uint8_t> input) {
+  std::uint64_t* vals = values_.data();
+  for (std::size_t i = 0; i < flat_.size(); ++i) {
+    const Flat& n = flat_[i];
+    std::uint64_t va = vals[n.ia];
+    std::uint64_t vb = vals[n.ib];
+    std::uint64_t v;
+    switch (n.op) {
+      case Ex::Const: v = n.cval; break;
+      case Ex::Var: v = n.aux < input.size() ? input[n.aux] : 0; break;
+      case Ex::Add: v = va + vb; break;
+      case Ex::Sub: v = va - vb; break;
+      case Ex::Mul: v = va * vb; break;
+      case Ex::And: v = va & vb; break;
+      case Ex::Or: v = va | vb; break;
+      case Ex::Xor: v = va ^ vb; break;
+      case Ex::Shl: v = va << (vb & 63); break;
+      case Ex::LShr: v = va >> (vb & 63); break;
+      case Ex::AShr:
+        v = static_cast<std::uint64_t>(static_cast<std::int64_t>(va) >>
+                                       (vb & 63));
+        break;
+      case Ex::Eq: v = va == vb; break;
+      case Ex::Ne: v = va != vb; break;
+      case Ex::Ult: v = va < vb; break;
+      case Ex::Slt:
+        v = static_cast<std::int64_t>(va) < static_cast<std::int64_t>(vb);
+        break;
+      case Ex::Not: v = ~va; break;
+      case Ex::Neg: v = 0 - va; break;
+      case Ex::Ite: v = va ? vb : vals[n.ic]; break;
+      case Ex::SExt: v = sext_bytes(va, n.aux); break;
+      case Ex::ZExt: v = zext_bytes(va, n.aux); break;
+      case Ex::UDiv: v = vb ? va / vb : 0; break;
+      case Ex::URem: v = vb ? va % vb : va; break;
+      default: v = 0; break;
+    }
+    vals[i] = v;
+  }
+  for (ExprRef r : roots_)
+    if (vals[pos_[r] - 1] == 0) return false;
+  return true;
+}
+
+std::uint64_t ExprPool::Batch::value_of(ExprRef r) const {
+  return pos_[r] ? values_[pos_[r] - 1] : 0;
+}
+
+std::string ExprPool::to_string(ExprRef r, int max_depth) const {
+  const Node& n = nodes_[r];
+  if (n.op == Ex::Const) return std::to_string(n.cval);
+  if (n.op == Ex::Var) return "in" + std::to_string(n.aux);
+  if (max_depth <= 0) return "...";
+  static const char* names[] = {"const", "var", "+", "-", "*", "/u", "%u",
+                                "&", "|", "^", "<<", ">>u", ">>s", "~",
+                                "neg", "==", "!=", "<u", "<s", "ite",
+                                "sext", "zext"};
+  std::string s = "(";
+  s += names[static_cast<int>(n.op)];
+  for (ExprRef k : {n.a, n.b, n.c})
+    if (k != kNoExpr) s += " " + to_string(k, max_depth - 1);
+  s += ")";
+  return s;
+}
+
+}  // namespace raindrop::solver

@@ -1,0 +1,27 @@
+#include "support/log.hpp"
+
+#include <atomic>
+
+namespace raindrop {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl)); }
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log_msg(LogLevel lvl, const std::string& msg) {
+  std::fprintf(stderr, "[raindrop %s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace raindrop

@@ -1,0 +1,32 @@
+// Minimal leveled logger. Most library code reports errors via return
+// values (Status/expected); logging is for diagnostics of long benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace raindrop {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel lvl);
+LogLevel log_level();
+void log_msg(LogLevel lvl, const std::string& msg);
+
+// printf-style helpers; cheap no-op when below the threshold.
+#define RD_LOGF(lvl, ...)                                        \
+  do {                                                           \
+    if (static_cast<int>(lvl) >=                                 \
+        static_cast<int>(::raindrop::log_level())) {             \
+      char buf_[512];                                            \
+      std::snprintf(buf_, sizeof(buf_), __VA_ARGS__);            \
+      ::raindrop::log_msg(lvl, buf_);                            \
+    }                                                            \
+  } while (0)
+
+#define RD_DEBUG(...) RD_LOGF(::raindrop::LogLevel::kDebug, __VA_ARGS__)
+#define RD_INFO(...) RD_LOGF(::raindrop::LogLevel::kInfo, __VA_ARGS__)
+#define RD_WARN(...) RD_LOGF(::raindrop::LogLevel::kWarn, __VA_ARGS__)
+#define RD_ERROR(...) RD_LOGF(::raindrop::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace raindrop

@@ -1,0 +1,47 @@
+#include "support/rng.hpp"
+
+namespace raindrop {
+
+std::uint64_t Rng::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias; bias is irrelevant for our use
+  // but rejection is cheap and keeps the distribution exactly uniform.
+  std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::chance(std::uint64_t num, std::uint64_t den) {
+  return below(den) < num;
+}
+
+double Rng::unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+std::size_t Rng::weighted(const std::vector<std::uint64_t>& weights) {
+  std::uint64_t total = 0;
+  for (auto w : weights) total += w;
+  std::uint64_t r = below(total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() { return Rng(next() ^ 0xa5a5a5a5deadbeefull); }
+
+}  // namespace raindrop

@@ -1,0 +1,55 @@
+// Deterministic, seedable PRNG used everywhere randomness is needed
+// (gadget diversification, obfuscation-time choices, workload generation).
+// Determinism matters: obfuscated programs and experiment results must be
+// reproducible from a seed, like the paper's Tigress --Seed flag.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace raindrop {
+
+// splitmix64-based generator: tiny, fast, and good enough for
+// obfuscation-time choices (not cryptographic -- neither were the paper's).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  // True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+  double unit();  // [0,1)
+
+  // Pick an index weighted by the given weights (must be non-empty).
+  std::size_t weighted(const std::vector<std::uint64_t>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+  // Derive an independent child generator (for per-function streams).
+  Rng fork();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace raindrop

@@ -1,0 +1,41 @@
+// Wall-clock stopwatch and deadline helpers for attack budgets.
+#pragma once
+
+#include <chrono>
+
+namespace raindrop {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// A budget that attack engines poll. A default-constructed deadline never
+// expires (used by tests that want unbounded runs).
+class Deadline {
+ public:
+  Deadline() : limit_s_(-1.0) {}
+  explicit Deadline(double seconds) : limit_s_(seconds) {}
+  bool expired() const {
+    return limit_s_ >= 0.0 && watch_.seconds() >= limit_s_;
+  }
+  double remaining() const {
+    return limit_s_ < 0.0 ? 1e30 : limit_s_ - watch_.seconds();
+  }
+  double elapsed() const { return watch_.seconds(); }
+
+ private:
+  Stopwatch watch_;
+  double limit_s_;
+};
+
+}  // namespace raindrop

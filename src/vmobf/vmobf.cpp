@@ -1,0 +1,658 @@
+#include "vmobf/vmobf.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace raindrop::vmobf {
+
+using namespace minic;
+
+namespace {
+
+// Semantic opcodes; the *encoded* values are shuffled per instance so no
+// deobfuscation knowledge transfers between programs (§II-A).
+enum Sem : int {
+  PUSHC, DROP, LOADL, STOREL, RET, TRACE, JMP, JZ,
+  ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SHL, SHR_S, SHR_U,
+  EQ, NE, LT_S, LT_U, LE_S, LE_U, GT_S, GT_U, GE_S, GE_U,
+  NEG, NOT, LNOT,
+  CAST_I8, CAST_I16, CAST_I32, CAST_U8, CAST_U16, CAST_U32,
+  kSemBase,  // dynamic opcodes (globals/calls) start here
+};
+
+struct GlobalRef {
+  std::string name;
+  Type elem = Type::I64;
+  bool is_array = false;
+  int load_op = -1, store_op = -1;
+};
+
+struct CallRef {
+  std::string callee;
+  Type ret = Type::I64;
+  int argc = 0;
+  int op = -1;
+};
+
+class VmCompiler {
+ public:
+  VmCompiler(Module& m, Function& fn, const VmConfig& cfg, int instance)
+      : mod_(m), fn_(fn), cfg_(cfg), instance_(instance), rng_(cfg.seed) {}
+
+  bool run();
+
+ private:
+  // ---- bytecode emission ----
+  void emit(int sem) { code_.push_back(static_cast<std::int64_t>(sem)); }
+  void emit2(int sem, std::int64_t operand) {
+    emit(sem);
+    code_.push_back(operand);
+  }
+  std::size_t here() const { return code_.size(); }
+  std::size_t emit_jump_placeholder(int sem) {
+    emit(sem);
+    code_.push_back(0);
+    return code_.size() - 1;
+  }
+  void patch(std::size_t slot, std::int64_t target) { code_[slot] = target; }
+
+  int slot_of(const std::string& name) {
+    auto it = slots_.find(name);
+    if (it == slots_.end()) throw std::runtime_error("vm: unbound " + name);
+    return it->second;
+  }
+
+  int global_load_op(const std::string& name);
+  int global_store_op(const std::string& name);
+  int call_op(const Expr& e);
+
+  void compile_expr(const Expr& e);
+  void compile_block(const std::vector<StmtPtr>& body);
+  void compile_stmt(const Stmt& s);
+
+  // ---- interpreter synthesis ----
+  Function synthesize_interpreter();
+  std::vector<StmtPtr> vpc_assign(ExprPtr target);
+
+  Module& mod_;
+  Function& fn_;
+  VmConfig cfg_;
+  int instance_;
+  Rng rng_;
+  std::vector<std::int64_t> code_;
+  std::map<std::string, int> slots_;
+  std::map<std::string, Type> slot_types_;
+  std::vector<GlobalRef> grefs_;
+  std::vector<CallRef> crefs_;
+  int next_op_ = kSemBase;
+  std::vector<std::size_t> break_fixups_, continue_fixups_;
+  std::vector<std::size_t> break_marks_, continue_marks_;
+  std::string pfx_;
+};
+
+int VmCompiler::global_load_op(const std::string& name) {
+  for (auto& g : grefs_)
+    if (g.name == name) return g.load_op;
+  const Global* g = mod_.global(name);
+  if (!g) throw std::runtime_error("vm: unknown global " + name);
+  GlobalRef r;
+  r.name = name;
+  r.elem = g->elem;
+  r.is_array = g->count > 1;
+  r.load_op = next_op_++;
+  r.store_op = next_op_++;
+  grefs_.push_back(r);
+  return r.load_op;
+}
+
+int VmCompiler::global_store_op(const std::string& name) {
+  global_load_op(name);
+  for (auto& g : grefs_)
+    if (g.name == name) return g.store_op;
+  return -1;
+}
+
+int VmCompiler::call_op(const Expr& e) {
+  for (auto& c : crefs_)
+    if (c.callee == e.name && c.argc == static_cast<int>(e.args.size()))
+      return c.op;
+  CallRef r;
+  r.callee = e.name;
+  r.ret = e.type;
+  r.argc = static_cast<int>(e.args.size());
+  r.op = next_op_++;
+  crefs_.push_back(r);
+  return r.op;
+}
+
+void VmCompiler::compile_expr(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::Int:
+      emit2(PUSHC, e.ival);
+      return;
+    case Expr::Kind::Var:
+      if (slots_.count(e.name)) {
+        emit2(LOADL, slot_of(e.name));
+      } else {
+        emit(global_load_op(e.name));
+      }
+      return;
+    case Expr::Kind::Index:
+      compile_expr(*e.a);
+      emit(global_load_op(e.name));
+      return;
+    case Expr::Kind::Unary:
+      compile_expr(*e.a);
+      emit(e.uop == UnOp::Neg ? NEG : e.uop == UnOp::Not ? NOT : LNOT);
+      return;
+    case Expr::Kind::Binary: {
+      if (e.bop == BinOp::LAnd || e.bop == BinOp::LOr) {
+        // Short-circuit via bytecode jumps.
+        compile_expr(*e.a);
+        std::size_t j1 = emit_jump_placeholder(JZ);
+        if (e.bop == BinOp::LAnd) {
+          compile_expr(*e.b);
+          std::size_t j2 = emit_jump_placeholder(JZ);
+          emit2(PUSHC, 1);
+          std::size_t j3 = emit_jump_placeholder(JMP);
+          patch(j1, static_cast<std::int64_t>(here()));
+          patch(j2, static_cast<std::int64_t>(here()));
+          emit2(PUSHC, 0);
+          patch(j3, static_cast<std::int64_t>(here()));
+        } else {
+          // a == 0 -> evaluate b; else result 1.
+          std::size_t false_path = j1;
+          emit2(PUSHC, 1);
+          std::size_t jend = emit_jump_placeholder(JMP);
+          patch(false_path, static_cast<std::int64_t>(here()));
+          compile_expr(*e.b);
+          std::size_t j2 = emit_jump_placeholder(JZ);
+          emit2(PUSHC, 1);
+          std::size_t j3 = emit_jump_placeholder(JMP);
+          patch(j2, static_cast<std::int64_t>(here()));
+          emit2(PUSHC, 0);
+          patch(j3, static_cast<std::int64_t>(here()));
+          patch(jend, static_cast<std::int64_t>(here()));
+        }
+        return;
+      }
+      compile_expr(*e.a);
+      compile_expr(*e.b);
+      bool sgn = type_signed(e.a->type);
+      switch (e.bop) {
+        case BinOp::Add: emit(ADD); break;
+        case BinOp::Sub: emit(SUB); break;
+        case BinOp::Mul: emit(MUL); break;
+        case BinOp::Div: emit(DIV); break;
+        case BinOp::Rem: emit(REM); break;
+        case BinOp::And: emit(AND); break;
+        case BinOp::Or: emit(OR); break;
+        case BinOp::Xor: emit(XOR); break;
+        case BinOp::Shl: emit(SHL); break;
+        case BinOp::Shr: emit(sgn ? SHR_S : SHR_U); break;
+        case BinOp::Eq: emit(EQ); break;
+        case BinOp::Ne: emit(NE); break;
+        case BinOp::Lt: emit(sgn ? LT_S : LT_U); break;
+        case BinOp::Le: emit(sgn ? LE_S : LE_U); break;
+        case BinOp::Gt: emit(sgn ? GT_S : GT_U); break;
+        case BinOp::Ge: emit(sgn ? GE_S : GE_U); break;
+        default: throw std::runtime_error("vm: bad binop");
+      }
+      return;
+    }
+    case Expr::Kind::Call: {
+      for (const auto& a : e.args) compile_expr(*a);
+      emit(call_op(e));
+      return;
+    }
+    case Expr::Kind::Cast:
+      compile_expr(*e.a);
+      switch (e.type) {
+        case Type::I8: emit(CAST_I8); break;
+        case Type::I16: emit(CAST_I16); break;
+        case Type::I32: emit(CAST_I32); break;
+        case Type::U8: emit(CAST_U8); break;
+        case Type::U16: emit(CAST_U16); break;
+        case Type::U32: emit(CAST_U32); break;
+        default: break;  // 64-bit casts: no-op
+      }
+      return;
+  }
+}
+
+void VmCompiler::compile_block(const std::vector<StmtPtr>& body) {
+  for (const auto& s : body) compile_stmt(*s);
+}
+
+void VmCompiler::compile_stmt(const Stmt& s) {
+  switch (s.kind) {
+    case Stmt::Kind::Decl:
+    case Stmt::Kind::Assign: {
+      if (s.index) {  // array store: push index, value, then store op
+        compile_expr(*s.index);
+        compile_expr(*s.value);
+        emit(global_store_op(s.name));
+        return;
+      }
+      if (s.value)
+        compile_expr(*s.value);
+      else
+        emit2(PUSHC, 0);
+      if (slots_.count(s.name)) {
+        // Coerce to the declared local type (matches interp/codegen).
+        Type t = slot_types_[s.name];
+        switch (t) {
+          case Type::I8: emit(CAST_I8); break;
+          case Type::I16: emit(CAST_I16); break;
+          case Type::I32: emit(CAST_I32); break;
+          case Type::U8: emit(CAST_U8); break;
+          case Type::U16: emit(CAST_U16); break;
+          case Type::U32: emit(CAST_U32); break;
+          default: break;
+        }
+        emit2(STOREL, slot_of(s.name));
+      } else {
+        emit(global_store_op(s.name));  // scalar store (no index pushed)
+      }
+      return;
+    }
+    case Stmt::Kind::ExprSt:
+      if (s.value) {
+        compile_expr(*s.value);
+        emit(DROP);
+      }
+      return;
+    case Stmt::Kind::If: {
+      compile_expr(*s.cond);
+      std::size_t jelse = emit_jump_placeholder(JZ);
+      compile_block(s.then_body);
+      std::size_t jend = emit_jump_placeholder(JMP);
+      patch(jelse, static_cast<std::int64_t>(here()));
+      compile_block(s.else_body);
+      patch(jend, static_cast<std::int64_t>(here()));
+      return;
+    }
+    case Stmt::Kind::While: {
+      std::size_t head = here();
+      compile_expr(*s.cond);
+      std::size_t jend = emit_jump_placeholder(JZ);
+      break_marks_.push_back(break_fixups_.size());
+      continue_marks_.push_back(continue_fixups_.size());
+      compile_block(s.then_body);
+      emit2(JMP, static_cast<std::int64_t>(head));
+      patch(jend, static_cast<std::int64_t>(here()));
+      while (break_fixups_.size() > break_marks_.back()) {
+        patch(break_fixups_.back(), static_cast<std::int64_t>(here()));
+        break_fixups_.pop_back();
+      }
+      while (continue_fixups_.size() > continue_marks_.back()) {
+        patch(continue_fixups_.back(), static_cast<std::int64_t>(head));
+        continue_fixups_.pop_back();
+      }
+      break_marks_.pop_back();
+      continue_marks_.pop_back();
+      return;
+    }
+    case Stmt::Kind::DoWhile: {
+      std::size_t body_start = here();
+      break_marks_.push_back(break_fixups_.size());
+      continue_marks_.push_back(continue_fixups_.size());
+      compile_block(s.then_body);
+      std::size_t cond_at = here();
+      compile_expr(*s.cond);
+      std::size_t jend = emit_jump_placeholder(JZ);
+      emit2(JMP, static_cast<std::int64_t>(body_start));
+      patch(jend, static_cast<std::int64_t>(here()));
+      while (break_fixups_.size() > break_marks_.back()) {
+        patch(break_fixups_.back(), static_cast<std::int64_t>(here()));
+        break_fixups_.pop_back();
+      }
+      while (continue_fixups_.size() > continue_marks_.back()) {
+        patch(continue_fixups_.back(), static_cast<std::int64_t>(cond_at));
+        continue_fixups_.pop_back();
+      }
+      break_marks_.pop_back();
+      continue_marks_.pop_back();
+      return;
+    }
+    case Stmt::Kind::Switch: {
+      // Selector into a dedicated temp slot, then a compare chain with
+      // fallthrough-ordered bodies (default placed last, like codegen).
+      compile_expr(*s.cond);
+      int tmp = slots_["__vm_switch_tmp"];
+      emit2(STOREL, tmp);
+      std::vector<std::size_t> body_jumps;
+      for (const auto& cse : s.cases) {
+        emit2(LOADL, tmp);
+        emit2(PUSHC, cse.value);
+        emit(EQ);
+        std::size_t skip = emit_jump_placeholder(JZ);
+        body_jumps.push_back(emit_jump_placeholder(JMP));
+        patch(skip, static_cast<std::int64_t>(here()));
+      }
+      std::size_t jdefault = emit_jump_placeholder(JMP);
+      break_marks_.push_back(break_fixups_.size());
+      for (std::size_t i = 0; i < s.cases.size(); ++i) {
+        patch(body_jumps[i], static_cast<std::int64_t>(here()));
+        compile_block(s.cases[i].body);
+      }
+      patch(jdefault, static_cast<std::int64_t>(here()));
+      compile_block(s.default_body);
+      while (break_fixups_.size() > break_marks_.back()) {
+        patch(break_fixups_.back(), static_cast<std::int64_t>(here()));
+        break_fixups_.pop_back();
+      }
+      break_marks_.pop_back();
+      return;
+    }
+    case Stmt::Kind::Return:
+      if (s.value)
+        compile_expr(*s.value);
+      else
+        emit2(PUSHC, 0);
+      emit(RET);
+      return;
+    case Stmt::Kind::Break:
+      break_fixups_.push_back(emit_jump_placeholder(JMP));
+      return;
+    case Stmt::Kind::Continue:
+      continue_fixups_.push_back(emit_jump_placeholder(JMP));
+      return;
+    case Stmt::Kind::Trace:
+      emit2(TRACE, s.ival);
+      return;
+    case Stmt::Kind::RawAsm:
+      throw std::runtime_error("vm: raw asm body");
+  }
+}
+
+std::vector<StmtPtr> VmCompiler::vpc_assign(ExprPtr target) {
+  std::vector<StmtPtr> out;
+  if (!cfg_.implicit_vpc) {
+    out.push_back(s_assign("vpc", std::move(target)));
+    return out;
+  }
+  // Implicit VPC load (VirtualizeImplicitFlowPC analog): copy the target
+  // into vpc bit by bit through control dependencies. Taint dies here,
+  // and a symbolic target forks DSE 16 ways per dispatch.
+  out.push_back(s_assign("vt", std::move(target)));
+  out.push_back(s_assign("vpc", e_int(0)));
+  out.push_back(s_decl(Type::I64, "vb", e_int(0)));
+  out.push_back(s_while(
+      e_bin(BinOp::Lt, e_var("vb"), e_int(16)),
+      {s_if(e_bin(BinOp::And,
+                  e_bin(BinOp::Shr, e_var("vt"), e_var("vb")), e_int(1)),
+            {s_assign("vpc",
+                      e_bin(BinOp::Or, e_var("vpc"),
+                            e_bin(BinOp::Shl, e_int(1), e_var("vb"))))}),
+       s_assign("vb", e_bin(BinOp::Add, e_var("vb"), e_int(1)))}));
+  return out;
+}
+
+Function VmCompiler::synthesize_interpreter() {
+  const std::string code_g = pfx_ + "_code";
+  const std::string stack_g = pfx_ + "_stk";
+  const std::string locals_g = pfx_ + "_loc";
+
+  auto CODE = [&](ExprPtr idx) { return e_index(code_g, std::move(idx), Type::I64); };
+  auto STK = [&](ExprPtr idx) { return e_index(stack_g, std::move(idx), Type::I64); };
+  auto sp = [&] { return e_var("sp"); };
+  auto vpc = [&] { return e_var("vpc"); };
+  auto plus = [](ExprPtr a, ExprPtr b) { return e_bin(BinOp::Add, a, b); };
+  auto minus = [](ExprPtr a, ExprPtr b) { return e_bin(BinOp::Sub, a, b); };
+
+  // Opcode value shuffle.
+  int n_ops = next_op_;
+  std::vector<int> enc(n_ops);
+  for (int i = 0; i < n_ops; ++i) enc[i] = i;
+  rng_.shuffle(enc);
+
+  // Handlers as switch cases over the *encoded* opcode.
+  std::vector<SwitchCase> cases;
+  auto handler = [&](int sem, std::vector<StmtPtr> body) {
+    body.push_back(s_break());
+    cases.push_back(SwitchCase{enc[sem], std::move(body)});
+  };
+  auto advance = [&](int k) {
+    return s_assign("vpc", plus(vpc(), e_int(k)));
+  };
+  auto binop_handler = [&](int sem, ExprPtr value) {
+    handler(sem,
+            {s_assign_index(stack_g, minus(sp(), e_int(2)), std::move(value)),
+             s_assign("sp", minus(sp(), e_int(1))), advance(1)});
+  };
+  auto top2a = [&] { return STK(minus(sp(), e_int(2))); };
+  auto top2b = [&] { return STK(minus(sp(), e_int(1))); };
+  auto u = [](ExprPtr e) { return e_cast(Type::U64, std::move(e)); };
+
+  handler(PUSHC, {s_assign_index(stack_g, sp(), CODE(plus(vpc(), e_int(1)))),
+                  s_assign("sp", plus(sp(), e_int(1))), advance(2)});
+  handler(DROP, {s_assign("sp", minus(sp(), e_int(1))), advance(1)});
+  handler(LOADL,
+          {s_assign_index(stack_g, sp(),
+                          e_index(locals_g, CODE(plus(vpc(), e_int(1))),
+                                  Type::I64)),
+           s_assign("sp", plus(sp(), e_int(1))), advance(2)});
+  handler(STOREL,
+          {s_assign_index(locals_g, CODE(plus(vpc(), e_int(1))),
+                          STK(minus(sp(), e_int(1)))),
+           s_assign("sp", minus(sp(), e_int(1))), advance(2)});
+  handler(RET, {s_return(STK(minus(sp(), e_int(1))))});
+  // TRACE: probe id is an immediate; Trace stmt ids must be constants, so
+  // the interpreter materialises them via a chain of ifs over known ids.
+  {
+    std::set<std::int64_t> ids;
+    for (std::size_t i = 0; i + 1 < code_.size(); ++i)
+      if (code_[i] == TRACE) ids.insert(code_[i + 1]);
+    // Re-scan properly below once opcodes are encoded; here we use the
+    // raw semantic stream (code_ still holds semantic opcodes).
+    std::vector<StmtPtr> body;
+    for (std::int64_t id : ids) {
+      body.push_back(s_if(
+          e_bin(BinOp::Eq, CODE(plus(vpc(), e_int(1))), e_int(id)),
+          {s_trace(id)}));
+    }
+    body.push_back(advance(2));
+    handler(TRACE, std::move(body));
+  }
+  {
+    std::vector<StmtPtr> body;
+    auto va = vpc_assign(CODE(plus(vpc(), e_int(1))));
+    for (auto& st : va) body.push_back(st);
+    handler(JMP, std::move(body));
+  }
+  {
+    std::vector<StmtPtr> taken;
+    auto va = vpc_assign(CODE(plus(vpc(), e_int(1))));
+    for (auto& st : va) taken.push_back(st);
+    std::vector<StmtPtr> body;
+    body.push_back(s_assign("sp", minus(sp(), e_int(1))));
+    body.push_back(s_if(e_bin(BinOp::Eq, STK(sp()), e_int(0)), taken,
+                        {advance(2)}));
+    handler(JZ, std::move(body));
+  }
+  binop_handler(ADD, plus(top2a(), top2b()));
+  binop_handler(SUB, minus(top2a(), top2b()));
+  binop_handler(MUL, e_bin(BinOp::Mul, top2a(), top2b()));
+  binop_handler(DIV, e_bin(BinOp::Div, u(top2a()), u(top2b())));
+  binop_handler(REM, e_bin(BinOp::Rem, u(top2a()), u(top2b())));
+  binop_handler(AND, e_bin(BinOp::And, top2a(), top2b()));
+  binop_handler(OR, e_bin(BinOp::Or, top2a(), top2b()));
+  binop_handler(XOR, e_bin(BinOp::Xor, top2a(), top2b()));
+  binop_handler(SHL, e_bin(BinOp::Shl, top2a(), top2b()));
+  binop_handler(SHR_S, e_bin(BinOp::Shr, top2a(), top2b()));
+  binop_handler(SHR_U, e_bin(BinOp::Shr, u(top2a()), top2b()));
+  binop_handler(EQ, e_bin(BinOp::Eq, top2a(), top2b()));
+  binop_handler(NE, e_bin(BinOp::Ne, top2a(), top2b()));
+  binop_handler(LT_S, e_bin(BinOp::Lt, top2a(), top2b()));
+  binop_handler(LT_U, e_bin(BinOp::Lt, u(top2a()), u(top2b())));
+  binop_handler(LE_S, e_bin(BinOp::Le, top2a(), top2b()));
+  binop_handler(LE_U, e_bin(BinOp::Le, u(top2a()), u(top2b())));
+  binop_handler(GT_S, e_bin(BinOp::Gt, top2a(), top2b()));
+  binop_handler(GT_U, e_bin(BinOp::Gt, u(top2a()), u(top2b())));
+  binop_handler(GE_S, e_bin(BinOp::Ge, top2a(), top2b()));
+  binop_handler(GE_U, e_bin(BinOp::Ge, u(top2a()), u(top2b())));
+  auto un_handler = [&](int sem, ExprPtr value) {
+    handler(sem,
+            {s_assign_index(stack_g, minus(sp(), e_int(1)), std::move(value)),
+             advance(1)});
+  };
+  un_handler(NEG, e_un(UnOp::Neg, top2b()));
+  un_handler(NOT, e_un(UnOp::Not, top2b()));
+  un_handler(LNOT, e_un(UnOp::LNot, top2b()));
+  un_handler(CAST_I8, e_cast(Type::I8, top2b()));
+  un_handler(CAST_I16, e_cast(Type::I16, top2b()));
+  un_handler(CAST_I32, e_cast(Type::I32, top2b()));
+  un_handler(CAST_U8, e_cast(Type::U8, top2b()));
+  un_handler(CAST_U16, e_cast(Type::U16, top2b()));
+  un_handler(CAST_U32, e_cast(Type::U32, top2b()));
+
+  for (const auto& g : grefs_) {
+    if (g.is_array) {
+      handler(g.load_op,
+              {s_assign_index(
+                   stack_g, minus(sp(), e_int(1)),
+                   e_index(g.name, STK(minus(sp(), e_int(1))), g.elem)),
+               advance(1)});
+      handler(g.store_op,
+              {s_assign_index(g.name, STK(minus(sp(), e_int(2))),
+                              STK(minus(sp(), e_int(1)))),
+               s_assign("sp", minus(sp(), e_int(2))), advance(1)});
+    } else {
+      handler(g.load_op,
+              {s_assign_index(stack_g, sp(), e_var(g.name, g.elem)),
+               s_assign("sp", plus(sp(), e_int(1))), advance(1)});
+      handler(g.store_op, {s_assign(g.name, STK(minus(sp(), e_int(1)))),
+                           s_assign("sp", minus(sp(), e_int(1))),
+                           advance(1)});
+    }
+  }
+  for (const auto& c : crefs_) {
+    std::vector<ExprPtr> args;
+    for (int i = 0; i < c.argc; ++i)
+      args.push_back(STK(minus(sp(), e_int(c.argc - i))));
+    handler(c.op,
+            {s_assign_index(stack_g, minus(sp(), e_int(c.argc)),
+                            e_call(c.callee, args, c.ret)),
+             s_assign("sp", minus(sp(), e_int(c.argc - 1))), advance(1)});
+  }
+
+  // Encode the bytecode stream with the shuffled opcode values.
+  std::vector<std::int64_t> encoded;
+  for (std::size_t i = 0; i < code_.size();) {
+    int sem = static_cast<int>(code_[i]);
+    encoded.push_back(enc[sem]);
+    ++i;
+    bool has_operand = sem == PUSHC || sem == LOADL || sem == STOREL ||
+                       sem == TRACE || sem == JMP || sem == JZ;
+    if (has_operand) {
+      encoded.push_back(code_[i]);
+      ++i;
+    }
+  }
+  // Jump targets reference *semantic* stream offsets; both streams have
+  // identical layout (1:1 cell mapping), so targets stay valid.
+
+  mod_.globals.push_back(
+      Global{code_g, Type::I64, std::max<std::size_t>(encoded.size(), 1),
+             encoded, true});
+  mod_.globals.push_back(Global{stack_g, Type::I64, 128, {}, false});
+  mod_.globals.push_back(Global{locals_g, Type::I64, 48, {}, false});
+
+  // The interpreter function replaces the original body.
+  Function interp;
+  interp.name = fn_.name;
+  interp.ret = fn_.ret;
+  interp.params = fn_.params;
+  for (std::size_t i = 0; i < fn_.params.size(); ++i) {
+    interp.body.push_back(s_assign_index(
+        locals_g, e_int(static_cast<std::int64_t>(slot_of(
+                      fn_.params[i].name))),
+        e_var(fn_.params[i].name, fn_.params[i].type)));
+  }
+  interp.body.push_back(s_decl(Type::I64, "vpc", e_int(0)));
+  interp.body.push_back(s_decl(Type::I64, "sp", e_int(0)));
+  interp.body.push_back(s_decl(Type::I64, "op", e_int(0)));
+  if (cfg_.implicit_vpc)
+    interp.body.push_back(s_decl(Type::I64, "vt", e_int(0)));
+  interp.body.push_back(s_while(
+      e_int(1),
+      {s_assign("op", e_index(code_g, e_var("vpc"), Type::I64)),
+       s_switch(e_var("op"), cases, {s_return(e_int(-1))})}));
+  interp.body.push_back(s_return(e_int(0)));
+  return interp;
+}
+
+bool VmCompiler::run() {
+  if (fn_.params.size() > 6) return false;
+  pfx_ = fn_.name + "_vm" + std::to_string(instance_);
+
+  // Local slot assignment: params first, then declared locals (walked
+  // like codegen's collect_locals), plus the switch temp.
+  int next_slot = 0;
+  for (const auto& p : fn_.params) {
+    slots_[p.name] = next_slot++;
+    slot_types_[p.name] = p.type;
+  }
+  std::vector<const std::vector<StmtPtr>*> work{&fn_.body};
+  while (!work.empty()) {
+    const auto* body = work.back();
+    work.pop_back();
+    for (const auto& sp : *body) {
+      const Stmt& s = *sp;
+      if (s.kind == Stmt::Kind::RawAsm) return false;
+      if (s.kind == Stmt::Kind::Decl && !slots_.count(s.name)) {
+        slots_[s.name] = next_slot++;
+        slot_types_[s.name] = s.type;
+      }
+      work.push_back(&s.then_body);
+      work.push_back(&s.else_body);
+      work.push_back(&s.default_body);
+      for (const auto& c : s.cases) work.push_back(&c.body);
+    }
+  }
+  slots_["__vm_switch_tmp"] = next_slot++;
+  if (next_slot > 48) return false;
+
+  try {
+    compile_block(fn_.body);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  emit2(PUSHC, 0);
+  emit(RET);  // implicit return 0
+  if (code_.size() > 60000) return false;  // implicit VPC copies 16 bits
+
+  Function interp = synthesize_interpreter();
+  fn_ = std::move(interp);
+  return true;
+}
+
+}  // namespace
+
+bool virtualize(Module& m, const std::string& fn, const VmConfig& cfg) {
+  Function* f = m.function(fn);
+  if (!f) return false;
+  static int instance_counter = 0;
+  VmCompiler vc(m, *f, cfg, instance_counter++);
+  return vc.run();
+}
+
+bool virtualize_layers(Module& m, const std::string& fn, int layers,
+                       ImpWhere imp, std::uint64_t seed) {
+  for (int layer = 1; layer <= layers; ++layer) {
+    VmConfig cfg;
+    cfg.seed = seed * 97 + static_cast<std::uint64_t>(layer);
+    cfg.implicit_vpc = imp == ImpWhere::All ||
+                       (imp == ImpWhere::First && layer == 1) ||
+                       (imp == ImpWhere::Last && layer == layers);
+    if (!virtualize(m, fn, cfg)) return false;
+  }
+  return true;
+}
+
+}  // namespace raindrop::vmobf

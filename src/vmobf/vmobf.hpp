@@ -1,0 +1,39 @@
+// Virtualization obfuscation baseline (§II-A, Table I): the Tigress
+// stand-in the paper compares against. Source-to-source on MiniC:
+// replaces a function body with a randomly-encoded stack bytecode plus a
+// synthesized interpreter. Nesting virtualizes the interpreter itself
+// (2VM, 3VM); the implicit-VPC option rewrites every virtual program
+// counter load as a bit-copy loop, creating implicit flows that defeat
+// taint tracking and flood DSE with redundant states once the VPC turns
+// symbolic (§VII intro).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "minic/ast.hpp"
+
+namespace raindrop::vmobf {
+
+struct VmConfig {
+  std::uint64_t seed = 1;
+  bool implicit_vpc = false;  // Tigress VirtualizeImplicitFlowPC=PCUpdate
+};
+
+// Virtualizes `fn` in place. Returns false when the function cannot be
+// virtualized (raw asm bodies, >6 params). Adds the bytecode, operand
+// stack and locals pool as module globals (the interpreter is
+// non-reentrant, like a single bytecode arena; recursive functions must
+// not be virtualized).
+bool virtualize(minic::Module& m, const std::string& fn,
+                const VmConfig& cfg);
+
+enum class ImpWhere { None, First, Last, All };
+
+// Applies `layers` nested virtualization passes (nVM). `imp` selects
+// which layer(s) use implicit VPC loads (Table I's nVM-IMPx naming:
+// first = innermost layer, last = outermost).
+bool virtualize_layers(minic::Module& m, const std::string& fn, int layers,
+                       ImpWhere imp, std::uint64_t seed = 1);
+
+}  // namespace raindrop::vmobf

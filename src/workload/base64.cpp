@@ -1,0 +1,117 @@
+#include "workload/base64.hpp"
+
+#include "support/rng.hpp"
+
+namespace raindrop::workload {
+
+using namespace minic;
+
+namespace {
+const char* kAlphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+ExprPtr v(const char* n) { return e_var(n); }
+ExprPtr c(std::int64_t x) { return e_int(x); }
+}  // namespace
+
+Base64Workload make_base64(std::uint64_t secret_seed) {
+  Base64Workload w;
+  Rng rng(secret_seed * 0x9e37ull + 5);
+  w.secret = rng.next() & 0xffffffffffffull;  // 6 bytes
+
+  // Reference encoding of the secret (oracle computed host-side).
+  std::uint8_t in[6];
+  for (int i = 0; i < 6; ++i) in[i] = (w.secret >> (8 * i)) & 0xff;
+  std::uint8_t out[8];
+  for (int g = 0; g < 2; ++g) {
+    std::uint32_t trip = (std::uint32_t(in[g * 3]) << 16) |
+                         (std::uint32_t(in[g * 3 + 1]) << 8) |
+                         std::uint32_t(in[g * 3 + 2]);
+    for (int k = 0; k < 4; ++k)
+      out[g * 4 + k] =
+          static_cast<std::uint8_t>(kAlphabet[(trip >> (18 - 6 * k)) & 63]);
+  }
+
+  Module& m = w.module;
+  std::vector<std::int64_t> tab;
+  for (int i = 0; i < 64; ++i) tab.push_back(kAlphabet[i]);
+  m.globals.push_back(Global{"b64tab", Type::U8, 64, tab, true});
+  std::vector<std::int64_t> target(out, out + 8);
+  m.globals.push_back(Global{"target", Type::U8, 8, target, true});
+  m.globals.push_back(Global{"outbuf", Type::U8, 8, {}, false});
+
+  // b64_encode(x): unpack 6 bytes, emit 8 symbols into outbuf.
+  std::vector<StmtPtr> enc;
+  enc.push_back(s_decl(Type::I64, "g", c(0)));
+  {
+    std::vector<StmtPtr> loop_body;
+    loop_body.push_back(s_decl(
+        Type::I64, "b0",
+        e_bin(BinOp::And,
+              e_bin(BinOp::Shr, e_cast(Type::U64, v("x")),
+                    e_bin(BinOp::Mul, v("g"), c(24))),
+              c(0xff))));
+    loop_body.push_back(s_decl(
+        Type::I64, "b1",
+        e_bin(BinOp::And,
+              e_bin(BinOp::Shr, e_cast(Type::U64, v("x")),
+                    e_bin(BinOp::Add, e_bin(BinOp::Mul, v("g"), c(24)),
+                          c(8))),
+              c(0xff))));
+    loop_body.push_back(s_decl(
+        Type::I64, "b2",
+        e_bin(BinOp::And,
+              e_bin(BinOp::Shr, e_cast(Type::U64, v("x")),
+                    e_bin(BinOp::Add, e_bin(BinOp::Mul, v("g"), c(24)),
+                          c(16))),
+              c(0xff))));
+    loop_body.push_back(s_decl(
+        Type::I64, "trip",
+        e_bin(BinOp::Or,
+              e_bin(BinOp::Or, e_bin(BinOp::Shl, v("b0"), c(16)),
+                    e_bin(BinOp::Shl, v("b1"), c(8))),
+              v("b2"))));
+    for (int k = 0; k < 4; ++k) {
+      loop_body.push_back(s_assign_index(
+          "outbuf",
+          e_bin(BinOp::Add, e_bin(BinOp::Mul, v("g"), c(4)), c(k)),
+          e_index("b64tab",
+                  e_bin(BinOp::And,
+                        e_bin(BinOp::Shr, v("trip"), c(18 - 6 * k)),
+                        c(63)),
+                  Type::U8)));
+    }
+    loop_body.push_back(s_assign("g", e_bin(BinOp::Add, v("g"), c(1))));
+    enc.push_back(s_while(e_bin(BinOp::Lt, v("g"), c(2)), loop_body));
+  }
+  enc.push_back(s_return(c(0)));
+  m.functions.push_back(
+      Function{"b64_encode", Type::I64, {{"x", Type::U64}}, enc});
+
+  // b64_check(x): encode then compare to the baked-in target.
+  m.functions.push_back(Function{
+      "b64_check", Type::I64, {{"x", Type::U64}},
+      {s_expr(e_call("b64_encode", {e_var("x", Type::U64)}, Type::I64)),
+       s_decl(Type::I64, "i", c(0)),
+       s_while(e_bin(BinOp::Lt, v("i"), c(8)),
+               {s_if(e_bin(BinOp::Ne, e_index("outbuf", v("i"), Type::U8),
+                           e_index("target", v("i"), Type::U8)),
+                     {s_return(c(0))}),
+                s_assign("i", e_bin(BinOp::Add, v("i"), c(1)))}),
+       s_return(c(1))}});
+
+  // b64_hash(x): checksum over the encoded symbols (timing workload).
+  m.functions.push_back(Function{
+      "b64_hash", Type::I64, {{"x", Type::U64}},
+      {s_expr(e_call("b64_encode", {e_var("x", Type::U64)}, Type::I64)),
+       s_decl(Type::I64, "h", c(0)), s_decl(Type::I64, "i", c(0)),
+       s_while(e_bin(BinOp::Lt, v("i"), c(8)),
+               {s_assign("h", e_bin(BinOp::Add,
+                                    e_bin(BinOp::Mul, v("h"), c(131)),
+                                    e_index("outbuf", v("i"), Type::U8))),
+                s_assign("i", e_bin(BinOp::Add, v("i"), c(1)))}),
+       s_return(v("h"))}});
+  return w;
+}
+
+}  // namespace raindrop::workload

@@ -1,0 +1,27 @@
+// base64 reference implementation (§VII-C3 case study): byte
+// manipulations and table lookups, the workload where DSE needs a
+// theory-of-arrays memory model to invert input-dependent pointers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "minic/ast.hpp"
+
+namespace raindrop::workload {
+
+struct Base64Workload {
+  minic::Module module;
+  // b64_check(x): unpacks 6 input bytes from x, encodes them, compares
+  // against the baked-in target encoding; returns 1 on match (G1 point
+  // test: "recover a 6-byte input").
+  std::string check_fn = "b64_check";
+  // b64_hash(x): encodes and returns a checksum over the 8 output
+  // symbols (used for timing runs).
+  std::string hash_fn = "b64_hash";
+  std::uint64_t secret = 0;  // the winning 6-byte input (ground truth)
+};
+
+Base64Workload make_base64(std::uint64_t secret_seed = 1);
+
+}  // namespace raindrop::workload

@@ -1,0 +1,467 @@
+#include "workload/clbg.hpp"
+
+namespace raindrop::workload {
+
+using namespace minic;
+
+namespace {
+
+ExprPtr v(const char* n, Type t = Type::I64) { return e_var(n, t); }
+ExprPtr c(std::int64_t x) { return e_int(x); }
+ExprPtr add(ExprPtr a, ExprPtr b) { return e_bin(BinOp::Add, a, b); }
+ExprPtr sub(ExprPtr a, ExprPtr b) { return e_bin(BinOp::Sub, a, b); }
+ExprPtr mul(ExprPtr a, ExprPtr b) { return e_bin(BinOp::Mul, a, b); }
+ExprPtr band(ExprPtr a, ExprPtr b) { return e_bin(BinOp::And, a, b); }
+ExprPtr bxor(ExprPtr a, ExprPtr b) { return e_bin(BinOp::Xor, a, b); }
+ExprPtr shl(ExprPtr a, ExprPtr b) { return e_bin(BinOp::Shl, a, b); }
+ExprPtr shr(ExprPtr a, ExprPtr b) { return e_bin(BinOp::Shr, a, b); }
+ExprPtr lt(ExprPtr a, ExprPtr b) { return e_bin(BinOp::Lt, a, b); }
+ExprPtr udiv(ExprPtr a, ExprPtr b) {
+  return e_bin(BinOp::Div, e_cast(Type::U64, a), e_cast(Type::U64, b));
+}
+ExprPtr urem(ExprPtr a, ExprPtr b) {
+  return e_bin(BinOp::Rem, e_cast(Type::U64, a), e_cast(Type::U64, b));
+}
+StmtPtr inc(const char* n) { return s_assign(n, add(v(n), c(1))); }
+
+// for (name = 0; name < bound; ++name) { body }
+StmtPtr loop(const char* name, ExprPtr bound, std::vector<StmtPtr> body) {
+  body.push_back(inc(name));
+  return s_while(lt(v(name), std::move(bound)), std::move(body));
+}
+
+// b-trees: arena-allocated binary trees with repeated build/check/free
+// cycles. The node allocator is a separate function, so the kernel pays
+// the ROP<->native pivot on every allocation like the paper's b-trees
+// paying malloc/free round trips (§VII-C2).
+ClbgBench make_b_trees() {
+  ClbgBench b;
+  b.name = "b-trees";
+  b.arg = 6;  // max depth
+  Module& m = b.module;
+  m.globals.push_back(Global{"arena", Type::I64, 3 * 4096, {}, false});
+  m.globals.push_back(Global{"arena_top", Type::I64, 1, {0}, false});
+  // node_alloc(l, r) -> index of node {left, right} in the arena
+  m.functions.push_back(Function{
+      "node_alloc", Type::I64, {{"l", Type::I64}, {"r", Type::I64}},
+      {s_decl(Type::I64, "idx", v("arena_top")),
+       s_assign_index("arena", v("idx"), v("l")),
+       s_assign_index("arena", add(v("idx"), c(1)), v("r")),
+       s_assign("arena_top", add(v("arena_top"), c(2))),
+       s_return(v("idx"))}});
+  // build(depth): bottom-up iterative construction of a perfect tree.
+  m.functions.push_back(Function{
+      "build", Type::I64, {{"depth", Type::I64}},
+      {s_decl(Type::I64, "n", v("depth")),
+       s_decl(Type::I64, "node", c(-1)),
+       s_decl(Type::I64, "d", c(0)),
+       // Build a degenerate-but-deep structure: node = alloc(node, node).
+       loop("d", v("n"),
+            {s_assign("node", e_call("node_alloc", {v("node"), v("node")},
+                                     Type::I64))}),
+       s_return(v("node"))}});
+  // check(node): iterative walk (left spine) accumulating indices.
+  m.functions.push_back(Function{
+      "check", Type::I64, {{"node", Type::I64}},
+      {s_decl(Type::I64, "sum", c(0)), s_decl(Type::I64, "cur", v("node")),
+       s_while(e_bin(BinOp::Ge, v("cur"), c(0)),
+               {s_assign("sum", add(v("sum"), add(v("cur"), c(1)))),
+                s_assign("cur", e_index("arena", v("cur"), Type::I64))}),
+       s_return(v("sum"))}});
+  m.functions.push_back(Function{
+      "main", Type::I64, {{"n", Type::I64}},
+      {s_decl(Type::I64, "chk", c(0)), s_decl(Type::I64, "iter", c(0)),
+       loop("iter", c(24),
+            {s_assign("arena_top", c(0)),
+             s_decl(Type::I64, "t",
+                    e_call("build",
+                           {add(urem(v("iter"), v("n")), c(2))},
+                           Type::I64)),
+             s_assign("chk",
+                      add(v("chk"), e_call("check", {v("t")}, Type::I64)))}),
+       s_return(v("chk"))}});
+  b.obfuscate = {"node_alloc", "build", "check", "main"};
+  return b;
+}
+
+// fannkuch: pancake-flipping permutations over n elements.
+ClbgBench make_fannkuch() {
+  ClbgBench b;
+  b.name = "fannkuch";
+  b.arg = 6;
+  Module& m = b.module;
+  m.globals.push_back(Global{"perm", Type::I64, 16, {}, false});
+  m.globals.push_back(Global{"count", Type::I64, 16, {}, false});
+  m.functions.push_back(Function{
+      "flips", Type::I64, {},
+      {s_decl(Type::I64, "f", c(0)), s_decl(Type::I64, "k",
+                                            e_index("perm", c(0), Type::I64)),
+       s_while(e_bin(BinOp::Gt, v("k"), c(0)),
+               {// reverse perm[0..k]
+                s_decl(Type::I64, "i", c(0)),
+                s_decl(Type::I64, "j", v("k")),
+                s_while(lt(v("i"), v("j")),
+                        {s_decl(Type::I64, "t",
+                                e_index("perm", v("i"), Type::I64)),
+                         s_assign_index("perm", v("i"),
+                                        e_index("perm", v("j"), Type::I64)),
+                         s_assign_index("perm", v("j"), v("t")), inc("i"),
+                         s_assign("j", sub(v("j"), c(1)))}),
+                s_assign("f", add(v("f"), c(1))),
+                s_assign("k", e_index("perm", c(0), Type::I64))}),
+       s_return(v("f"))}});
+  m.functions.push_back(Function{
+      "main", Type::I64, {{"n", Type::I64}},
+      {s_decl(Type::I64, "i", c(0)),
+       loop("i", v("n"), {s_assign_index("perm", v("i"), v("i")),
+                          s_assign_index("count", v("i"), add(v("i"), c(1)))}),
+       s_decl(Type::I64, "checksum", c(0)),
+       s_decl(Type::I64, "steps", c(0)),
+       s_decl(Type::I64, "r", v("n")),
+       s_while(lt(v("steps"), c(150)),
+               {s_assign("checksum",
+                         add(v("checksum"), e_call("flips", {}, Type::I64))),
+                // next permutation (simplified rotation scheme)
+                s_decl(Type::I64, "first",
+                       e_index("perm", c(0), Type::I64)),
+                s_decl(Type::I64, "q", c(0)),
+                s_while(lt(v("q"), sub(v("r"), c(1))),
+                        {s_assign_index(
+                             "perm", v("q"),
+                             e_index("perm", add(v("q"), c(1)), Type::I64)),
+                         inc("q")}),
+                s_assign_index("perm", sub(v("r"), c(1)), v("first")),
+                inc("steps")}),
+       s_return(v("checksum"))}});
+  b.obfuscate = {"flips", "main"};
+  return b;
+}
+
+// fasta: pseudo-random sequence generation with an LCG.
+ClbgBench make_fasta(bool redux) {
+  ClbgBench b;
+  b.name = redux ? "fasta-redux" : "fasta";
+  b.arg = 1500;
+  Module& m = b.module;
+  std::vector<std::int64_t> lut;
+  for (int i = 0; i < 16; ++i) lut.push_back("ACGTacgtNRYKMSWB"[i]);
+  m.globals.push_back(Global{"codes", Type::U8, 16, lut, true});
+  m.globals.push_back(Global{"seed", Type::I64, 1, {42}, false});
+  m.functions.push_back(Function{
+      "lcg", Type::I64, {},
+      {s_assign("seed",
+                urem(add(mul(v("seed"), c(3877)), c(29573)), c(139968))),
+       s_return(v("seed"))}});
+  std::vector<StmtPtr> body;
+  body.push_back(s_decl(Type::I64, "sum", c(0)));
+  body.push_back(s_decl(Type::I64, "i", c(0)));
+  if (redux) {
+    // redux: table lookup per symbol
+    body.push_back(loop(
+        "i", v("n"),
+        {s_decl(Type::I64, "r", e_call("lcg", {}, Type::I64)),
+         s_assign("sum",
+                  add(v("sum"),
+                      e_index("codes", band(v("r"), c(15)), Type::U8)))}));
+  } else {
+    body.push_back(loop(
+        "i", v("n"),
+        {s_decl(Type::I64, "r", e_call("lcg", {}, Type::I64)),
+         s_assign("sum", bxor(v("sum"),
+                              add(shl(v("sum"), c(3)), v("r"))))}));
+  }
+  body.push_back(s_return(v("sum")));
+  m.functions.push_back(Function{"main", Type::I64, {{"n", Type::I64}}, body});
+  b.obfuscate = {"lcg", "main"};
+  return b;
+}
+
+// mandelbrot: fixed-point (8.24) escape iterations over a small grid.
+ClbgBench make_mandelbrot() {
+  ClbgBench b;
+  b.name = "mandelbrot";
+  b.arg = 20;  // grid side
+  Module& m = b.module;
+  m.functions.push_back(Function{
+      "main", Type::I64, {{"n", Type::I64}},
+      {s_decl(Type::I64, "bits", c(0)), s_decl(Type::I64, "y", c(0)),
+       loop("y", v("n"),
+            {s_decl(Type::I64, "x", c(0)),
+             loop("x", v("n"),
+                  {// c = (cr, ci) in 8.24 fixed point, region [-2, 0.5]
+                   s_decl(Type::I64, "cr",
+                          sub(udiv(mul(v("x"), c(41943040)), v("n")),
+                              c(33554432))),
+                   s_decl(Type::I64, "ci",
+                          sub(udiv(mul(v("y"), c(33554432)), v("n")),
+                              c(16777216))),
+                   s_decl(Type::I64, "zr", c(0)), s_decl(Type::I64, "zi", c(0)),
+                   s_decl(Type::I64, "it", c(0)), s_decl(Type::I64, "esc", c(0)),
+                   s_while(
+                       e_bin(BinOp::LAnd, lt(v("it"), c(24)),
+                             e_bin(BinOp::Eq, v("esc"), c(0))),
+                       {s_decl(Type::I64, "zr2",
+                               e_bin(BinOp::Shr, mul(v("zr"), v("zr")),
+                                     c(24))),
+                        s_decl(Type::I64, "zi2",
+                               e_bin(BinOp::Shr, mul(v("zi"), v("zi")),
+                                     c(24))),
+                        s_if(e_bin(BinOp::Gt, add(v("zr2"), v("zi2")),
+                                   c(67108864)),
+                             {s_assign("esc", c(1))},
+                             {s_assign("zi",
+                                       add(e_bin(BinOp::Shr,
+                                                 mul(mul(v("zr"), c(2)),
+                                                     v("zi")),
+                                                 c(24)),
+                                           v("ci"))),
+                              s_assign("zr", add(sub(v("zr2"), v("zi2")),
+                                                 v("cr"))),
+                              inc("it")})}),
+                   s_assign("bits",
+                            add(v("bits"),
+                                e_bin(BinOp::Eq, v("esc"), c(0))))})}),
+       s_return(v("bits"))}});
+  b.obfuscate = {"main"};
+  return b;
+}
+
+// n-body: integer-scaled 3-body advance loop (no sqrt: softened inverse).
+ClbgBench make_n_body() {
+  ClbgBench b;
+  b.name = "n-body";
+  b.arg = 300;  // steps
+  Module& m = b.module;
+  m.globals.push_back(Global{"px", Type::I64, 3, {10000, -5000, 2000}, false});
+  m.globals.push_back(Global{"pv", Type::I64, 3, {3, -2, 1}, false});
+  m.functions.push_back(Function{
+      "main", Type::I64, {{"n", Type::I64}},
+      {s_decl(Type::I64, "s", c(0)), s_decl(Type::I64, "t", c(0)),
+       loop("t", v("n"),
+            {s_decl(Type::I64, "i", c(0)),
+             loop("i", c(3),
+                  {s_decl(Type::I64, "j", c(0)),
+                   loop("j", c(3),
+                        {s_if(e_bin(BinOp::Ne, v("i"), v("j")),
+                              {s_decl(Type::I64, "dx",
+                                      sub(e_index("px", v("j"), Type::I64),
+                                          e_index("px", v("i"), Type::I64))),
+                               s_decl(Type::I64, "d2",
+                                      add(mul(v("dx"), v("dx")), c(4096))),
+                               s_decl(Type::I64, "f",
+                                      udiv(mul(v("dx"), c(65536)), v("d2"))),
+                               s_assign_index(
+                                   "pv", v("i"),
+                                   add(e_index("pv", v("i"), Type::I64),
+                                       e_bin(BinOp::Shr, v("f"), c(8))))})}),
+                   s_assign_index("px", v("i"),
+                                  add(e_index("px", v("i"), Type::I64),
+                                      e_index("pv", v("i"), Type::I64)))}),
+             s_assign("s", bxor(v("s"),
+                                add(e_index("px", c(0), Type::I64),
+                                    e_index("pv", c(1), Type::I64))))}),
+       s_return(v("s"))}});
+  b.obfuscate = {"main"};
+  return b;
+}
+
+// pidigits: unbounded spigot scaled down to 32-bit-ish arithmetic.
+ClbgBench make_pidigits() {
+  ClbgBench b;
+  b.name = "pidigits";
+  b.arg = 24;  // digits
+  Module& m = b.module;
+  m.functions.push_back(Function{
+      "main", Type::I64, {{"n", Type::I64}},
+      {s_decl(Type::I64, "q", c(1)), s_decl(Type::I64, "r", c(0)),
+       s_decl(Type::I64, "t", c(1)), s_decl(Type::I64, "k", c(1)),
+       s_decl(Type::I64, "out", c(0)), s_decl(Type::I64, "got", c(0)),
+       s_decl(Type::I64, "steps", c(0)),
+       s_while(
+           e_bin(BinOp::LAnd, lt(v("got"), v("n")),
+                 lt(v("steps"), c(100000))),
+           {inc("steps"),
+            s_if(lt(sub(mul(v("q"), c(4)), add(v("r"), v("q"))),
+                    mul(v("t"), c(1))),
+                 // refine (scaled-down Gosper step, kept in 63 bits)
+                 {s_decl(Type::I64, "k2", add(mul(v("k"), c(2)), c(1))),
+                  s_assign("r", mul(add(mul(v("q"), c(2)), v("r")), v("k2"))),
+                  s_assign("t", mul(v("t"), v("k2"))),
+                  s_assign("q", mul(v("q"), v("k"))), inc("k"),
+                  s_if(e_bin(BinOp::Gt, v("q"), c(1ll << 40)),
+                       {// renormalise to keep values bounded
+                        s_assign("q", add(shr(v("q"), c(20)), c(1))),
+                        s_assign("r", add(shr(v("r"), c(20)), c(1))),
+                        s_assign("t", add(shr(v("t"), c(20)), c(1)))})},
+                 {s_decl(Type::I64, "d",
+                         udiv(add(mul(v("q"), c(3)), v("r")), v("t"))),
+                  s_assign("out", add(mul(v("out"), c(10)),
+                                      urem(v("d"), c(10)))),
+                  s_assign("out", band(v("out"), c(0xffffffffffll))),
+                  s_assign("r", mul(sub(add(mul(v("q"), c(3)), v("r")),
+                                        mul(v("d"), v("t"))),
+                                    c(10))),
+                  s_assign("q", mul(v("q"), c(1))), inc("got")})}),
+       s_return(v("out"))}});
+  b.obfuscate = {"main"};
+  return b;
+}
+
+// regex-redux: literal pattern counting over a generated buffer.
+ClbgBench make_regex_redux() {
+  ClbgBench b;
+  b.name = "regex";
+  b.arg = 1200;
+  Module& m = b.module;
+  m.globals.push_back(Global{"buf", Type::U8, 4096, {}, false});
+  m.globals.push_back(Global{"seed", Type::I64, 1, {7}, false});
+  m.functions.push_back(Function{
+      "gen", Type::I64, {{"n", Type::I64}},
+      {s_decl(Type::I64, "i", c(0)),
+       loop("i", v("n"),
+            {s_assign("seed",
+                      band(add(mul(v("seed"), c(1103515245)), c(12345)),
+                           c(0x7fffffff))),
+             s_assign_index("buf", v("i"),
+                            add(c('a'), urem(shr(v("seed"), c(16)), c(4))))}),
+       s_return(c(0))}});
+  // count occurrences of the two-symbol pattern (p0, p1)
+  m.functions.push_back(Function{
+      "count2", Type::I64,
+      {{"n", Type::I64}, {"p0", Type::I64}, {"p1", Type::I64}},
+      {s_decl(Type::I64, "cnt", c(0)), s_decl(Type::I64, "i", c(0)),
+       loop("i", sub(v("n"), c(1)),
+            {s_if(e_bin(BinOp::LAnd,
+                        e_bin(BinOp::Eq, e_index("buf", v("i"), Type::U8),
+                              v("p0")),
+                        e_bin(BinOp::Eq,
+                              e_index("buf", add(v("i"), c(1)), Type::U8),
+                              v("p1"))),
+                  {s_assign("cnt", add(v("cnt"), c(1)))})}),
+       s_return(v("cnt"))}});
+  m.functions.push_back(Function{
+      "main", Type::I64, {{"n", Type::I64}},
+      {s_expr(e_call("gen", {v("n")}, Type::I64)),
+       s_decl(Type::I64, "total", c(0)),
+       s_assign("total",
+                add(v("total"),
+                    e_call("count2", {v("n"), c('a'), c('b')}, Type::I64))),
+       s_assign("total",
+                add(v("total"),
+                    mul(e_call("count2", {v("n"), c('c'), c('d')}, Type::I64),
+                        c(3)))),
+       s_assign("total",
+                add(v("total"),
+                    mul(e_call("count2", {v("n"), c('a'), c('a')}, Type::I64),
+                        c(7)))),
+       s_return(v("total"))}});
+  b.obfuscate = {"gen", "count2", "main"};
+  return b;
+}
+
+// reverse-complement: complement via lookup table, reversed checksum.
+ClbgBench make_rev_comp() {
+  ClbgBench b;
+  b.name = "rev-comp";
+  b.arg = 1500;
+  Module& m = b.module;
+  std::vector<std::int64_t> comp(256, 'N');
+  comp['A'] = 'T'; comp['T'] = 'A'; comp['C'] = 'G'; comp['G'] = 'C';
+  comp['a'] = 't'; comp['t'] = 'a'; comp['c'] = 'g'; comp['g'] = 'c';
+  m.globals.push_back(Global{"comp", Type::U8, 256, comp, true});
+  m.globals.push_back(Global{"buf", Type::U8, 4096, {}, false});
+  m.functions.push_back(Function{
+      "main", Type::I64, {{"n", Type::I64}},
+      {s_decl(Type::I64, "i", c(0)), s_decl(Type::I64, "s", c(12345)),
+       loop("i", v("n"),
+            {s_assign("s", band(add(mul(v("s"), c(69069)), c(1)),
+                                c(0x7fffffff))),
+             s_decl(Type::I64, "ch", c(0)),
+             s_switch(urem(v("s"), c(4)),
+                      {SwitchCase{0, {s_assign("ch", c('A')), s_break()}},
+                       SwitchCase{1, {s_assign("ch", c('C')), s_break()}},
+                       SwitchCase{2, {s_assign("ch", c('G')), s_break()}},
+                       SwitchCase{3, {s_assign("ch", c('T')), s_break()}}},
+                      {}),
+             s_assign_index("buf", v("i"), v("ch"))}),
+       s_decl(Type::I64, "sum", c(0)), s_decl(Type::I64, "j", c(0)),
+       loop("j", v("n"),
+            {s_assign(
+                "sum",
+                add(mul(v("sum"), c(31)),
+                    e_index("comp",
+                            e_index("buf", sub(sub(v("n"), c(1)), v("j")),
+                                    Type::U8),
+                            Type::U8)))}),
+       s_return(v("sum"))}});
+  b.obfuscate = {"main"};
+  return b;
+}
+
+// spectral-norm: integer power iteration with the 1/((i+j)(i+j+1)/2+i+1)
+// kernel, scaled by 2^16. Calls a short-lived helper from a tight loop,
+// the pattern the paper singles out for sp-norm's pivoting overhead.
+ClbgBench make_sp_norm() {
+  ClbgBench b;
+  b.name = "sp-norm";
+  b.arg = 12;  // vector size
+  Module& m = b.module;
+  m.globals.push_back(Global{"u", Type::I64, 32, {}, false});
+  m.globals.push_back(Global{"w", Type::I64, 32, {}, false});
+  m.functions.push_back(Function{
+      "a_ij", Type::I64, {{"i", Type::I64}, {"j", Type::I64}},
+      {s_decl(Type::I64, "t",
+              add(udiv(mul(add(v("i"), v("j")),
+                           add(add(v("i"), v("j")), c(1))),
+                       c(2)),
+                  add(v("i"), c(1)))),
+       s_return(udiv(c(65536), v("t")))}});
+  m.functions.push_back(Function{
+      "main", Type::I64, {{"n", Type::I64}},
+      {s_decl(Type::I64, "i", c(0)),
+       loop("i", v("n"), {s_assign_index("u", v("i"), c(65536))}),
+       s_decl(Type::I64, "iter", c(0)),
+       loop("iter", c(4),
+            {s_decl(Type::I64, "p", c(0)),
+             loop("p", v("n"),
+                  {s_decl(Type::I64, "acc", c(0)),
+                   s_decl(Type::I64, "q", c(0)),
+                   loop("q", v("n"),
+                        {s_assign(
+                            "acc",
+                            add(v("acc"),
+                                shr(mul(e_call("a_ij", {v("p"), v("q")},
+                                               Type::I64),
+                                        e_index("u", v("q"), Type::I64)),
+                                    c(16))))}),
+                   s_assign_index("w", v("p"), v("acc"))}),
+             s_decl(Type::I64, "p2", c(0)),
+             loop("p2", v("n"),
+                  {s_assign_index("u", v("p2"),
+                                  e_index("w", v("p2"), Type::I64))})}),
+       s_decl(Type::I64, "sum", c(0)), s_decl(Type::I64, "k", c(0)),
+       loop("k", v("n"),
+            {s_assign("sum", add(v("sum"), e_index("u", v("k"), Type::I64)))}),
+       s_return(v("sum"))}});
+  b.obfuscate = {"a_ij", "main"};
+  return b;
+}
+
+}  // namespace
+
+std::vector<ClbgBench> clbg_suite() {
+  std::vector<ClbgBench> out;
+  out.push_back(make_b_trees());
+  out.push_back(make_fannkuch());
+  out.push_back(make_fasta(false));
+  out.push_back(make_fasta(true));
+  out.push_back(make_mandelbrot());
+  out.push_back(make_n_body());
+  out.push_back(make_pidigits());
+  out.push_back(make_regex_redux());
+  out.push_back(make_rev_comp());
+  out.push_back(make_sp_norm());
+  return out;
+}
+
+}  // namespace raindrop::workload

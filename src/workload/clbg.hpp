@@ -1,0 +1,28 @@
+// The Computer Language Benchmarks Game suite stand-in (§VII-C2): ten
+// MiniC kernels named after the paper's picks, used to measure run-time
+// overhead (Figure 5) and gadget statistics (Table III). Parameters are
+// scaled down so the full sweep stays laptop-friendly; the *shape* of
+// the overhead comparison is what matters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace raindrop::workload {
+
+struct ClbgBench {
+  std::string name;        // paper's benchmark name
+  minic::Module module;
+  std::string entry = "main";
+  // Functions to obfuscate (all of them, like the paper's whole-program
+  // treatment of the kernels).
+  std::vector<std::string> obfuscate;
+  std::int64_t arg = 0;    // workload size parameter
+};
+
+std::vector<ClbgBench> clbg_suite();
+
+}  // namespace raindrop::workload

@@ -1,0 +1,209 @@
+#include "workload/corpus.hpp"
+
+#include "isa/encode.hpp"
+#include "support/rng.hpp"
+
+namespace raindrop::workload {
+
+using namespace minic;
+using isa::Reg;
+namespace ib = isa::ib;
+
+namespace {
+
+ExprPtr v(const char* n) { return e_var(n); }
+ExprPtr c(std::int64_t x) { return e_int(x); }
+
+// A tiny stub: compiles to fewer bytes than the pivoting sequence.
+Function make_stub(const std::string& name, Rng& rng) {
+  return Function{name, Type::I64, {},
+                  {s_return(c(static_cast<std::int64_t>(rng.below(100))))}};
+}
+
+// Register pressure: raw asm keeps 14 registers live across a branch, so
+// the branch lowering finds no scratch and the single spill slot cannot
+// help (spills are disabled across transfers).
+Function make_pressure(const std::string& name, Rng& rng) {
+  std::vector<isa::Insn> setup;
+  const Reg regs[] = {Reg::RAX, Reg::RCX, Reg::RDX, Reg::RBX, Reg::RSI,
+                      Reg::RDI, Reg::R8,  Reg::R9,  Reg::R10, Reg::R11,
+                      Reg::R12, Reg::R13, Reg::R14, Reg::R15};
+  for (Reg r : regs)
+    setup.push_back(ib::mov_i32(r, static_cast<std::int64_t>(rng.below(99))));
+  setup.push_back(ib::cmp(Reg::RAX, Reg::RCX));
+  // jcc over one add; then consume every register so all stay live.
+  isa::Insn skip = ib::jcc(isa::Cond::E, 0);
+  std::vector<std::uint8_t> probe;
+  isa::encode(ib::add(Reg::RAX, Reg::RDX), probe);
+  skip.imm = static_cast<std::int64_t>(probe.size());
+  setup.push_back(skip);
+  setup.push_back(ib::add(Reg::RAX, Reg::RDX));
+  for (Reg r : regs) {
+    if (r != Reg::RAX) setup.push_back(ib::add(Reg::RAX, r));
+  }
+  return Function{name, Type::I64, {{"x", Type::I64}},
+                  {s_asm(setup), s_return(c(0))}};
+}
+
+// push rsp-style stack idiom (§VII-C1's 19 translation failures).
+Function make_push_rsp(const std::string& name) {
+  return Function{name, Type::I64, {{"x", Type::I64}},
+                  {s_asm({ib::push(Reg::RSP), ib::pop(Reg::RAX)}),
+                   s_return(v("x"))}};
+}
+
+// Unrecoverable register-indirect jump (the 1 CFG failure).
+Function make_cfg_breaker(const std::string& name) {
+  std::vector<isa::Insn> body;
+  // lea rax, [rip+len(jmp rax)]; jmp rax -- resolvable only dynamically.
+  isa::Insn lea = ib::lea(Reg::RAX, isa::MemRef::rip(0));
+  std::vector<std::uint8_t> probe;
+  isa::encode(ib::jmp_r(Reg::RAX), probe);
+  lea.mem.disp = static_cast<std::int64_t>(probe.size());
+  body.push_back(lea);
+  body.push_back(ib::jmp_r(Reg::RAX));
+  return Function{name, Type::I64, {{"x", Type::I64}},
+                  {s_asm(body), s_return(v("x"))}};
+}
+
+// Regular function generator: arithmetic / loops / conditionals /
+// switches / global array traffic / calls to earlier corpus functions.
+Function make_regular(const std::string& name, Rng& rng,
+                      const std::vector<std::string>& callees,
+                      bool& uses_globals) {
+  Function f;
+  f.name = name;
+  f.ret = Type::I64;
+  int nparams = 1 + static_cast<int>(rng.below(3));
+  const char* pnames[] = {"a", "b", "cc"};
+  for (int i = 0; i < nparams; ++i)
+    f.params.push_back(Param{pnames[i], Type::I64});
+  f.body.push_back(s_decl(Type::I64, "h", c(static_cast<std::int64_t>(
+                                              rng.next() & 0xffff))));
+  int n_stmts = 2 + static_cast<int>(rng.below(8));
+  for (int i = 0; i < n_stmts; ++i) {
+    switch (rng.below(6)) {
+      case 0: {  // arithmetic mutation (division excluded: no zero guard)
+        const BinOp safe[] = {BinOp::Add, BinOp::Sub, BinOp::Mul,
+                              BinOp::And, BinOp::Or,  BinOp::Xor,
+                              BinOp::Shl, BinOp::Shr};
+        f.body.push_back(s_assign(
+            "h", e_bin(safe[rng.below(8)], v("h"),
+                       e_bin(BinOp::Add, v("a"),
+                             c(static_cast<std::int64_t>(
+                                   rng.next() & 0xffff) | 1)))));
+        break;
+      }
+      case 1: {  // bounded loop
+        std::string ctr = "i" + std::to_string(i);
+        f.body.push_back(s_decl(Type::I64, ctr, c(0)));
+        f.body.push_back(s_while(
+            e_bin(BinOp::Lt, v(ctr.c_str()),
+                  c(static_cast<std::int64_t>(rng.below(12)) + 1)),
+            {s_assign("h", e_bin(BinOp::Xor, v("h"),
+                                 e_bin(BinOp::Shl, v(ctr.c_str()), c(3)))),
+             s_assign(ctr, e_bin(BinOp::Add, v(ctr.c_str()), c(1)))}));
+        break;
+      }
+      case 2:  // conditional
+        f.body.push_back(s_if(
+            e_bin(BinOp::Lt, e_bin(BinOp::And, v("h"), c(0xff)),
+                  c(static_cast<std::int64_t>(rng.below(255)))),
+            {s_assign("h", e_bin(BinOp::Add, v("h"), c(17)))},
+            {s_assign("h", e_bin(BinOp::Sub, v("h"), c(11)))}));
+        break;
+      case 3: {  // dense switch
+        std::vector<SwitchCase> cases;
+        int ncases = 3 + static_cast<int>(rng.below(4));
+        for (int k = 0; k < ncases; ++k)
+          cases.push_back(SwitchCase{
+              k, {s_assign("h", e_bin(BinOp::Add, v("h"), c(k * 7 + 1))),
+                  s_break()}});
+        f.body.push_back(s_switch(
+            e_bin(BinOp::And, v("h"), c(7)), cases,
+            {s_assign("h", e_bin(BinOp::Xor, v("h"), c(0x55)))}));
+        break;
+      }
+      case 4:  // global array traffic
+        uses_globals = true;
+        f.body.push_back(s_assign_index(
+            "corpus_buf", e_bin(BinOp::And, v("h"), c(255)),
+            e_bin(BinOp::Add,
+                  e_index("corpus_buf", e_bin(BinOp::And, v("a"), c(255)),
+                          Type::I64),
+                  c(1))));
+        f.body.push_back(s_assign(
+            "h", e_bin(BinOp::Add, v("h"),
+                       e_index("corpus_buf", e_bin(BinOp::And, v("h"),
+                                                   c(255)),
+                               Type::I64))));
+        break;
+      default:  // call an earlier corpus function
+        if (!callees.empty()) {
+          const std::string& callee = rng.pick(callees);
+          f.body.push_back(s_assign(
+              "h", e_bin(BinOp::Xor, v("h"),
+                         e_call(callee, {v("h")}, Type::I64))));
+        } else {
+          f.body.push_back(s_assign("h", e_bin(BinOp::Add, v("h"), v("a"))));
+        }
+        break;
+    }
+  }
+  f.body.push_back(s_return(v("h")));
+  return f;
+}
+
+}  // namespace
+
+Corpus make_corpus(std::uint64_t seed, int total) {
+  Corpus cp;
+  Rng rng(seed * 0xabcdef123ull + 9);
+  cp.module.globals.push_back(Global{"corpus_buf", Type::I64, 256, {}, false});
+
+  // Population sizes proportional to the paper's (scaled if total differs
+  // from 1354).
+  auto scaled = [&](int paper_count) {
+    return std::max(1, static_cast<int>(
+                           static_cast<long long>(paper_count) * total / 1354));
+  };
+  cp.expected_too_short = scaled(119);
+  cp.expected_pressure = scaled(40);
+  cp.expected_unsupported = scaled(19);
+  cp.expected_cfg_fail = total >= 1354 ? 1 : 1;
+
+  int made = 0;
+  std::vector<std::string> simple_callees;  // single-arg leaf functions
+  auto add = [&](Function f, bool runnable) {
+    cp.functions.push_back(f.name);
+    if (runnable) cp.runnable.push_back(f.name);
+    cp.module.functions.push_back(std::move(f));
+    ++made;
+  };
+
+  for (int i = 0; i < cp.expected_too_short; ++i)
+    add(make_stub("stub_" + std::to_string(i), rng), true);
+  for (int i = 0; i < cp.expected_pressure; ++i)
+    add(make_pressure("pressure_" + std::to_string(i), rng), false);
+  for (int i = 0; i < cp.expected_unsupported; ++i)
+    add(make_push_rsp("pushrsp_" + std::to_string(i)), false);
+  for (int i = 0; i < cp.expected_cfg_fail; ++i)
+    add(make_cfg_breaker("cfgbrk_" + std::to_string(i)), false);
+
+  int idx = 0;
+  while (made < total) {
+    bool uses_globals = false;
+    std::string name = "fn_" + std::to_string(idx++);
+    Function f = make_regular(name, rng,
+                              simple_callees.size() > 3 ? simple_callees
+                                                        : std::vector<std::string>{},
+                              uses_globals);
+    bool single_arg_leaf = f.params.size() == 1;
+    add(std::move(f), true);
+    if (single_arg_leaf && simple_callees.size() < 64)
+      simple_callees.push_back(name);
+  }
+  return cp;
+}
+
+}  // namespace raindrop::workload

@@ -1,0 +1,29 @@
+// coreutils-like corpus (§VII-C1): 1354 unique functions with the
+// heterogeneity that drives the paper's coverage study -- including the
+// populations behind each failure class: 119 bodies shorter than the
+// pivot stub, 40 register-pressure monsters, 19 with push-rsp-style
+// stack idioms, and 1 with an unrecoverable indirect jump. The rest are
+// regular code (arithmetic, loops, switches, arrays, calls).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace raindrop::workload {
+
+struct Corpus {
+  minic::Module module;
+  std::vector<std::string> functions;       // all generated names
+  std::vector<std::string> runnable;        // differential-testable subset
+  int expected_too_short = 0;
+  int expected_pressure = 0;
+  int expected_unsupported = 0;
+  int expected_cfg_fail = 0;
+};
+
+Corpus make_corpus(std::uint64_t seed = 1, int total = 1354);
+
+}  // namespace raindrop::workload

@@ -1,0 +1,328 @@
+// CPU interpreter tests: arithmetic/flag semantics (including the x86
+// quirks ROP encodings exploit: neg's CF, adc, INC preserving CF),
+// stack ops, control transfers, and a hand-built ROP chain mirroring the
+// paper's Figure 1.
+#include <gtest/gtest.h>
+
+#include "cpu/cpu.hpp"
+#include "image/image.hpp"
+#include "isa/encode.hpp"
+
+namespace raindrop {
+namespace {
+
+using isa::Cond;
+using isa::MemRef;
+using isa::Reg;
+namespace ib = isa::ib;
+
+constexpr std::uint64_t kCode = 0x1000;
+constexpr std::uint64_t kStack = 0x20000;
+
+struct Machine {
+  Memory mem;
+  Cpu cpu{&mem};
+  Machine() {
+    mem.map_region(0, 1 << 20, kPermRWX, "all");
+    cpu.set_reg(Reg::RSP, kStack);
+    cpu.set_rip(kCode);
+  }
+  void load(const std::vector<isa::Insn>& insns) {
+    std::vector<std::uint8_t> bytes;
+    for (const auto& i : insns) isa::encode(i, bytes);
+    mem.write_bytes(kCode, bytes);
+  }
+  CpuStatus run(std::uint64_t budget = 100000) { return cpu.run(budget); }
+  std::uint64_t r(Reg reg) const { return cpu.reg(reg); }
+};
+
+TEST(Cpu, MovAndArithmetic) {
+  Machine m;
+  m.load({ib::mov_i32(Reg::RAX, 7), ib::mov_i32(Reg::RBX, 5),
+          ib::add(Reg::RAX, Reg::RBX), ib::imul_i(Reg::RAX, 3),
+          ib::sub_i(Reg::RAX, 6), ib::hlt()});
+  EXPECT_EQ(m.run(), CpuStatus::kHalted);
+  EXPECT_EQ(m.r(Reg::RAX), 30u);
+}
+
+TEST(Cpu, NegSetsCarryLikeX86) {
+  // neg rax: CF = 0 iff rax was 0 -- the branch-encoding trick from the
+  // paper's Figure 1 depends on this exact behaviour.
+  Machine m;
+  m.load({ib::mov_i32(Reg::RAX, 0), ib::neg(Reg::RAX), ib::hlt()});
+  m.run();
+  EXPECT_FALSE(m.cpu.flags() & isa::kCF);
+
+  Machine m2;
+  m2.load({ib::mov_i32(Reg::RAX, 123), ib::neg(Reg::RAX), ib::hlt()});
+  m2.run();
+  EXPECT_TRUE(m2.cpu.flags() & isa::kCF);
+}
+
+TEST(Cpu, AdcLeaksCarryIntoRegister) {
+  // Figure 1: xor rcx,rcx; neg rax; adc rcx,rcx leaves (rax!=0) in rcx.
+  for (std::uint64_t v : {0ull, 1ull, 0xffffffffffffffffull, 42ull}) {
+    Machine m;
+    m.load({ib::mov_i64(Reg::RAX, static_cast<std::int64_t>(v)),
+            ib::mov_i32(Reg::RCX, 0), ib::neg(Reg::RAX),
+            ib::adc(Reg::RCX, Reg::RCX), ib::hlt()});
+    m.run();
+    EXPECT_EQ(m.r(Reg::RCX), v != 0 ? 1u : 0u) << v;
+  }
+}
+
+TEST(Cpu, IncPreservesCarry) {
+  Machine m;
+  m.load({ib::mov_i32(Reg::RAX, 5), ib::cmp_i(Reg::RAX, 9),  // CF=1
+          ib::inc(Reg::RAX), ib::adc(Reg::RAX, Reg::RAX), ib::hlt()});
+  m.run();
+  // inc keeps CF=1; adc: 6+6+1 = 13.
+  EXPECT_EQ(m.r(Reg::RAX), 13u);
+}
+
+TEST(Cpu, PushPopAndStackDirection) {
+  Machine m;
+  m.load({ib::mov_i32(Reg::RAX, 0x1234), ib::push(Reg::RAX),
+          ib::pop(Reg::RBX), ib::hlt()});
+  m.run();
+  EXPECT_EQ(m.r(Reg::RBX), 0x1234u);
+  EXPECT_EQ(m.r(Reg::RSP), kStack);
+}
+
+TEST(Cpu, PopRspLoadsValue) {
+  Machine m;
+  m.mem.write_u64(kStack - 8, 0x7777);
+  m.load({ib::sub_i(Reg::RSP, 8), ib::pop(Reg::RSP), ib::hlt()});
+  m.run();
+  EXPECT_EQ(m.r(Reg::RSP), 0x7777u);
+}
+
+TEST(Cpu, CallRetRoundTrip) {
+  Machine m;
+  // call +X ; hlt ; target: mov rax, 9 ; ret
+  std::vector<std::uint8_t> bytes;
+  auto call = ib::call(0);
+  std::size_t call_len = isa::encoded_length(call);
+  std::size_t hlt_len = isa::encoded_length(ib::hlt());
+  call.imm = static_cast<std::int64_t>(hlt_len);  // skip over hlt
+  isa::encode(call, bytes);
+  isa::encode(ib::hlt(), bytes);
+  isa::encode(ib::mov_i32(Reg::RAX, 9), bytes);
+  isa::encode(ib::ret(), bytes);
+  m.mem.write_bytes(kCode, bytes);
+  (void)call_len;
+  EXPECT_EQ(m.run(), CpuStatus::kHalted);
+  EXPECT_EQ(m.r(Reg::RAX), 9u);
+  EXPECT_EQ(m.r(Reg::RSP), kStack);
+}
+
+TEST(Cpu, ConditionalBranchTakenAndNot) {
+  for (int v : {3, 8}) {
+    Machine m;
+    std::vector<std::uint8_t> bytes;
+    isa::encode(ib::mov_i32(Reg::RAX, v), bytes);
+    isa::encode(ib::cmp_i(Reg::RAX, 5), bytes);
+    auto jl = ib::jcc(Cond::L, 0);
+    std::size_t mov_len = isa::encoded_length(ib::mov_i32(Reg::RBX, 1));
+    jl.imm = static_cast<std::int64_t>(mov_len);
+    isa::encode(jl, bytes);
+    isa::encode(ib::mov_i32(Reg::RBX, 1), bytes);  // skipped when v<5
+    isa::encode(ib::hlt(), bytes);
+    m.mem.write_bytes(kCode, bytes);
+    m.cpu.set_reg(Reg::RBX, 99);
+    m.run();
+    EXPECT_EQ(m.r(Reg::RBX), v < 5 ? 99u : 1u);
+  }
+}
+
+TEST(Cpu, CmovAndSetcc) {
+  Machine m;
+  m.load({ib::mov_i32(Reg::RAX, 10), ib::cmp_i(Reg::RAX, 10),
+          ib::setcc(Cond::E, Reg::RBX), ib::mov_i32(Reg::RCX, 111),
+          ib::mov_i32(Reg::RDX, 222), ib::cmov(Cond::E, Reg::RCX, Reg::RDX),
+          ib::hlt()});
+  m.run();
+  EXPECT_EQ(m.r(Reg::RBX), 1u);
+  EXPECT_EQ(m.r(Reg::RCX), 222u);
+}
+
+TEST(Cpu, RdWrFlagsRoundtrip) {
+  Machine m;
+  m.load({ib::cmp_i(Reg::RAX, 1),  // 0-1: CF=1, SF=1
+          ib::rdflags(Reg::RBX), ib::test(Reg::RAX, Reg::RAX),  // clobber
+          ib::wrflags(Reg::RBX), ib::setcc(Cond::B, Reg::RCX), ib::hlt()});
+  m.run();
+  EXPECT_EQ(m.r(Reg::RCX), 1u);
+}
+
+TEST(Cpu, XchgMemSwapsStackPointers) {
+  Machine m;
+  m.mem.write_u64(0x3000, 0x9000);  // other_rsp slot
+  m.load({ib::mov_i64(Reg::RAX, 0x3000),
+          ib::xchg_m(Reg::RSP, MemRef::base_disp(Reg::RAX)), ib::hlt()});
+  m.run();
+  EXPECT_EQ(m.r(Reg::RSP), 0x9000u);
+  EXPECT_EQ(m.mem.read_u64(0x3000), kStack);
+}
+
+TEST(Cpu, MemoryOperandAddressing) {
+  Machine m;
+  m.mem.write_u64(0x5000 + 3 * 8, 0xdeadbeef);
+  m.load({ib::mov_i32(Reg::RBX, 3),
+          ib::load(Reg::RAX, MemRef::index_disp(Reg::RBX, 3, 0x5000)),
+          ib::hlt()});
+  m.run();
+  EXPECT_EQ(m.r(Reg::RAX), 0xdeadbeefu);
+}
+
+TEST(Cpu, RipRelativeLoad) {
+  Machine m;
+  std::vector<std::uint8_t> bytes;
+  auto insn = ib::load(Reg::RAX, MemRef::rip(0));
+  std::size_t len = isa::encoded_length(insn);
+  // Place data right after the hlt.
+  std::size_t hlt_len = isa::encoded_length(ib::hlt());
+  insn.mem.disp = static_cast<std::int64_t>(hlt_len);
+  isa::encode(insn, bytes);
+  isa::encode(ib::hlt(), bytes);
+  std::uint64_t data_addr = kCode + len + hlt_len;
+  m.mem.write_bytes(kCode, bytes);
+  m.mem.write_u64(data_addr, 0xabcdef);
+  m.run();
+  EXPECT_EQ(m.r(Reg::RAX), 0xabcdefu);
+}
+
+TEST(Cpu, DivByZeroFaults) {
+  Machine m;
+  m.load({ib::mov_i32(Reg::RAX, 5), ib::mov_i32(Reg::RBX, 0),
+          ib::udiv(Reg::RAX, Reg::RBX), ib::hlt()});
+  EXPECT_EQ(m.run(), CpuStatus::kFault);
+  ASSERT_TRUE(m.cpu.fault().has_value());
+  EXPECT_EQ(m.cpu.fault()->reason, "division by zero");
+}
+
+TEST(Cpu, UndecodableFaults) {
+  Machine m;
+  m.mem.write_u8(kCode, 0xfe);
+  EXPECT_EQ(m.run(), CpuStatus::kFault);
+}
+
+TEST(Cpu, BudgetExceeded) {
+  Machine m;
+  // jmp self
+  auto j = ib::jmp(-static_cast<std::int64_t>(isa::encoded_length(ib::jmp(0))));
+  m.load({j});
+  EXPECT_EQ(m.run(100), CpuStatus::kBudgetExceeded);
+}
+
+TEST(Cpu, NxEnforcement) {
+  Memory mem;
+  mem.map_region(0x1000, 0x1000, kPermRW, "data");  // not executable
+  Cpu cpu(&mem);
+  std::vector<std::uint8_t> bytes = isa::encode_one(ib::hlt());
+  mem.write_bytes(0x1000, bytes);
+  cpu.set_rip(0x1000);
+  EXPECT_EQ(cpu.run(10), CpuStatus::kFault);
+}
+
+TEST(Cpu, TraceProbes) {
+  Machine m;
+  m.load({ib::trace(7), ib::trace(13), ib::hlt()});
+  m.run();
+  ASSERT_EQ(m.cpu.trace_probes().size(), 2u);
+  EXPECT_EQ(m.cpu.trace_probes()[0], 7);
+  EXPECT_EQ(m.cpu.trace_probes()[1], 13);
+}
+
+// A hand-built ROP chain reproducing the paper's Figure 1: assigns
+// RDI = 1 if RAX == 0 else 2, with the branch realised as a variable RSP
+// addend computed from the leaked carry flag.
+TEST(Cpu, Figure1RopChain) {
+  for (std::uint64_t rax : {0ull, 5ull}) {
+    Memory mem;
+    mem.map_region(0, 1 << 20, kPermRWX, "all");
+    Cpu cpu(&mem);
+
+    // Gadget area: each gadget is <insns>; ret.
+    std::uint64_t g = 0x1000;
+    auto emit_gadget = [&](std::vector<isa::Insn> insns) {
+      std::uint64_t addr = g;
+      std::vector<std::uint8_t> bytes;
+      for (auto& i : insns) isa::encode(i, bytes);
+      isa::encode(ib::ret(), bytes);
+      mem.write_bytes(addr, bytes);
+      g += bytes.size();
+      return addr;
+    };
+    std::uint64_t g_pop_rcx = emit_gadget({ib::pop(Reg::RCX)});
+    std::uint64_t g_neg_rax = emit_gadget({ib::neg(Reg::RAX)});
+    std::uint64_t g_adc = emit_gadget({ib::adc(Reg::RCX, Reg::RCX)});
+    std::uint64_t g_pop_rsi = emit_gadget({ib::pop(Reg::RSI)});
+    std::uint64_t g_neg_rcx = emit_gadget({ib::neg(Reg::RCX)});
+    std::uint64_t g_and = emit_gadget({ib::and_(Reg::RSI, Reg::RCX)});
+    std::uint64_t g_add_rsp_rsi = emit_gadget({ib::add(Reg::RSP, Reg::RSI)});
+    std::uint64_t g_pop_rdi = emit_gadget({ib::pop(Reg::RDI)});
+    std::uint64_t g_pop2 =
+        emit_gadget({ib::pop(Reg::RSI), ib::pop(Reg::RBP)});
+    std::uint64_t g_hlt_addr = 0x8000;
+    mem.write_bytes(g_hlt_addr, isa::encode_one(ib::hlt()));
+
+    // Chain layout (qwords), mirroring Figure 1.
+    std::uint64_t chain = 0x40000;
+    std::vector<std::uint64_t> q;
+    q.push_back(g_pop_rcx);
+    q.push_back(0);                  // rcx = 0
+    q.push_back(g_neg_rax);          // CF = (rax != 0)
+    q.push_back(g_adc);              // rcx = CF
+    q.push_back(g_pop_rsi);
+    q.push_back(0x18);               // candidate skip amount
+    q.push_back(g_neg_rcx);          // rcx = 0 or -1 (all ones)
+    q.push_back(g_and);              // rsi = 0x18 if rax!=0 else 0
+    q.push_back(g_add_rsp_rsi);      // branch
+    // fallthrough path (rax == 0): rdi = 1, then jump over alt 0x10 bytes
+    q.push_back(g_pop_rdi);
+    q.push_back(1);
+    q.push_back(g_pop2);             // pops the two junk qwords below
+    // taken path lands here (+0x18 from the fallthrough start)
+    q.push_back(g_pop_rdi);
+    q.push_back(2);
+    // join
+    q.push_back(g_hlt_addr);
+    for (std::size_t i = 0; i < q.size(); ++i)
+      mem.write_u64(chain + 8 * i, q[i]);
+
+    // Ignition: point RSP at the chain and "return" into it through a
+    // bare ret gadget, like a pivoting sequence would.
+    std::uint64_t g_ret = emit_gadget({});
+    cpu.set_reg(Reg::RAX, rax);
+    cpu.set_reg(Reg::RSP, chain);
+    cpu.set_rip(g_ret);
+    ASSERT_EQ(cpu.run(1000), CpuStatus::kHalted) << rax;
+    EXPECT_EQ(cpu.reg(Reg::RDI), rax == 0 ? 1u : 2u) << rax;
+  }
+}
+
+TEST(Cpu, DecodeCacheInvalidationOnCodeWrite) {
+  Machine m;
+  // Overwrite the instruction after next with hlt at runtime. The write
+  // targets an executable region, so the decode cache must be flushed.
+  std::vector<std::uint8_t> bytes;
+  auto mov1 = ib::mov_i32(Reg::RAX, 1);
+  std::size_t l1 = isa::encoded_length(mov1);
+  auto store = ib::store(MemRef::abs(0), Reg::RBX, 1);
+  std::size_t l2 = isa::encoded_length(store);
+  std::uint64_t target = kCode + l1 + l2;
+  store.mem = MemRef::abs(static_cast<std::int64_t>(target));
+  isa::encode(mov1, bytes);
+  isa::encode(store, bytes);
+  isa::encode(ib::mov_i32(Reg::RAX, 2), bytes);  // will be smashed
+  isa::encode(ib::hlt(), bytes);
+  m.mem.write_bytes(kCode, bytes);
+  m.cpu.set_reg(Reg::RBX, static_cast<std::uint64_t>(
+                              static_cast<std::uint8_t>(isa::Op::HLT)));
+  EXPECT_EQ(m.run(), CpuStatus::kHalted);
+  EXPECT_EQ(m.r(Reg::RAX), 1u);  // second mov never executed
+}
+
+}  // namespace
+}  // namespace raindrop

@@ -1,0 +1,219 @@
+// Infrastructure units: sparse memory (copy-on-write semantics), image
+// building/loading, chain materialization, and the gadget pool's
+// diversification contract.
+#include <gtest/gtest.h>
+
+#include "gadgets/catalog.hpp"
+#include "gadgets/scanner.hpp"
+#include "image/image.hpp"
+#include "isa/encode.hpp"
+#include "mem/memory.hpp"
+#include "rop/chain.hpp"
+#include "support/rng.hpp"
+
+namespace raindrop {
+namespace {
+
+TEST(Memory, ReadWriteRoundTripAllSizes) {
+  Memory m;
+  for (unsigned size : {1u, 2u, 4u, 8u}) {
+    std::uint64_t v = 0x1122334455667788ull &
+                      (size == 8 ? ~0ull : ((1ull << (size * 8)) - 1));
+    m.write(0x1000, v, size);
+    EXPECT_EQ(m.read(0x1000, size), v) << size;
+  }
+}
+
+TEST(Memory, UnmappedReadsZero) {
+  Memory m;
+  EXPECT_EQ(m.read_u64(0xdeadbeef000), 0u);
+}
+
+TEST(Memory, CrossPageAccess) {
+  Memory m;
+  std::uint64_t addr = Memory::kPageSize - 3;
+  m.write_u64(addr, 0x0123456789abcdefull);
+  EXPECT_EQ(m.read_u64(addr), 0x0123456789abcdefull);
+}
+
+TEST(Memory, CloneIsCopyOnWrite) {
+  Memory a;
+  a.write_u64(0x100, 42);
+  Memory b = a.clone();
+  b.write_u64(0x100, 99);
+  EXPECT_EQ(a.read_u64(0x100), 42u);
+  EXPECT_EQ(b.read_u64(0x100), 99u);
+  a.write_u64(0x108, 7);
+  EXPECT_EQ(b.read_u64(0x108), 0u);
+}
+
+TEST(Memory, RegionsAndPermissions) {
+  Memory m;
+  m.map_region(0x1000, 0x1000, kPermRX, ".text");
+  m.map_region(0x3000, 0x1000, kPermRW, ".data");
+  EXPECT_EQ(m.perm_at(0x1800), kPermRX);
+  EXPECT_EQ(m.perm_at(0x3800), kPermRW);
+  EXPECT_EQ(m.perm_at(0x9999), kPermNone);
+  ASSERT_NE(m.region_name(0x1000), nullptr);
+  EXPECT_EQ(*m.region_name(0x1000), ".text");
+  EXPECT_NE(m.find_region(".data"), nullptr);
+}
+
+TEST(Image, AppendPatchAndLoad) {
+  Image img;
+  std::uint8_t data[] = {1, 2, 3, 4};
+  std::uint64_t a = img.append(".data", data);
+  EXPECT_EQ(a, kDataBase);
+  img.patch_u32(a, 0xaabbccdd);
+  EXPECT_EQ(img.byte_at(a), 0xdd);
+  std::uint64_t b = img.reserve(".data", 8);
+  img.patch_u64(b, 0x1122334455667788ull);
+  EXPECT_EQ(img.u64_at(b), 0x1122334455667788ull);
+  Memory mem = img.load();
+  EXPECT_EQ(mem.read_u64(b), 0x1122334455667788ull);
+  EXPECT_TRUE(mem.perm_at(kTextBase) == kPermNone ||
+              (mem.perm_at(kTextBase) & kPermX));
+}
+
+TEST(Image, FunctionLookup) {
+  Image img;
+  img.add_function(FunctionSym{"f", 0x400000, 32, false, 2});
+  img.add_function(FunctionSym{"g", 0x400020, 16, false, 1});
+  EXPECT_EQ(img.function("g")->addr, 0x400020u);
+  EXPECT_EQ(img.function_at(0x400025)->name, "g");
+  EXPECT_EQ(img.function_at(0x40001f)->name, "f");
+  EXPECT_EQ(img.function("missing"), nullptr);
+}
+
+TEST(Chain, MaterializeDeltasAndLabels) {
+  rop::Chain ch;
+  int l1 = ch.new_label(), anchor = ch.new_label();
+  ch.g(0x400100);
+  ch.delta(l1, anchor, -3);
+  ch.g(0x400200);
+  ch.bind(anchor);
+  ch.imm(7);
+  ch.bind(l1);
+  ch.g(0x400300);
+  auto mat = ch.materialize();
+  ASSERT_EQ(mat.bytes.size(), 5u * 8);
+  // items: g(8) delta(8) g(8) [anchor] imm(8) [l1] g(8)
+  EXPECT_EQ(mat.label_offsets.at(anchor), 24u);
+  EXPECT_EQ(mat.label_offsets.at(l1), 32u);
+  // delta value = 32 - 24 - 3 = 5
+  std::uint64_t delta = 0;
+  for (int i = 0; i < 8; ++i)
+    delta |= std::uint64_t(mat.bytes[8 + i]) << (8 * i);
+  EXPECT_EQ(delta, 5u);
+}
+
+TEST(Chain, AbsolutePositionsUseChainBase) {
+  rop::Chain ch;
+  int l = ch.new_label();
+  ch.abs_pos(l);
+  ch.bind(l);
+  ch.g(0x400100);
+  auto mat = ch.materialize(0x3000000);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(mat.bytes[i]) << (8 * i);
+  EXPECT_EQ(v, 0x3000000u + 8);
+}
+
+TEST(Chain, RawBytesShiftLayout) {
+  rop::Chain ch;
+  ch.g(0x400100);
+  ch.raw({0xaa, 0xbb, 0xcc});
+  int l = ch.new_label();
+  ch.bind(l);
+  ch.imm(1);
+  auto mat = ch.materialize();
+  EXPECT_EQ(mat.label_offsets.at(l), 11u);
+  EXPECT_EQ(mat.bytes.size(), 19u);
+}
+
+TEST(Chain, UnboundLabelThrows) {
+  rop::Chain ch;
+  int l = ch.new_label(), a = ch.new_label();
+  ch.delta(l, a);
+  ch.bind(a);
+  EXPECT_THROW(ch.materialize(), std::runtime_error);
+}
+
+TEST(GadgetPool, SynthesizesAndReuses) {
+  Image img;
+  gadgets::GadgetPool pool(&img, 1, 4);
+  std::vector<isa::Insn> core = {isa::ib::pop(isa::Reg::RDI)};
+  std::uint64_t a1 = pool.want(core, analysis::RegSet());
+  // With no junk allowed, variants are identical cores; the pool may
+  // still synthesize a couple for diversity but must stay bounded.
+  std::set<std::uint64_t> addrs;
+  for (int i = 0; i < 50; ++i) addrs.insert(pool.want(core, analysis::RegSet()));
+  EXPECT_LE(addrs.size(), 4u);
+  EXPECT_TRUE(addrs.count(a1));
+  const gadgets::Gadget* g = pool.at(a1);
+  ASSERT_NE(g, nullptr);
+  EXPECT_FALSE(g->jop);
+}
+
+TEST(GadgetPool, JunkRespectsClobberSet) {
+  Image img;
+  gadgets::GadgetPool pool(&img, 2, 8);
+  std::vector<isa::Insn> core = {isa::ib::mov(isa::Reg::RAX, isa::Reg::RBX)};
+  analysis::RegSet allowed;
+  allowed.add(isa::Reg::R9);
+  for (int i = 0; i < 40; ++i) {
+    std::uint64_t a = pool.want(core, allowed);
+    const gadgets::Gadget* g = pool.at(a);
+    ASSERT_NE(g, nullptr);
+    EXPECT_TRUE(g->extra_clobbers.minus(allowed).empty());
+    for (const auto& insn : g->body) {
+      // Junk must never touch flags (mov-only) nor the core registers.
+      EXPECT_FALSE(isa::writes_flags(insn.op));
+    }
+  }
+}
+
+TEST(GadgetPool, JopGadgetTerminatesWithJump) {
+  Image img;
+  gadgets::GadgetPool pool(&img, 3, 4);
+  std::vector<isa::Insn> core = {
+      isa::ib::xchg_m(isa::Reg::RSP, isa::MemRef::base_disp(isa::Reg::RAX))};
+  std::uint64_t a = pool.want_jop(core, isa::Reg::RCX, analysis::RegSet());
+  const gadgets::Gadget* g = pool.at(a);
+  ASSERT_NE(g, nullptr);
+  EXPECT_TRUE(g->jop);
+  EXPECT_EQ(g->jop_target, isa::Reg::RCX);
+}
+
+TEST(GadgetScanner, FindsPlantedGadgets) {
+  Image img;
+  std::vector<std::uint8_t> bytes;
+  isa::encode(isa::ib::pop(isa::Reg::RDI), bytes);
+  isa::encode(isa::ib::ret(), bytes);
+  isa::encode(isa::ib::add(isa::Reg::RAX, isa::Reg::RBX), bytes);
+  isa::encode(isa::ib::ret(), bytes);
+  std::uint64_t base = img.append(".text", bytes);
+  auto found = gadgets::scan(img, base, base + bytes.size());
+  // Both planted gadgets plus suffixes ending at the same rets.
+  bool pop_found = false, add_found = false;
+  for (auto& g : found) {
+    if (g.insns.size() == 1 && g.insns[0].op == isa::Op::POP_R)
+      pop_found = true;
+    if (g.insns.size() == 1 && g.insns[0].op == isa::Op::ADD_RR)
+      add_found = true;
+  }
+  EXPECT_TRUE(pop_found);
+  EXPECT_TRUE(add_found);
+}
+
+TEST(Rng, DeterministicAndWellDistributed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Rng c(8);
+  int buckets[8] = {};
+  for (int i = 0; i < 8000; ++i) ++buckets[c.below(8)];
+  for (int k = 0; k < 8; ++k) EXPECT_GT(buckets[k], 700);
+}
+
+}  // namespace
+}  // namespace raindrop

@@ -1,0 +1,168 @@
+// ISA encoder/decoder tests: exact roundtrips, robustness on garbage
+// bytes, and the variable-length property gadget confusion relies on.
+#include <gtest/gtest.h>
+
+#include "isa/encode.hpp"
+#include "isa/print.hpp"
+#include "support/rng.hpp"
+
+namespace raindrop::isa {
+namespace {
+
+Insn random_insn(Rng& rng) {
+  for (;;) {
+    Insn i;
+    i.op = static_cast<Op>(rng.below(kNumOps));
+    i.r1 = static_cast<Reg>(rng.below(16));
+    i.r2 = static_cast<Reg>(rng.below(16));
+    i.cc = static_cast<Cond>(rng.below(kNumConds));
+    const std::uint8_t sizes[] = {1, 2, 4, 8};
+    i.size = sizes[rng.below(i.op == Op::LOADS || i.op == Op::MOVZX ||
+                                     i.op == Op::MOVSX
+                                 ? 3
+                                 : 4)];
+    i.mem.has_base = rng.chance(1, 2);
+    i.mem.has_index = rng.chance(1, 2);
+    i.mem.rip_rel = !i.mem.has_base && !i.mem.has_index && rng.chance(1, 3);
+    i.mem.base = static_cast<Reg>(rng.below(16));
+    i.mem.index = static_cast<Reg>(rng.below(16));
+    i.mem.scale_log2 = static_cast<std::uint8_t>(rng.below(4));
+    i.mem.disp = static_cast<std::int32_t>(rng.next());
+    switch (sig_of(i.op)) {
+      case Sig::RI64:
+        i.imm = static_cast<std::int64_t>(rng.next());
+        break;
+      case Sig::RI32: case Sig::I32: case Sig::MI32: case Sig::REL32:
+      case Sig::CCREL32:
+        i.imm = static_cast<std::int32_t>(rng.next());
+        break;
+      default:
+        i.imm = 0;
+        break;
+    }
+    if (encoded_length(i) > 0) return i;
+  }
+}
+
+// Normalises don't-care fields so roundtrip comparison only checks the
+// fields the signature actually encodes.
+Insn canonical(const Insn& i) {
+  Insn c;
+  c.op = i.op;
+  Sig s = sig_of(i.op);
+  switch (s) {
+    case Sig::R: c.r1 = i.r1; break;
+    case Sig::RR: c.r1 = i.r1; c.r2 = i.r2; break;
+    case Sig::RI64: case Sig::RI32: c.r1 = i.r1; c.imm = i.imm; break;
+    case Sig::I32: case Sig::REL32: c.imm = i.imm; break;
+    case Sig::RM: c.r1 = i.r1; c.mem = i.mem; break;
+    case Sig::RMS: c.r1 = i.r1; c.mem = i.mem; c.size = i.size; break;
+    case Sig::RRS: c.r1 = i.r1; c.r2 = i.r2; c.size = i.size; break;
+    case Sig::M: c.mem = i.mem; break;
+    case Sig::MI32: c.mem = i.mem; c.imm = i.imm; break;
+    case Sig::CCRR: c.cc = i.cc; c.r1 = i.r1; c.r2 = i.r2; break;
+    case Sig::CCR: c.cc = i.cc; c.r1 = i.r1; break;
+    case Sig::CCREL32: c.cc = i.cc; c.imm = i.imm; break;
+    case Sig::NONE: break;
+  }
+  if ((s == Sig::RM || s == Sig::RMS || s == Sig::M || s == Sig::MI32)) {
+    if (!c.mem.has_base) c.mem.base = Reg::RAX;
+    if (!c.mem.has_index) {
+      c.mem.index = Reg::RAX;
+      c.mem.scale_log2 = c.mem.scale_log2;  // scale still encoded
+    }
+  }
+  return c;
+}
+
+TEST(IsaEncode, RoundTripAllOpcodesRandomised) {
+  Rng rng(42);
+  for (int iter = 0; iter < 20000; ++iter) {
+    Insn i = random_insn(rng);
+    auto bytes = encode_one(i);
+    ASSERT_FALSE(bytes.empty());
+    auto dec = decode(bytes);
+    ASSERT_TRUE(dec.has_value()) << to_string(i);
+    EXPECT_EQ(dec->length, bytes.size()) << to_string(i);
+    EXPECT_EQ(canonical(dec->insn), canonical(i))
+        << to_string(i) << " vs " << to_string(dec->insn);
+  }
+}
+
+TEST(IsaEncode, LengthsVary) {
+  // Variable-length encoding is load-bearing for gadget confusion: check
+  // we really have several distinct lengths.
+  std::set<std::size_t> lengths;
+  lengths.insert(encoded_length(ib::ret()));
+  lengths.insert(encoded_length(ib::pop(Reg::RDI)));
+  lengths.insert(encoded_length(ib::mov(Reg::RAX, Reg::RBX)));
+  lengths.insert(encoded_length(ib::mov_i32(Reg::RAX, 1)));
+  lengths.insert(encoded_length(ib::mov_i64(Reg::RAX, 1)));
+  lengths.insert(encoded_length(ib::load(Reg::RAX, MemRef::abs(0x1000))));
+  EXPECT_GE(lengths.size(), 5u);
+}
+
+TEST(IsaDecode, RejectsUnknownOpcode) {
+  std::uint8_t bad[] = {0xff, 0, 0, 0};
+  EXPECT_FALSE(decode(bad).has_value());
+  std::uint8_t bad2[] = {static_cast<std::uint8_t>(Op::kCount), 0, 0};
+  EXPECT_FALSE(decode(bad2).has_value());
+}
+
+TEST(IsaDecode, RejectsTruncated) {
+  auto bytes = encode_one(ib::mov_i64(Reg::RAX, 0x1122334455667788ll));
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    auto span = std::span<const std::uint8_t>(bytes.data(), keep);
+    EXPECT_FALSE(decode(span).has_value()) << keep;
+  }
+}
+
+TEST(IsaDecode, RejectsBadCondAndSize) {
+  auto b1 = encode_one(ib::setcc(Cond::E, Reg::RAX));
+  b1[1] = kNumConds;  // invalid cc
+  EXPECT_FALSE(decode(b1).has_value());
+  auto b2 = encode_one(ib::load(Reg::RAX, MemRef::abs(0), 8));
+  b2.back() = 3;  // invalid size
+  EXPECT_FALSE(decode(b2).has_value());
+  auto b3 = encode_one(ib::loads(Reg::RAX, MemRef::abs(0), 4));
+  b3.back() = 8;  // LOADS size 8 is not a thing
+  EXPECT_FALSE(decode(b3).has_value());
+}
+
+TEST(IsaDecode, UnalignedDecodeDiffers) {
+  // Decoding inside an instruction stream at +1 should usually produce a
+  // different (or invalid) stream: the property that makes speculative
+  // gadget guessing explode (§V-D).
+  std::vector<std::uint8_t> prog;
+  encode(ib::mov_i64(Reg::RAX, 0x4005a8), prog);
+  encode(ib::add(Reg::RAX, Reg::RBX), prog);
+  encode(ib::ret(), prog);
+  auto at0 = decode(prog);
+  ASSERT_TRUE(at0.has_value());
+  auto at1 = decode(std::span<const std::uint8_t>(prog).subspan(1));
+  if (at1.has_value()) {
+    EXPECT_NE(at1->insn.op, at0->insn.op);
+  }
+  SUCCEED();
+}
+
+TEST(IsaPrint, ReadableOutput) {
+  EXPECT_EQ(to_string(ib::mov(Reg::RDI, Reg::RAX)), "mov rdi, rax");
+  EXPECT_EQ(to_string(ib::ret()), "ret");
+  EXPECT_EQ(to_string(ib::pop(Reg::RSI)), "pop rsi");
+  EXPECT_EQ(to_string(ib::jcc(Cond::NE, 0x10)), "jne 0x10");
+  std::string s = to_string(ib::load(
+      Reg::RCX, MemRef::base_index(Reg::RAX, Reg::RBX, 3, 8), 8));
+  EXPECT_EQ(s, "mov rcx, qword ptr [rax + rbx*8 + 0x8]");
+}
+
+TEST(IsaCond, NegationInvolution) {
+  for (int c = 0; c < kNumConds; ++c) {
+    Cond cc = static_cast<Cond>(c);
+    EXPECT_EQ(negate(negate(cc)), cc);
+    EXPECT_NE(negate(cc), cc);
+  }
+}
+
+}  // namespace
+}  // namespace raindrop::isa

@@ -1,0 +1,228 @@
+// Parameterized property sweeps (TEST_P): the heavy differential
+// batteries that hammer the rewriter across obfuscation configurations,
+// seeds and workloads; the P2 condition-bit formulas executed on the
+// real CPU; and solver round-trips.
+#include <gtest/gtest.h>
+
+#include "cpu/cpu.hpp"
+#include "image/image.hpp"
+#include "isa/encode.hpp"
+#include "minic/codegen.hpp"
+#include "minic/interp.hpp"
+#include "rop/predicates.hpp"
+#include "rop/rewriter.hpp"
+#include "solver/solver.hpp"
+#include "workload/randomfuns.hpp"
+
+namespace raindrop {
+namespace {
+
+// ---- P2 condition-bit micro-op programs executed on the CPU ----------
+
+struct CondCase {
+  isa::Cond cc;
+  bool b_is_imm;
+};
+
+class CondBitExec : public ::testing::TestWithParam<CondCase> {};
+
+TEST_P(CondBitExec, MatchesSemanticsOnCpu) {
+  auto [cc, b_imm] = GetParam();
+  using isa::Reg;
+  const std::int64_t samples[] = {0,  1,  -1, 5,  -5, 127, -128,
+                                  255, 64, 63, -2, 2,  100, -100};
+  for (std::int64_t av : samples) {
+    for (std::int64_t bv : samples) {
+      auto ops = rop::cond_bit_microops(cc, Reg::RDI, b_imm, Reg::RSI, bv,
+                                        Reg::RAX, Reg::RCX, Reg::RDX,
+                                        Reg::R8);
+      ASSERT_TRUE(ops.has_value());
+      // Assemble the micro-ops into a straight-line program.
+      Memory mem;
+      mem.map_region(0, 1 << 20, kPermRWX, "all");
+      std::vector<std::uint8_t> bytes;
+      for (const auto& m : *ops) {
+        if (m.k == rop::MicroOp::K::Const)
+          isa::encode(isa::ib::mov_i64(m.dst, m.value), bytes);
+        else
+          isa::encode(m.insn, bytes);
+      }
+      isa::encode(isa::ib::hlt(), bytes);
+      mem.write_bytes(0x1000, bytes);
+      Cpu cpu(&mem);
+      cpu.set_reg(Reg::RDI, static_cast<std::uint64_t>(av));
+      cpu.set_reg(Reg::RSI, static_cast<std::uint64_t>(bv));
+      // Pollute the flags: the whole point is flag independence.
+      cpu.set_flags(0xf);
+      cpu.set_reg(Reg::RSP, 0x80000);
+      cpu.set_rip(0x1000);
+      ASSERT_EQ(cpu.run(1000), CpuStatus::kHalted);
+      bool expect = rop::cond_holds(cc, static_cast<std::uint64_t>(av),
+                                    static_cast<std::uint64_t>(bv));
+      EXPECT_EQ(cpu.reg(Reg::RAX), expect ? 1u : 0u)
+          << isa::cond_name(cc) << " a=" << av << " b=" << bv
+          << " imm=" << b_imm;
+    }
+  }
+}
+
+std::vector<CondCase> all_cond_cases() {
+  std::vector<CondCase> v;
+  for (int c = 0; c < isa::kNumConds; ++c) {
+    isa::Cond cc = static_cast<isa::Cond>(c);
+    if (cc == isa::Cond::O || cc == isa::Cond::NO) continue;
+    v.push_back({cc, false});
+    v.push_back({cc, true});
+  }
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConditions, CondBitExec, ::testing::ValuesIn(all_cond_cases()),
+    [](const ::testing::TestParamInfo<CondCase>& info) {
+      return std::string(isa::cond_name(info.param.cc)) +
+             (info.param.b_is_imm ? "_imm" : "_reg");
+    });
+
+// ---- Rewriter differential sweep over RandomFuns x configs -----------
+
+struct SweepCase {
+  int control;
+  minic::Type type;
+  std::uint64_t obf_seed;
+};
+
+class RewriterSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RewriterSweep, FullConfigAgreesWithOracle) {
+  auto [control, type, obf_seed] = GetParam();
+  workload::RandomFunSpec spec;
+  spec.control = control;
+  spec.type = type;
+  spec.seed = 2;
+  auto rf = workload::make_random_fun(spec);
+
+  Image img = minic::compile(rf.module);
+  rop::ObfConfig cfg = rop::rop_k(0.6, obf_seed);
+  cfg.p3_variant = 3;  // mixed
+  cfg.shuffle_blocks = obf_seed % 2 == 0;
+  rop::Rewriter rw(&img, cfg);
+  auto res = rw.rewrite_function(rf.name);
+  ASSERT_TRUE(res.ok) << res.detail;
+  Memory mem = img.load();
+  std::uint64_t fn = img.function(rf.name)->addr;
+
+  std::int64_t mask =
+      minic::type_size(type) >= 8
+          ? -1
+          : (1ll << (8 * minic::type_size(type))) - 1;
+  Rng rng(obf_seed * 31 + control);
+  std::vector<std::int64_t> inputs = {rf.secret_input, 0, mask};
+  for (int i = 0; i < 5; ++i)
+    inputs.push_back(static_cast<std::int64_t>(rng.next()) & mask);
+  for (std::int64_t x : inputs) {
+    minic::Interp in(rf.module);
+    auto e = in.call(rf.name, {{x}});
+    ASSERT_TRUE(e.ok);
+    auto r = call_function(mem, fn, {{static_cast<std::uint64_t>(x)}},
+                           1'000'000'000ull);
+    ASSERT_EQ(r.status, CpuStatus::kHalted)
+        << r.fault_reason << " x=" << x;
+    EXPECT_EQ(static_cast<std::int64_t>(r.rax), e.value) << "x=" << x;
+    EXPECT_EQ(r.probes, e.probes) << "x=" << x;
+  }
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> v;
+  const minic::Type types[] = {minic::Type::I8, minic::Type::I32};
+  for (int c = 0; c < 6; ++c)
+    for (auto t : types)
+      for (std::uint64_t s : {101ull, 202ull}) v.push_back({c, t, s});
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Controls, RewriterSweep,
+                         ::testing::ValuesIn(sweep_cases()));
+
+// ---- Solver round-trip sweep ------------------------------------------
+
+class SolverRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverRoundTrip, InvertsRandomTwoByteCircuits) {
+  int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  solver::ExprPool pool;
+  // Random circuit over two input bytes.
+  auto in = pool.bin(solver::Ex::Or, pool.var(0),
+                     pool.bin(solver::Ex::Shl, pool.var(1),
+                              pool.constant(8)));
+  solver::ExprRef e = in;
+  for (int i = 0; i < 6; ++i) {
+    solver::Ex ops[] = {solver::Ex::Add, solver::Ex::Xor, solver::Ex::Mul,
+                        solver::Ex::Or};
+    e = pool.bin(ops[rng.below(4)], e,
+                 pool.constant(rng.next() & 0xffff));
+    if (rng.chance(1, 3))
+      e = pool.bin(solver::Ex::Shl, e,
+                   pool.constant(rng.below(8)));
+  }
+  solver::Assignment truth{};
+  truth[0] = static_cast<std::uint8_t>(rng.next());
+  truth[1] = static_cast<std::uint8_t>(rng.next());
+  auto target = pool.constant(pool.eval(e, truth));
+  std::vector<solver::ExprRef> cs{pool.eq(e, target)};
+  solver::Solver s(&pool);
+  auto sol = s.solve(cs, 2, Deadline(10.0));
+  ASSERT_TRUE(sol.has_value()) << "seed " << seed;
+  EXPECT_EQ(pool.eval(cs[0], *sol), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverRoundTrip, ::testing::Range(1, 13));
+
+// ---- Expression pool invariants ----------------------------------------
+
+TEST(ExprPool, HashConsingDeduplicates) {
+  solver::ExprPool pool;
+  auto a = pool.add(pool.var(0), pool.constant(5));
+  auto b = pool.add(pool.var(0), pool.constant(5));
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExprPool, ConstantFoldingAndIdentities) {
+  solver::ExprPool pool;
+  auto v = pool.var(0);
+  EXPECT_EQ(pool.add(v, pool.constant(0)), v);
+  EXPECT_EQ(pool.bin(solver::Ex::Mul, v, pool.constant(1)), v);
+  std::uint64_t cv = 0;
+  EXPECT_TRUE(pool.is_const(pool.bin(solver::Ex::Xor, v, v), &cv));
+  EXPECT_EQ(cv, 0u);
+  EXPECT_TRUE(pool.is_const(
+      pool.add(pool.constant(3), pool.constant(4)), &cv));
+  EXPECT_EQ(cv, 7u);
+}
+
+TEST(ExprPool, BatchMatchesPointEval) {
+  Rng rng(99);
+  solver::ExprPool pool;
+  auto e1 = pool.bin(solver::Ex::Mul, pool.var(0), pool.constant(37));
+  auto e2 = pool.bin(solver::Ex::Xor,
+                     pool.ext(solver::Ex::SExt, pool.var(1), 1), e1);
+  auto c1 = pool.bin(solver::Ex::Ult, e2, pool.constant(500000));
+  auto c2 = pool.eq(pool.bin(solver::Ex::And, e1, pool.constant(1)),
+                    pool.constant(1));
+  std::vector<solver::ExprRef> roots{c1, c2};
+  solver::ExprPool::Batch batch(pool, roots);
+  for (int t = 0; t < 200; ++t) {
+    solver::Assignment a{};
+    a[0] = static_cast<std::uint8_t>(rng.next());
+    a[1] = static_cast<std::uint8_t>(rng.next());
+    bool batch_ok = batch.all_true(a);
+    bool point_ok = pool.eval(c1, a) != 0 && pool.eval(c2, a) != 0;
+    ASSERT_EQ(batch_ok, point_ok);
+    EXPECT_EQ(batch.value_of(e2), pool.eval(e2, a));
+  }
+}
+
+}  // namespace
+}  // namespace raindrop
