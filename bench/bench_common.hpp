@@ -1,16 +1,23 @@
 // Shared helpers for the benchmark harnesses. Each bench binary
 // regenerates one table/figure of the paper (see DESIGN.md §4) at scaled
 // budgets; RAINDROP_FULL=1 switches to the full-size experiment.
+//
+// Every bench also emits a machine-readable BENCH_<name>.json next to its
+// table output (BenchJson below), so the perf trajectory can be tracked
+// across PRs without scraping stdout.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "image/image.hpp"
 #include "minic/codegen.hpp"
 #include "rop/rewriter.hpp"
+#include "support/stopwatch.hpp"
 #include "vmobf/vmobf.hpp"
 #include "workload/randomfuns.hpp"
 
@@ -20,6 +27,89 @@ inline bool full_mode() {
   const char* e = std::getenv("RAINDROP_FULL");
   return e && *e == '1';
 }
+
+// CI smoke mode: shrink the experiment below even the scaled default.
+inline bool smoke_mode() {
+  const char* e = std::getenv("RAINDROP_SMOKE");
+  return e && *e == '1';
+}
+
+// Craft threads for engine batches (RAINDROP_THREADS, default 4). Batch
+// output is bit-identical at any thread count, so this only moves
+// wall-clock.
+inline int bench_threads() {
+  const char* e = std::getenv("RAINDROP_THREADS");
+  if (e && *e) {
+    int n = std::atoi(e);
+    if (n > 0) return n;
+  }
+  return 4;
+}
+
+// Machine-readable results: collects scalar metrics and string notes,
+// then writes BENCH_<name>.json (flat schema: name, mode, wall-clock,
+// metrics object). Values are recorded in insertion order.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void metric(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    entries_.push_back({key, buf, /*quoted=*/false});
+  }
+  void note(const std::string& key, const std::string& value) {
+    entries_.push_back({key, value, /*quoted=*/true});
+  }
+
+  // Writes BENCH_<name>.json in the working directory. Returns false
+  // (and warns) when the file cannot be created.
+  bool write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << escape(name_) << "\",\n"
+        << "  \"mode\": \"" << (full_mode() ? "full" : smoke_mode() ? "smoke"
+                                                                    : "scaled")
+        << "\",\n  \"wall_clock_s\": " << watch_.seconds()
+        << ",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << (i ? ",\n    " : "\n    ") << "\"" << escape(e.key) << "\": ";
+      if (e.quoted)
+        out << "\"" << escape(e.value) << "\"";
+      else
+        out << e.value;
+    }
+    out << "\n  }\n}\n";
+    std::printf("[bench] wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string key, value;
+    bool quoted;
+  };
+  static std::string escape(const std::string& s) {
+    std::string r;
+    for (char c : s) {
+      if (c == '"' || c == '\\') r.push_back('\\');
+      if (c == '\n') {
+        r += "\\n";
+        continue;
+      }
+      r.push_back(c);
+    }
+    return r;
+  }
+  std::string name_;
+  std::vector<Entry> entries_;
+  Stopwatch watch_;  // started at construction: whole-bench wall-clock
+};
 
 // Obfuscation configurations of Table I.
 struct NamedConfig {
@@ -59,8 +149,9 @@ inline std::vector<NamedConfig> table1_configs(bool full) {
   return cs;
 }
 
-// Builds the obfuscated image for a single-function module. Returns
-// false when the configuration does not apply (e.g. VM on asm bodies).
+// Builds the obfuscated image for a single-function module through the
+// batch engine. Returns false when the configuration does not apply
+// (e.g. VM on asm bodies) or the rewrite fails.
 inline bool build_config(const workload::RandomFun& rf,
                          const NamedConfig& nc, std::uint64_t seed,
                          Image* out) {
@@ -81,9 +172,9 @@ inline bool build_config(const workload::RandomFun& rf,
     c.p3_fraction = nc.rop_k;
     c.p3_variant = 1;
     c.gadget_confusion = false;
-    rop::Rewriter rw(&img, c);
-    auto res = rw.rewrite_function(rf.name);
-    if (!res.ok) return false;
+    engine::ObfuscationEngine eng(&img, c);
+    auto mr = eng.obfuscate_module({rf.name}, 1);
+    if (mr.ok_count != 1) return false;
   }
   *out = std::move(img);
   return true;

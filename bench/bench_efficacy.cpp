@@ -38,8 +38,8 @@ Image build_rop(const workload::RandomFun& rf, bool p1, bool p2, double k,
   c.p3_fraction = k;
   c.gadget_confusion = confusion;
   c.confusion_bump_prob = 0.3;
-  rop::Rewriter rw(&img, c);
-  auto r = rw.rewrite_function(rf.name);
+  engine::ObfuscationEngine eng(&img, c);
+  auto r = eng.obfuscate_module({rf.name}, 1).results.front();
   if (res_out) *res_out = r;
   return img;
 }
@@ -50,6 +50,8 @@ int main() {
   bool full = full_mode();
   double budget = full ? 30.0 : 6.0;
   auto rf = make_target();
+  BenchJson json("efficacy");
+  json.metric("budget_s", budget);
 
   std::printf("=== §VII-A efficacy: per-technique attack results ===\n\n");
 
@@ -76,6 +78,9 @@ int main() {
                 static_cast<unsigned long long>(out.states_forked),
                 static_cast<unsigned long long>(out.solver_queries));
     std::fflush(stdout);
+    json.metric(std::string("se_") + row.name + "_found",
+                out.success ? 1 : 0);
+    json.metric(std::string("se_") + row.name + "_seconds", out.seconds);
   }
   std::printf("  (paper: seconds native, >4500s / >24h once P1/P3 are "
               "on)\n\n");
@@ -96,6 +101,10 @@ int main() {
                 static_cast<unsigned long long>(out.flips_attempted),
                 static_cast<unsigned long long>(out.flips_revealing),
                 static_cast<unsigned long long>(out.flips_derailed));
+    json.metric(p2 ? "ropmemu_p2_revealing" : "ropmemu_plain_revealing",
+                static_cast<double>(out.flips_revealing));
+    json.metric(p2 ? "ropmemu_p2_derailed" : "ropmemu_plain_derailed",
+                static_cast<double>(out.flips_derailed));
   }
   std::printf("  (paper: with P2 ROPDissector/ROPMEMU reveal no blocks "
               "beyond the input-exercised ones)\n\n");
@@ -115,6 +124,9 @@ int main() {
                 static_cast<unsigned long long>(out.aligned_slots),
                 static_cast<unsigned long long>(out.branch_sites),
                 static_cast<unsigned long long>(out.guess_starts));
+    json.metric(confusion ? "dissector_confusion_guesses"
+                          : "dissector_plain_guesses",
+                static_cast<double>(out.guess_starts));
   }
   std::printf("  (paper: guessing explodes with many short unaligned "
               "candidates, hard to tell from P2-protected true "
@@ -140,9 +152,14 @@ int main() {
                 static_cast<unsigned long long>(t1.trace_len),
                 100 * t1.reduction,
                 static_cast<unsigned long long>(t1.tainted_branches));
+    json.metric("tds_p1_tainted_branches",
+                static_cast<double>(t0.tainted_branches));
+    json.metric("tds_p1p3_tainted_branches",
+                static_cast<double>(t1.tainted_branches));
   }
   std::printf("  (paper: P3's input-tainted control dependencies are "
               "non-simplifiable, so TDS+DSE symbiosis does not ease the "
               "attack)\n");
+  json.write();
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "bench_common.hpp"
 #include "minic/interp.hpp"
 #include "solver/solver.hpp"
+#include "workload/corpus.hpp"
 #include "workload/randomfuns.hpp"
 
 using namespace raindrop;
@@ -70,6 +71,21 @@ void BM_RewriteFunction(benchmark::State& state) {
 }
 BENCHMARK(BM_RewriteFunction);
 
+void BM_EngineBatchCraft(benchmark::State& state) {
+  // Batch throughput of the two-phase engine over a 100-function corpus
+  // slice, at the thread count given by the benchmark argument.
+  auto cp = workload::make_corpus(1, 100);
+  int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Image img = minic::compile(cp.module);
+    engine::ObfuscationEngine eng(&img, rop::rop_k(0.25, 9));
+    auto mr = eng.obfuscate_module(cp.functions, threads);
+    benchmark::DoNotOptimize(mr.ok_count);
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_EngineBatchCraft)->Arg(1)->Arg(4);
+
 void BM_InterpOracle(benchmark::State& state) {
   auto rf = target();
   minic::Interp in(rf.module);
@@ -107,4 +123,28 @@ BENCHMARK(BM_SolverExhaustive2Byte);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Machine-readable summary: one engine batch timed directly (the
+  // google-benchmark table above is for humans).
+  BenchJson json("micro");
+  auto cp = workload::make_corpus(1, 100);
+  std::vector<int> thread_counts = {1};
+  if (bench_threads() != 1) thread_counts.push_back(bench_threads());
+  for (int threads : thread_counts) {
+    Image img = minic::compile(cp.module);
+    engine::ObfuscationEngine eng(&img, rop::rop_k(0.25, 9));
+    auto mr = eng.obfuscate_module(cp.functions, threads);
+    char key[48];
+    std::snprintf(key, sizeof(key), "engine_craft_s_%dt", threads);
+    json.metric(key, mr.craft_seconds);
+    std::snprintf(key, sizeof(key), "engine_commit_s_%dt", threads);
+    json.metric(key, mr.commit_seconds);
+  }
+  json.write();
+  return 0;
+}

@@ -27,6 +27,9 @@ int main() {
     funs.push_back(workload::make_random_fun(s));
   }
 
+  BenchJson json("table2");
+  json.metric("budget_s", budget_s);
+  json.metric("functions", static_cast<double>(funs.size()));
   std::printf("=== Table II: successful attacks, %.0fs budget/function "
               "(%zu functions%s) ===\n",
               budget_s, funs.size(), full ? ", FULL" : "");
@@ -68,8 +71,11 @@ int main() {
                 found ? total_time / found : 0.0, covered,
                 static_cast<int>(funs.size()));
     std::fflush(stdout);
+    json.metric(nc.name + "_secret_found", found);
+    json.metric(nc.name + "_coverage_100", covered);
   }
   std::printf("\nPaper shape check: NATIVE near-total; ROPk decreasing in "
               "k and below VM configs; 3VM-IMPall zero.\n");
+  json.write();
   return 0;
 }

@@ -3,11 +3,11 @@
 // traced gadget by gadget.
 #include <cstdio>
 
+#include "engine/engine.hpp"
 #include "gadgets/catalog.hpp"
 #include "image/image.hpp"
 #include "isa/print.hpp"
 #include "minic/codegen.hpp"
-#include "rop/rewriter.hpp"
 
 using namespace raindrop;
 using namespace raindrop::minic;
@@ -29,8 +29,8 @@ int main() {
   Image img = compile(mod);
   rop::ObfConfig cfg;
   cfg.seed = 7;
-  rop::Rewriter rw(&img, cfg);
-  auto res = rw.rewrite_function("rop_caller");
+  engine::ObfuscationEngine rw(&img, cfg);
+  auto res = rw.obfuscate_module({"rop_caller"}, 1).results.front();
   if (!res.ok) {
     std::printf("rewrite failed: %s\n", res.detail.c_str());
     return 1;

@@ -4,9 +4,9 @@
 #include <cstdio>
 
 #include "attack/dse.hpp"
+#include "engine/engine.hpp"
 #include "image/image.hpp"
 #include "minic/codegen.hpp"
-#include "rop/rewriter.hpp"
 #include "workload/randomfuns.hpp"
 
 using namespace raindrop;
@@ -46,8 +46,8 @@ int main() {
   attempt("native:", native, 20.0);
 
   Image prot = minic::compile(rf.module);
-  rop::Rewriter rw(&prot, rop::rop_k(1.0, 99));
-  auto res = rw.rewrite_function(rf.name);
+  engine::ObfuscationEngine rw(&prot, rop::rop_k(1.0, 99));
+  auto res = rw.obfuscate_module({rf.name}, 1).results.front();
   if (!res.ok) {
     std::printf("rewrite failed: %s\n", res.detail.c_str());
     return 1;

@@ -3,11 +3,11 @@
 // then dump the first chain entries, Figure-1 style.
 #include <cstdio>
 
+#include "engine/engine.hpp"
 #include "gadgets/catalog.hpp"
 #include "image/image.hpp"
 #include "isa/print.hpp"
 #include "minic/codegen.hpp"
-#include "rop/rewriter.hpp"
 
 using namespace raindrop;
 using namespace raindrop::minic;
@@ -28,8 +28,9 @@ int main() {
               (unsigned long long)img.function("checked")->size);
 
   rop::ObfConfig cfg = rop::rop_k(/*k=*/0.5, /*seed=*/42);
-  rop::Rewriter rewriter(&img, cfg);
-  auto res = rewriter.rewrite_function("checked");
+  engine::ObfuscationEngine rewriter(&img, cfg);
+  auto res = rewriter.obfuscate_module({"checked"}, /*threads=*/1)
+                 .results.front();
   if (!res.ok) {
     std::printf("rewrite failed: %s\n", res.detail.c_str());
     return 1;

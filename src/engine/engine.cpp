@@ -1,0 +1,295 @@
+#include "engine/engine.hpp"
+
+#include <set>
+
+#include "analysis/taintreg.hpp"
+#include "isa/encode.hpp"
+#include "rop/craft.hpp"
+#include "rop/roplet.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
+
+namespace raindrop::engine {
+
+using isa::Insn;
+using isa::MemRef;
+using isa::Reg;
+namespace ib = isa::ib;
+
+ObfuscationEngine::ObfuscationEngine(Image* img, const rop::ObfConfig& cfg)
+    : img_(img), cfg_(cfg),
+      pool_(img, Rng(cfg.seed).next(), cfg.gadget_variants) {
+  // Stack-switching array ss (§IV-A3): cell 0 holds the byte offset of
+  // the top entry; entries follow. Sized for deep recursion.
+  ss_addr_ = img_->reserve(".data", 8 * 1025);
+  img_->add_object("__raindrop_ss", ss_addr_, 8 * 1025);
+
+  // The synthetic function-return gadget with a hard-wired ss address
+  // (§IV-B2): mov r11, ss; add r11, [r11]; xchg rsp, [r11]; ret.
+  std::vector<Insn> core = {
+      ib::mov_i64(Reg::R11, static_cast<std::int64_t>(ss_addr_)),
+      ib::add_m(Reg::R11, MemRef::base_disp(Reg::R11)),
+      ib::xchg_m(Reg::RSP, MemRef::base_disp(Reg::R11)),
+  };
+  funcret_gadget_ = pool_.want(core, analysis::RegSet());
+
+  // Seed the pool with gadgets already present in compiled code
+  // ("program parts left unobfuscated", §IV-A1).
+  pool_.harvest(kTextBase, img_->section_end(".text"));
+}
+
+std::vector<std::uint8_t> ObfuscationEngine::make_pivot_stub(
+    std::uint64_t chain_addr) const {
+  // Appendix A pivoting stub, in MiniX86. Uses only RAX (caller-saved,
+  // dead at function entry) and push/pop pairs, like the paper's 22-byte
+  // optimised sequence.
+  std::vector<std::uint8_t> bytes;
+  isa::encode(ib::push_i32(static_cast<std::int64_t>(ss_addr_)), bytes);
+  isa::encode(ib::pop(Reg::RAX), bytes);
+  isa::encode(ib::add_mi(MemRef::base_disp(Reg::RAX), 8), bytes);   // (a)
+  isa::encode(ib::add_m(Reg::RAX, MemRef::base_disp(Reg::RAX)), bytes);
+  isa::encode(ib::store(MemRef::base_disp(Reg::RAX), Reg::RSP), bytes);  // (b)
+  isa::encode(ib::push_i32(static_cast<std::int64_t>(chain_addr)), bytes);
+  isa::encode(ib::pop(Reg::RSP), bytes);                            // (c)
+  isa::encode(ib::ret(), bytes);
+  return bytes;
+}
+
+std::size_t ObfuscationEngine::pivot_stub_size() {
+  std::vector<std::uint8_t> bytes;
+  isa::encode(ib::push_i32(0), bytes);
+  isa::encode(ib::pop(Reg::RAX), bytes);
+  isa::encode(ib::add_mi(MemRef::base_disp(Reg::RAX), 8), bytes);
+  isa::encode(ib::add_m(Reg::RAX, MemRef::base_disp(Reg::RAX)), bytes);
+  isa::encode(ib::store(MemRef::base_disp(Reg::RAX), Reg::RSP), bytes);
+  isa::encode(ib::push_i32(0), bytes);
+  isa::encode(ib::pop(Reg::RSP), bytes);
+  isa::encode(ib::ret(), bytes);
+  return bytes.size();
+}
+
+ObfuscationEngine::Prealloc ObfuscationEngine::preallocate(
+    const std::string& name) {
+  Prealloc pre;
+  pre.ordinal = next_ordinal_++;
+  FunctionSym* fn = img_->function(name);
+  if (!fn || fn->rop_rewritten) {
+    pre.early_failure = rop::RewriteFailure::UnsupportedInsn;
+    pre.early_detail = fn ? "already rewritten" : "no such function";
+    return pre;
+  }
+  pre.fn_addr = fn->addr;
+  pre.fn_size = fn->size;
+  pre.arg_count = fn->arg_count;
+  if (fn->size < pivot_stub_size()) {
+    pre.early_failure = rop::RewriteFailure::TooShort;
+    pre.early_detail = "body smaller than pivot stub";
+    return pre;
+  }
+  // Per-function P1 array (also required by P3 variant 2). The cell
+  // count is a pure function of the config, so the space can be reserved
+  // before the cells are crafted.
+  if (cfg_.p1 || cfg_.p3_variant >= 2) {
+    std::size_t cells =
+        static_cast<std::size_t>(cfg_.p1_s) * static_cast<std::size_t>(cfg_.p1_p);
+    pre.p1_addr = img_->reserve(".data", cells * 8);
+  }
+  // Spill slots: adjacent to the chain area by default ("inlined 8-byte
+  // chain slot", §IV-B2), or in .data for read-only chains (§IV-C).
+  for (int i = 0; i < cfg_.max_spill_slots; ++i)
+    pre.spill_slots.push_back(
+        img_->reserve(cfg_.read_only_chain ? ".data" : ".ropdata", 8));
+  return pre;
+}
+
+CraftedFunction ObfuscationEngine::craft_one(const std::string& name,
+                                             const Prealloc& pre) const {
+  CraftedFunction cf;
+  cf.name = name;
+  cf.ordinal = pre.ordinal;
+  cf.fn_addr = pre.fn_addr;
+  cf.spill_slots = pre.spill_slots;
+  if (pre.early_failure != rop::RewriteFailure::None) {
+    cf.failure = pre.early_failure;
+    cf.detail = pre.early_detail;
+    return cf;
+  }
+
+  // All randomness in this function's craft comes from its own
+  // counter-based stream: the artifact depends only on (image snapshot,
+  // frozen pool, prealloc, seed, ordinal), never on sibling functions.
+  Rng rng = Rng::stream(cfg_.seed, pre.ordinal);
+
+  // Support analyses (Figure 2: CFG reconstruction, liveness, gadget
+  // finder feed translation / chain crafting).
+  cf.cfg = analysis::build_cfg(*img_, pre.fn_addr, pre.fn_size);
+  if (!cf.cfg.complete) {
+    cf.failure = rop::RewriteFailure::CfgIncomplete;
+    cf.detail = cf.cfg.error;
+    return cf;
+  }
+  cf.liveness = analysis::compute_liveness(cf.cfg, img_);
+  analysis::TaintInfo taint = analysis::compute_taint(cf.cfg, pre.arg_count);
+
+  rop::TranslateResult tr = rop::translate(cf.cfg, cf.liveness, taint);
+  if (!tr.ok) {
+    cf.failure = rop::RewriteFailure::UnsupportedInsn;
+    cf.detail = tr.error;
+    return cf;
+  }
+
+  if (pre.p1_addr != 0) {
+    cf.p1 = rop::P1Array::generate(rng, cfg_.p1_n, cfg_.p1_s, cfg_.p1_p,
+                                   cfg_.p1_m);
+    cf.p1->addr = pre.p1_addr;
+  }
+
+  rop::CraftEnv env;
+  env.pool = &pool_;
+  env.cfg = &cfg_;
+  env.rng = &rng;
+  env.ss_addr = ss_addr_;
+  env.funcret_gadget = funcret_gadget_;
+  env.spill_slots = cf.spill_slots;
+  env.p1 = cf.p1 ? &*cf.p1 : nullptr;
+  env.liveness = &cf.liveness;
+  env.fn_addr = pre.fn_addr;
+  env.fn_stub_end = pre.fn_addr + pivot_stub_size();
+
+  rop::CraftOutput co = rop::craft_chain(env, tr);
+  if (!co.ok) {
+    cf.failure = co.failure;
+    cf.detail = co.detail;
+    return cf;
+  }
+  cf.chain = std::move(co.chain);
+  cf.requests = std::move(co.requests);
+  cf.program_points = co.program_points;
+  cf.ok = true;
+  return cf;
+}
+
+rop::RewriteResult ObfuscationEngine::commit_one(CraftedFunction& cf) {
+  rop::RewriteResult res;
+  if (!cf.ok) {
+    res.failure = cf.failure;
+    res.detail = cf.detail;
+    return res;
+  }
+  // A name listed twice in one batch crafts twice (prealloc happens
+  // before any commit); only the first artifact may land.
+  if (img_->function(cf.name)->rop_rewritten) {
+    res.failure = rop::RewriteFailure::UnsupportedInsn;
+    res.detail = "already rewritten";
+    return res;
+  }
+
+  // Resolve deferred gadget demands in request order. A request may be
+  // served by a gadget synthesized for an earlier function in the batch:
+  // cross-function reuse (Table III's B << A) happens here.
+  std::vector<std::uint64_t> addrs;
+  addrs.reserve(cf.requests.size());
+  for (const gadgets::GadgetRequest& req : cf.requests)
+    addrs.push_back(pool_.resolve(req));
+  cf.chain.resolve_gadget_refs(addrs);
+
+  // Materialization (§IV-B3): fix the layout, embed the chain, patch the
+  // switch displacements into the (now dead) original body, install the
+  // pivot stub. The chain lands at the current end of .ropdata, which is
+  // what absolute chain items (flag-preserving jumps) resolve against.
+  // Everything is staged as one deferred commit and applied atomically.
+  std::uint64_t chain_base = img_->section_end(".ropdata");
+  rop::Chain::Materialized mat = cf.chain.materialize(chain_base);
+  Image::DeferredCommit dc;
+  dc.section = ".ropdata";
+  dc.bytes = mat.bytes;
+  if (cf.p1)
+    for (std::size_t i = 0; i < cf.p1->cells.size(); ++i)
+      dc.u64_patches.push_back({cf.p1->addr + 8 * i, cf.p1->cells[i]});
+  for (auto [addr, val] : mat.patches)
+    dc.u32_patches.push_back({addr, static_cast<std::uint32_t>(val)});
+  dc.raw_patches.push_back({cf.fn_addr, make_pivot_stub(chain_base)});
+  // Tripwire BEFORE mutating: if .ropdata grew between reading
+  // chain_base and committing (it cannot in a serial phase 2, but a
+  // future pool/section change could), fail while the image is intact.
+  if (img_->section_end(".ropdata") != chain_base) {
+    res.failure = rop::RewriteFailure::UnsupportedInsn;
+    res.detail = "chain base moved during materialization";
+    return res;
+  }
+  img_->apply_commit(dc);
+  std::uint64_t chain_addr = chain_base;
+  img_->function(cf.name)->rop_rewritten = true;
+
+  res.ok = true;
+  res.chain_addr = chain_addr;
+  res.chain_size = mat.bytes.size();
+  res.stats.program_points = cf.program_points;
+  res.stats.gadget_slots = cf.chain.gadget_slots();
+  res.stats.unique_gadgets = cf.chain.unique_gadget_count();
+  res.stats.gadgets_per_point =
+      cf.program_points == 0
+          ? 0.0
+          : static_cast<double>(res.stats.gadget_slots) /
+                static_cast<double>(cf.program_points);
+  res.stats.chain_bytes = mat.bytes.size();
+
+  auto gaddrs = cf.chain.gadget_addrs();
+  all_gadget_addrs_.insert(all_gadget_addrs_.end(), gaddrs.begin(),
+                           gaddrs.end());
+  total_points_ += cf.program_points;
+  return res;
+}
+
+ModuleResult ObfuscationEngine::obfuscate_module(
+    const std::vector<std::string>& names, int threads) {
+  ModuleResult out;
+  Stopwatch watch;
+
+  // Serial pre-pass: fix every address crafting will need (P1 arrays,
+  // spill slots) and catch image-dependent early failures, so phase 1
+  // can run against an immutable image.
+  std::vector<Prealloc> pre;
+  pre.reserve(names.size());
+  for (const std::string& name : names) pre.push_back(preallocate(name));
+
+  // Phase 1: pure parallel craft against the frozen pool. Results land
+  // in their input slot; thread scheduling cannot reorder anything.
+  pool_.freeze();
+  std::vector<CraftedFunction> crafted(names.size());
+  {
+    ThreadPool tp(threads);
+    tp.parallel_for(names.size(), [&](std::size_t i) {
+      crafted[i] = craft_one(names[i], pre[i]);
+    });
+  }
+  pool_.unfreeze();
+  out.craft_seconds = watch.seconds();
+
+  // Phase 2: serial commit in batch order.
+  watch.reset();
+  out.results.reserve(names.size());
+  for (CraftedFunction& cf : crafted) {
+    out.results.push_back(commit_one(cf));
+    if (out.results.back().ok) ++out.ok_count;
+  }
+  out.commit_seconds = watch.seconds();
+  return out;
+}
+
+rop::RewriteResult ObfuscationEngine::rewrite_function(
+    const std::string& name) {
+  return obfuscate_module({name}, 1).results.front();
+}
+
+ObfuscationEngine::Aggregate ObfuscationEngine::aggregate() const {
+  Aggregate a;
+  a.program_points = total_points_;
+  a.gadget_slots = all_gadget_addrs_.size();
+  std::set<std::uint64_t> uniq(all_gadget_addrs_.begin(),
+                               all_gadget_addrs_.end());
+  a.unique_gadgets = uniq.size();
+  return a;
+}
+
+}  // namespace raindrop::engine

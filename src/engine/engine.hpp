@@ -1,0 +1,128 @@
+// Two-phase batch ObfuscationEngine: the scalable front door to the
+// paper's rewriting pipeline (Figure 2).
+//
+// Phase 1 (craft, pure, parallel): each function's chain is produced as a
+// side-effect-free CraftedFunction artifact against an immutable snapshot
+// of the image and a frozen, shared GadgetPool. Every per-function random
+// decision draws from a counter-based stream (Rng::stream(seed, ordinal)),
+// and gadgets the frozen pool cannot serve become relocatable
+// GadgetRequests -- so a batch crafted on N threads is bit-identical to
+// the same batch crafted serially.
+//
+// Phase 2 (commit, serial): artifacts are applied to the image in batch
+// order -- P1 arrays written, gadget requests resolved (possibly sharing
+// gadgets across functions, which is where Table III's B << A reuse comes
+// from), chains materialized into .ropdata, pivot stubs installed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/disasm.hpp"
+#include "analysis/liveness.hpp"
+#include "gadgets/catalog.hpp"
+#include "image/image.hpp"
+#include "rop/chain.hpp"
+#include "rop/predicates.hpp"
+#include "rop/types.hpp"
+#include "support/rng.hpp"
+
+namespace raindrop::engine {
+
+// The pure phase-1 artifact: everything needed to commit the function,
+// and nothing that requires the image to have been touched. The cached
+// analyses (CFG, liveness) ride along for tooling and tests.
+struct CraftedFunction {
+  std::string name;
+  std::size_t ordinal = 0;  // RNG stream index (engine-global, monotonic)
+
+  bool ok = false;
+  rop::RewriteFailure failure = rop::RewriteFailure::None;
+  std::string detail;
+
+  rop::Chain chain;  // relocatable: GadgetRefs + label deltas unresolved
+  std::vector<gadgets::GadgetRequest> requests;
+  std::optional<rop::P1Array> p1;  // cells crafted; addr pre-reserved
+  std::vector<std::uint64_t> spill_slots;  // pre-reserved addresses
+  std::size_t program_points = 0;
+  std::uint64_t fn_addr = 0;
+
+  // Cached support-analysis results (Figure 2) for this function.
+  analysis::Cfg cfg;
+  analysis::Liveness liveness;
+};
+
+struct ModuleResult {
+  std::vector<rop::RewriteResult> results;  // parallel to the input names
+  std::size_t ok_count = 0;
+  double craft_seconds = 0.0;   // phase 1 wall-clock
+  double commit_seconds = 0.0;  // phase 2 wall-clock
+};
+
+class ObfuscationEngine {
+ public:
+  ObfuscationEngine(Image* img, const rop::ObfConfig& cfg);
+
+  // Batch API: obfuscates `names` with phase 1 on `threads` crafting
+  // threads and a serial phase 2. Output images and stats are
+  // bit-identical for every threads value.
+  ModuleResult obfuscate_module(const std::vector<std::string>& names,
+                                int threads = 1);
+
+  // Single-function convenience (a 1-element batch); the facade the
+  // legacy Rewriter API forwards to.
+  rop::RewriteResult rewrite_function(const std::string& name);
+
+  // Aggregate gadget statistics across all commits so far (Table III).
+  struct Aggregate {
+    std::size_t program_points = 0;
+    std::size_t gadget_slots = 0;
+    std::size_t unique_gadgets = 0;
+  };
+  Aggregate aggregate() const;
+
+  std::uint64_t ss_addr() const { return ss_addr_; }
+  std::uint64_t funcret_gadget() const { return funcret_gadget_; }
+  gadgets::GadgetPool& pool() { return pool_; }
+  const gadgets::GadgetPool& pool() const { return pool_; }
+  const rop::ObfConfig& config() const { return cfg_; }
+
+  // Size in bytes of the pivoting stub (functions shorter than this
+  // cannot be rewritten; the coverage bench reports them separately).
+  static std::size_t pivot_stub_size();
+
+ private:
+  // Per-function resources reserved serially before phase 1, so crafting
+  // sees fixed addresses without ever touching the image.
+  struct Prealloc {
+    std::size_t ordinal = 0;
+    std::uint64_t fn_addr = 0;
+    std::uint64_t fn_size = 0;
+    int arg_count = 6;          // taint sources for the analyses
+    std::uint64_t p1_addr = 0;  // 0 = no P1 array for this config
+    std::vector<std::uint64_t> spill_slots;
+    // Failures detectable before crafting (serial, image-dependent).
+    rop::RewriteFailure early_failure = rop::RewriteFailure::None;
+    std::string early_detail;
+  };
+
+  Prealloc preallocate(const std::string& name);
+  CraftedFunction craft_one(const std::string& name,
+                            const Prealloc& pre) const;
+  rop::RewriteResult commit_one(CraftedFunction& cf);
+  std::vector<std::uint8_t> make_pivot_stub(std::uint64_t chain_addr) const;
+
+  Image* img_;
+  rop::ObfConfig cfg_;
+  gadgets::GadgetPool pool_;
+  std::uint64_t ss_addr_ = 0;
+  std::uint64_t funcret_gadget_ = 0;
+  std::size_t next_ordinal_ = 0;
+  std::vector<std::uint64_t> all_gadget_addrs_;
+  std::size_t total_points_ = 0;
+};
+
+}  // namespace raindrop::engine

@@ -83,8 +83,33 @@ std::uint64_t GadgetPool::synthesize(std::span<const Insn> core, bool jop,
   return g.addr;
 }
 
+std::optional<std::uint64_t> GadgetPool::find_variant(
+    std::span<const Insn> core, bool jop, Reg jop_target,
+    RegSet allowed_clobbers, Rng& rng) const {
+  const std::string key = key_of(core, jop, jop_target);
+  auto it = by_core_.find(key);
+  std::vector<const Gadget*> fits;
+  if (it != by_core_.end()) {
+    for (const Gadget& g : it->second)
+      if ((g.extra_clobbers.minus(allowed_clobbers)).empty())
+        fits.push_back(&g);
+  }
+  if (fits.empty()) return std::nullopt;
+  if (jop) return fits.front()->addr;  // want_jop reuses without growing
+  bool may_grow = static_cast<int>(it->second.size()) < max_variants_;
+  if (may_grow && rng.chance(1, 3)) return std::nullopt;  // diversify
+  return fits[rng.below(fits.size())]->addr;
+}
+
+std::uint64_t GadgetPool::resolve(const GadgetRequest& req) {
+  assert(!frozen_ && "resolve() on a frozen pool");
+  return req.jop ? want_jop(req.core, req.jop_target, req.allowed_clobbers)
+                 : want(req.core, req.allowed_clobbers);
+}
+
 std::uint64_t GadgetPool::want(std::span<const Insn> core,
                                RegSet allowed_clobbers) {
+  assert(!frozen_ && "want() on a frozen pool");
   const std::string key = key_of(core, false, Reg::RAX);
   auto it = by_core_.find(key);
   std::vector<const Gadget*> fits;
@@ -106,6 +131,7 @@ std::uint64_t GadgetPool::want(std::span<const Insn> core,
 
 std::uint64_t GadgetPool::want_jop(std::span<const Insn> core, Reg jop_target,
                                    RegSet allowed_clobbers) {
+  assert(!frozen_ && "want_jop() on a frozen pool");
   const std::string key = key_of(core, true, jop_target);
   auto it = by_core_.find(key);
   if (it != by_core_.end()) {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,6 +31,17 @@ struct Gadget {
   bool jop = false;              // terminates with jmp r instead of ret
   isa::Reg jop_target = isa::Reg::RAX;
   RegSet extra_clobbers;         // junk side effects beyond the core
+};
+
+// A deferred gadget demand recorded by the pure craft phase (which runs
+// against a frozen pool and cannot synthesize): the engine resolves
+// requests serially at commit time, so new-gadget addresses are assigned
+// in deterministic function order no matter how many threads crafted.
+struct GadgetRequest {
+  std::vector<isa::Insn> core;
+  bool jop = false;
+  isa::Reg jop_target = isa::Reg::RAX;
+  RegSet allowed_clobbers;
 };
 
 class GadgetPool {
@@ -53,6 +65,28 @@ class GadgetPool {
   // Plain `ret` gadget.
   std::uint64_t want_ret();
 
+  // -- Immutable-after-build protocol ----------------------------------
+  // The engine freezes the pool before the parallel craft phase: frozen,
+  // the pool is a read-only catalog safe to share across threads
+  // (want()/resolve() assert; find_variant()/random_gadget_addr() are the
+  // concurrent-reader surface). Commit unfreezes to resolve requests.
+  void freeze() { frozen_ = true; }
+  void unfreeze() { frozen_ = false; }
+  bool frozen() const { return frozen_; }
+
+  // Craft-phase lookup: picks an existing compatible variant with the
+  // caller's rng, or returns nullopt to signal "record a GadgetRequest"
+  // (no fit, or the variant bank may still grow and the rng opted to
+  // diversify -- mirroring want()'s growth policy).
+  std::optional<std::uint64_t> find_variant(std::span<const isa::Insn> core,
+                                            bool jop, isa::Reg jop_target,
+                                            RegSet allowed_clobbers,
+                                            Rng& rng) const;
+
+  // Commit-phase resolution of a deferred request (pool must be
+  // unfrozen). May reuse a variant synthesized for an earlier request.
+  std::uint64_t resolve(const GadgetRequest& req);
+
   // Scans [lo, hi) for pre-existing usable gadget bodies and registers
   // them (gadgets "already available in program parts left unobfuscated").
   // Returns how many were registered.
@@ -75,6 +109,7 @@ class GadgetPool {
   Image* img_;
   Rng rng_;
   int max_variants_;
+  bool frozen_ = false;
   std::string section_;
   std::map<std::string, std::vector<Gadget>> by_core_;
   std::map<std::uint64_t, Gadget> by_addr_;

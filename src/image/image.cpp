@@ -126,6 +126,15 @@ std::optional<std::uint64_t> Image::object_addr(const std::string& name) const {
   return it->second.first;
 }
 
+std::uint64_t Image::apply_commit(const DeferredCommit& dc) {
+  std::uint64_t addr =
+      dc.bytes.empty() ? section_end(dc.section) : append(dc.section, dc.bytes);
+  for (const auto& [a, v] : dc.u64_patches) patch_u64(a, v);
+  for (const auto& [a, v] : dc.u32_patches) patch_u32(a, v);
+  for (const auto& [a, b] : dc.raw_patches) patch(a, b);
+  return addr;
+}
+
 Memory Image::load() const {
   Memory mem;
   for (const auto& [name, s] : sections_) {

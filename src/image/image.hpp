@@ -75,6 +75,23 @@ class Image {
                   std::uint64_t size);
   std::optional<std::uint64_t> object_addr(const std::string& name) const;
 
+  // -- Deferred commit --------------------------------------------------
+  // A batch of mutations prepared away from the image (the obfuscation
+  // engine's serial phase 2 builds one per crafted function): an
+  // optional append to `section` followed by address patches, applied in
+  // one call. apply_commit returns the address the appended bytes landed
+  // at (the section end before the append; section_end(section) when
+  // `bytes` is empty).
+  struct DeferredCommit {
+    std::string section;              // append target
+    std::vector<std::uint8_t> bytes;  // appended payload
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> u64_patches;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> u32_patches;
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+        raw_patches;
+  };
+  std::uint64_t apply_commit(const DeferredCommit& dc);
+
   // -- Loading ----------------------------------------------------------
   // Materialises the image into a Memory (regions + bytes + stack + pad).
   Memory load() const;

@@ -5,6 +5,18 @@
 
 namespace raindrop::rop {
 
+void Chain::resolve_gadget_refs(const std::vector<std::uint64_t>& addrs) {
+  for (ChainItem& it : items_) {
+    if (it.kind != ChainItem::Kind::GadgetRef) continue;
+    if (it.gadget_req < 0 ||
+        static_cast<std::size_t>(it.gadget_req) >= addrs.size())
+      throw std::runtime_error("gadget request index out of range");
+    it.kind = ChainItem::Kind::Gadget;
+    it.gadget = addrs[static_cast<std::size_t>(it.gadget_req)];
+    it.gadget_req = -1;
+  }
+}
+
 Chain::Materialized Chain::materialize(std::uint64_t chain_base) const {
   Materialized out;
   // Pass 1: offsets.
@@ -14,6 +26,8 @@ Chain::Materialized Chain::materialize(std::uint64_t chain_base) const {
     item_off[i] = off;
     const ChainItem& it = items_[i];
     switch (it.kind) {
+      case ChainItem::Kind::GadgetRef:
+        throw std::runtime_error("materialize() with unresolved GadgetRef");
       case ChainItem::Kind::Gadget:
       case ChainItem::Kind::Imm:
       case ChainItem::Kind::Delta:
@@ -43,6 +57,8 @@ Chain::Materialized Chain::materialize(std::uint64_t chain_base) const {
   for (std::size_t i = 0; i < items_.size(); ++i) {
     const ChainItem& it = items_[i];
     switch (it.kind) {
+      case ChainItem::Kind::GadgetRef:
+        throw std::runtime_error("materialize() with unresolved GadgetRef");
       case ChainItem::Kind::Gadget:
         put64(it.gadget);
         break;
@@ -82,7 +98,9 @@ Chain::Materialized Chain::materialize(std::uint64_t chain_base) const {
 std::size_t Chain::gadget_slots() const {
   std::size_t n = 0;
   for (const auto& it : items_)
-    if (it.kind == ChainItem::Kind::Gadget) ++n;
+    if (it.kind == ChainItem::Kind::Gadget ||
+        it.kind == ChainItem::Kind::GadgetRef)
+      ++n;
   return n;
 }
 

@@ -20,9 +20,14 @@
 namespace raindrop::rop {
 
 struct ChainItem {
-  enum class Kind { Gadget, Imm, Delta, Raw, Label };
+  // GadgetRef is the relocatable form of Gadget used by the pure craft
+  // phase: it indexes into the artifact's GadgetRequest list and is
+  // rewritten into a concrete Gadget address by resolve_gadget_refs()
+  // when the engine commits the function.
+  enum class Kind { Gadget, GadgetRef, Imm, Delta, Raw, Label };
   Kind kind = Kind::Imm;
   std::uint64_t gadget = 0;          // Kind::Gadget
+  int gadget_req = -1;               // Kind::GadgetRef (request index)
   std::int64_t imm = 0;              // Kind::Imm
   int label_a = -1, label_b = -1;    // Kind::Delta
   std::int64_t addend = 0;           // Kind::Delta
@@ -48,6 +53,12 @@ class Chain {
     ChainItem it;
     it.kind = ChainItem::Kind::Gadget;
     it.gadget = gadget_addr;
+    items_.push_back(it);
+  }
+  void gref(int request_index) {
+    ChainItem it;
+    it.kind = ChainItem::Kind::GadgetRef;
+    it.gadget_req = request_index;
     items_.push_back(it);
   }
   void imm(std::int64_t v) {
@@ -107,10 +118,15 @@ class Chain {
     std::vector<std::pair<std::uint64_t, std::int32_t>> patches;
   };
 
+  // Rewrites every GadgetRef item into a concrete Gadget using
+  // request-index -> address mapping `addrs` (commit phase). Throws on an
+  // out-of-range index.
+  void resolve_gadget_refs(const std::vector<std::uint64_t>& addrs);
+
   // Lays out the chain and resolves every Delta. `chain_base` is the
   // address the chain will be embedded at (needed by absolute items).
-  // Throws on unbound labels or displacement overflow (programming
-  // errors in the crafter).
+  // Throws on unbound labels, unresolved GadgetRefs, or displacement
+  // overflow (programming errors in the crafter / engine).
   Materialized materialize(std::uint64_t chain_base = 0) const;
 
   // Statistics for Table III.

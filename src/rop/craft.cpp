@@ -108,9 +108,23 @@ class Crafter {
   }
 
   // ---- emission helpers ----------------------------------------------
+  // Gadget demand against the frozen pool: reuse an existing variant when
+  // the pool offers one (stream-rng pick among fits, with the same 1-in-3
+  // growth policy want() applies), otherwise record a request that the
+  // engine resolves -- in deterministic function order -- at commit.
+  void emit_gadget(std::vector<Insn> core, bool jop, Reg jop_target,
+                   RegSet allowed) {
+    if (auto addr = env_.pool->find_variant(core, jop, jop_target, allowed,
+                                            *env_.rng)) {
+      ch_.g(*addr);
+      return;
+    }
+    requests_.push_back(
+        gadgets::GadgetRequest{std::move(core), jop, jop_target, allowed});
+    ch_.gref(static_cast<int>(requests_.size() - 1));
+  }
   void G(std::initializer_list<Insn> core) {
-    std::vector<Insn> v(core);
-    ch_.g(env_.pool->want(v, junk_allowed()));
+    emit_gadget(std::vector<Insn>(core), false, Reg::RAX, junk_allowed());
   }
   void G1(const Insn& i) { G({i}); }
   void pop_into(Reg dst) { G({ib::pop(dst)}); }
@@ -371,6 +385,7 @@ class Crafter {
   const CraftEnv& env_;
   const TranslateResult& tr_;
   Chain ch_;
+  std::vector<gadgets::GadgetRequest> requests_;
   std::map<std::uint64_t, int> blk_label_;
   int branch_ordinal_ = 0;
   int p3_site_ordinal_ = 0;
@@ -615,11 +630,11 @@ void Crafter::lower_inter(const Roplet& r) {
     // The callee address already sits in the original target register;
     // the xchg+jmp pair lives in one JOP gadget so nothing runs between
     // the stack switch and the transfer (§IV-B2 step C).
-    ch_.g(env_.pool->want_jop(jop_core, r.orig.r1, junk_allowed()));
+    emit_gadget(jop_core, true, r.orig.r1, junk_allowed());
   } else {
     pop_into(b);
     ch_.imm(static_cast<std::int64_t>(r.call_target));
-    ch_.g(env_.pool->want_jop(jop_core, b, junk_allowed()));  // step C
+    emit_gadget(jop_core, true, b, junk_allowed());  // step C
   }
   release(a);
   release(b);
@@ -787,6 +802,7 @@ void Crafter::maybe_p3(const Roplet& r) {
   bool saved_spill_ok = spill_ok_;
   spill_ok_ = false;
   std::size_t snapshot = ch_.size();
+  std::size_t req_snapshot = requests_.size();
   RegSet saved_busy = busy_;
   try {
     if (variant == 2 && env_.p1)
@@ -796,6 +812,7 @@ void Crafter::maybe_p3(const Roplet& r) {
     ++p3_site_ordinal_;
   } catch (const CraftError&) {
     ch_.truncate(snapshot);
+    requests_.resize(req_snapshot);
     busy_ = saved_busy;
   }
   spill_ok_ = saved_spill_ok;
@@ -920,6 +937,7 @@ CraftOutput Crafter::run() {
       emit_jump(tr.target_label);
     }
     out.chain = std::move(ch_);
+    out.requests = std::move(requests_);
     out.ok = true;
   } catch (const CraftError& e) {
     out.ok = false;

@@ -1,14 +1,22 @@
-// Internal interface between the Rewriter facade and the chain-crafting
-// stage (§IV-B2). Not part of the public API surface.
+// Internal interface between the obfuscation engine and the
+// chain-crafting stage (§IV-B2). Not part of the public API surface.
+//
+// Crafting is pure: it reads a frozen gadget pool and pre-reserved
+// addresses (ss array, P1 array, spill slots) but never mutates the
+// image. Gadgets the frozen pool cannot serve are recorded as
+// GadgetRequests and referenced by relocatable GadgetRef chain items;
+// the engine resolves both at commit time.
 #pragma once
 
 #include <span>
 
+#include "analysis/liveness.hpp"
 #include "gadgets/catalog.hpp"
 #include "rop/chain.hpp"
 #include "rop/predicates.hpp"
-#include "rop/rewriter.hpp"
 #include "rop/roplet.hpp"
+#include "rop/types.hpp"
+#include "support/rng.hpp"
 
 namespace raindrop::rop {
 
@@ -17,17 +25,17 @@ struct CraftOutput {
   RewriteFailure failure = RewriteFailure::None;
   std::string detail;
   Chain chain;
+  std::vector<gadgets::GadgetRequest> requests;  // indexed by GadgetRef
   std::size_t program_points = 0;
 };
 
 struct CraftEnv {
-  Image* img = nullptr;
-  gadgets::GadgetPool* pool = nullptr;
+  const gadgets::GadgetPool* pool = nullptr;  // frozen during crafting
   const ObfConfig* cfg = nullptr;
-  Rng* rng = nullptr;
+  Rng* rng = nullptr;  // per-function stream (Rng::stream)
   std::uint64_t ss_addr = 0;
   std::uint64_t funcret_gadget = 0;
-  std::span<const std::uint64_t> spill_slots;
+  std::span<const std::uint64_t> spill_slots;  // pre-reserved addresses
   const P1Array* p1 = nullptr;  // embedded array (addr set) or nullptr
   const analysis::Liveness* liveness = nullptr;
   std::uint64_t fn_addr = 0;

@@ -1,21 +1,8 @@
 #include "rop/rewriter.hpp"
 
-#include <set>
-
-#include "analysis/disasm.hpp"
-#include "analysis/liveness.hpp"
-#include "analysis/taintreg.hpp"
-#include "isa/encode.hpp"
-#include "rop/craft.hpp"
-#include "rop/predicates.hpp"
-#include "rop/roplet.hpp"
+#include "rop/types.hpp"
 
 namespace raindrop::rop {
-
-using isa::Insn;
-using isa::MemRef;
-using isa::Reg;
-namespace ib = isa::ib;
 
 ObfConfig rop_k(double k, std::uint64_t seed) {
   // Table I: "ROPk = ROP obfuscation with P3 inserted at a fraction k of
@@ -45,175 +32,6 @@ const char* failure_name(RewriteFailure f) {
     case RewriteFailure::RegisterPressure: return "register-pressure";
   }
   return "?";
-}
-
-Rewriter::Rewriter(Image* img, const ObfConfig& cfg)
-    : img_(img), cfg_(cfg), rng_(cfg.seed),
-      pool_(img, rng_.next(), cfg.gadget_variants) {
-  // Stack-switching array ss (§IV-A3): cell 0 holds the byte offset of
-  // the top entry; entries follow. Sized for deep recursion.
-  ss_addr_ = img_->reserve(".data", 8 * 1025);
-  img_->add_object("__raindrop_ss", ss_addr_, 8 * 1025);
-
-  // The synthetic function-return gadget with a hard-wired ss address
-  // (§IV-B2): mov r11, ss; add r11, [r11]; xchg rsp, [r11]; ret.
-  std::vector<Insn> core = {
-      ib::mov_i64(Reg::R11, static_cast<std::int64_t>(ss_addr_)),
-      ib::add_m(Reg::R11, MemRef::base_disp(Reg::R11)),
-      ib::xchg_m(Reg::RSP, MemRef::base_disp(Reg::R11)),
-  };
-  funcret_gadget_ = pool_.want(core, analysis::RegSet());
-
-  // Seed the pool with gadgets already present in compiled code
-  // ("program parts left unobfuscated", §IV-A1).
-  pool_.harvest(kTextBase, img_->section_end(".text"));
-}
-
-std::vector<std::uint8_t> Rewriter::make_pivot_stub(
-    std::uint64_t chain_addr) const {
-  // Appendix A pivoting stub, in MiniX86. Uses only RAX (caller-saved,
-  // dead at function entry) and push/pop pairs, like the paper's 22-byte
-  // optimised sequence.
-  std::vector<std::uint8_t> bytes;
-  isa::encode(ib::push_i32(static_cast<std::int64_t>(ss_addr_)), bytes);
-  isa::encode(ib::pop(Reg::RAX), bytes);
-  isa::encode(ib::add_mi(MemRef::base_disp(Reg::RAX), 8), bytes);   // (a)
-  isa::encode(ib::add_m(Reg::RAX, MemRef::base_disp(Reg::RAX)), bytes);
-  isa::encode(ib::store(MemRef::base_disp(Reg::RAX), Reg::RSP), bytes);  // (b)
-  isa::encode(ib::push_i32(static_cast<std::int64_t>(chain_addr)), bytes);
-  isa::encode(ib::pop(Reg::RSP), bytes);                            // (c)
-  isa::encode(ib::ret(), bytes);
-  return bytes;
-}
-
-std::size_t Rewriter::pivot_stub_size() {
-  std::vector<std::uint8_t> bytes;
-  isa::encode(ib::push_i32(0), bytes);
-  isa::encode(ib::pop(Reg::RAX), bytes);
-  isa::encode(ib::add_mi(MemRef::base_disp(Reg::RAX), 8), bytes);
-  isa::encode(ib::add_m(Reg::RAX, MemRef::base_disp(Reg::RAX)), bytes);
-  isa::encode(ib::store(MemRef::base_disp(Reg::RAX), Reg::RSP), bytes);
-  isa::encode(ib::push_i32(0), bytes);
-  isa::encode(ib::pop(Reg::RSP), bytes);
-  isa::encode(ib::ret(), bytes);
-  return bytes.size();
-}
-
-RewriteResult Rewriter::rewrite_function(const std::string& name) {
-  RewriteResult res;
-  FunctionSym* fn = img_->function(name);
-  if (!fn || fn->rop_rewritten) {
-    res.failure = RewriteFailure::UnsupportedInsn;
-    res.detail = fn ? "already rewritten" : "no such function";
-    return res;
-  }
-  const std::size_t stub_size = pivot_stub_size();
-  if (fn->size < stub_size) {
-    res.failure = RewriteFailure::TooShort;
-    res.detail = "body smaller than pivot stub";
-    return res;
-  }
-
-  // Support analyses (Figure 2: CFG reconstruction, liveness, gadget
-  // finder feed translation / chain crafting).
-  analysis::Cfg cfg = analysis::build_cfg(*img_, fn->addr, fn->size);
-  if (!cfg.complete) {
-    res.failure = RewriteFailure::CfgIncomplete;
-    res.detail = cfg.error;
-    return res;
-  }
-  analysis::Liveness lv = analysis::compute_liveness(cfg, img_);
-  analysis::TaintInfo taint = analysis::compute_taint(cfg, fn->arg_count);
-
-  TranslateResult tr = translate(cfg, lv, taint);
-  if (!tr.ok) {
-    res.failure = RewriteFailure::UnsupportedInsn;
-    res.detail = tr.error;
-    return res;
-  }
-
-  // Per-function P1 array (also required by P3 variant 2).
-  std::optional<P1Array> p1;
-  if (cfg_.p1 || cfg_.p3_variant >= 2) {
-    p1 = P1Array::generate(rng_, cfg_.p1_n, cfg_.p1_s, cfg_.p1_p, cfg_.p1_m);
-    p1->addr = img_->reserve(".data", p1->cells.size() * 8);
-    for (std::size_t i = 0; i < p1->cells.size(); ++i)
-      img_->patch_u64(p1->addr + 8 * i, p1->cells[i]);
-  }
-
-  // Spill slots: adjacent to the chain by default ("inlined 8-byte chain
-  // slot", §IV-B2), or in .data for read-only chains (§IV-C).
-  std::vector<std::uint64_t> slots;
-  for (int i = 0; i < cfg_.max_spill_slots; ++i)
-    slots.push_back(img_->reserve(
-        cfg_.read_only_chain ? ".data" : ".ropdata", 8));
-
-  CraftEnv env;
-  env.img = img_;
-  env.pool = &pool_;
-  env.cfg = &cfg_;
-  env.rng = &rng_;
-  env.ss_addr = ss_addr_;
-  env.funcret_gadget = funcret_gadget_;
-  env.spill_slots = slots;
-  env.p1 = p1 ? &*p1 : nullptr;
-  env.liveness = &lv;
-  env.fn_addr = fn->addr;
-  env.fn_stub_end = fn->addr + stub_size;
-
-  CraftOutput co = craft_chain(env, tr);
-  if (!co.ok) {
-    res.failure = co.failure;
-    res.detail = co.detail;
-    return res;
-  }
-
-  // Materialization (§IV-B3): fix the layout, embed the chain, patch the
-  // switch displacements into the (now dead) original body, install the
-  // pivot stub. The chain lands at the current end of .ropdata, which is
-  // what absolute chain items (flag-preserving jumps) resolve against.
-  std::uint64_t chain_base = img_->section_end(".ropdata");
-  Chain::Materialized mat = co.chain.materialize(chain_base);
-  std::uint64_t chain_addr = img_->append(".ropdata", mat.bytes);
-  if (chain_addr != chain_base) {
-    res.failure = RewriteFailure::UnsupportedInsn;
-    res.detail = "chain base moved during materialization";
-    return res;
-  }
-  for (auto [addr, val] : mat.patches)
-    img_->patch_u32(addr, static_cast<std::uint32_t>(val));
-  std::vector<std::uint8_t> stub = make_pivot_stub(chain_addr);
-  img_->patch(fn->addr, stub);
-  fn->rop_rewritten = true;
-
-  res.ok = true;
-  res.chain_addr = chain_addr;
-  res.chain_size = mat.bytes.size();
-  res.stats.program_points = co.program_points;
-  res.stats.gadget_slots = co.chain.gadget_slots();
-  res.stats.unique_gadgets = co.chain.unique_gadget_count();
-  res.stats.gadgets_per_point =
-      co.program_points == 0
-          ? 0.0
-          : static_cast<double>(res.stats.gadget_slots) /
-                static_cast<double>(co.program_points);
-  res.stats.chain_bytes = mat.bytes.size();
-
-  auto addrs = co.chain.gadget_addrs();
-  all_gadget_addrs_.insert(all_gadget_addrs_.end(), addrs.begin(),
-                           addrs.end());
-  total_points_ += co.program_points;
-  return res;
-}
-
-Rewriter::Aggregate Rewriter::aggregate() const {
-  Aggregate a;
-  a.program_points = total_points_;
-  a.gadget_slots = all_gadget_addrs_.size();
-  std::set<std::uint64_t> uniq(all_gadget_addrs_.begin(),
-                               all_gadget_addrs_.end());
-  a.unique_gadgets = uniq.size();
-  return a;
 }
 
 }  // namespace raindrop::rop

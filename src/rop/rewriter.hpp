@@ -3,120 +3,48 @@
 // self-contained ROP chains embedded in a data section, replacing the
 // function body with a pivoting stub. Optionally strengthens chains with
 // the P1/P2/P3 predicates and gadget confusion.
+//
+// Since the two-phase refactor this is a thin single-function facade over
+// engine::ObfuscationEngine; batch/parallel callers should use the engine
+// directly (engine.obfuscate_module(names, threads)).
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <optional>
 #include <string>
-#include <vector>
 
-#include "gadgets/catalog.hpp"
-#include "image/image.hpp"
-#include "support/rng.hpp"
+#include "engine/engine.hpp"
+#include "rop/types.hpp"
 
 namespace raindrop::rop {
 
-// Obfuscation configuration (Table I's ROPk family).
-struct ObfConfig {
-  std::uint64_t seed = 1;
-
-  // P1: anti-disassembly via the periodic opaque array (§V-A).
-  bool p1 = false;
-  int p1_n = 4;             // branch slots
-  int p1_s = 4;             // period length (s >= n; s-n garbage cells)
-  int p1_p = 32;            // repetitions (power of two: f(x) masks with p-1)
-  std::uint64_t p1_m = 7;   // modulus (m > n)
-
-  // P2: data-dependent RSP updates that derail brute-force flips (§V-B).
-  bool p2 = false;
-  int p2_x_max = 4;         // derail stride multiplier upper bound
-
-  // P3: state-space widening (§V-C). Fraction k of eligible program
-  // points; variant 1 = FOR loops, 2 = opaque array updates, 3 = mixed.
-  double p3_fraction = 0.0;
-  int p3_variant = 1;
-  std::uint64_t p3_iter_mask = 0xff;  // loop count mask (paper: one byte)
-
-  // Gadget confusion (§V-D): disguised immediates + unaligned RSP bumps.
-  bool gadget_confusion = false;
-  double confusion_bump_prob = 0.15;
-
-  // Register allocation (§IV-C): spilling slots available per sequence.
-  int max_spill_slots = 1;
-  bool read_only_chain = false;  // spill slots in .data instead of chain area
-
-  int gadget_variants = 4;       // diversification budget per gadget core
-  bool shuffle_blocks = false;   // §IV-B3: optionally rearrange blocks
-};
-
-// Named configurations from Table I.
-ObfConfig rop_k(double k, std::uint64_t seed = 1);
-
-enum class RewriteFailure {
-  None,
-  TooShort,          // body smaller than the pivoting stub (§VII-C1: 119)
-  CfgIncomplete,     // CFG reconstruction failed (§VII-C1: 1)
-  UnsupportedInsn,   // push rsp / push [rsp+imm] style (§VII-C1: 19)
-  RegisterPressure,  // spilling budget exhausted (§VII-C1: 40)
-};
-const char* failure_name(RewriteFailure f);
-
-struct RewriteStats {
-  std::size_t program_points = 0;   // N in Table III
-  std::size_t gadget_slots = 0;     // A
-  std::size_t unique_gadgets = 0;   // B (per-function; Rewriter also
-                                    // aggregates across chains)
-  double gadgets_per_point = 0.0;   // C
-  std::size_t chain_bytes = 0;
-};
-
-struct RewriteResult {
-  bool ok = false;
-  RewriteFailure failure = RewriteFailure::None;
-  std::string detail;
-  RewriteStats stats;
-  std::uint64_t chain_addr = 0;
-  std::uint64_t chain_size = 0;
-};
-
 class Rewriter {
  public:
-  Rewriter(Image* img, const ObfConfig& cfg);
+  Rewriter(Image* img, const ObfConfig& cfg) : engine_(img, cfg) {}
 
   // Rewrites one function in place: emits the chain into .ropdata,
   // patches the body with a pivot stub, plants artificial gadgets in
   // .text. Idempotence: rewriting an already-rewritten function fails.
-  RewriteResult rewrite_function(const std::string& name);
+  RewriteResult rewrite_function(const std::string& name) {
+    return engine_.rewrite_function(name);
+  }
 
   // Aggregate gadget statistics across all chains so far (Table III).
-  struct Aggregate {
-    std::size_t program_points = 0;
-    std::size_t gadget_slots = 0;
-    std::size_t unique_gadgets = 0;
-  };
-  Aggregate aggregate() const;
+  using Aggregate = engine::ObfuscationEngine::Aggregate;
+  Aggregate aggregate() const { return engine_.aggregate(); }
 
-  std::uint64_t ss_addr() const { return ss_addr_; }
-  std::uint64_t funcret_gadget() const { return funcret_gadget_; }
-  gadgets::GadgetPool& pool() { return pool_; }
-  const ObfConfig& config() const { return cfg_; }
+  std::uint64_t ss_addr() const { return engine_.ss_addr(); }
+  std::uint64_t funcret_gadget() const { return engine_.funcret_gadget(); }
+  gadgets::GadgetPool& pool() { return engine_.pool(); }
+  const ObfConfig& config() const { return engine_.config(); }
+  engine::ObfuscationEngine& engine() { return engine_; }
 
   // Size in bytes of the pivoting stub (functions shorter than this
   // cannot be rewritten; the coverage bench reports them separately).
-  static std::size_t pivot_stub_size();
+  static std::size_t pivot_stub_size() {
+    return engine::ObfuscationEngine::pivot_stub_size();
+  }
 
  private:
-  std::vector<std::uint8_t> make_pivot_stub(std::uint64_t chain_addr) const;
-
-  Image* img_;
-  ObfConfig cfg_;
-  Rng rng_;
-  gadgets::GadgetPool pool_;
-  std::uint64_t ss_addr_ = 0;
-  std::uint64_t funcret_gadget_ = 0;
-  std::vector<std::uint64_t> all_gadget_addrs_;
-  std::size_t total_points_ = 0;
+  engine::ObfuscationEngine engine_;
 };
 
 }  // namespace raindrop::rop

@@ -44,4 +44,17 @@ std::size_t Rng::weighted(const std::vector<std::uint64_t>& weights) {
 
 Rng Rng::fork() { return Rng(next() ^ 0xa5a5a5a5deadbeefull); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t index) {
+  // Two rounds of the splitmix64 finalizer over (seed, index) decorrelate
+  // neighbouring indices under the same seed.
+  auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t s = mix(seed + 0x9e3779b97f4a7c15ull);
+  std::uint64_t i = mix(index + 0xd1b54a32d192ed03ull);
+  return Rng(mix(s ^ (i + 0x2545f4914f6cdd1dull)));
+}
+
 }  // namespace raindrop

@@ -48,6 +48,13 @@ class Rng {
   // Derive an independent child generator (for per-function streams).
   Rng fork();
 
+  // Counter-based stream derivation: an independent generator for unit
+  // `index` under `seed`. Unlike fork(), the result depends only on
+  // (seed, index) -- not on how many draws any other stream has made --
+  // so per-function streams are identical no matter which thread crafts
+  // which function, or in what order.
+  static Rng stream(std::uint64_t seed, std::uint64_t index);
+
  private:
   std::uint64_t state_;
 };

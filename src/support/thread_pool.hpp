@@ -1,0 +1,53 @@
+// Fixed-size worker pool for the obfuscation engine's parallel craft
+// phase. Phase-1 crafting is pure (immutable image snapshot, frozen
+// gadget pool, per-function RNG streams), so tasks may run in any order
+// on any thread; results are stored by index and committed serially, which
+// keeps batch output bit-identical at every thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace raindrop {
+
+class ThreadPool {
+ public:
+  // threads <= 1 degenerates to inline execution (no workers spawned).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Tasks must not throw; wrap fallible work and store
+  // the error in the result slot instead.
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void wait_idle();
+
+  // Runs fn(0) .. fn(n-1) across the pool and waits for completion.
+  // Work is handed out through a shared atomic-style cursor so long and
+  // short items balance across threads.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace raindrop
