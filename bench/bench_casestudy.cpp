@@ -108,6 +108,7 @@ int main() {
   std::printf("\nPaper shape check: native/2VM-IMPlast recoverable; ROP "
               "already unrecoverable at k=0 (P1 aliasing vs the memory "
               "model); ROP run-time cost far below VM configs.\n");
+  emit_cpu_throughput(json);
   json.write();
   return 0;
 }

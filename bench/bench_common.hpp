@@ -111,6 +111,68 @@ class BenchJson {
   Stopwatch watch_;  // started at construction: whole-bench wall-clock
 };
 
+// The standard counted ALU probe loop shared by every CPU throughput
+// measurement (cpu_insns_per_sec, bench_micro's dispatch-strata and
+// hook-cost probes): mov rcx, iters; L: mov/add/xor/dec; jne L; hlt.
+// No memory traffic, 5 executed instructions per iteration.
+struct CountedLoop {
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t insn_count = 0;  // executed instructions, mov + hlt incl.
+};
+
+inline CountedLoop make_counted_loop(std::uint64_t iters) {
+  using isa::Reg;
+  namespace ib = isa::ib;
+  CountedLoop cl;
+  isa::encode(ib::mov_i64(Reg::RCX, static_cast<std::int64_t>(iters)),
+              cl.bytes);
+  std::size_t head = cl.bytes.size();
+  isa::encode(ib::mov(Reg::RAX, Reg::RCX), cl.bytes);
+  isa::encode(ib::add(Reg::RAX, Reg::RAX), cl.bytes);
+  isa::encode(ib::xor_i(Reg::RAX, 0x5a), cl.bytes);
+  isa::encode(ib::dec(Reg::RCX), cl.bytes);
+  auto jne = ib::jcc(isa::Cond::NE, 0);
+  jne.imm = -static_cast<std::int64_t>(cl.bytes.size() - head +
+                                       isa::encoded_length(jne));
+  isa::encode(jne, cl.bytes);
+  isa::encode(ib::hlt(), cl.bytes);
+  cl.insn_count = 5 * iters + 2;
+  return cl;
+}
+
+// Maps the probe loop at 0x1000 in a fresh executable region.
+inline Memory load_counted_loop(const CountedLoop& cl) {
+  Memory mem;
+  mem.map_region(0x1000, 1 << 16, kPermRX, ".bench");
+  mem.write_bytes(0x1000, cl.bytes);
+  return mem;
+}
+
+// CPU throughput probe: the counted loop (~1M executed instructions)
+// on a fresh machine, timed end to end, under the given hook bundle
+// (default: none, the zero-hook fast path). Returns executed
+// instructions per second; 0 on any anomaly.
+inline double cpu_insns_per_sec(std::uint64_t loop_iters = 200'000,
+                                HookSet hooks = {}) {
+  CountedLoop cl = make_counted_loop(loop_iters);
+  Memory mem = load_counted_loop(cl);
+  Cpu cpu(&mem);
+  cpu.set_hooks(std::move(hooks));
+  cpu.set_rip(0x1000);
+  Stopwatch watch;
+  CpuStatus st = cpu.run(cl.insn_count + 16);
+  double s = watch.seconds();
+  if (st != CpuStatus::kHalted || s <= 0.0) return 0.0;
+  return static_cast<double>(cpu.insn_count()) / s;
+}
+
+// Standard per-bench engine-speed metric: every bench JSON carries
+// `cpu_minsns_per_s` so the perf trajectory of the simulated CPU is
+// recorded alongside each experiment (DESIGN.md §4/§6).
+inline void emit_cpu_throughput(BenchJson& json) {
+  json.metric("cpu_minsns_per_s", cpu_insns_per_sec() / 1e6);
+}
+
 // Obfuscation configurations of Table I.
 struct NamedConfig {
   std::string name;

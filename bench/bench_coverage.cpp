@@ -159,6 +159,7 @@ int main() {
   }
   json.metric("validated", validated);
   json.metric("mismatches", mismatches);
+  emit_cpu_throughput(json);
   json.write();
   return (mismatches == 0 && identical) ? 0 : 1;
 }

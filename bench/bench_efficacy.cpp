@@ -160,6 +160,7 @@ int main() {
   std::printf("  (paper: P3's input-tainted control dependencies are "
               "non-simplifiable, so TDS+DSE symbiosis does not ease the "
               "attack)\n");
+  emit_cpu_throughput(json);
   json.write();
   return 0;
 }

@@ -92,6 +92,7 @@ int main() {
               "like the paper's y-axis; the 2VM column is relative to "
               "native.)\n");
   json.metric("benchmarks", geo_n);
+  emit_cpu_throughput(json);
   json.write();
   return 0;
 }

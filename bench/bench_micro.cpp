@@ -60,6 +60,36 @@ void BM_CpuRopChain(benchmark::State& state) {
 }
 BENCHMARK(BM_CpuRopChain);
 
+// Pure dispatch throughput of the superblock engine per hook stratum:
+// the same warm counted loop with no hook, a block hook, and a per-insn
+// hook. The spread is the price of observability (DESIGN.md §6).
+void BM_CpuDispatchStrata(benchmark::State& state) {
+  int stratum = static_cast<int>(state.range(0));  // 0 none, 1 block, 2 insn
+  CountedLoop loop = make_counted_loop(1000);
+  Memory mem = load_counted_loop(loop);
+  Cpu cpu(&mem);
+  HookSet hooks;
+  std::uint64_t sink = 0;
+  if (stratum == 1) hooks.block = [&](Cpu&, std::uint64_t a) { sink += a; };
+  if (stratum == 2)
+    hooks.insn = [&](Cpu&, std::uint64_t a, const isa::Insn&) {
+      sink += a;
+      return true;
+    };
+  cpu.set_hooks(std::move(hooks));
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    std::uint64_t before = cpu.insn_count();
+    cpu.set_rip(0x1000);
+    cpu.run(100'000);
+    insns += cpu.insn_count() - before;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["insns/s"] = benchmark::Counter(
+      static_cast<double>(insns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CpuDispatchStrata)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_RewriteFunction(benchmark::State& state) {
   auto rf = target();
   for (auto _ : state) {
@@ -129,9 +159,25 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  // Machine-readable summary: one engine batch timed directly (the
-  // google-benchmark table above is for humans).
+  // Machine-readable summary: CPU dispatch throughput per hook stratum
+  // plus one engine batch timed directly (the google-benchmark table
+  // above is for humans).
   BenchJson json("micro");
+
+  // Zero-hook vs per-insn-hook throughput on the standard probe loop;
+  // the Release CI job gates on the zero-hook number (tools/
+  // bench_report.py --check). One measurement feeds both the gate key
+  // and the uniform cross-bench key.
+  double zero_hook_m = cpu_insns_per_sec() / 1e6;
+  json.metric("cpu_zero_hook_minsns_per_s", zero_hook_m);
+  json.metric("cpu_minsns_per_s", zero_hook_m);
+  {
+    HookSet hooks;
+    hooks.insn = [](Cpu&, std::uint64_t, const isa::Insn&) { return true; };
+    json.metric("cpu_insn_hook_minsns_per_s",
+                cpu_insns_per_sec(200'000, std::move(hooks)) / 1e6);
+  }
+
   auto cp = workload::make_corpus(1, 100);
   std::vector<int> thread_counts = {1};
   if (bench_threads() != 1) thread_counts.push_back(bench_threads());

@@ -76,6 +76,7 @@ int main() {
   }
   std::printf("\nPaper shape check: NATIVE near-total; ROPk decreasing in "
               "k and below VM configs; 3VM-IMPall zero.\n");
+  emit_cpu_throughput(json);
   json.write();
   return 0;
 }

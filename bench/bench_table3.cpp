@@ -67,6 +67,7 @@ int main() {
   std::printf("\n\nPaper shape check: A, B and C grow with k; B << A "
               "(gadget reuse across chains, ~4x at k=1).\n");
   json.metric("rows", rows);
+  emit_cpu_throughput(json);
   json.write();
   return 0;
 }

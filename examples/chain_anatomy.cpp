@@ -51,7 +51,10 @@ int main() {
 
   int shown = 0;
   bool in_native = false;
-  cpu.set_insn_hook([&](Cpu& c, std::uint64_t addr, const isa::Insn& in) {
+  // The dump needs every instruction, so install the per-insn hook
+  // stratum (trades the superblock fast path for full observability).
+  HookSet hooks;
+  hooks.insn = [&](Cpu& c, std::uint64_t addr, const isa::Insn& in) {
     bool native_now = addr >= helper && addr < helper_end;
     if (native_now != in_native) {
       std::printf("--- %s (rsp=0x%llx) ---\n",
@@ -67,7 +70,8 @@ int main() {
       ++shown;
     }
     return true;
-  });
+  };
+  cpu.set_hooks(std::move(hooks));
   CpuStatus st = cpu.run(100000);
   std::printf("status=%s result=%lld (expect 41)\n",
               st == CpuStatus::kHalted ? "halted" : "fault",

@@ -50,7 +50,11 @@ RunOutcome run_once(const Memory& loaded, std::uint64_t fn_addr,
 
   RunOutcome out;
   long leak_count = 0;
-  cpu.set_insn_hook([&](Cpu& c, std::uint64_t, const Insn& in) {
+  // Per-instruction stratum: the tool must observe every RET's stack
+  // pointer and mutate flags mid-run, so the CPU's superblock fast path
+  // is deliberately bypassed (HookSet::insn forces exact stepping).
+  HookSet hooks;
+  hooks.insn = [&](Cpu& c, std::uint64_t, const Insn& in) {
     std::uint64_t sp = c.reg(Reg::RSP);
     if (sp >= chain_lo && sp < chain_hi && in.op == Op::RET)
       out.offsets.insert(sp - chain_lo);
@@ -64,7 +68,8 @@ RunOutcome run_once(const Memory& loaded, std::uint64_t fn_addr,
       ++leak_count;
     }
     return true;
-  });
+  };
+  cpu.set_hooks(std::move(hooks));
   CpuStatus st = cpu.run(3'000'000);
   out.derailed = st == CpuStatus::kFault || st == CpuStatus::kBudgetExceeded;
   return out;

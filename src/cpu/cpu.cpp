@@ -1,6 +1,7 @@
 #include "cpu/cpu.hpp"
 
 #include <cinttypes>
+#include <span>
 
 namespace raindrop {
 
@@ -12,6 +13,13 @@ using isa::Reg;
 namespace {
 constexpr std::uint64_t kSignBit = 1ull << 63;
 
+// Superblock extent caps. Instruction starts stay within kMaxBlockBytes
+// of the block start, so a block (longest insn included) spans at most
+// two 4 KiB pages and the generation snapshot is two counters.
+constexpr std::size_t kMaxBlockBytes = 512;
+constexpr std::size_t kMaxBlockInsns = 64;
+static_assert(kMaxBlockBytes + 16 <= Memory::kPageSize);
+
 std::uint64_t sext(std::uint64_t v, unsigned size) {
   if (size >= 8) return v;
   unsigned bits = size * 8;
@@ -22,6 +30,14 @@ std::uint64_t sext(std::uint64_t v, unsigned size) {
 std::uint64_t zext(std::uint64_t v, unsigned size) {
   if (size >= 8) return v;
   return v & ((1ull << (size * 8)) - 1);
+}
+
+// Ends a superblock: control leaves the straight line (or, for TRACE,
+// the block is cut so probe-heavy code keeps blocks short and cheap to
+// invalidate).
+bool ends_block(Op op) {
+  return isa::is_branch(op) || op == Op::HLT || op == Op::UD ||
+         op == Op::TRACE;
 }
 }  // namespace
 
@@ -88,34 +104,224 @@ void Cpu::set_flags_sub(std::uint64_t a, std::uint64_t b,
   if ((a ^ b) & (a ^ r) & kSignBit) flags_ |= isa::kOF;
 }
 
+// ---- Superblock cache --------------------------------------------------
+
+Cpu::DecodedBlock Cpu::build_block(std::uint64_t start) const {
+  DecodedBlock b;
+  b.start = start;
+  // One bulk read covers the whole block plus the 16-byte lookahead the
+  // decoder sees for the final instruction (unmapped bytes read as 0,
+  // exactly like per-instruction fetch did).
+  std::vector<std::uint8_t> window =
+      mem_->read_bytes(start, kMaxBlockBytes + 16);
+  // Blocks never cross the boundary of the region the block starts in
+  // (nor enter one from unmapped space), so a single permission check at
+  // dispatch is equivalent to the seed's per-instruction NX check.
+  const Memory::Region* home = mem_->region_at(start);
+  std::size_t off = 0;
+  while (b.insns.size() < kMaxBlockInsns && off < kMaxBlockBytes) {
+    if (off != 0 && mem_->region_at(start + off) != home) break;
+    isa::Decoded d;
+    if (!isa::decode_into(
+            std::span<const std::uint8_t>(window.data() + off, 16), &d))
+      break;
+    BlockInsn bi;
+    bi.insn = d.insn;
+    bi.length = static_cast<std::uint8_t>(d.length);
+    Op op = d.insn.op;
+    bi.writes_mem = op == Op::STORE || op == Op::XCHG_RM ||
+                    op == Op::ADD_MI || op == Op::SUB_MI ||
+                    op == Op::PUSH_R || op == Op::PUSH_I32 || op == Op::PUSHF;
+    b.insns.push_back(bi);
+    off += d.length;
+    if (ends_block(op)) break;
+  }
+  b.byte_len = static_cast<std::uint32_t>(off);
+  b.perm_x = home && (home->perm & kPermX);
+  b.region_count = static_cast<std::uint32_t>(mem_->regions().size());
+  if (!b.insns.empty()) {
+    b.gen0 = mem_->page_gen(start);
+    std::uint64_t last = start + b.byte_len - 1;
+    if ((last >> Memory::kPageBits) != (start >> Memory::kPageBits)) {
+      b.two_pages = true;
+      b.gen1 = mem_->page_gen(last);
+    }
+  }
+  return b;
+}
+
+bool Cpu::block_valid(const DecodedBlock& b) const {
+  if (mem_->page_gen(b.start) != b.gen0) return false;
+  return !b.two_pages ||
+         mem_->page_gen(b.start + b.byte_len - 1) == b.gen1;
+}
+
+bool Cpu::block_exec_ok(DecodedBlock& b) const {
+  if (b.region_count == mem_->regions().size()) return b.perm_x;
+  // Regions were appended since decode: refresh the snapshot (an
+  // existing region's permissions never change, but a previously
+  // uncovered start may have gained one).
+  const Memory::Region* home = mem_->region_at(b.start);
+  b.perm_x = home && (home->perm & kPermX);
+  b.region_count = static_cast<std::uint32_t>(mem_->regions().size());
+  return b.perm_x;
+}
+
+void Cpu::insert_block(DecodedBlock&& b) {
+  std::uint64_t start = b.start;
+  // A block keyed at `start` can only exist alongside an index entry for
+  // `start`, and callers build only on index misses -- but drop any stale
+  // twin defensively so its interior index entries can never outlive it.
+  discard_block(start);
+  auto [it, inserted] = blocks_.emplace(start, std::move(b));
+  DecodedBlock& blk = it->second;
+  std::uint64_t addr = start;
+  for (std::uint32_t i = 0; i < blk.insns.size(); ++i) {
+    // try_emplace: interior addresses already indexed by an overlapping
+    // block keep their mapping (both decodes are identical by construction).
+    addr_index_.try_emplace(addr, AddrEntry{&blk, i});
+    addr += blk.insns[i].length;
+  }
+}
+
+void Cpu::discard_block(std::uint64_t block_start) {
+  auto it = blocks_.find(block_start);
+  if (it == blocks_.end()) return;
+  const DecodedBlock* blk = &it->second;
+  std::uint64_t addr = block_start;
+  for (const BlockInsn& bi : blk->insns) {
+    auto ai = addr_index_.find(addr);
+    if (ai != addr_index_.end() && ai->second.block == blk)
+      addr_index_.erase(ai);
+    addr += bi.length;
+  }
+  blocks_.erase(it);
+}
+
+CpuStatus Cpu::fetch_block(const DecodedBlock** out, std::uint32_t* index) {
+  auto it = addr_index_.find(rip_);
+  if (it != addr_index_.end()) {
+    AddrEntry entry = it->second;
+    DecodedBlock& b = *entry.block;
+    if (block_valid(b)) {
+      if (enforce_nx_ && !block_exec_ok(b)) {
+        return fault_out("execute permission violation");
+      }
+      ++stats_.block_hits;
+      *out = &b;
+      *index = entry.index;
+      return CpuStatus::kRunning;
+    }
+    ++stats_.stale_redecodes;
+    discard_block(b.start);
+  }
+  if (enforce_nx_ && !(mem_->perm_at(rip_) & kPermX)) {
+    return fault_out("execute permission violation");
+  }
+  DecodedBlock nb = build_block(rip_);
+  ++stats_.blocks_built;
+  if (nb.insns.empty()) return fault_out("undecodable instruction");
+  std::uint64_t key = nb.start;
+  insert_block(std::move(nb));
+  *out = &blocks_.find(key)->second;
+  *index = 0;
+  return CpuStatus::kRunning;
+}
+
+void Cpu::prewarm(std::uint64_t lo, std::uint64_t hi) {
+  std::uint64_t a = lo;
+  while (a < hi) {
+    auto it = addr_index_.find(a);
+    if (it != addr_index_.end()) {
+      const DecodedBlock& b = *it->second.block;
+      if (block_valid(b)) {
+        std::uint64_t next = b.start + b.byte_len;
+        a = next > a ? next : a + 1;
+        continue;
+      }
+      ++stats_.stale_redecodes;
+      discard_block(b.start);
+    }
+    DecodedBlock nb = build_block(a);
+    ++stats_.blocks_built;
+    if (nb.insns.empty()) {
+      ++a;  // undecodable byte (data between functions): skip, no fault
+      continue;
+    }
+    std::uint64_t next = nb.start + nb.byte_len;
+    insert_block(std::move(nb));
+    a = next;
+  }
+}
+
+// ---- Dispatch ----------------------------------------------------------
+
 CpuStatus Cpu::run(std::uint64_t max_insns) {
-  std::uint64_t end = insn_count_ + max_insns;
+  return run_blocks(insn_count_ + max_insns);
+}
+
+CpuStatus Cpu::run_blocks(std::uint64_t end) {
+  // One loop serves every stratum: with no insn hook the inner loop
+  // carries zero per-instruction callback checks; with one, each
+  // instruction gets the exact single-step treatment (pre-exec hook
+  // that may mutate state, then rip-continuity and page-generation
+  // revalidation, so hook-driven writes and control transfers behave
+  // as if the block were re-fetched per instruction).
   while (insn_count_ < end) {
-    CpuStatus st = step();
+    const DecodedBlock* b = nullptr;
+    std::uint32_t idx = 0;
+    CpuStatus st = fetch_block(&b, &idx);
     if (st != CpuStatus::kRunning) return st;
+    ++stats_.dispatches;
+    if (hooks_.block) hooks_.block(*this, b->start);
+    // The insn stratum is sampled after the block hook (which may have
+    // just installed one) and its liveness re-read per hooked
+    // instruction below, so hooks installing or removing hooks behave
+    // like the seed's per-step re-check. With no hooks installed,
+    // nothing can install one mid-run and the inner loop stays free of
+    // per-instruction callback checks.
+    const bool insn_hook = static_cast<bool>(hooks_.insn);
+    const std::size_t n = b->insns.size();
+    for (; idx < n; ++idx) {
+      if (insn_count_ >= end) return CpuStatus::kBudgetExceeded;
+      const BlockInsn& bi = b->insns[idx];
+      if (insn_hook) {
+        if (!hooks_.insn) break;  // hook removed itself: redispatch fast
+        if (!hooks_.insn(*this, rip_, bi.insn)) {
+          return fault_out("aborted by hook");
+        }
+      }
+      ++insn_count_;
+      std::uint64_t fallthrough = rip_ + bi.length;
+      st = exec(bi.insn, fallthrough);
+      if (st != CpuStatus::kRunning) return st;
+      if (insn_hook) {
+        // The hook may have written code or moved rip: re-dispatch
+        // unless this block's pages and the straight line both held.
+        if (rip_ != fallthrough || !block_valid(*b)) break;
+      } else if (bi.writes_mem && !block_valid(*b)) {
+        // Only a block's final instruction can branch, so rip_ needs no
+        // per-instruction check here -- but a memory write may have
+        // smashed this very block: revalidate so in-block code writes
+        // take effect exactly as per-instruction interpretation would.
+        break;
+      }
+    }
   }
   return CpuStatus::kBudgetExceeded;
 }
 
 CpuStatus Cpu::step() {
-  if (enforce_nx_ && !(mem_->perm_at(rip_) & kPermX)) {
-    return fault_out("execute permission violation");
-  }
-  auto it = decode_cache_.find(rip_);
-  if (it == decode_cache_.end()) {
-    // Decode from memory. 16 bytes cover the longest instruction.
-    std::uint8_t buf[16];
-    for (int i = 0; i < 16; ++i) buf[i] = mem_->read_u8(rip_ + i);
-    auto dec = isa::decode(std::span<const std::uint8_t>(buf, 16));
-    if (!dec) return fault_out("undecodable instruction");
-    it = decode_cache_.emplace(rip_, *dec).first;
-  }
-  const isa::Decoded& d = it->second;
-  if (insn_hook_ && !insn_hook_(*this, rip_, d.insn)) {
+  const DecodedBlock* b = nullptr;
+  std::uint32_t idx = 0;
+  CpuStatus st = fetch_block(&b, &idx);
+  if (st != CpuStatus::kRunning) return st;
+  const BlockInsn& bi = b->insns[idx];
+  if (hooks_.insn && !hooks_.insn(*this, rip_, bi.insn)) {
     return fault_out("aborted by hook");
   }
   ++insn_count_;
-  return exec(d.insn, rip_ + d.length);
+  return exec(bi.insn, rip_ + bi.length);
 }
 
 CpuStatus Cpu::exec(const Insn& i, std::uint64_t next_rip) {
@@ -155,8 +361,10 @@ CpuStatus Cpu::exec(const Insn& i, std::uint64_t next_rip) {
       R(i.r1) = sext(mem_->read(ea, i.size), i.size);
       break;
     case Op::STORE: {
+      // Code-write coherence is page-generation based: the write bumps
+      // the page's generation and stale blocks re-decode lazily, so no
+      // cache flush (nor permission probe) is needed here.
       effective_addr(i.mem, next_rip, ea);
-      if (mem_->perm_at(ea) & kPermX) invalidate_decode_cache();
       mem_->write(ea, R(i.r1), i.size);
       break;
     }
@@ -166,7 +374,6 @@ CpuStatus Cpu::exec(const Insn& i, std::uint64_t next_rip) {
     case Op::XCHG_RM: {
       effective_addr(i.mem, next_rip, ea);
       std::uint64_t tmp = mem_->read_u64(ea);
-      if (mem_->perm_at(ea) & kPermX) invalidate_decode_cache();
       mem_->write_u64(ea, R(i.r1));
       R(i.r1) = tmp;
       break;
@@ -338,7 +545,6 @@ CpuStatus Cpu::exec(const Insn& i, std::uint64_t next_rip) {
         set_flags_add(a, b, 0, r);
       else
         set_flags_sub(a, b, 0, r);
-      if (mem_->perm_at(ea) & kPermX) invalidate_decode_cache();
       mem_->write_u64(ea, r);
       break;
     }

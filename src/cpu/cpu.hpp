@@ -2,6 +2,19 @@
 // a chain is just data in .data that RET walks, exactly as on real
 // hardware. Exposes tracing hooks used by the dynamic attacks (DSE
 // shadow execution, TDS trace recording, ROPMEMU-style chain emulation).
+//
+// Execution engine (DESIGN.md §6): instead of a per-instruction decode
+// probe, the CPU decodes straight-line superblocks -- runs of
+// instructions up to a terminator (branch/call/ret/hlt/ud/trace) --
+// once into flat DecodedBlock vectors and dispatches whole blocks from
+// run(). Hooks are stratified: the zero-hook configuration executes
+// blocks with no per-instruction callback checks; installing a per-insn
+// hook (or single-stepping) transparently falls back to exact
+// one-instruction semantics, so attack traces are bit-identical either
+// way. Blocks snapshot the write generations of the memory pages they
+// decode from (Memory::page_gen) and lazily re-decode when a spanned
+// page is written -- a .ropdata commit or P1-cell write no longer
+// destroys unrelated cached code.
 #pragma once
 
 #include <array>
@@ -30,9 +43,43 @@ struct CpuFault {
   std::string reason;
 };
 
+class Cpu;
+
+// Typed hook bundle. The strata are ordered by cost:
+//  * none      -- superblock fast path, zero per-instruction checks;
+//  * block     -- fast path kept, one callback per block *dispatch*
+//                 (the same block re-fires after a budget pause or an
+//                 invalidation re-entry, so treat calls as dispatch
+//                 events, not unique blocks);
+//  * insn      -- exact per-instruction interpretation (pre-exec
+//                 callback, may mutate state; returning false aborts the
+//                 run with an "aborted by hook" fault).
+// Attack engines install the cheapest stratum that observes what they
+// need; the architectural trace is identical across strata.
+struct HookSet {
+  using InsnHook =
+      std::function<bool(Cpu&, std::uint64_t addr, const isa::Insn&)>;
+  using BlockHook = std::function<void(Cpu&, std::uint64_t block_start)>;
+
+  InsnHook insn;
+  BlockHook block;
+
+  bool per_insn() const { return static_cast<bool>(insn); }
+  bool empty() const { return !insn && !block; }
+};
+
 class Cpu {
  public:
   explicit Cpu(Memory* mem) : mem_(mem) {}
+
+  // Not copyable: addr_index_ holds raw pointers into blocks_ nodes, so
+  // a copy would dispatch blocks owned by the source. Fork the Memory
+  // (Memory::clone) and build a fresh Cpu instead. Moves are fine --
+  // unordered_map nodes are stable across a container move.
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+  Cpu(Cpu&&) = default;
+  Cpu& operator=(Cpu&&) = default;
 
   // Register file.
   std::uint64_t reg(isa::Reg r) const { return regs_[static_cast<int>(r)]; }
@@ -58,23 +105,72 @@ class Cpu {
   const std::vector<std::int64_t>& trace_probes() const { return probes_; }
   void clear_trace_probes() { probes_.clear(); }
 
-  // Optional per-instruction hook: called *before* executing the decoded
-  // instruction at `addr`. Returning false aborts the run with a fault
-  // (used by attack engines to cut exploration).
-  using InsnHook = std::function<bool(Cpu&, std::uint64_t addr,
-                                      const isa::Insn&)>;
-  void set_insn_hook(InsnHook hook) { insn_hook_ = std::move(hook); }
+  // Hook installation. set_insn_hook is the legacy single-hook entry
+  // point; set_hooks installs a full stratified bundle.
+  using InsnHook = HookSet::InsnHook;
+  void set_insn_hook(InsnHook hook) { hooks_.insn = std::move(hook); }
+  void set_hooks(HookSet hooks) { hooks_ = std::move(hooks); }
+  const HookSet& hooks() const { return hooks_; }
 
   // Enforce NX: RIP must lie in a kPermX region. On by default; the image
   // loader maps regions. Tests running raw code can disable it.
   void set_enforce_nx(bool on) { enforce_nx_ = on; }
 
-  // Decoded-instruction cache. Safe because we (like the paper, §IV-C)
-  // do not support self-modifying code; writes through the CPU to an
-  // executable region invalidate the whole cache defensively.
-  void invalidate_decode_cache() { decode_cache_.clear(); }
+  // Drops every cached superblock. Never required for correctness --
+  // page-generation checks invalidate stale blocks lazily -- but kept
+  // for tests and memory pressure.
+  void invalidate_decode_cache() {
+    blocks_.clear();
+    addr_index_.clear();
+  }
+
+  // Decodes superblocks over [lo, hi) without executing, so a later run
+  // starts warm (the image loader uses this to pre-warm .text).
+  void prewarm(std::uint64_t lo, std::uint64_t hi);
+
+  // Block-cache observability (tests, bench counters).
+  struct CacheStats {
+    std::uint64_t blocks_built = 0;      // decode passes, incl. rebuilds
+    std::uint64_t block_hits = 0;        // dispatches served from cache
+    std::uint64_t stale_redecodes = 0;   // rebuilds forced by page gens
+    std::uint64_t dispatches = 0;        // block dispatches in run()
+  };
+  const CacheStats& cache_stats() const { return stats_; }
 
  private:
+  // A decoded straight-line run. `insns` ends at the first terminator
+  // (branch/call/ret/hlt/ud/trace), region boundary, or size cap; the
+  // decode never crosses the memory region containing `start`, so one
+  // NX check at dispatch covers every instruction in the block.
+  struct BlockInsn {
+    isa::Insn insn;
+    std::uint8_t length = 0;
+    // Any op that writes memory mid-block (stores, read-modify-writes,
+    // pushes). After one executes, the current block is revalidated so
+    // in-block code smashes take effect exactly as per-instruction
+    // interpretation would. Calls also write, but always end a block.
+    bool writes_mem = false;
+  };
+  struct DecodedBlock {
+    std::uint64_t start = 0;
+    std::uint32_t byte_len = 0;
+    std::vector<BlockInsn> insns;
+    // Generation snapshot of the (at most two) pages spanned by
+    // [start, start + byte_len).
+    std::uint32_t gen0 = 0;
+    std::uint32_t gen1 = 0;
+    bool two_pages = false;
+    // NX verdict snapshot: valid while the region list has not grown
+    // (regions are append-only, so an existing region's permissions
+    // never change; only previously-uncovered addresses can gain one).
+    bool perm_x = false;
+    std::uint32_t region_count = 0;
+  };
+  struct AddrEntry {
+    DecodedBlock* block = nullptr;  // stable: unordered_map nodes don't move
+    std::uint32_t index = 0;        // instruction index within the block
+  };
+
   CpuStatus fault_out(const std::string& reason);
   bool effective_addr(const isa::MemRef& m, std::uint64_t insn_end,
                       std::uint64_t& out) const;
@@ -85,6 +181,15 @@ class Cpu {
                      std::uint64_t result);
   CpuStatus exec(const isa::Insn& insn, std::uint64_t next_rip);
 
+  // Superblock machinery.
+  CpuStatus fetch_block(const DecodedBlock** out, std::uint32_t* index);
+  DecodedBlock build_block(std::uint64_t start) const;
+  bool block_valid(const DecodedBlock& b) const;
+  bool block_exec_ok(DecodedBlock& b) const;
+  void insert_block(DecodedBlock&& b);
+  void discard_block(std::uint64_t block_start);
+  CpuStatus run_blocks(std::uint64_t end_count);
+
   Memory* mem_;
   std::array<std::uint64_t, isa::kNumRegs> regs_{};
   std::uint64_t rip_ = 0;
@@ -92,9 +197,14 @@ class Cpu {
   std::uint64_t insn_count_ = 0;
   std::optional<CpuFault> fault_;
   std::vector<std::int64_t> probes_;
-  InsnHook insn_hook_;
+  HookSet hooks_;
   bool enforce_nx_ = true;
-  std::unordered_map<std::uint64_t, isa::Decoded> decode_cache_;
+  std::unordered_map<std::uint64_t, DecodedBlock> blocks_;
+  // Every decoded instruction start -> its block, so single-stepping and
+  // branches into block interiors reuse existing blocks instead of
+  // decoding overlapping suffixes.
+  std::unordered_map<std::uint64_t, AddrEntry> addr_index_;
+  CacheStats stats_;
 };
 
 }  // namespace raindrop

@@ -152,6 +152,12 @@ Memory Image::load() const {
   return mem;
 }
 
+void Image::prewarm(Cpu* cpu) const {
+  for (const FunctionSym& f : funcs_) {
+    if (f.size > 0) cpu->prewarm(f.addr, f.addr + f.size);
+  }
+}
+
 CallResult call_function(const Memory& loaded, std::uint64_t fn_addr,
                          std::span<const std::uint64_t> args,
                          std::uint64_t insn_budget) {

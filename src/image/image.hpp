@@ -96,6 +96,12 @@ class Image {
   // Materialises the image into a Memory (regions + bytes + stack + pad).
   Memory load() const;
 
+  // Pre-warms `cpu`'s superblock cache for every function body in .text
+  // (the cpu must execute a Memory produced by load() of this image).
+  // Purely an optimisation: page-generation checks keep pre-decoded
+  // blocks coherent even if the memory is patched afterwards.
+  void prewarm(Cpu* cpu) const;
+
  private:
   struct Section {
     std::uint64_t base = 0;

@@ -231,10 +231,16 @@ struct Reader {
 }  // namespace
 
 std::optional<Decoded> decode(std::span<const std::uint8_t> bytes) {
+  Decoded d;
+  if (!decode_into(bytes, &d)) return std::nullopt;
+  return d;
+}
+
+bool decode_into(std::span<const std::uint8_t> bytes, Decoded* out) {
   Reader r{bytes};
   std::uint8_t opb = 0;
-  if (!r.u8(opb)) return std::nullopt;
-  if (opb >= static_cast<std::uint8_t>(Op::kCount)) return std::nullopt;
+  if (!r.u8(opb)) return false;
+  if (opb >= static_cast<std::uint8_t>(Op::kCount)) return false;
   Insn insn;
   insn.op = static_cast<Op>(opb);
   std::uint8_t b = 0;
@@ -244,7 +250,7 @@ std::optional<Decoded> decode(std::span<const std::uint8_t> bytes) {
       break;
     case Sig::R:
       ok = r.u8(b);
-      if (ok && b > 15) return std::nullopt;
+      if (ok && b > 15) return false;
       insn.r1 = static_cast<Reg>(b & 15);
       break;
     case Sig::RR:
@@ -305,8 +311,10 @@ std::optional<Decoded> decode(std::span<const std::uint8_t> bytes) {
       if (ok) ok = r.s32(insn.imm);
       break;
   }
-  if (!ok) return std::nullopt;
-  return Decoded{insn, r.pos};
+  if (!ok) return false;
+  out->insn = insn;
+  out->length = r.pos;
+  return true;
 }
 
 }  // namespace raindrop::isa

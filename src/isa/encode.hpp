@@ -60,4 +60,10 @@ struct Decoded {
 // ROP-aware attacks run over raw memory.
 std::optional<Decoded> decode(std::span<const std::uint8_t> bytes);
 
+// Decodes one instruction into caller-owned storage, avoiding the
+// optional wrapper on hot paths (the CPU's superblock builder decodes
+// straight into preallocated block slots). `*out` is unspecified on
+// failure. Returns false on any malformed byte, exactly like decode().
+bool decode_into(std::span<const std::uint8_t> bytes, Decoded* out);
+
 }  // namespace raindrop::isa

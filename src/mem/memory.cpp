@@ -1,5 +1,6 @@
 #include "mem/memory.hpp"
 
+#include <bit>
 #include <cstring>
 
 namespace raindrop {
@@ -28,30 +29,83 @@ std::uint8_t Memory::read_u8(std::uint64_t addr) const {
 }
 
 void Memory::write_u8(std::uint64_t addr, std::uint8_t v) {
-  page_for(addr).bytes[addr & (kPageSize - 1)] = v;
+  Page& p = page_for(addr);
+  p.bytes[addr & (kPageSize - 1)] = v;
+  ++p.gen;
+}
+
+std::uint32_t Memory::page_gen(std::uint64_t addr) const {
+  const Page* p = page_for(addr);
+  return p ? p->gen : 0;
 }
 
 std::uint64_t Memory::read(std::uint64_t addr, unsigned size) const {
-  std::uint64_t v = 0;
+  std::uint64_t off = addr & (kPageSize - 1);
+  if (off + size <= kPageSize) {
+    // One page probe instead of one per byte -- this is the CPU's load,
+    // push/pop and RET-dispatch hot path.
+    const Page* p = page_for(addr);
+    if (!p) return 0;
+    std::uint64_t v = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&v, p->bytes.data() + off, size);
+    } else {
+      for (unsigned i = 0; i < size; ++i)
+        v |= std::uint64_t(p->bytes[off + i]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t v = 0;  // page-straddling access: rare, byte-wise
   for (unsigned i = 0; i < size; ++i)
     v |= std::uint64_t(read_u8(addr + i)) << (8 * i);
   return v;
 }
 
 void Memory::write(std::uint64_t addr, std::uint64_t v, unsigned size) {
+  std::uint64_t off = addr & (kPageSize - 1);
+  if (off + size <= kPageSize) {
+    Page& p = page_for(addr);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(p.bytes.data() + off, &v, size);
+    } else {
+      for (unsigned i = 0; i < size; ++i)
+        p.bytes[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    ++p.gen;
+    return;
+  }
   for (unsigned i = 0; i < size; ++i)
     write_u8(addr + i, static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
 void Memory::write_bytes(std::uint64_t addr,
                          std::span<const std::uint8_t> bytes) {
-  for (std::size_t i = 0; i < bytes.size(); ++i) write_u8(addr + i, bytes[i]);
+  std::size_t i = 0;
+  while (i < bytes.size()) {
+    std::uint64_t a = addr + i;
+    std::size_t off = a & (kPageSize - 1);
+    std::size_t n = std::min(bytes.size() - i,
+                             static_cast<std::size_t>(kPageSize - off));
+    Page& p = page_for(a);
+    std::memcpy(p.bytes.data() + off, bytes.data() + i, n);
+    ++p.gen;
+    i += n;
+  }
 }
 
 std::vector<std::uint8_t> Memory::read_bytes(std::uint64_t addr,
                                              std::size_t len) const {
   std::vector<std::uint8_t> out(len);
-  for (std::size_t i = 0; i < len; ++i) out[i] = read_u8(addr + i);
+  std::size_t i = 0;
+  while (i < len) {
+    std::uint64_t a = addr + i;
+    std::size_t off = a & (kPageSize - 1);
+    std::size_t n =
+        std::min(len - i, static_cast<std::size_t>(kPageSize - off));
+    if (const Page* p = page_for(a))
+      std::memcpy(out.data() + i, p->bytes.data() + off, n);
+    i += n;
+  }
   return out;
 }
 
@@ -81,6 +135,12 @@ const std::string* Memory::region_name(std::uint64_t addr) const {
 const Memory::Region* Memory::find_region(const std::string& name) const {
   for (const auto& r : regions_)
     if (r.name == name) return &r;
+  return nullptr;
+}
+
+const Memory::Region* Memory::region_at(std::uint64_t addr) const {
+  for (const auto& r : regions_)
+    if (r.contains(addr)) return &r;
   return nullptr;
 }
 

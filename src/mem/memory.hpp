@@ -1,6 +1,12 @@
 // Sparse paged memory with section-level permissions. This is the address
 // space both native code and ROP chains live in: .text gadgets, .data
 // chains, the native stack and the stack-switching array ss all map here.
+//
+// Every write advances a per-page generation counter (one bump per page
+// touched per operation). Consumers that cache derived views of memory --
+// the CPU's superblock decode cache above all -- snapshot the generations
+// of the pages they read and lazily rebuild when a generation moves, so a
+// write to one page never invalidates caches built over another.
 #pragma once
 
 #include <array>
@@ -43,6 +49,16 @@ class Memory {
   std::vector<std::uint8_t> read_bytes(std::uint64_t addr,
                                        std::size_t len) const;
 
+  // Write generation of the page containing `addr`. 0 for pages never
+  // written; otherwise bumped at least once whenever any byte of the page
+  // may have changed. A cached view of a byte range is stale iff any
+  // spanned page's generation differs from the snapshot taken at build
+  // time -- within one Memory, or from a frozen ancestor into its
+  // clones (generations are copied at clone time and only move
+  // forward). Two *sibling* clones can reach equal generations with
+  // different bytes, so caches must never migrate between siblings.
+  std::uint32_t page_gen(std::uint64_t addr) const;
+
   // Region bookkeeping. Regions are what the CPU consults for NX checks
   // and what attacks use to tell ".text addresses" from data.
   void map_region(std::uint64_t addr, std::uint64_t size, Perm perm,
@@ -62,6 +78,8 @@ class Memory {
   };
   const std::vector<Region>& regions() const { return regions_; }
   const Region* find_region(const std::string& name) const;
+  // First region containing `addr` (same precedence as perm_at), or null.
+  const Region* region_at(std::uint64_t addr) const;
 
   // Deep copy (forking attack states, checkpoint/restore in tests).
   Memory clone() const;
@@ -69,6 +87,7 @@ class Memory {
  private:
   struct Page {
     std::array<std::uint8_t, kPageSize> bytes{};
+    std::uint32_t gen = 0;  // see page_gen()
   };
   Page& page_for(std::uint64_t addr);
   const Page* page_for(std::uint64_t addr) const;

@@ -17,7 +17,9 @@ namespace raindrop {
 
 class ThreadPool {
  public:
-  // threads <= 1 degenerates to inline execution (no workers spawned).
+  // threads <= 1 degenerates to inline execution: no workers are
+  // spawned and submit()/parallel_for() run on the calling thread, so
+  // the 1-element facade path and 1-core CI pay zero thread churn.
   explicit ThreadPool(int threads);
   ~ThreadPool();
 
@@ -33,9 +35,9 @@ class ThreadPool {
   // Blocks until every submitted task has finished.
   void wait_idle();
 
-  // Runs fn(0) .. fn(n-1) across the pool and waits for completion.
-  // Work is handed out through a shared atomic-style cursor so long and
-  // short items balance across threads.
+  // Runs fn(0) .. fn(n-1) across the pool and waits for completion
+  // (inline, in index order, when no workers exist). One queued task per
+  // index, so long and short items balance across threads.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

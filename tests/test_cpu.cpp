@@ -4,9 +4,15 @@
 // paper's Figure 1.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "cpu/cpu.hpp"
+#include "engine/engine.hpp"
 #include "image/image.hpp"
 #include "isa/encode.hpp"
+#include "minic/codegen.hpp"
+#include "workload/corpus.hpp"
+#include "workload/randomfuns.hpp"
 
 namespace raindrop {
 namespace {
@@ -322,6 +328,225 @@ TEST(Cpu, DecodeCacheInvalidationOnCodeWrite) {
                               static_cast<std::uint8_t>(isa::Op::HLT)));
   EXPECT_EQ(m.run(), CpuStatus::kHalted);
   EXPECT_EQ(m.r(Reg::RAX), 1u);  // second mov never executed
+}
+
+TEST(Cpu, SuperblockBudgetExactMidBlock) {
+  // The budget must be enforced per instruction even though dispatch is
+  // per block: exhausting it mid-block stops exactly there and resumes.
+  Machine m;
+  std::vector<isa::Insn> prog(40, ib::nop());
+  prog.push_back(ib::hlt());
+  m.load(prog);
+  EXPECT_EQ(m.run(17), CpuStatus::kBudgetExceeded);
+  EXPECT_EQ(m.cpu.insn_count(), 17u);
+  EXPECT_EQ(m.run(1000), CpuStatus::kHalted);
+  EXPECT_EQ(m.cpu.insn_count(), 41u);
+}
+
+// Architectural outcome of one call on a freshly loaded machine.
+struct RunOutcome {
+  CpuStatus status = CpuStatus::kHalted;
+  std::uint64_t rax = 0;
+  std::uint64_t insns = 0;
+  std::vector<std::int64_t> probes;
+  std::string fault_reason;
+
+  bool operator==(const RunOutcome&) const = default;
+};
+
+RunOutcome run_loaded(const Image& img, std::uint64_t fn_addr,
+                      std::uint64_t arg, const HookSet* hooks,
+                      bool single_step) {
+  Memory mem = img.load();
+  Cpu cpu(&mem);
+  if (hooks) cpu.set_hooks(*hooks);
+  cpu.set_reg(Reg::RDI, arg);
+  std::uint64_t rsp = kStackBase + kStackSize - 64 - 8;
+  mem.write_u64(rsp, kHltPad);
+  cpu.set_reg(Reg::RSP, rsp);
+  cpu.set_rip(fn_addr);
+  CpuStatus st;
+  if (single_step) {
+    do {
+      st = cpu.step();
+    } while (st == CpuStatus::kRunning && cpu.insn_count() < 1'000'000);
+    if (st == CpuStatus::kRunning) st = CpuStatus::kBudgetExceeded;
+  } else {
+    st = cpu.run(1'000'000);
+  }
+  RunOutcome out;
+  out.status = st;
+  out.rax = cpu.reg(Reg::RAX);
+  out.insns = cpu.insn_count();
+  out.probes = cpu.trace_probes();
+  if (cpu.fault()) out.fault_reason = cpu.fault()->reason;
+  return out;
+}
+
+// Every hook stratum (and single-stepping) must observe / produce the
+// exact same architectural trace as the zero-hook superblock fast path.
+TEST(Cpu, HookStratificationEquivalence) {
+  workload::RandomFunSpec spec;
+  spec.control = 2;
+  spec.seed = 7;
+  auto rf = workload::make_random_fun(spec);
+  Image img = minic::compile(rf.module);
+
+  // A ROP-rewritten body exercises chain dispatch under every stratum.
+  engine::ObfuscationEngine eng(&img, rop::rop_k(1.0, 3));
+  ASSERT_TRUE(eng.rewrite_function(rf.name).ok);
+  std::uint64_t fn = img.function(rf.name)->addr;
+
+  for (std::uint64_t arg : {std::uint64_t(42),
+                            std::uint64_t(rf.secret_input)}) {
+    RunOutcome fast = run_loaded(img, fn, arg, nullptr, false);
+
+    std::uint64_t hook_insns = 0;
+    HookSet insn_hooks;
+    insn_hooks.insn = [&](Cpu&, std::uint64_t, const isa::Insn&) {
+      ++hook_insns;
+      return true;
+    };
+    RunOutcome hooked = run_loaded(img, fn, arg, &insn_hooks, false);
+
+    std::uint64_t blocks_seen = 0;
+    HookSet block_hooks;
+    block_hooks.block = [&](Cpu&, std::uint64_t) { ++blocks_seen; };
+    RunOutcome blocked = run_loaded(img, fn, arg, &block_hooks, false);
+
+    RunOutcome stepped = run_loaded(img, fn, arg, nullptr, true);
+
+    // Both strata together: each must keep firing.
+    std::uint64_t both_insns = 0, both_blocks = 0;
+    HookSet both_hooks;
+    both_hooks.insn = [&](Cpu&, std::uint64_t, const isa::Insn&) {
+      ++both_insns;
+      return true;
+    };
+    both_hooks.block = [&](Cpu&, std::uint64_t) { ++both_blocks; };
+    RunOutcome combined = run_loaded(img, fn, arg, &both_hooks, false);
+
+    EXPECT_EQ(fast, hooked) << arg;
+    EXPECT_EQ(fast, blocked) << arg;
+    EXPECT_EQ(fast, stepped) << arg;
+    EXPECT_EQ(fast, combined) << arg;
+    EXPECT_EQ(hook_insns, fast.insns) << arg;
+    EXPECT_EQ(both_insns, fast.insns) << arg;
+    EXPECT_GT(blocks_seen, 0u) << arg;
+    EXPECT_LE(blocks_seen, fast.insns) << arg;
+    EXPECT_GT(both_blocks, 0u) << arg;
+  }
+}
+
+TEST(Cpu, PrewarmedExecutionIdentical) {
+  workload::RandomFunSpec spec;
+  spec.control = 2;
+  spec.seed = 3;
+  auto rf = workload::make_random_fun(spec);
+  Image img = minic::compile(rf.module);
+  std::uint64_t fn = img.function(rf.name)->addr;
+
+  RunOutcome cold = run_loaded(img, fn, 42, nullptr, false);
+
+  Memory mem = img.load();
+  Cpu cpu(&mem);
+  img.prewarm(&cpu);
+  std::uint64_t built_by_prewarm = cpu.cache_stats().blocks_built;
+  EXPECT_GT(built_by_prewarm, 0u);
+  cpu.set_reg(Reg::RDI, 42);
+  std::uint64_t rsp = kStackBase + kStackSize - 64 - 8;
+  mem.write_u64(rsp, kHltPad);
+  cpu.set_reg(Reg::RSP, rsp);
+  cpu.set_rip(fn);
+  EXPECT_EQ(cpu.run(1'000'000), cold.status);
+  EXPECT_EQ(cpu.reg(Reg::RAX), cold.rax);
+  EXPECT_EQ(cpu.insn_count(), cold.insns);
+  EXPECT_EQ(cpu.trace_probes(), cold.probes);
+  // Everything the run needed inside the function was pre-decoded; only
+  // code outside .text symbols (the HLT sentinel pad) may decode late.
+  EXPECT_LE(cpu.cache_stats().blocks_built - built_by_prewarm, 2u);
+  EXPECT_GT(cpu.cache_stats().block_hits, 0u);
+}
+
+// The cache-coherence contract of the superblock engine: committing an
+// obfuscated function into live memory (pivot stub + .ropdata chain + P1
+// cells, as the engine's phase-2 does) invalidates only blocks decoded
+// from the pages those writes touch. Warm code on untouched pages is
+// re-dispatched without a single re-decode.
+TEST(Cpu, PageGenerationInvalidationOnEngineCommit) {
+  auto cp = workload::make_corpus(1, 40);
+  ASSERT_GE(cp.runnable.size(), 2u);
+  Image img = minic::compile(cp.module);
+  const std::string fn_a = cp.runnable.front();
+  const std::string fn_b = cp.runnable.back();
+  const FunctionSym a = *img.function(fn_a);
+  const FunctionSym b = *img.function(fn_b);
+
+  Memory mem = img.load();
+  Cpu cpu(&mem);
+  // The patched image grows .text (artificial gadgets) and .ropdata past
+  // the region extents mapped at load time; NX stays off so the chain's
+  // appended gadgets remain executable in the live memory.
+  cpu.set_enforce_nx(false);
+
+  auto call = [&](std::uint64_t addr, std::uint64_t arg) {
+    cpu.set_reg(Reg::RDI, arg);
+    std::uint64_t rsp = kStackBase + kStackSize - 64 - 8;
+    mem.write_u64(rsp, kHltPad);
+    cpu.set_reg(Reg::RSP, rsp);
+    cpu.set_rip(addr);
+    EXPECT_EQ(cpu.run(10'000'000), CpuStatus::kHalted);
+    return cpu.reg(Reg::RAX);
+  };
+
+  std::uint64_t a_ref = call(a.addr, 42);
+  std::uint64_t b_ref = call(b.addr, 42);
+  ASSERT_EQ(call(a.addr, 42), a_ref);  // warm + deterministic
+
+  // Obfuscate B through the engine, then apply the image delta to the
+  // live memory exactly like a runtime phase-2 commit: only bytes that
+  // actually changed are written.
+  engine::ObfuscationEngine eng(&img, rop::rop_k(1.0, 5));
+  ASSERT_TRUE(eng.rewrite_function(fn_b).ok);
+  std::set<std::uint64_t> touched_pages;
+  for (const char* sec : {".text", ".rodata", ".data", ".ropdata"}) {
+    std::vector<std::uint8_t> want = img.section_bytes(sec);
+    std::uint64_t base = img.section_base(sec);
+    std::vector<std::uint8_t> have = mem.read_bytes(base, want.size());
+    for (std::size_t i = 0; i < want.size();) {
+      if (want[i] == have[i]) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < want.size() && want[j] != have[j]) ++j;
+      mem.write_bytes(base + i,
+                      std::span<const std::uint8_t>(want.data() + i, j - i));
+      for (std::uint64_t p = (base + i) >> Memory::kPageBits;
+           p <= (base + j - 1) >> Memory::kPageBits; ++p)
+        touched_pages.insert(p);
+      i = j;
+    }
+  }
+  ASSERT_FALSE(touched_pages.empty());
+  // Premise: the commit did not touch A's code pages (A sits at the front
+  // of .text, far from both B and the gadget area appended at the end).
+  for (std::uint64_t p = a.addr >> Memory::kPageBits;
+       p <= (a.addr + a.size - 1) >> Memory::kPageBits; ++p)
+    ASSERT_FALSE(touched_pages.count(p)) << "layout premise violated";
+
+  // A's warm blocks survive the commit: zero re-decodes.
+  Cpu::CacheStats before = cpu.cache_stats();
+  EXPECT_EQ(call(a.addr, 42), a_ref);
+  Cpu::CacheStats after_a = cpu.cache_stats();
+  EXPECT_EQ(after_a.blocks_built, before.blocks_built);
+  EXPECT_EQ(after_a.stale_redecodes, before.stale_redecodes);
+
+  // B's entry page was smashed (pivot stub): its stale blocks re-decode
+  // lazily and the rewritten body computes the same result.
+  EXPECT_EQ(call(b.addr, 42), b_ref);
+  Cpu::CacheStats after_b = cpu.cache_stats();
+  EXPECT_GT(after_b.stale_redecodes, after_a.stale_redecodes);
 }
 
 }  // namespace

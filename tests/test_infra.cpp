@@ -3,6 +3,8 @@
 // diversification contract.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "gadgets/catalog.hpp"
 #include "gadgets/scanner.hpp"
 #include "image/image.hpp"
@@ -10,6 +12,7 @@
 #include "mem/memory.hpp"
 #include "rop/chain.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace raindrop {
 namespace {
@@ -45,6 +48,62 @@ TEST(Memory, CloneIsCopyOnWrite) {
   EXPECT_EQ(b.read_u64(0x100), 99u);
   a.write_u64(0x108, 7);
   EXPECT_EQ(b.read_u64(0x108), 0u);
+}
+
+TEST(Memory, PageGenerationsAdvanceOnWrite) {
+  Memory m;
+  EXPECT_EQ(m.page_gen(0x1000), 0u);  // never-written page
+  m.write_u8(0x1000, 1);
+  std::uint32_t g1 = m.page_gen(0x1000);
+  EXPECT_GT(g1, 0u);
+  // Same-page address maps to the same generation counter.
+  EXPECT_EQ(m.page_gen(0x1fff), g1);
+  // A write to a different page leaves this one's generation alone.
+  m.write_u64(0x5000, 7);
+  EXPECT_EQ(m.page_gen(0x1000), g1);
+  // Any mutation path bumps: scalar writes, bulk writes.
+  m.write_u64(0x1008, 9);
+  std::uint32_t g2 = m.page_gen(0x1000);
+  EXPECT_GT(g2, g1);
+  std::vector<std::uint8_t> blob(Memory::kPageSize + 100, 0xab);
+  m.write_bytes(0x1800, blob);  // straddles into the next page
+  EXPECT_GT(m.page_gen(0x1000), g2);
+  EXPECT_GT(m.page_gen(0x2000), 0u);
+}
+
+TEST(Memory, PageGenerationsAreCowIsolated) {
+  Memory a;
+  a.write_u64(0x100, 42);
+  std::uint32_t ga = a.page_gen(0x100);
+  Memory b = a.clone();
+  EXPECT_EQ(b.page_gen(0x100), ga);  // snapshot shared at clone time
+  b.write_u64(0x100, 99);
+  EXPECT_GT(b.page_gen(0x100), ga);
+  EXPECT_EQ(a.page_gen(0x100), ga);  // the source is untouched
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineWithoutWorkers) {
+  ThreadPool tp(1);
+  EXPECT_EQ(tp.thread_count(), 0);  // no workers spawned, no churn
+  std::thread::id caller = std::this_thread::get_id();
+  bool inline_submit = false;
+  tp.submit([&] { inline_submit = std::this_thread::get_id() == caller; });
+  EXPECT_TRUE(inline_submit);  // submit() ran before returning
+  std::vector<std::size_t> order;
+  tp.parallel_for(4, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+  tp.wait_idle();  // trivially idle; must not deadlock
+}
+
+TEST(ThreadPool, MultiThreadCompletesAllTasks) {
+  ThreadPool tp(4);
+  EXPECT_EQ(tp.thread_count(), 4);
+  std::vector<int> hits(64, 0);
+  tp.parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
 }
 
 TEST(Memory, RegionsAndPermissions) {

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Aggregate BENCH_*.json files into one BENCH_SUMMARY.json.
+
+Each bench binary emits a flat BENCH_<name>.json (see
+bench/bench_common.hpp: name, mode, wall-clock, metrics). This tool
+collects every such file under a directory into a single summary so the
+perf trajectory can be tracked and diffed across PRs, and optionally
+gates CI on a metric regressing against a committed baseline summary.
+
+Usage:
+  bench_report.py [DIR]                 aggregate DIR (default .) into
+                                        DIR/BENCH_SUMMARY.json
+  bench_report.py DIR -o OUT.json       choose the output path
+  bench_report.py DIR \
+      --baseline BENCH_SUMMARY.json \
+      --check micro.cpu_zero_hook_minsns_per_s:20
+                                        additionally fail (exit 1) if the
+                                        named metric is more than 20%
+                                        below the baseline value
+
+--check may be repeated; each spec is <bench>.<metric>[:<max_drop_pct>]
+(default 20). A metric or bench missing from the baseline is a warning,
+not a failure, so fresh metrics can land before their first baseline.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_benches(directory):
+    benches = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        if os.path.basename(path) == "BENCH_SUMMARY.json":
+            continue
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping {path}: {e}", file=sys.stderr)
+            continue
+        name = data.get("bench") or os.path.basename(path)[6:-5]
+        benches[name] = {
+            "mode": data.get("mode"),
+            "wall_clock_s": data.get("wall_clock_s"),
+            "metrics": data.get("metrics", {}),
+        }
+    return benches
+
+
+def lookup(summary, bench, metric):
+    entry = summary.get("benches", {}).get(bench)
+    if entry is None:
+        return None
+    value = entry.get("metrics", {}).get(metric)
+    return value if isinstance(value, (int, float)) else None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("directory", nargs="?", default=".",
+                    help="directory containing BENCH_*.json (default .)")
+    ap.add_argument("-o", "--output", default=None,
+                    help="summary output path "
+                         "(default <directory>/BENCH_SUMMARY.json)")
+    ap.add_argument("--baseline", default=None,
+                    help="previous BENCH_SUMMARY.json to compare against")
+    ap.add_argument("--check", action="append", default=[],
+                    metavar="BENCH.METRIC[:MAX_DROP_PCT]",
+                    help="fail if METRIC dropped more than MAX_DROP_PCT "
+                         "(default 20) below the baseline; repeatable")
+    args = ap.parse_args()
+
+    benches = load_benches(args.directory)
+    if not benches:
+        print(f"error: no BENCH_*.json found in {args.directory}",
+              file=sys.stderr)
+        return 1
+    summary = {"benches": benches}
+    out = args.output or os.path.join(args.directory, "BENCH_SUMMARY.json")
+    with open(out, "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out} ({len(benches)} benches: "
+          f"{', '.join(sorted(benches))})")
+
+    if not args.check:
+        return 0
+    if not args.baseline:
+        print("error: --check requires --baseline", file=sys.stderr)
+        return 1
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read baseline: {e}", file=sys.stderr)
+        return 1
+
+    failed = False
+    for spec in args.check:
+        key, _, drop = spec.partition(":")
+        bench, _, metric = key.partition(".")
+        max_drop = float(drop) if drop else 20.0
+        base = lookup(baseline, bench, metric)
+        cur = lookup(summary, bench, metric)
+        if cur is None:
+            print(f"FAIL  {key}: metric missing from current run")
+            failed = True
+            continue
+        if base is None:
+            print(f"warn  {key}: no baseline value (current {cur:g}); "
+                  f"skipping")
+            continue
+        floor = base * (1.0 - max_drop / 100.0)
+        status = "ok  " if cur >= floor else "FAIL"
+        print(f"{status}  {key}: current {cur:g} vs baseline {base:g} "
+              f"(floor {floor:g}, max drop {max_drop:g}%)")
+        if cur < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
