@@ -109,6 +109,7 @@ int main() {
               "already unrecoverable at k=0 (P1 aliasing vs the memory "
               "model); ROP run-time cost far below VM configs.\n");
   emit_cpu_throughput(json);
+  emit_analysis_cache(json);
   json.write();
   return 0;
 }

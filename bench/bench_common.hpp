@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,17 @@ inline int bench_threads() {
     if (n > 0) return n;
   }
   return 4;
+}
+
+// Commit shards for engine batches (RAINDROP_SHARDS, default 0 = one
+// shard per craft thread). Output is bit-identical at any shard count.
+inline int bench_shards() {
+  const char* e = std::getenv("RAINDROP_SHARDS");
+  if (e && *e) {
+    int n = std::atoi(e);
+    if (n > 0) return n;
+  }
+  return 0;
 }
 
 // Machine-readable results: collects scalar metrics and string notes,
@@ -173,6 +185,20 @@ inline void emit_cpu_throughput(BenchJson& json) {
   json.metric("cpu_minsns_per_s", cpu_insns_per_sec() / 1e6);
 }
 
+// AnalysisCache telemetry (DESIGN.md §7): every bench JSON records the
+// process-wide cache counters so repeated-sweep amortization shows up in
+// whichever bench CI runs. The harvest (gadget-finder) memo lives in the
+// cache's aux side table and is reported alongside.
+inline void emit_analysis_cache(BenchJson& json) {
+  auto s = analysis::AnalysisCache::process_cache()->stats();
+  json.metric("analysis_cache_hits", static_cast<double>(s.hits));
+  json.metric("analysis_cache_misses", static_cast<double>(s.misses));
+  json.metric("analysis_cache_evictions", static_cast<double>(s.evictions));
+  json.metric("analysis_cache_hit_rate", s.hit_rate());
+  auto a = analysis::AnalysisCache::process_cache()->aux_stats();
+  json.metric("harvest_cache_hit_rate", a.hit_rate());
+}
+
 // Obfuscation configurations of Table I.
 struct NamedConfig {
   std::string name;
@@ -213,10 +239,15 @@ inline std::vector<NamedConfig> table1_configs(bool full) {
 
 // Builds the obfuscated image for a single-function module through the
 // batch engine. Returns false when the configuration does not apply
-// (e.g. VM on asm bodies) or the rewrite fails.
+// (e.g. VM on asm bodies) or the rewrite fails. `cache` selects the
+// analysis cache the engine consults (nullptr: the process-wide one);
+// `result` receives the engine batch stats when given.
 inline bool build_config(const workload::RandomFun& rf,
                          const NamedConfig& nc, std::uint64_t seed,
-                         Image* out) {
+                         Image* out,
+                         std::shared_ptr<analysis::AnalysisCache> cache =
+                             nullptr,
+                         engine::ModuleResult* result = nullptr) {
   minic::Module mod = rf.module;
   if (nc.vm_layers > 0) {
     if (!vmobf::virtualize_layers(mod, rf.name, nc.vm_layers, nc.imp, seed))
@@ -234,8 +265,9 @@ inline bool build_config(const workload::RandomFun& rf,
     c.p3_fraction = nc.rop_k;
     c.p3_variant = 1;
     c.gadget_confusion = false;
-    engine::ObfuscationEngine eng(&img, c);
+    engine::ObfuscationEngine eng(&img, c, std::move(cache));
     auto mr = eng.obfuscate_module({rf.name}, 1);
+    if (result) *result = mr;
     if (mr.ok_count != 1) return false;
   }
   *out = std::move(img);

@@ -161,6 +161,7 @@ int main() {
               "non-simplifiable, so TDS+DSE symbiosis does not ease the "
               "attack)\n");
   emit_cpu_throughput(json);
+  emit_analysis_cache(json);
   json.write();
   return 0;
 }

@@ -93,6 +93,7 @@ int main() {
               "native.)\n");
   json.metric("benchmarks", geo_n);
   emit_cpu_throughput(json);
+  emit_analysis_cache(json);
   json.write();
   return 0;
 }

@@ -68,6 +68,7 @@ int main() {
               "(gadget reuse across chains, ~4x at k=1).\n");
   json.metric("rows", rows);
   emit_cpu_throughput(json);
+  emit_analysis_cache(json);
   json.write();
   return 0;
 }

@@ -1,0 +1,220 @@
+#include "analysis/cache.hpp"
+
+#include <utility>
+
+namespace raindrop::analysis {
+
+namespace {
+
+// Hashes [addr, addr+n) of the image, through the zero-copy view when
+// the range sits in one section and byte-at-a-time otherwise.
+std::uint64_t hash_range(const Image& img, std::uint64_t addr,
+                         std::size_t n) {
+  std::span<const std::uint8_t> view = img.bytes_view(addr, n);
+  if (!view.empty())
+    return AnalysisCache::hash_bytes(view.data(), view.size());
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= img.byte_at(addr + i);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64 finalizer: cheap avalanche for the scalar key parts.
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t AnalysisCache::hash_bytes(const std::uint8_t* data,
+                                        std::size_t n, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+AnalysisCache::AnalysisCache(std::size_t shard_count,
+                             std::size_t capacity_per_shard)
+    : shards_(shard_count ? shard_count : 1),
+      capacity_(capacity_per_shard ? capacity_per_shard : 1) {}
+
+AnalysisCache::Shard& AnalysisCache::shard_for(std::uint64_t key) {
+  return shards_[key % shards_.size()];
+}
+
+AnalysisCache::Entry AnalysisCache::build_entry(const Image& img,
+                                                std::uint64_t entry,
+                                                std::uint64_t size,
+                                                int arg_count) {
+  Entry e;
+  e.entry_addr = entry;
+  e.size = size;
+  e.arg_count = arg_count;
+  auto art = std::make_shared<AnalysisArtifacts>();
+  art->cfg = build_cfg(img, entry, size);
+  if (art->cfg.complete) {
+    art->liveness = compute_liveness(art->cfg, &img);
+    art->taint = compute_taint(art->cfg, arg_count);
+  }
+  // Record everything the analyses read outside [entry, entry+size):
+  // jump-table cells (build_cfg) and callee argument counts (the
+  // CALL_REL refinement in compute_liveness). The same facts fold into
+  // the artifact's dep_fingerprint so downstream memos key on them too.
+  std::uint64_t dep_fp = 0xcbf29ce484222325ull;
+  for (const auto& [addr, bb] : art->cfg.blocks) {
+    if (bb.jump_table) {
+      Entry::TableDep td;
+      td.addr = bb.jump_table->table_addr;
+      td.bytes = 8 * bb.jump_table->targets.size();
+      td.hash = hash_range(img, td.addr, td.bytes);
+      dep_fp = AnalysisCache::fold(dep_fp, td.addr);
+      dep_fp = AnalysisCache::fold(dep_fp, td.hash);
+      e.tables.push_back(td);
+    }
+    for (const CfgInsn& ci : bb.insns) {
+      if (ci.insn.op != isa::Op::CALL_REL) continue;
+      Entry::CalleeDep cd;
+      cd.target = ci.addr + ci.length + static_cast<std::uint64_t>(ci.insn.imm);
+      const FunctionSym* callee = img.function_at(cd.target);
+      cd.arg_count = callee ? callee->arg_count : -1;
+      dep_fp = AnalysisCache::fold(dep_fp, cd.target);
+      dep_fp = AnalysisCache::fold(
+          dep_fp, static_cast<std::uint64_t>(cd.arg_count + 1));
+      e.callees.push_back(cd);
+    }
+  }
+  art->dep_fingerprint = dep_fp;
+  e.art = std::move(art);
+  return e;
+}
+
+bool AnalysisCache::deps_valid(const Entry& e, const Image& img) {
+  for (const Entry::TableDep& td : e.tables)
+    if (hash_range(img, td.addr, td.bytes) != td.hash) return false;
+  for (const Entry::CalleeDep& cd : e.callees) {
+    const FunctionSym* callee = img.function_at(cd.target);
+    if ((callee ? callee->arg_count : -1) != cd.arg_count) return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const AnalysisArtifacts> AnalysisCache::lookup_or_build(
+    const Image& img, std::uint64_t entry, std::uint64_t size,
+    int arg_count, bool* hit) {
+  std::uint64_t key = hash_range(img, entry, static_cast<std::size_t>(size));
+  key = mix(key, entry);
+  key = mix(key, size);
+  key = mix(key, static_cast<std::uint64_t>(arg_count));
+  key = mix(key, kAnalysisVersion);
+
+  Shard& sh = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.map.find(key);
+    if (it != sh.map.end()) {
+      const Entry& e = it->second;
+      // Same content hash but different identity would be a 64-bit
+      // collision between coexisting functions; treat as a miss.
+      if (e.entry_addr == entry && e.size == size &&
+          e.arg_count == arg_count && deps_valid(e, img)) {
+        ++sh.hits;
+        if (hit) *hit = true;
+        return e.art;
+      }
+      // Stale dependencies (or collision): drop and rebuild below.
+      sh.map.erase(it);
+      ++sh.evictions;
+    }
+  }
+
+  // Build outside the lock: artifacts are pure functions of the inputs,
+  // so a racing builder computes the identical value.
+  Entry fresh = build_entry(img, entry, size, arg_count);
+  std::shared_ptr<const AnalysisArtifacts> art = fresh.art;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    ++sh.misses;
+    if (hit) *hit = false;
+    if (sh.map.emplace(key, std::move(fresh)).second) {
+      sh.fifo.push_back(key);
+      while (sh.fifo.size() > capacity_) {
+        if (sh.map.erase(sh.fifo.front())) ++sh.evictions;
+        sh.fifo.pop_front();
+      }
+    }
+  }
+  return art;
+}
+
+std::shared_ptr<const void> AnalysisCache::aux_lookup(std::uint64_t key) {
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.aux.find(key);
+  if (it == sh.aux.end()) {
+    ++sh.aux_misses;
+    return nullptr;
+  }
+  ++sh.aux_hits;
+  return it->second;
+}
+
+void AnalysisCache::aux_insert(std::uint64_t key,
+                               std::shared_ptr<const void> value) {
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  if (sh.aux.emplace(key, std::move(value)).second) {
+    sh.aux_fifo.push_back(key);
+    while (sh.aux_fifo.size() > capacity_) {
+      if (sh.aux.erase(sh.aux_fifo.front())) ++sh.aux_evictions;
+      sh.aux_fifo.pop_front();
+    }
+  }
+}
+
+AnalysisCache::Stats AnalysisCache::stats() const {
+  Stats s;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    s.hits += sh.hits;
+    s.misses += sh.misses;
+    s.evictions += sh.evictions;
+  }
+  return s;
+}
+
+AnalysisCache::Stats AnalysisCache::aux_stats() const {
+  Stats s;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    s.hits += sh.aux_hits;
+    s.misses += sh.aux_misses;
+    s.evictions += sh.aux_evictions;
+  }
+  return s;
+}
+
+void AnalysisCache::clear() {
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.map.clear();
+    sh.fifo.clear();
+    sh.aux.clear();
+    sh.aux_fifo.clear();
+    sh.hits = sh.misses = sh.evictions = 0;
+    sh.aux_hits = sh.aux_misses = sh.aux_evictions = 0;
+  }
+}
+
+const std::shared_ptr<AnalysisCache>& AnalysisCache::process_cache() {
+  static const std::shared_ptr<AnalysisCache> cache =
+      std::make_shared<AnalysisCache>();
+  return cache;
+}
+
+}  // namespace raindrop::analysis

@@ -1,0 +1,153 @@
+// Content-addressed cache for the support analyses of Figure 2. The
+// obfuscation pipeline's frontend (CFG reconstruction, liveness, taint)
+// is a pure function of the function's bytes plus a handful of small
+// image facts (jump-table cells, callee argument counts); repeated
+// sweeps -- Table II rebuilds the identical corpus once per
+// configuration -- therefore recompute identical artifacts 10+ times.
+//
+// The cache keys artifacts on a 64-bit content hash of (function bytes,
+// entry address, size, arg_count, analysis version). Values are
+// immutable and handed out as shared_ptr<const AnalysisArtifacts>, so a
+// hit costs one hash + one shard-map probe and no copies, and artifacts
+// outlive any particular engine or image. Cross-image reuse is made
+// sound by recording the *out-of-body* facts each analysis consumed --
+// the jump-table cells build_cfg read and the callee arg counts
+// compute_liveness refined calls with -- and revalidating them against
+// the current image on every hit; a mismatch rebuilds (counted as an
+// eviction + miss), so patching a byte anywhere the analyses looked can
+// never yield a stale artifact.
+//
+// The map is sharded by key hash with one mutex per shard: the engine's
+// parallel craft phase probes it from every worker thread. A bounded
+// FIFO per shard keeps memory flat on long-lived service processes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/disasm.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/taintreg.hpp"
+
+namespace raindrop::analysis {
+
+// Bump when any analysis' semantics change: old cache entries (e.g. in a
+// long-lived service sharing one process cache across engine versions)
+// become unreachable instead of wrong.
+inline constexpr std::uint32_t kAnalysisVersion = 1;
+
+// The immutable value: every config-independent artifact craft needs.
+// For an incomplete CFG (reconstruction failure, §VII-C1) liveness and
+// taint are left empty; callers check cfg.complete exactly as they
+// would on a fresh build_cfg result.
+struct AnalysisArtifacts {
+  Cfg cfg;
+  Liveness liveness;
+  TaintInfo taint;
+  // Hash of the out-of-body facts the analyses consumed (jump-table
+  // cells, callee arg counts). lookup_or_build revalidates those facts
+  // against the live image on every hit, so a returned artifact's
+  // dep_fingerprint always reflects the image's *current* state --
+  // downstream memos (the engine's craft memo) fold it into their own
+  // keys to inherit that revalidation.
+  std::uint64_t dep_fingerprint = 0;
+};
+
+class AnalysisCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;  // capacity + stale-dependency rebuilds
+    double hit_rate() const {
+      std::uint64_t total = hits + misses;
+      return total ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+    }
+  };
+
+  explicit AnalysisCache(std::size_t shard_count = 8,
+                         std::size_t capacity_per_shard = 2048);
+
+  // Returns the artifacts for the function at [entry, entry+size) with
+  // `arg_count` taint sources, computing and inserting them on a miss.
+  // Thread-safe; concurrent callers with the same key may both compute
+  // (both results are identical by construction). `hit`, when given,
+  // reports whether this call was served from the cache.
+  std::shared_ptr<const AnalysisArtifacts> lookup_or_build(
+      const Image& img, std::uint64_t entry, std::uint64_t size,
+      int arg_count, bool* hit = nullptr);
+
+  // -- Generic content-addressed side table ----------------------------
+  // Later pipeline stages memoize their own pure byte-derived results
+  // here (the gadget finder's harvest scan, see gadgets/catalog.*)
+  // without analysis/ depending on their types: callers own the key
+  // derivation (content hash) and the pointee type. Entries share the
+  // shards, capacity bound and eviction policy of the main table but are
+  // counted separately (aux_stats).
+  std::shared_ptr<const void> aux_lookup(std::uint64_t key);
+  void aux_insert(std::uint64_t key, std::shared_ptr<const void> value);
+
+  Stats stats() const;
+  Stats aux_stats() const;
+  void clear();
+
+  // Default process-wide instance shared by every ObfuscationEngine not
+  // given an explicit cache.
+  static const std::shared_ptr<AnalysisCache>& process_cache();
+
+  // 64-bit FNV-1a, the content hash used for keys (exposed so aux users
+  // derive keys the same way).
+  static std::uint64_t hash_bytes(const std::uint8_t* data, std::size_t n,
+                                  std::uint64_t seed = 0xcbf29ce484222325ull);
+  // The one scalar-fold primitive every cache key in the pipeline uses
+  // (engine craft keys, pool fingerprints): centralized so the hashes
+  // cannot drift apart across call sites.
+  static constexpr std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+    return (h ^ v) * 0x100000001b3ull;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t entry_addr = 0;
+    std::uint64_t size = 0;
+    int arg_count = 0;
+    std::shared_ptr<const AnalysisArtifacts> art;
+    // Out-of-body dependencies, revalidated on every hit.
+    struct TableDep {
+      std::uint64_t addr = 0;
+      std::size_t bytes = 0;
+      std::uint64_t hash = 0;
+    };
+    struct CalleeDep {
+      std::uint64_t target = 0;
+      int arg_count = -1;  // -1: no function symbol at target
+    };
+    std::vector<TableDep> tables;
+    std::vector<CalleeDep> callees;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> map;
+    std::deque<std::uint64_t> fifo;  // insertion order, for eviction
+    std::unordered_map<std::uint64_t, std::shared_ptr<const void>> aux;
+    std::deque<std::uint64_t> aux_fifo;
+    std::uint64_t hits = 0, misses = 0, evictions = 0;
+    std::uint64_t aux_hits = 0, aux_misses = 0, aux_evictions = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key);
+  static bool deps_valid(const Entry& e, const Image& img);
+  static Entry build_entry(const Image& img, std::uint64_t entry,
+                           std::uint64_t size, int arg_count);
+
+  std::vector<Shard> shards_;
+  std::size_t capacity_;
+};
+
+}  // namespace raindrop::analysis

@@ -1,8 +1,11 @@
 #include "engine/engine.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <set>
+#include <span>
+#include <unordered_set>
 
-#include "analysis/taintreg.hpp"
 #include "isa/encode.hpp"
 #include "rop/craft.hpp"
 #include "rop/roplet.hpp"
@@ -16,8 +19,12 @@ using isa::MemRef;
 using isa::Reg;
 namespace ib = isa::ib;
 
-ObfuscationEngine::ObfuscationEngine(Image* img, const rop::ObfConfig& cfg)
+ObfuscationEngine::ObfuscationEngine(
+    Image* img, const rop::ObfConfig& cfg,
+    std::shared_ptr<analysis::AnalysisCache> cache)
     : img_(img), cfg_(cfg),
+      cache_(cache ? std::move(cache)
+                   : analysis::AnalysisCache::process_cache()),
       pool_(img, Rng(cfg.seed).next(), cfg.gadget_variants) {
   // Stack-switching array ss (§IV-A3): cell 0 holds the byte offset of
   // the top entry; entries follow. Sized for deep recursion.
@@ -34,8 +41,10 @@ ObfuscationEngine::ObfuscationEngine(Image* img, const rop::ObfConfig& cfg)
   funcret_gadget_ = pool_.want(core, analysis::RegSet());
 
   // Seed the pool with gadgets already present in compiled code
-  // ("program parts left unobfuscated", §IV-A1).
-  pool_.harvest(kTextBase, img_->section_end(".text"));
+  // ("program parts left unobfuscated", §IV-A1). The scan result is
+  // content-addressed through the analysis cache, so sibling engines
+  // over identical .text bytes share one immutable harvest layer.
+  pool_.harvest(kTextBase, img_->section_end(".text"), cache_.get());
 }
 
 std::vector<std::uint8_t> ObfuscationEngine::make_pivot_stub(
@@ -102,6 +111,78 @@ ObfuscationEngine::Prealloc ObfuscationEngine::preallocate(
   return pre;
 }
 
+namespace {
+
+using analysis::AnalysisCache;
+constexpr auto fold = AnalysisCache::fold;
+
+// Every ObfConfig field folds into the craft-memo key: two configs that
+// differ anywhere craft can observe must never share artifacts. The
+// size check trips when a field is added so this function cannot
+// silently go stale (stale = two configs aliasing one artifact).
+static_assert(sizeof(rop::ObfConfig) == 96,
+              "ObfConfig changed: fold the new field into config_hash and "
+              "bump kCraftMemoTag");
+std::uint64_t config_hash(const rop::ObfConfig& c) {
+  auto dbl = [](double d) { return std::bit_cast<std::uint64_t>(d); };
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fold(h, c.seed);
+  h = fold(h, (c.p1 ? 1u : 0u) | (c.p2 ? 2u : 0u) |
+                  (c.gadget_confusion ? 4u : 0u) |
+                  (c.read_only_chain ? 8u : 0u) |
+                  (c.shuffle_blocks ? 16u : 0u));
+  h = fold(h, static_cast<std::uint64_t>(c.p1_n) |
+                  (static_cast<std::uint64_t>(c.p1_s) << 16) |
+                  (static_cast<std::uint64_t>(c.p1_p) << 32));
+  h = fold(h, c.p1_m);
+  h = fold(h, static_cast<std::uint64_t>(c.p2_x_max));
+  h = fold(h, dbl(c.p3_fraction));
+  h = fold(h, static_cast<std::uint64_t>(c.p3_variant));
+  h = fold(h, c.p3_iter_mask);
+  h = fold(h, dbl(c.confusion_bump_prob));
+  h = fold(h, static_cast<std::uint64_t>(c.max_spill_slots));
+  h = fold(h, static_cast<std::uint64_t>(c.gadget_variants));
+  return h;
+}
+
+// Tag separating craft-memo keys from other aux-table users (the
+// harvest layers); bump with any craft semantics change.
+constexpr std::uint64_t kCraftMemoTag = 0x435246540001ull;
+
+}  // namespace
+
+std::uint64_t ObfuscationEngine::craft_key(const Prealloc& pre,
+                                           std::uint64_t dep_fp) const {
+  std::span<const std::uint8_t> view =
+      img_->bytes_view(pre.fn_addr, static_cast<std::size_t>(pre.fn_size));
+  std::uint64_t h;
+  if (!view.empty()) {
+    h = AnalysisCache::hash_bytes(view.data(), view.size());
+  } else {
+    h = 0xcbf29ce484222325ull;
+    for (std::uint64_t i = 0; i < pre.fn_size; ++i)
+      h = fold(h, img_->byte_at(pre.fn_addr + i));
+  }
+  h = fold(h, kCraftMemoTag);
+  // Out-of-body facts the analyses consumed (jump-table cells, callee
+  // arg counts): lookup_or_build revalidated them against the live
+  // image just before this, so folding the fingerprint makes the memo
+  // inherit that revalidation -- a .rodata table cell changing under
+  // unchanged function bytes must miss here, never serve a stale chain.
+  h = fold(h, dep_fp);
+  h = fold(h, pre.fn_addr);
+  h = fold(h, pre.fn_size);
+  h = fold(h, static_cast<std::uint64_t>(pre.arg_count));
+  h = fold(h, pre.ordinal);
+  h = fold(h, pre.p1_addr);
+  for (std::uint64_t s : pre.spill_slots) h = fold(h, s);
+  h = fold(h, ss_addr_);
+  h = fold(h, funcret_gadget_);
+  h = fold(h, pool_.fingerprint());
+  h = fold(h, config_hash(cfg_));
+  return h;
+}
+
 CraftedFunction ObfuscationEngine::craft_one(const std::string& name,
                                              const Prealloc& pre) const {
   CraftedFunction cf;
@@ -115,83 +196,91 @@ CraftedFunction ObfuscationEngine::craft_one(const std::string& name,
     return cf;
   }
 
+  // Support analyses (Figure 2: CFG reconstruction, liveness, gadget
+  // finder feed translation / chain crafting), shared through the
+  // content-addressed cache: a warm sweep reuses the artifacts of any
+  // earlier engine that analysed identical function bytes.
+  bool hit = false;
+  cf.analyses = cache_->lookup_or_build(*img_, pre.fn_addr, pre.fn_size,
+                                        pre.arg_count, &hit);
+  cf.analysis_cache_hit = hit;
+
+  // Craft memo: the whole phase-1 artifact is a pure function of the
+  // key's inputs, so a sweep re-obfuscating identical bytes under an
+  // identical configuration serves it without re-crafting.
+  std::uint64_t key = craft_key(pre, cf.analyses->dep_fingerprint);
+  if (auto cached = cache_->aux_lookup(key)) {
+    cf.art = std::static_pointer_cast<const CraftArtifact>(cached);
+    cf.craft_memo_hit = true;
+    cf.ok = cf.art->ok;
+    cf.failure = cf.art->failure;
+    cf.detail = cf.art->detail;
+    return cf;
+  }
+
+  auto art = std::make_shared<CraftArtifact>();
   // All randomness in this function's craft comes from its own
   // counter-based stream: the artifact depends only on (image snapshot,
   // frozen pool, prealloc, seed, ordinal), never on sibling functions.
   Rng rng = Rng::stream(cfg_.seed, pre.ordinal);
+  const analysis::Cfg& cfg = cf.analyses->cfg;
+  if (!cfg.complete) {
+    art->failure = rop::RewriteFailure::CfgIncomplete;
+    art->detail = cfg.error;
+  } else {
+    rop::TranslateResult tr =
+        rop::translate(cfg, cf.analyses->liveness, cf.analyses->taint);
+    if (!tr.ok) {
+      art->failure = rop::RewriteFailure::UnsupportedInsn;
+      art->detail = tr.error;
+    } else {
+      if (pre.p1_addr != 0) {
+        art->p1 = rop::P1Array::generate(rng, cfg_.p1_n, cfg_.p1_s,
+                                         cfg_.p1_p, cfg_.p1_m);
+        art->p1->addr = pre.p1_addr;
+      }
 
-  // Support analyses (Figure 2: CFG reconstruction, liveness, gadget
-  // finder feed translation / chain crafting).
-  cf.cfg = analysis::build_cfg(*img_, pre.fn_addr, pre.fn_size);
-  if (!cf.cfg.complete) {
-    cf.failure = rop::RewriteFailure::CfgIncomplete;
-    cf.detail = cf.cfg.error;
-    return cf;
+      rop::CraftEnv env;
+      env.pool = &pool_;
+      env.cfg = &cfg_;
+      env.rng = &rng;
+      env.ss_addr = ss_addr_;
+      env.funcret_gadget = funcret_gadget_;
+      env.spill_slots = cf.spill_slots;
+      env.p1 = art->p1 ? &*art->p1 : nullptr;
+      env.liveness = &cf.analyses->liveness;
+      env.fn_addr = pre.fn_addr;
+      env.fn_stub_end = pre.fn_addr + pivot_stub_size();
+
+      rop::CraftOutput co = rop::craft_chain(env, tr);
+      if (!co.ok) {
+        art->failure = co.failure;
+        art->detail = co.detail;
+        art->p1.reset();
+      } else {
+        art->chain = std::move(co.chain);
+        art->requests = std::move(co.requests);
+        art->program_points = co.program_points;
+        art->ok = true;
+      }
+    }
   }
-  cf.liveness = analysis::compute_liveness(cf.cfg, img_);
-  analysis::TaintInfo taint = analysis::compute_taint(cf.cfg, pre.arg_count);
-
-  rop::TranslateResult tr = rop::translate(cf.cfg, cf.liveness, taint);
-  if (!tr.ok) {
-    cf.failure = rop::RewriteFailure::UnsupportedInsn;
-    cf.detail = tr.error;
-    return cf;
-  }
-
-  if (pre.p1_addr != 0) {
-    cf.p1 = rop::P1Array::generate(rng, cfg_.p1_n, cfg_.p1_s, cfg_.p1_p,
-                                   cfg_.p1_m);
-    cf.p1->addr = pre.p1_addr;
-  }
-
-  rop::CraftEnv env;
-  env.pool = &pool_;
-  env.cfg = &cfg_;
-  env.rng = &rng;
-  env.ss_addr = ss_addr_;
-  env.funcret_gadget = funcret_gadget_;
-  env.spill_slots = cf.spill_slots;
-  env.p1 = cf.p1 ? &*cf.p1 : nullptr;
-  env.liveness = &cf.liveness;
-  env.fn_addr = pre.fn_addr;
-  env.fn_stub_end = pre.fn_addr + pivot_stub_size();
-
-  rop::CraftOutput co = rop::craft_chain(env, tr);
-  if (!co.ok) {
-    cf.failure = co.failure;
-    cf.detail = co.detail;
-    return cf;
-  }
-  cf.chain = std::move(co.chain);
-  cf.requests = std::move(co.requests);
-  cf.program_points = co.program_points;
-  cf.ok = true;
+  cache_->aux_insert(key, art);
+  cf.art = std::move(art);
+  cf.ok = cf.art->ok;
+  cf.failure = cf.art->failure;
+  cf.detail = cf.art->detail;
   return cf;
 }
 
-rop::RewriteResult ObfuscationEngine::commit_one(CraftedFunction& cf) {
+rop::RewriteResult ObfuscationEngine::materialize_one(CraftedFunction& cf) {
   rop::RewriteResult res;
   if (!cf.ok) {
     res.failure = cf.failure;
     res.detail = cf.detail;
     return res;
   }
-  // A name listed twice in one batch crafts twice (prealloc happens
-  // before any commit); only the first artifact may land.
-  if (img_->function(cf.name)->rop_rewritten) {
-    res.failure = rop::RewriteFailure::UnsupportedInsn;
-    res.detail = "already rewritten";
-    return res;
-  }
-
-  // Resolve deferred gadget demands in request order. A request may be
-  // served by a gadget synthesized for an earlier function in the batch:
-  // cross-function reuse (Table III's B << A) happens here.
-  std::vector<std::uint64_t> addrs;
-  addrs.reserve(cf.requests.size());
-  for (const gadgets::GadgetRequest& req : cf.requests)
-    addrs.push_back(pool_.resolve(req));
-  cf.chain.resolve_gadget_refs(addrs);
+  const CraftArtifact& art = *cf.art;
 
   // Materialization (§IV-B3): fix the layout, embed the chain, patch the
   // switch displacements into the (now dead) original body, install the
@@ -199,18 +288,27 @@ rop::RewriteResult ObfuscationEngine::commit_one(CraftedFunction& cf) {
   // what absolute chain items (flag-preserving jumps) resolve against.
   // Everything is staged as one deferred commit and applied atomically.
   std::uint64_t chain_base = img_->section_end(".ropdata");
-  rop::Chain::Materialized mat = cf.chain.materialize(chain_base);
+  rop::Chain::Materialized mat =
+      art.chain.materialize(chain_base, cf.req_addrs);
   Image::DeferredCommit dc;
   dc.section = ".ropdata";
   dc.bytes = mat.bytes;
-  if (cf.p1)
-    for (std::size_t i = 0; i < cf.p1->cells.size(); ++i)
-      dc.u64_patches.push_back({cf.p1->addr + 8 * i, cf.p1->cells[i]});
+  if (art.p1) {
+    // One contiguous raw patch for the whole P1 array: per-cell u64
+    // patches cost a section scan each.
+    std::vector<std::uint8_t> cells(art.p1->cells.size() * 8);
+    for (std::size_t i = 0; i < art.p1->cells.size(); ++i)
+      for (int k = 0; k < 8; ++k)
+        cells[8 * i + k] =
+            static_cast<std::uint8_t>(art.p1->cells[i] >> (8 * k));
+    dc.raw_patches.push_back({art.p1->addr, std::move(cells)});
+  }
   for (auto [addr, val] : mat.patches)
     dc.u32_patches.push_back({addr, static_cast<std::uint32_t>(val)});
   dc.raw_patches.push_back({cf.fn_addr, make_pivot_stub(chain_base)});
   // Tripwire BEFORE mutating: if .ropdata grew between reading
-  // chain_base and committing (it cannot in a serial phase 2, but a
+  // chain_base and committing (it cannot in a serial phase 2b; gadget
+  // synthesis in phase 2a appends to .text, not .ropdata -- but a
   // future pool/section change could), fail while the image is intact.
   if (img_->section_end(".ropdata") != chain_base) {
     res.failure = rop::RewriteFailure::UnsupportedInsn;
@@ -224,27 +322,29 @@ rop::RewriteResult ObfuscationEngine::commit_one(CraftedFunction& cf) {
   res.ok = true;
   res.chain_addr = chain_addr;
   res.chain_size = mat.bytes.size();
-  res.stats.program_points = cf.program_points;
-  res.stats.gadget_slots = cf.chain.gadget_slots();
-  res.stats.unique_gadgets = cf.chain.unique_gadget_count();
+  res.stats.program_points = art.program_points;
+  res.stats.gadget_slots = art.chain.gadget_slots();
+  res.stats.unique_gadgets = art.chain.unique_gadget_count(cf.req_addrs);
   res.stats.gadgets_per_point =
-      cf.program_points == 0
+      art.program_points == 0
           ? 0.0
           : static_cast<double>(res.stats.gadget_slots) /
-                static_cast<double>(cf.program_points);
+                static_cast<double>(art.program_points);
   res.stats.chain_bytes = mat.bytes.size();
 
-  auto gaddrs = cf.chain.gadget_addrs();
+  auto gaddrs = art.chain.gadget_addrs(cf.req_addrs);
   all_gadget_addrs_.insert(all_gadget_addrs_.end(), gaddrs.begin(),
                            gaddrs.end());
-  total_points_ += cf.program_points;
+  total_points_ += art.program_points;
   return res;
 }
 
 ModuleResult ObfuscationEngine::obfuscate_module(
-    const std::vector<std::string>& names, int threads) {
+    const std::vector<std::string>& names, int threads, int shards) {
   ModuleResult out;
   Stopwatch watch;
+  if (shards <= 0) shards = std::max(1, threads);
+  out.commit_shards = shards;
 
   // Serial pre-pass: fix every address crafting will need (P1 arrays,
   // spill slots) and catch image-dependent early failures, so phase 1
@@ -263,14 +363,63 @@ ModuleResult ObfuscationEngine::obfuscate_module(
       crafted[i] = craft_one(names[i], pre[i]);
     });
   }
-  pool_.unfreeze();
   out.craft_seconds = watch.seconds();
+  for (const CraftedFunction& cf : crafted) {
+    if (!cf.analyses) continue;  // early failure: no cache consultation
+    if (cf.analysis_cache_hit)
+      ++out.analysis_cache_hits;
+    else
+      ++out.analysis_cache_misses;
+    if (cf.craft_memo_hit)
+      ++out.craft_memo_hits;
+    else
+      ++out.craft_memo_misses;
+  }
+  std::size_t lookups = out.analysis_cache_hits + out.analysis_cache_misses;
+  out.analysis_cache_hit_rate =
+      lookups ? static_cast<double>(out.analysis_cache_hits) /
+                    static_cast<double>(lookups)
+              : 0.0;
 
-  // Phase 2: serial commit in batch order.
+  // Phase 2a: sharded parallel request resolution, batch order. A name
+  // listed twice in one batch crafts twice (prealloc happens before any
+  // commit); only the first artifact may land, so losers are demoted
+  // *before* resolution and synthesize nothing.
   watch.reset();
+  std::unordered_set<std::string> landing;
+  for (CraftedFunction& cf : crafted) {
+    if (!cf.ok) continue;
+    if (img_->function(cf.name)->rop_rewritten || !landing.insert(cf.name).second) {
+      cf.ok = false;
+      cf.failure = rop::RewriteFailure::UnsupportedInsn;
+      cf.detail = "already rewritten";
+    }
+  }
+  std::vector<const gadgets::GadgetRequest*> flat;
+  for (const CraftedFunction& cf : crafted) {
+    if (!cf.ok) continue;
+    for (const gadgets::GadgetRequest& req : cf.art->requests)
+      flat.push_back(&req);
+  }
+  // The pool stays frozen from phase 1: resolve_batch plans against the
+  // frozen catalog in parallel and unfreezes for its serial merge. A
+  // request may be served by a gadget synthesized for an earlier
+  // function in the batch: cross-function reuse (Table III's B << A).
+  std::vector<std::uint64_t> addrs =
+      pool_.resolve_batch(flat, shards, threads);
+  std::size_t cursor = 0;
+  for (CraftedFunction& cf : crafted) {
+    if (!cf.ok) continue;
+    cf.req_addrs.assign(addrs.begin() + cursor,
+                        addrs.begin() + cursor + cf.art->requests.size());
+    cursor += cf.art->requests.size();
+  }
+  out.resolve_seconds = watch.seconds();
+
+  // Phase 2b: serial materialization in batch order.
   out.results.reserve(names.size());
   for (CraftedFunction& cf : crafted) {
-    out.results.push_back(commit_one(cf));
+    out.results.push_back(materialize_one(cf));
     if (out.results.back().ok) ++out.ok_count;
   }
   out.commit_seconds = watch.seconds();

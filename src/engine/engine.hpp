@@ -3,16 +3,23 @@
 //
 // Phase 1 (craft, pure, parallel): each function's chain is produced as a
 // side-effect-free CraftedFunction artifact against an immutable snapshot
-// of the image and a frozen, shared GadgetPool. Every per-function random
-// decision draws from a counter-based stream (Rng::stream(seed, ordinal)),
-// and gadgets the frozen pool cannot serve become relocatable
-// GadgetRequests -- so a batch crafted on N threads is bit-identical to
-// the same batch crafted serially.
+// of the image and a frozen, shared GadgetPool. The support analyses
+// (CFG, liveness, taint) come from a content-addressed AnalysisCache
+// shared across engines, so repeated sweeps over the same corpus compute
+// them once. Every per-function random decision draws from a
+// counter-based stream (Rng::stream(seed, ordinal)), and gadgets the
+// frozen pool cannot serve become relocatable GadgetRequests -- so a
+// batch crafted on N threads is bit-identical to the same batch crafted
+// serially.
 //
-// Phase 2 (commit, serial): artifacts are applied to the image in batch
-// order -- P1 arrays written, gadget requests resolved (possibly sharing
-// gadgets across functions, which is where Table III's B << A reuse comes
-// from), chains materialized into .ropdata, pivot stubs installed.
+// Phase 2 (commit) is split in two:
+//   2a (resolve, parallel): all gadget requests of the batch resolve
+//      through GadgetPool::resolve_batch -- sharded by core-key hash,
+//      planned in parallel, merged in deterministic batch order. This is
+//      where cross-function gadget reuse (Table III's B << A) happens.
+//   2b (materialize, serial): chains land in .ropdata in batch order,
+//      P1 arrays are written, pivot stubs installed.
+// Output images are bit-identical for every (threads, shards) pair.
 #pragma once
 
 #include <cstdint>
@@ -21,8 +28,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/disasm.hpp"
-#include "analysis/liveness.hpp"
+#include "analysis/cache.hpp"
 #include "gadgets/catalog.hpp"
 #include "image/image.hpp"
 #include "rop/chain.hpp"
@@ -32,45 +38,83 @@
 
 namespace raindrop::engine {
 
-// The pure phase-1 artifact: everything needed to commit the function,
-// and nothing that requires the image to have been touched. The cached
-// analyses (CFG, liveness) ride along for tooling and tests.
+// The immutable product of crafting one function: the relocatable chain
+// (GadgetRefs + label deltas unresolved), its deferred gadget requests,
+// and the predicate data. It is a pure function of (function bytes,
+// prealloc addresses, config, seed, ordinal, frozen-catalog
+// fingerprint), which is exactly the key the craft memo hashes
+// (DESIGN.md §7): a warm sweep serves the whole artifact from the
+// AnalysisCache side table and goes straight to commit. Shared const --
+// commit never mutates it (materialization maps GadgetRefs through an
+// external address table).
+struct CraftArtifact {
+  bool ok = false;
+  rop::RewriteFailure failure = rop::RewriteFailure::None;
+  std::string detail;
+  rop::Chain chain;
+  std::vector<gadgets::GadgetRequest> requests;
+  std::optional<rop::P1Array> p1;  // cells crafted; addr pre-reserved
+  std::size_t program_points = 0;
+};
+
+// The per-batch phase-1 slot: batch bookkeeping plus the shared
+// artifacts. Nothing here requires the image to have been touched.
 struct CraftedFunction {
   std::string name;
   std::size_t ordinal = 0;  // RNG stream index (engine-global, monotonic)
+  std::uint64_t fn_addr = 0;
+  std::vector<std::uint64_t> spill_slots;  // pre-reserved addresses
 
+  // Outcome (copied from the artifact; duplicate-name demotion in phase
+  // 2a may override it without touching the shared artifact).
   bool ok = false;
   rop::RewriteFailure failure = rop::RewriteFailure::None;
   std::string detail;
 
-  rop::Chain chain;  // relocatable: GadgetRefs + label deltas unresolved
-  std::vector<gadgets::GadgetRequest> requests;
-  std::optional<rop::P1Array> p1;  // cells crafted; addr pre-reserved
-  std::vector<std::uint64_t> spill_slots;  // pre-reserved addresses
-  std::size_t program_points = 0;
-  std::uint64_t fn_addr = 0;
+  std::shared_ptr<const CraftArtifact> art;  // null on early failure
+  std::vector<std::uint64_t> req_addrs;      // filled by phase 2a
 
-  // Cached support-analysis results (Figure 2) for this function.
-  analysis::Cfg cfg;
-  analysis::Liveness liveness;
+  // Support-analysis artifacts (Figure 2) for this function, shared
+  // with the AnalysisCache (never mutated).
+  std::shared_ptr<const analysis::AnalysisArtifacts> analyses;
+  bool analysis_cache_hit = false;
+  bool craft_memo_hit = false;
 };
 
 struct ModuleResult {
   std::vector<rop::RewriteResult> results;  // parallel to the input names
   std::size_t ok_count = 0;
-  double craft_seconds = 0.0;   // phase 1 wall-clock
-  double commit_seconds = 0.0;  // phase 2 wall-clock
+  double craft_seconds = 0.0;    // phase 1 wall-clock
+  double commit_seconds = 0.0;   // phase 2 wall-clock (resolve + materialize)
+  double resolve_seconds = 0.0;  // phase 2a (sharded request resolution)
+  int commit_shards = 0;         // shard count phase 2a actually used
+  // AnalysisCache telemetry for this batch (functions that reached the
+  // analyses; early failures consult no cache).
+  std::size_t analysis_cache_hits = 0;
+  std::size_t analysis_cache_misses = 0;
+  double analysis_cache_hit_rate = 0.0;  // 0 when nothing was looked up
+  // Craft-memo telemetry: whole phase-1 artifacts served content-
+  // addressed from the cache side table.
+  std::size_t craft_memo_hits = 0;
+  std::size_t craft_memo_misses = 0;
 };
 
 class ObfuscationEngine {
  public:
-  ObfuscationEngine(Image* img, const rop::ObfConfig& cfg);
+  // `cache` is the content-addressed analysis cache to consult during
+  // crafting; by default engines share the per-process singleton
+  // (AnalysisCache::process_cache()), so a sweep building many engines
+  // over the same corpus analyses each function once. Pass a private
+  // instance to isolate (benchmarks measuring cold runs do).
+  ObfuscationEngine(Image* img, const rop::ObfConfig& cfg,
+                    std::shared_ptr<analysis::AnalysisCache> cache = nullptr);
 
   // Batch API: obfuscates `names` with phase 1 on `threads` crafting
-  // threads and a serial phase 2. Output images and stats are
-  // bit-identical for every threads value.
+  // threads and phase-2a request resolution on `shards` core-key shards
+  // (<= 0: one shard per thread). Output images and stats are
+  // bit-identical for every (threads, shards) combination.
   ModuleResult obfuscate_module(const std::vector<std::string>& names,
-                                int threads = 1);
+                                int threads = 1, int shards = 0);
 
   // Single-function convenience (a 1-element batch); the facade the
   // legacy Rewriter API forwards to.
@@ -89,6 +133,9 @@ class ObfuscationEngine {
   gadgets::GadgetPool& pool() { return pool_; }
   const gadgets::GadgetPool& pool() const { return pool_; }
   const rop::ObfConfig& config() const { return cfg_; }
+  const std::shared_ptr<analysis::AnalysisCache>& analysis_cache() const {
+    return cache_;
+  }
 
   // Size in bytes of the pivoting stub (functions shorter than this
   // cannot be rewritten; the coverage bench reports them separately).
@@ -112,11 +159,17 @@ class ObfuscationEngine {
   Prealloc preallocate(const std::string& name);
   CraftedFunction craft_one(const std::string& name,
                             const Prealloc& pre) const;
-  rop::RewriteResult commit_one(CraftedFunction& cf);
+  // Content hash over every craft input (function bytes, the analyses'
+  // revalidated out-of-body dependency fingerprint, prealloc addresses,
+  // config, seed, ordinal, catalog fingerprint): the craft memo key.
+  std::uint64_t craft_key(const Prealloc& pre, std::uint64_t dep_fp) const;
+  // Phase 2b: lands an artifact whose gadget refs are already resolved.
+  rop::RewriteResult materialize_one(CraftedFunction& cf);
   std::vector<std::uint8_t> make_pivot_stub(std::uint64_t chain_addr) const;
 
   Image* img_;
   rop::ObfConfig cfg_;
+  std::shared_ptr<analysis::AnalysisCache> cache_;
   gadgets::GadgetPool pool_;
   std::uint64_t ss_addr_ = 0;
   std::uint64_t funcret_gadget_ = 0;

@@ -1,21 +1,39 @@
 #include "gadgets/catalog.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "isa/encode.hpp"
+#include "support/thread_pool.hpp"
 
 namespace raindrop::gadgets {
 
+using analysis::AnalysisCache;
 using analysis::insn_defs;
 using analysis::insn_uses;
 using isa::Insn;
 using isa::Op;
 using isa::Reg;
 
+namespace {
+
+// Bump when the scan semantics change: stale memoized layers in a
+// shared AnalysisCache side table become unreachable instead of wrong.
+constexpr std::uint64_t kHarvestVersion = 1;
+
+std::uint64_t fnv1a(const std::string& s) {
+  return AnalysisCache::hash_bytes(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+}  // namespace
+
 GadgetPool::GadgetPool(Image* img, std::uint64_t seed, int max_variants,
                        std::string section)
-    : img_(img), rng_(seed), max_variants_(max_variants),
-      section_(std::move(section)) {}
+    : img_(img), rng_(seed),
+      resolve_seed_(Rng(seed + 0x524553ull).next()),
+      max_variants_(max_variants), section_(std::move(section)) {}
 
 std::string GadgetPool::key_of(std::span<const Insn> core, bool jop,
                                Reg jop_target) {
@@ -28,8 +46,36 @@ std::string GadgetPool::key_of(std::span<const Insn> core, bool jop,
   return std::string(bytes.begin(), bytes.end());
 }
 
-std::uint64_t GadgetPool::synthesize(std::span<const Insn> core, bool jop,
-                                     Reg jop_target, RegSet junk_allowed) {
+std::size_t GadgetPool::bank_size(const std::string& key) const {
+  std::size_t n = 0;
+  for (const auto& base : bases_) {
+    auto it = base->by_core.find(key);
+    if (it != base->by_core.end()) n += it->second.size();
+  }
+  auto it = by_core_.find(key);
+  if (it != by_core_.end()) n += it->second.size();
+  return n;
+}
+
+void GadgetPool::collect_fits(const std::string& key, RegSet allowed,
+                              std::vector<const Gadget*>* fits) const {
+  // Base layers first, then the overlay: the registration order of the
+  // former flat catalog (harvested before synthesized).
+  for (const auto& base : bases_) {
+    auto it = base->by_core.find(key);
+    if (it == base->by_core.end()) continue;
+    for (const Gadget* g : it->second)
+      if (g->extra_clobbers.minus(allowed).empty()) fits->push_back(g);
+  }
+  auto it = by_core_.find(key);
+  if (it == by_core_.end()) return;
+  for (const Gadget* g : it->second)
+    if (g->extra_clobbers.minus(allowed).empty()) fits->push_back(g);
+}
+
+Gadget GadgetPool::make_body(std::span<const Insn> core, bool jop,
+                             Reg jop_target, RegSet junk_allowed, Rng& rng,
+                             std::vector<std::uint8_t>* bytes) {
   // Junk must not disturb the core dataflow: exclude every register the
   // core touches (and the JOP target). Junk is flag-neutral by
   // construction (mov-immediate only), so gadgets that *read* flags from
@@ -48,55 +94,80 @@ std::uint64_t GadgetPool::synthesize(std::span<const Insn> core, bool jop,
 
   Gadget g;
   std::size_t junk_count =
-      junk_regs.empty() ? 0 : rng_.below(3);  // 0..2 junk insns
+      junk_regs.empty() ? 0 : rng.below(3);  // 0..2 junk insns
   std::vector<Insn> body;
   for (std::size_t j = 0; j < junk_count; ++j) {
-    Reg jr = rng_.pick(junk_regs);
+    Reg jr = rng.pick(junk_regs);
     // Dynamically dead data: looks meaningful, contributes nothing.
-    std::int64_t v = static_cast<std::int64_t>(rng_.next() & 0x7fffffff);
-    body.push_back(rng_.chance(1, 2) ? isa::ib::mov_i32(jr, v)
-                                     : isa::ib::mov_i64(jr, v));
+    std::int64_t v = static_cast<std::int64_t>(rng.next() & 0x7fffffff);
+    body.push_back(rng.chance(1, 2) ? isa::ib::mov_i32(jr, v)
+                                    : isa::ib::mov_i64(jr, v));
     g.extra_clobbers.add(jr);
   }
-  // Interleave: junk first keeps flag-reading cores safe; occasionally
-  // sandwich one junk insn inside the core when the core is flag-free.
+  // Junk first keeps flag-reading cores safe.
   body.insert(body.end(), core.begin(), core.end());
 
-  std::vector<std::uint8_t> bytes;
   for (const Insn& i : body) {
-    std::size_t n = isa::encode(i, bytes);
+    std::size_t n = isa::encode(i, *bytes);
     assert(n > 0 && "unencodable gadget body");
     (void)n;
   }
   if (jop)
-    isa::encode(isa::ib::jmp_r(jop_target), bytes);
+    isa::encode(isa::ib::jmp_r(jop_target), *bytes);
   else
-    isa::encode(isa::ib::ret(), bytes);
+    isa::encode(isa::ib::ret(), *bytes);
 
-  g.addr = img_->append(section_, bytes);
   g.body = std::move(body);
   g.jop = jop;
   g.jop_target = jop_target;
-  synth_bytes_ += bytes.size();
-  by_addr_[g.addr] = g;
-  by_core_[key_of(core, jop, jop_target)].push_back(g);
-  return g.addr;
+  return g;
 }
 
-std::optional<std::uint64_t> GadgetPool::find_variant(
-    std::span<const Insn> core, bool jop, Reg jop_target,
-    RegSet allowed_clobbers, Rng& rng) const {
-  const std::string key = key_of(core, jop, jop_target);
-  auto it = by_core_.find(key);
+const Gadget* GadgetPool::register_owned(Gadget g, const std::string& key) {
+  owned_.push_back(std::move(g));
+  const Gadget* p = &owned_.back();
+  by_addr_[p->addr] = p;
+  by_core_[key].push_back(p);
+  // Fold everything find_variant / random_gadget_addr can observe about
+  // this gadget into the overlay fingerprint.
+  std::uint64_t h = overlay_fp_ ^ 0x9e3779b97f4a7c15ull;
+  h = AnalysisCache::fold(h, p->addr);
+  h = AnalysisCache::fold(h, fnv1a(key));
+  h = AnalysisCache::fold(h, p->extra_clobbers.raw());
+  h = AnalysisCache::fold(
+      h, (p->jop ? 1u : 0u) |
+             (static_cast<std::uint64_t>(p->jop_target) << 1) |
+             (p->body.size() << 8));
+  overlay_fp_ = h;
+  return p;
+}
+
+std::uint64_t GadgetPool::fingerprint() const {
+  std::uint64_t h = overlay_fp_;
+  for (const auto& base : bases_)
+    h = AnalysisCache::fold(h, base->fingerprint);
+  h = AnalysisCache::fold(h, static_cast<std::uint64_t>(max_variants_));
+  return h;
+}
+
+std::uint64_t GadgetPool::synthesize(std::span<const Insn> core, bool jop,
+                                     Reg jop_target, RegSet junk_allowed) {
+  std::vector<std::uint8_t> bytes;
+  Gadget g = make_body(core, jop, jop_target, junk_allowed, rng_, &bytes);
+  g.addr = img_->append(section_, bytes);
+  synth_bytes_ += bytes.size();
+  return register_owned(std::move(g), key_of(core, jop, jop_target))->addr;
+}
+
+std::optional<std::uint64_t> GadgetPool::find_variant(const std::string& key,
+                                                      bool jop,
+                                                      RegSet allowed_clobbers,
+                                                      Rng& rng) const {
   std::vector<const Gadget*> fits;
-  if (it != by_core_.end()) {
-    for (const Gadget& g : it->second)
-      if ((g.extra_clobbers.minus(allowed_clobbers)).empty())
-        fits.push_back(&g);
-  }
+  collect_fits(key, allowed_clobbers, &fits);
   if (fits.empty()) return std::nullopt;
   if (jop) return fits.front()->addr;  // want_jop reuses without growing
-  bool may_grow = static_cast<int>(it->second.size()) < max_variants_;
+  bool may_grow = static_cast<int>(bank_size(key)) < max_variants_;
   if (may_grow && rng.chance(1, 3)) return std::nullopt;  // diversify
   return fits[rng.below(fits.size())]->addr;
 }
@@ -111,19 +182,12 @@ std::uint64_t GadgetPool::want(std::span<const Insn> core,
                                RegSet allowed_clobbers) {
   assert(!frozen_ && "want() on a frozen pool");
   const std::string key = key_of(core, false, Reg::RAX);
-  auto it = by_core_.find(key);
   std::vector<const Gadget*> fits;
-  if (it != by_core_.end()) {
-    for (const Gadget& g : it->second)
-      if ((g.extra_clobbers.minus(allowed_clobbers)).empty())
-        fits.push_back(&g);
-  }
+  collect_fits(key, allowed_clobbers, &fits);
   // Diversification policy: keep growing variants up to the budget, then
   // pick uniformly among the fits (multiple equivalent gadgets serving
   // one purpose at different program points, §I).
-  bool may_grow =
-      (it == by_core_.end() || static_cast<int>(it->second.size()) <
-                                   max_variants_);
+  bool may_grow = static_cast<int>(bank_size(key)) < max_variants_;
   if (fits.empty() || (may_grow && rng_.chance(1, 3)))
     return synthesize(core, false, Reg::RAX, allowed_clobbers);
   return fits[rng_.below(fits.size())]->addr;
@@ -133,11 +197,9 @@ std::uint64_t GadgetPool::want_jop(std::span<const Insn> core, Reg jop_target,
                                    RegSet allowed_clobbers) {
   assert(!frozen_ && "want_jop() on a frozen pool");
   const std::string key = key_of(core, true, jop_target);
-  auto it = by_core_.find(key);
-  if (it != by_core_.end()) {
-    for (const Gadget& g : it->second)
-      if ((g.extra_clobbers.minus(allowed_clobbers)).empty()) return g.addr;
-  }
+  std::vector<const Gadget*> fits;
+  collect_fits(key, allowed_clobbers, &fits);
+  if (!fits.empty()) return fits.front()->addr;
   return synthesize(core, true, jop_target, allowed_clobbers);
 }
 
@@ -145,15 +207,166 @@ std::uint64_t GadgetPool::want_ret() {
   return want(std::span<const Insn>{}, RegSet());
 }
 
-std::size_t GadgetPool::harvest(std::uint64_t lo, std::uint64_t hi) {
-  std::size_t added = 0;
-  for (std::uint64_t a = lo; a < hi; ++a) {
+// -- Batch resolution ---------------------------------------------------
+
+// A gadget the plan phase decided to synthesize: everything but its
+// address, which the serial merge assigns in global request order.
+struct GadgetPool::Planned {
+  std::size_t ordinal = 0;  // creating request's index in the batch
+  Gadget g;
+  std::vector<std::uint8_t> bytes;
+  const std::string* key = nullptr;
+};
+
+std::vector<std::uint64_t> GadgetPool::resolve_batch(
+    std::span<const GadgetRequest* const> reqs, int shards, int threads) {
+  std::vector<std::uint64_t> addrs(reqs.size(), 0);
+  if (reqs.empty()) {
+    frozen_ = false;
+    return addrs;
+  }
+  const std::uint64_t base_ordinal = next_request_ordinal_;
+  next_request_ordinal_ += reqs.size();
+  const int nshards = std::max(1, shards);
+
+  // Partition by core-key hash. Same key -> same shard, so a shard sees
+  // every bank its requests can grow, in batch order.
+  std::vector<std::vector<std::size_t>> shard_reqs(
+      static_cast<std::size_t>(nshards));
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    // A plain-ret request legitimately has an empty core and key; any
+    // other request must carry its precomputed key.
+    assert((!reqs[i]->key.empty() || reqs[i]->core.empty()) &&
+           "GadgetRequest.key not precomputed");
+    shard_reqs[fnv1a(reqs[i]->key) % static_cast<std::uint64_t>(nshards)]
+        .push_back(i);
+  }
+
+  // Plan phase: read-only on the catalog (kept frozen), one independent
+  // task per shard. A request resolves against the persistent banks plus
+  // the shard-local gadgets planned by earlier requests of its key;
+  // randomness comes from a counter-based stream over the request's
+  // global ordinal, so nothing depends on shard count or scheduling.
+  struct Slot {  // per-request resolution: address or planned gadget
+    std::int32_t shard = -1;
+    std::uint32_t planned = 0;
+  };
+  std::vector<Slot> slots(reqs.size());
+  std::vector<std::vector<Planned>> shard_planned(
+      static_cast<std::size_t>(nshards));
+  frozen_ = true;
+  {
+    ThreadPool tp(threads);
+    tp.parallel_for(static_cast<std::size_t>(nshards), [&](std::size_t s) {
+      std::vector<Planned>& planned = shard_planned[s];
+      std::unordered_map<std::string, std::vector<std::size_t>>
+          planned_by_key;
+      std::vector<const Gadget*> fits;
+      for (std::size_t i : shard_reqs[s]) {
+        const GadgetRequest& req = *reqs[i];
+        Rng rng = Rng::stream(resolve_seed_, base_ordinal + i);
+        fits.clear();
+        collect_fits(req.key, req.allowed_clobbers, &fits);
+        auto pit = planned_by_key.find(req.key);
+        std::size_t persistent_fits = fits.size();
+        std::size_t planned_in_bank = 0;
+        if (pit != planned_by_key.end()) {
+          planned_in_bank = pit->second.size();
+          for (std::size_t pidx : pit->second)
+            if (planned[pidx].g.extra_clobbers.minus(req.allowed_clobbers)
+                    .empty())
+              fits.push_back(nullptr);  // placeholder; index mapped below
+        }
+        auto pick_planned = [&](std::size_t nth) -> std::size_t {
+          // nth index among the *fitting* planned gadgets of this key.
+          std::size_t seen = 0;
+          for (std::size_t pidx : pit->second) {
+            if (!planned[pidx].g.extra_clobbers.minus(req.allowed_clobbers)
+                     .empty())
+              continue;
+            if (seen++ == nth) return pidx;
+          }
+          assert(false && "planned fit index out of range");
+          return 0;
+        };
+        auto plan_new = [&]() {
+          Planned p;
+          p.ordinal = i;
+          p.key = &req.key;
+          p.g = make_body(req.core, req.jop, req.jop_target,
+                          req.allowed_clobbers, rng, &p.bytes);
+          slots[i] = {static_cast<std::int32_t>(s),
+                      static_cast<std::uint32_t>(planned.size())};
+          planned_by_key[req.key].push_back(planned.size());
+          planned.push_back(std::move(p));
+        };
+        auto take_fit = [&](std::size_t k) {
+          if (k < persistent_fits) {
+            addrs[i] = fits[k]->addr;
+            slots[i].shard = -1;
+          } else {
+            slots[i] = {static_cast<std::int32_t>(s),
+                        static_cast<std::uint32_t>(
+                            pick_planned(k - persistent_fits))};
+          }
+        };
+        if (req.jop) {
+          // want_jop(): first fit, never diversify.
+          if (!fits.empty())
+            take_fit(0);
+          else
+            plan_new();
+          continue;
+        }
+        bool may_grow = static_cast<int>(bank_size(req.key) +
+                                         planned_in_bank) < max_variants_;
+        if (fits.empty() || (may_grow && rng.chance(1, 3)))
+          plan_new();
+        else
+          take_fit(static_cast<std::size_t>(rng.below(fits.size())));
+      }
+    });
+  }
+
+  // Merge: append planned gadgets to the image in global request order
+  // (shard-independent by construction), then patch request slots.
+  frozen_ = false;
+  std::vector<Planned*> order;
+  for (auto& sp : shard_planned)
+    for (Planned& p : sp) order.push_back(&p);
+  std::sort(order.begin(), order.end(),
+            [](const Planned* a, const Planned* b) {
+              return a->ordinal < b->ordinal;
+            });
+  for (Planned* p : order) {
+    p->g.addr = img_->append(section_, p->bytes);
+    synth_bytes_ += p->bytes.size();
+    register_owned(p->g, *p->key);
+  }
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (slots[i].shard < 0) continue;
+    addrs[i] = shard_planned[static_cast<std::size_t>(slots[i].shard)]
+                   [slots[i].planned].g.addr;
+  }
+  return addrs;
+}
+
+// -- Harvesting ---------------------------------------------------------
+
+namespace {
+
+std::shared_ptr<const HarvestLayer> build_harvest_layer(
+    const std::uint8_t* data, std::size_t n, std::uint64_t lo,
+    std::uint64_t fingerprint) {
+  auto layer = std::make_shared<HarvestLayer>();
+  layer->fingerprint = fingerprint;
+  for (std::size_t a = 0; a < n; ++a) {
     std::vector<Insn> body;
-    std::uint64_t p = a;
+    std::size_t p = a;
     bool ok = false;
-    for (int n = 0; n < 4 && p < hi; ++n) {
-      std::uint8_t buf[16];
-      for (int i = 0; i < 16; ++i) buf[i] = img_->byte_at(p + i);
+    for (int count = 0; count < 4 && p < n; ++count) {
+      std::uint8_t buf[16] = {0};
+      std::memcpy(buf, data + p, std::min<std::size_t>(16, n - p));
       auto dec = isa::decode(buf);
       if (!dec) break;
       if (dec->insn.op == Op::RET) {
@@ -170,32 +383,101 @@ std::size_t GadgetPool::harvest(std::uint64_t lo, std::uint64_t hi) {
       p += dec->length;
     }
     if (!ok || body.empty()) continue;
-    std::string key = key_of(body, false, Reg::RAX);
-    auto& vec = by_core_[key];
-    bool dup = false;
-    for (const Gadget& g : vec) dup |= g.addr == a;
-    if (dup) continue;
+    std::uint64_t addr = lo + a;
+    if (layer->by_addr.count(addr)) continue;
     Gadget g;
-    g.addr = a;
-    g.body = body;
-    vec.push_back(g);
-    by_addr_[a] = g;
-    ++added;
+    g.addr = addr;
+    g.body = std::move(body);
+    const Gadget* stored = &(layer->by_addr[addr] = std::move(g));
+    layer->by_core[GadgetPool::key_of(stored->body, false, Reg::RAX)]
+        .push_back(stored);
   }
-  return added;
+  return layer;
+}
+
+}  // namespace
+
+std::size_t GadgetPool::harvest(std::uint64_t lo, std::uint64_t hi,
+                                AnalysisCache* cache) {
+  if (hi <= lo) return 0;
+  std::size_t n = static_cast<std::size_t>(hi - lo);
+  std::span<const std::uint8_t> view = img_->bytes_view(lo, n);
+  std::vector<std::uint8_t> copy;
+  if (view.empty()) {
+    // Range not contiguous in one section (or runs past its end):
+    // materialize it, padding with zeros exactly like byte_at reads.
+    copy.resize(n);
+    for (std::size_t i = 0; i < n; ++i) copy[i] = img_->byte_at(lo + i);
+    view = copy;
+  }
+
+  std::uint64_t key = AnalysisCache::hash_bytes(view.data(), view.size());
+  key ^= lo * 0x9e3779b97f4a7c15ull;
+  key ^= (n + kHarvestVersion) * 0xff51afd7ed558ccdull;
+  std::shared_ptr<const HarvestLayer> layer;
+  if (cache) {
+    if (auto cached = cache->aux_lookup(key))
+      layer = std::static_pointer_cast<const HarvestLayer>(cached);
+    if (!layer) {
+      layer = build_harvest_layer(view.data(), view.size(), lo, key);
+      cache->aux_insert(key, layer);
+    }
+  } else {
+    layer = build_harvest_layer(view.data(), view.size(), lo, key);
+  }
+  bases_.push_back(layer);
+  return layer->count();
 }
 
 const Gadget* GadgetPool::at(std::uint64_t addr) const {
   auto it = by_addr_.find(addr);
-  return it == by_addr_.end() ? nullptr : &it->second;
+  if (it != by_addr_.end()) return it->second;
+  for (const auto& base : bases_) {
+    auto bit = base->by_addr.find(addr);
+    if (bit != base->by_addr.end()) return &bit->second;
+  }
+  return nullptr;
+}
+
+std::size_t GadgetPool::unique_count() const {
+  std::size_t n = by_addr_.size();
+  for (const auto& base : bases_) n += base->count();
+  return n;
 }
 
 std::uint64_t GadgetPool::random_gadget_addr(Rng& rng) const {
-  if (by_addr_.empty()) return 0;
-  std::size_t k = static_cast<std::size_t>(rng.below(by_addr_.size()));
-  auto it = by_addr_.begin();
-  std::advance(it, static_cast<long>(k));
-  return it->first;
+  std::size_t total = unique_count();
+  if (total == 0) return 0;
+  std::size_t k = static_cast<std::size_t>(rng.below(total));
+  // k-th smallest address across all (individually sorted) layers.
+  struct Cursor {
+    std::map<std::uint64_t, Gadget>::const_iterator it, end;
+  };
+  std::vector<Cursor> cursors;
+  for (const auto& base : bases_)
+    cursors.push_back({base->by_addr.begin(), base->by_addr.end()});
+  auto oit = by_addr_.begin();
+  std::uint64_t result = 0;
+  for (std::size_t step = 0; step <= k; ++step) {
+    int best = -1;
+    std::uint64_t best_addr = 0;
+    for (std::size_t c = 0; c < cursors.size(); ++c) {
+      if (cursors[c].it == cursors[c].end) continue;
+      if (best == -1 || cursors[c].it->first < best_addr) {
+        best = static_cast<int>(c);
+        best_addr = cursors[c].it->first;
+      }
+    }
+    if (oit != by_addr_.end() &&
+        (best == -1 || oit->first < best_addr)) {
+      result = oit->first;
+      ++oit;
+    } else if (best >= 0) {
+      result = best_addr;
+      ++cursors[static_cast<std::size_t>(best)].it;
+    }
+  }
+  return result;
 }
 
 }  // namespace raindrop::gadgets

@@ -6,16 +6,29 @@
 //  * variants are diversified with dynamically-dead junk instructions
 //    that only touch caller-approved clobber registers (§V-D: one gadget
 //    serves different purposes; extra instructions are dynamically dead),
-//  * harvest() registers gadgets found by scanning existing code.
+//  * harvest() registers gadgets found by scanning existing code. The
+//    scan is content-addressed: its result is an immutable HarvestLayer
+//    keyed on a hash of the scanned bytes and memoized in the
+//    AnalysisCache's side table, so a warm sweep attaches the layer with
+//    one shared_ptr instead of re-decoding .text at every byte offset.
+//
+// Storage is layered: harvested gadgets live in shared immutable base
+// layers; synthesized gadgets live in a pool-owned overlay. Lookups see
+// base banks first, then the overlay, which reproduces the registration
+// order of the former flat catalog (harvest before synthesis).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "analysis/cache.hpp"
 #include "analysis/liveness.hpp"
 #include "image/image.hpp"
 #include "isa/insn.hpp"
@@ -33,15 +46,28 @@ struct Gadget {
   RegSet extra_clobbers;         // junk side effects beyond the core
 };
 
+// Immutable result of one harvest scan: safe to share across pools and
+// threads. Bank pointers alias the by_addr map nodes (stable).
+struct HarvestLayer {
+  std::map<std::uint64_t, Gadget> by_addr;
+  std::unordered_map<std::string, std::vector<const Gadget*>> by_core;
+  std::uint64_t fingerprint = 0;  // content hash of the scanned range
+  std::size_t count() const { return by_addr.size(); }
+};
+
 // A deferred gadget demand recorded by the pure craft phase (which runs
-// against a frozen pool and cannot synthesize): the engine resolves
-// requests serially at commit time, so new-gadget addresses are assigned
-// in deterministic function order no matter how many threads crafted.
+// against a frozen pool and cannot synthesize). The engine resolves
+// whole batches through resolve_batch(): requests are sharded by core
+// key and resolved in parallel, then merged in global request order, so
+// new-gadget addresses are assigned deterministically no matter how many
+// threads crafted or how many shards resolved.
 struct GadgetRequest {
   std::vector<isa::Insn> core;
   bool jop = false;
   isa::Reg jop_target = isa::Reg::RAX;
   RegSet allowed_clobbers;
+  std::string key;  // key_of(core, jop, jop_target); craft fills it so
+                    // resolution never re-encodes the core
 };
 
 class GadgetPool {
@@ -66,10 +92,13 @@ class GadgetPool {
   std::uint64_t want_ret();
 
   // -- Immutable-after-build protocol ----------------------------------
-  // The engine freezes the pool before the parallel craft phase: frozen,
-  // the pool is a read-only catalog safe to share across threads
-  // (want()/resolve() assert; find_variant()/random_gadget_addr() are the
-  // concurrent-reader surface). Commit unfreezes to resolve requests.
+  // Lifecycle per batch: the engine freezes the pool before the parallel
+  // craft phase; frozen, the pool is a read-only catalog safe to share
+  // across threads (want()/resolve() assert; find_variant()/
+  // random_gadget_addr() are the concurrent-reader surface).
+  // resolve_batch() then plans against the still-frozen catalog in
+  // parallel and unfreezes only for its serial merge, leaving the pool
+  // unfrozen for the next batch.
   void freeze() { frozen_ = true; }
   void unfreeze() { frozen_ = false; }
   bool frozen() const { return frozen_; }
@@ -77,43 +106,88 @@ class GadgetPool {
   // Craft-phase lookup: picks an existing compatible variant with the
   // caller's rng, or returns nullopt to signal "record a GadgetRequest"
   // (no fit, or the variant bank may still grow and the rng opted to
-  // diversify -- mirroring want()'s growth policy).
-  std::optional<std::uint64_t> find_variant(std::span<const isa::Insn> core,
-                                            bool jop, isa::Reg jop_target,
+  // diversify -- mirroring the growth policy of want()). `key` is
+  // key_of(core, jop, jop_target), computed once by the caller and
+  // reused for the request.
+  std::optional<std::uint64_t> find_variant(const std::string& key, bool jop,
                                             RegSet allowed_clobbers,
                                             Rng& rng) const;
 
-  // Commit-phase resolution of a deferred request (pool must be
-  // unfrozen). May reuse a variant synthesized for an earlier request.
+  // Commit-phase resolution of a deferred-request batch. Requests are
+  // partitioned by core-key hash into `shards` groups; same-key requests
+  // always share a shard, so variant-bank growth is shard-local and the
+  // plan phase parallelises across `threads` without synchronization.
+  // Every random decision draws from a counter-based per-request stream,
+  // and planned gadgets are appended to the image in global request
+  // order at merge, so the resolved addresses -- and therefore the
+  // committed image -- are bit-identical for every (shards, threads)
+  // combination, including the serial reference (1, 1). May reuse a
+  // gadget synthesized for an earlier request in this or any previous
+  // batch (cross-function reuse: Table III's B << A).
+  std::vector<std::uint64_t> resolve_batch(
+      std::span<const GadgetRequest* const> reqs, int shards, int threads);
+
+  // Single-request resolution (pool must be unfrozen); the batch path
+  // above is what the engine uses. Kept for one-off callers.
   std::uint64_t resolve(const GadgetRequest& req);
 
   // Scans [lo, hi) for pre-existing usable gadget bodies and registers
-  // them (gadgets "already available in program parts left unobfuscated").
-  // Returns how many were registered.
-  std::size_t harvest(std::uint64_t lo, std::uint64_t hi);
+  // them (gadgets "already available in program parts left
+  // unobfuscated"). With `cache`, the scan result is memoized in the
+  // cache's content-addressed side table and reused by any pool whose
+  // range holds identical bytes. Returns how many were registered.
+  std::size_t harvest(std::uint64_t lo, std::uint64_t hi,
+                      analysis::AnalysisCache* cache = nullptr);
 
   const Gadget* at(std::uint64_t addr) const;
-  std::size_t unique_count() const { return by_addr_.size(); }
+  std::size_t unique_count() const;
   std::size_t synthesized_bytes() const { return synth_bytes_; }
 
   // A uniformly random existing gadget address (0 if the pool is empty);
   // gadget confusion uses these as disguise bases for immediates (§V-D).
+  // Indexes gadgets in ascending address order across all layers.
   std::uint64_t random_gadget_addr(Rng& rng) const;
 
- private:
-  std::uint64_t synthesize(std::span<const isa::Insn> core, bool jop,
-                           isa::Reg jop_target, RegSet junk_allowed);
+  // Content fingerprint of everything the frozen-catalog read surface
+  // (find_variant / random_gadget_addr / bank sizes) can observe:
+  // harvest-layer content hashes plus a running hash over synthesized
+  // gadgets. Equal fingerprints (same seed / variant budget) mean craft
+  // decisions against the two catalogs are identical -- the craft memo
+  // keys on this (DESIGN.md §7).
+  std::uint64_t fingerprint() const;
+
   static std::string key_of(std::span<const isa::Insn> core, bool jop,
                             isa::Reg jop_target);
 
+ private:
+  struct Planned;  // shard-local synthesized gadget awaiting an address
+
+  std::uint64_t synthesize(std::span<const isa::Insn> core, bool jop,
+                           isa::Reg jop_target, RegSet junk_allowed);
+  // The shared junk-diversification policy of synthesize() and the
+  // resolve_batch plan phase: draws from `rng` in a fixed order.
+  static Gadget make_body(std::span<const isa::Insn> core, bool jop,
+                          isa::Reg jop_target, RegSet junk_allowed, Rng& rng,
+                          std::vector<std::uint8_t>* bytes);
+  const Gadget* register_owned(Gadget g, const std::string& key);
+  // Bank size / fit collection across base layers and the overlay.
+  std::size_t bank_size(const std::string& key) const;
+  void collect_fits(const std::string& key, RegSet allowed,
+                    std::vector<const Gadget*>* fits) const;
+
   Image* img_;
   Rng rng_;
+  std::uint64_t resolve_seed_;       // per-request stream base (commit)
+  std::uint64_t next_request_ordinal_ = 0;
   int max_variants_;
   bool frozen_ = false;
   std::string section_;
-  std::map<std::string, std::vector<Gadget>> by_core_;
-  std::map<std::uint64_t, Gadget> by_addr_;
+  std::vector<std::shared_ptr<const HarvestLayer>> bases_;
+  std::deque<Gadget> owned_;         // synthesized; stable references
+  std::unordered_map<std::string, std::vector<const Gadget*>> by_core_;
+  std::map<std::uint64_t, const Gadget*> by_addr_;
   std::size_t synth_bytes_ = 0;
+  std::uint64_t overlay_fp_ = 0;     // running hash over register_owned()
 };
 
 }  // namespace raindrop::gadgets

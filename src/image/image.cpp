@@ -92,6 +92,15 @@ std::vector<std::uint8_t> Image::section_bytes(
   return sec(section).bytes;
 }
 
+std::span<const std::uint8_t> Image::bytes_view(std::uint64_t addr,
+                                                std::size_t n) const {
+  for (const auto& [name, s] : sections_) {
+    if (addr >= s.base && addr - s.base + n <= s.bytes.size())
+      return {s.bytes.data() + (addr - s.base), n};
+  }
+  return {};
+}
+
 bool Image::in_section(const std::string& section, std::uint64_t addr) const {
   const Section& s = sec(section);
   return addr >= s.base && addr - s.base < s.bytes.size();

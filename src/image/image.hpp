@@ -61,6 +61,10 @@ class Image {
   std::uint64_t section_base(const std::string& section) const;
   // Current contents of a section (for scanners).
   std::vector<std::uint8_t> section_bytes(const std::string& section) const;
+  // Zero-copy view of [addr, addr+n); empty when the range is not fully
+  // inside one section. Invalidated by the next append/reserve there.
+  std::span<const std::uint8_t> bytes_view(std::uint64_t addr,
+                                           std::size_t n) const;
   bool in_section(const std::string& section, std::uint64_t addr) const;
 
   // -- Symbols ----------------------------------------------------------

@@ -1,6 +1,6 @@
 #include "rop/chain.hpp"
 
-#include <set>
+#include <algorithm>
 #include <stdexcept>
 
 namespace raindrop::rop {
@@ -17,8 +17,15 @@ void Chain::resolve_gadget_refs(const std::vector<std::uint64_t>& addrs) {
   }
 }
 
-Chain::Materialized Chain::materialize(std::uint64_t chain_base) const {
+Chain::Materialized Chain::materialize(
+    std::uint64_t chain_base, std::span<const std::uint64_t> req_addrs)
+    const {
   Materialized out;
+  auto ref_addr = [&](int req) -> std::uint64_t {
+    if (req < 0 || static_cast<std::size_t>(req) >= req_addrs.size())
+      throw std::runtime_error("materialize() with unresolved GadgetRef");
+    return req_addrs[static_cast<std::size_t>(req)];
+  };
   // Pass 1: offsets.
   std::vector<std::uint64_t> item_off(items_.size());
   std::uint64_t off = 0;
@@ -27,7 +34,6 @@ Chain::Materialized Chain::materialize(std::uint64_t chain_base) const {
     const ChainItem& it = items_[i];
     switch (it.kind) {
       case ChainItem::Kind::GadgetRef:
-        throw std::runtime_error("materialize() with unresolved GadgetRef");
       case ChainItem::Kind::Gadget:
       case ChainItem::Kind::Imm:
       case ChainItem::Kind::Delta:
@@ -58,7 +64,8 @@ Chain::Materialized Chain::materialize(std::uint64_t chain_base) const {
     const ChainItem& it = items_[i];
     switch (it.kind) {
       case ChainItem::Kind::GadgetRef:
-        throw std::runtime_error("materialize() with unresolved GadgetRef");
+        put64(ref_addr(it.gadget_req));
+        break;
       case ChainItem::Kind::Gadget:
         put64(it.gadget);
         break;
@@ -104,17 +111,33 @@ std::size_t Chain::gadget_slots() const {
   return n;
 }
 
-std::size_t Chain::unique_gadget_count() const {
-  std::set<std::uint64_t> uniq;
-  for (const auto& it : items_)
-    if (it.kind == ChainItem::Kind::Gadget) uniq.insert(it.gadget);
-  return uniq.size();
+std::size_t Chain::unique_gadget_count(
+    std::span<const std::uint64_t> req_addrs) const {
+  // Sort-based dedup: chains hold hundreds of slots, and this runs once
+  // per committed function -- a std::set of that size is measurably
+  // slower (node allocation per insert).
+  std::vector<std::uint64_t> v = gadget_addrs(req_addrs);
+  std::sort(v.begin(), v.end());
+  return static_cast<std::size_t>(
+      std::unique(v.begin(), v.end()) - v.begin());
 }
 
-std::vector<std::uint64_t> Chain::gadget_addrs() const {
+std::vector<std::uint64_t> Chain::gadget_addrs(
+    std::span<const std::uint64_t> req_addrs) const {
   std::vector<std::uint64_t> v;
-  for (const auto& it : items_)
-    if (it.kind == ChainItem::Kind::Gadget) v.push_back(it.gadget);
+  v.reserve(items_.size() / 2);
+  for (const auto& it : items_) {
+    if (it.kind == ChainItem::Kind::Gadget) {
+      v.push_back(it.gadget);
+    } else if (it.kind == ChainItem::Kind::GadgetRef) {
+      // Same contract as materialize(): an unmapped ref is an engine
+      // bug -- throwing beats silently undercounting Table III stats.
+      if (it.gadget_req < 0 ||
+          static_cast<std::size_t>(it.gadget_req) >= req_addrs.size())
+        throw std::runtime_error("gadget_addrs() with unresolved GadgetRef");
+      v.push_back(req_addrs[static_cast<std::size_t>(it.gadget_req)]);
+    }
+  }
   return v;
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -125,14 +126,21 @@ class Chain {
 
   // Lays out the chain and resolves every Delta. `chain_base` is the
   // address the chain will be embedded at (needed by absolute items).
-  // Throws on unbound labels, unresolved GadgetRefs, or displacement
-  // overflow (programming errors in the crafter / engine).
-  Materialized materialize(std::uint64_t chain_base = 0) const;
+  // `req_addrs` maps GadgetRef request indices to resolved addresses, so
+  // a const (possibly cached and shared) relocatable chain materializes
+  // without being rewritten in place; with it empty, GadgetRef items are
+  // an error. Throws on unbound labels, unresolved GadgetRefs, or
+  // displacement overflow (programming errors in the crafter / engine).
+  Materialized materialize(std::uint64_t chain_base = 0,
+                           std::span<const std::uint64_t> req_addrs = {})
+      const;
 
-  // Statistics for Table III.
+  // Statistics for Table III; `req_addrs` as in materialize().
   std::size_t gadget_slots() const;            // A contribution
-  std::size_t unique_gadget_count() const;     // B contribution (per chain)
-  std::vector<std::uint64_t> gadget_addrs() const;
+  std::size_t unique_gadget_count(
+      std::span<const std::uint64_t> req_addrs = {}) const;  // B (per chain)
+  std::vector<std::uint64_t> gadget_addrs(
+      std::span<const std::uint64_t> req_addrs = {}) const;
 
  private:
   std::vector<ChainItem> items_;

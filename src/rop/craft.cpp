@@ -114,13 +114,14 @@ class Crafter {
   // engine resolves -- in deterministic function order -- at commit.
   void emit_gadget(std::vector<Insn> core, bool jop, Reg jop_target,
                    RegSet allowed) {
-    if (auto addr = env_.pool->find_variant(core, jop, jop_target, allowed,
-                                            *env_.rng)) {
+    std::string key = gadgets::GadgetPool::key_of(core, jop, jop_target);
+    if (auto addr = env_.pool->find_variant(key, jop, allowed, *env_.rng)) {
       ch_.g(*addr);
       return;
     }
-    requests_.push_back(
-        gadgets::GadgetRequest{std::move(core), jop, jop_target, allowed});
+    requests_.push_back(gadgets::GadgetRequest{std::move(core), jop,
+                                               jop_target, allowed,
+                                               std::move(key)});
     ch_.gref(static_cast<int>(requests_.size() - 1));
   }
   void G(std::initializer_list<Insn> core) {

@@ -9,7 +9,9 @@
 // directly (engine.obfuscate_module(names, threads)).
 #pragma once
 
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "engine/engine.hpp"
 #include "rop/types.hpp"
@@ -18,7 +20,11 @@ namespace raindrop::rop {
 
 class Rewriter {
  public:
-  Rewriter(Image* img, const ObfConfig& cfg) : engine_(img, cfg) {}
+  // `cache` as in ObfuscationEngine: nullptr shares the process-wide
+  // content-addressed analysis cache.
+  Rewriter(Image* img, const ObfConfig& cfg,
+           std::shared_ptr<analysis::AnalysisCache> cache = nullptr)
+      : engine_(img, cfg, std::move(cache)) {}
 
   // Rewrites one function in place: emits the chain into .ropdata,
   // patches the body with a pivot stub, plants artificial gadgets in

@@ -1,0 +1,269 @@
+// Content-addressed cache tests (DESIGN.md §7): cold-vs-warm runs must
+// be byte-identical, stale entries must never survive a byte changing
+// anywhere the analyses looked (function body, jump-table cells, callee
+// argument counts), and the capacity bound must evict.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/cache.hpp"
+#include "engine/engine.hpp"
+#include "image/image.hpp"
+#include "minic/codegen.hpp"
+#include "workload/corpus.hpp"
+
+namespace raindrop {
+namespace {
+
+using analysis::AnalysisCache;
+
+rop::ObfConfig cache_cfg(std::uint64_t seed) {
+  rop::ObfConfig c = rop::rop_k(0.25, seed);
+  c.p2 = true;
+  c.gadget_confusion = true;
+  return c;
+}
+
+struct CacheRun {
+  Image img;
+  engine::ModuleResult mod;
+};
+
+CacheRun run_corpus(const workload::Corpus& cp,
+                    std::shared_ptr<AnalysisCache> cache, int threads = 2) {
+  CacheRun out;
+  out.img = minic::compile(cp.module);
+  engine::ObfuscationEngine eng(&out.img, cache_cfg(7), cache);
+  out.mod = eng.obfuscate_module(cp.functions, threads);
+  return out;
+}
+
+TEST(AnalysisCacheTest, ColdVsWarmRunsAreByteIdentical) {
+  auto cp = workload::make_corpus(3, 150);
+  auto cache = std::make_shared<AnalysisCache>();
+  CacheRun cold = run_corpus(cp, cache);
+  CacheRun warm = run_corpus(cp, cache);
+
+  // Identical committed images...
+  for (const char* sec : {".ropdata", ".text", ".data", ".rodata"})
+    EXPECT_EQ(cold.img.section_bytes(sec), warm.img.section_bytes(sec))
+        << sec << " diverges between cold and warm cache runs";
+  // ...and identical RewriteResults.
+  ASSERT_EQ(cold.mod.results.size(), warm.mod.results.size());
+  EXPECT_EQ(cold.mod.ok_count, warm.mod.ok_count);
+  for (std::size_t i = 0; i < cold.mod.results.size(); ++i) {
+    const auto& a = cold.mod.results[i];
+    const auto& b = warm.mod.results[i];
+    EXPECT_EQ(a.ok, b.ok) << cp.functions[i];
+    EXPECT_EQ(a.failure, b.failure) << cp.functions[i];
+    EXPECT_EQ(a.chain_addr, b.chain_addr) << cp.functions[i];
+    EXPECT_EQ(a.chain_size, b.chain_size) << cp.functions[i];
+    EXPECT_EQ(a.stats.gadget_slots, b.stats.gadget_slots);
+    EXPECT_EQ(a.stats.unique_gadgets, b.stats.unique_gadgets);
+    EXPECT_EQ(a.stats.program_points, b.stats.program_points);
+  }
+
+  // The cold run missed everywhere, the warm run hit everywhere -- for
+  // both the analyses and the whole-artifact craft memo.
+  EXPECT_EQ(cold.mod.analysis_cache_hits, 0u);
+  EXPECT_GT(cold.mod.analysis_cache_misses, 0u);
+  EXPECT_EQ(warm.mod.analysis_cache_misses, 0u);
+  EXPECT_DOUBLE_EQ(warm.mod.analysis_cache_hit_rate, 1.0);
+  EXPECT_EQ(warm.mod.craft_memo_misses, 0u);
+  EXPECT_GT(warm.mod.craft_memo_hits, 0u);
+}
+
+TEST(AnalysisCacheTest, PatchingFunctionBytesInvalidates) {
+  auto cp = workload::make_corpus(5, 40);
+  Image img = minic::compile(cp.module);
+  AnalysisCache cache;
+  const FunctionSym* fn = nullptr;
+  for (const auto& name : cp.functions) {
+    const FunctionSym* f = img.function(name);
+    if (f && f->size > 16) {
+      fn = f;
+      break;
+    }
+  }
+  ASSERT_NE(fn, nullptr);
+
+  bool hit = true;
+  auto a1 = cache.lookup_or_build(img, fn->addr, fn->size, fn->arg_count,
+                                  &hit);
+  EXPECT_FALSE(hit);
+  auto a2 = cache.lookup_or_build(img, fn->addr, fn->size, fn->arg_count,
+                                  &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(a1.get(), a2.get());  // shared, not recomputed
+
+  // Patch one byte of the body: the content hash changes, so the next
+  // lookup computes a fresh analysis instead of reusing the stale one.
+  std::uint8_t orig = img.byte_at(fn->addr);
+  std::uint8_t flipped[1] = {static_cast<std::uint8_t>(orig ^ 0xff)};
+  img.patch(fn->addr, flipped);
+  auto a3 = cache.lookup_or_build(img, fn->addr, fn->size, fn->arg_count,
+                                  &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(a1.get(), a3.get());
+
+  // Restoring the bytes restores the original entry.
+  std::uint8_t restore[1] = {orig};
+  img.patch(fn->addr, restore);
+  auto a4 = cache.lookup_or_build(img, fn->addr, fn->size, fn->arg_count,
+                                  &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(a1.get(), a4.get());
+}
+
+TEST(AnalysisCacheTest, JumpTableCellsAreValidatedDependencies) {
+  using minic::e_int;
+  using minic::e_var;
+  using minic::SwitchCase;
+  minic::Module m;
+  std::vector<SwitchCase> cases;
+  for (int i = 0; i < 5; ++i)
+    cases.push_back(SwitchCase{i, {minic::s_return(e_int(i * 3))}});
+  m.functions.push_back(minic::Function{
+      "f", minic::Type::I64, {{"x", minic::Type::I64}},
+      {minic::s_switch(e_var("x"), cases, {minic::s_return(e_int(-1))})}});
+  Image img = minic::compile(m);
+  const FunctionSym* f = img.function("f");
+
+  AnalysisCache cache;
+  bool hit = true;
+  auto a1 = cache.lookup_or_build(img, f->addr, f->size, f->arg_count, &hit);
+  ASSERT_TRUE(a1->cfg.complete);
+  const analysis::JumpTable* jt = nullptr;
+  for (const auto& [addr, bb] : a1->cfg.blocks)
+    if (bb.jump_table) jt = &*bb.jump_table;
+  ASSERT_NE(jt, nullptr);
+
+  // Redirect one table cell (function bytes unchanged!): the recorded
+  // table dependency must force a rebuild, and the fresh CFG must see
+  // the new target.
+  std::uint64_t evictions_before = cache.stats().evictions;
+  img.patch_u64(jt->table_addr + 8, jt->targets[0]);
+  auto a2 = cache.lookup_or_build(img, f->addr, f->size, f->arg_count, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(a1.get(), a2.get());
+  EXPECT_GT(cache.stats().evictions, evictions_before);
+  const analysis::JumpTable* jt2 = nullptr;
+  for (const auto& [addr, bb] : a2->cfg.blocks)
+    if (bb.jump_table) jt2 = &*bb.jump_table;
+  ASSERT_NE(jt2, nullptr);
+  EXPECT_EQ(jt2->targets[1], jt->targets[0]);
+}
+
+TEST(AnalysisCacheTest, CalleeArgCountIsValidatedDependency) {
+  using minic::e_call;
+  using minic::e_int;
+  using minic::e_var;
+  minic::Module m;
+  m.functions.push_back(minic::Function{
+      "leaf", minic::Type::I64,
+      {{"a", minic::Type::I64}, {"b", minic::Type::I64}},
+      {minic::s_return(e_var("a"))}});
+  m.functions.push_back(minic::Function{
+      "caller", minic::Type::I64, {{"x", minic::Type::I64}},
+      {minic::s_return(e_call("leaf", {e_var("x"), e_int(1)},
+                              minic::Type::I64))}});
+  Image img = minic::compile(m);
+  const FunctionSym* f = img.function("caller");
+
+  AnalysisCache cache;
+  bool hit = true;
+  auto a1 = cache.lookup_or_build(img, f->addr, f->size, f->arg_count, &hit);
+  EXPECT_FALSE(hit);
+  // The callee's prototype changing refines liveness at the call site:
+  // the cached artifact must not survive it.
+  img.function("leaf")->arg_count = 0;
+  auto a2 = cache.lookup_or_build(img, f->addr, f->size, f->arg_count, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(a1.get(), a2.get());
+}
+
+TEST(AnalysisCacheTest, CraftMemoInheritsDependencyRevalidation) {
+  // A .rodata jump-table cell changing under unchanged function bytes
+  // must miss the whole-artifact craft memo too: the second engine's
+  // chain has to dispatch to the *new* target, not replay the cached
+  // chain built against the old table.
+  using minic::e_int;
+  using minic::e_var;
+  using minic::SwitchCase;
+  minic::Module m;
+  std::vector<SwitchCase> cases;
+  for (int i = 0; i < 5; ++i)
+    cases.push_back(SwitchCase{i, {minic::s_return(e_int(i * 3))}});
+  m.functions.push_back(minic::Function{
+      "f", minic::Type::I64, {{"x", minic::Type::I64}},
+      {minic::s_switch(e_var("x"), cases, {minic::s_return(e_int(-1))})}});
+
+  auto cache = std::make_shared<AnalysisCache>();
+  rop::ObfConfig cfg = rop::rop_k(0.25, 3);
+
+  Image img1 = minic::compile(m);
+  engine::ObfuscationEngine e1(&img1, cfg, cache);
+  ASSERT_EQ(e1.obfuscate_module({"f"}, 1).ok_count, 1u);
+
+  // Identical bytes, but case 1's table cell redirected to case 0's
+  // target before obfuscation.
+  Image img2 = minic::compile(m);
+  {
+    const FunctionSym* f = img2.function("f");
+    auto cfg2 = analysis::build_cfg(img2, f->addr, f->size);
+    const analysis::JumpTable* jt = nullptr;
+    for (const auto& [addr, bb] : cfg2.blocks)
+      if (bb.jump_table) jt = &*bb.jump_table;
+    ASSERT_NE(jt, nullptr);
+    img2.patch_u64(jt->table_addr + 8, jt->targets[0]);
+  }
+  engine::ObfuscationEngine e2(&img2, cfg, cache);
+  auto mr2 = e2.obfuscate_module({"f"}, 1);
+  ASSERT_EQ(mr2.ok_count, 1u);
+  EXPECT_EQ(mr2.craft_memo_hits, 0u);  // stale artifact must not serve
+
+  Memory m1 = img1.load();
+  Memory m2 = img2.load();
+  std::uint64_t a1 = img1.function("f")->addr;
+  std::uint64_t a2 = img2.function("f")->addr;
+  auto r1 = call_function(m1, a1, {{1}});
+  auto r2 = call_function(m2, a2, {{1}});
+  ASSERT_EQ(r1.status, CpuStatus::kHalted);
+  ASSERT_EQ(r2.status, CpuStatus::kHalted);
+  EXPECT_EQ(static_cast<std::int64_t>(r1.rax), 3);  // original case 1
+  EXPECT_EQ(static_cast<std::int64_t>(r2.rax), 0);  // redirected to case 0
+}
+
+TEST(AnalysisCacheTest, CapacityBoundEvicts) {
+  auto cp = workload::make_corpus(9, 30);
+  Image img = minic::compile(cp.module);
+  AnalysisCache cache(/*shard_count=*/1, /*capacity_per_shard=*/2);
+  int analysed = 0;
+  for (const auto& name : cp.functions) {
+    const FunctionSym* f = img.function(name);
+    if (!f) continue;
+    cache.lookup_or_build(img, f->addr, f->size, f->arg_count);
+    ++analysed;
+    if (analysed >= 6) break;
+  }
+  auto s = cache.stats();
+  EXPECT_EQ(s.misses, 6u);
+  EXPECT_GE(s.evictions, 4u);  // only 2 entries may survive
+}
+
+TEST(AnalysisCacheTest, HarvestLayerSharedAcrossEngines) {
+  auto cp = workload::make_corpus(2, 25);
+  auto cache = std::make_shared<AnalysisCache>();
+  Image a = minic::compile(cp.module);
+  Image b = minic::compile(cp.module);
+  engine::ObfuscationEngine e1(&a, cache_cfg(3), cache);
+  EXPECT_EQ(cache->aux_stats().hits, 0u);
+  engine::ObfuscationEngine e2(&b, cache_cfg(3), cache);
+  // The second engine's harvest scan over identical .text bytes attaches
+  // the memoized layer instead of re-scanning.
+  EXPECT_GE(cache->aux_stats().hits, 1u);
+  EXPECT_EQ(e1.pool().unique_count(), e2.pool().unique_count());
+}
+
+}  // namespace
+}  // namespace raindrop

@@ -33,11 +33,16 @@ struct BatchRun {
 };
 
 BatchRun run_batch(const workload::Corpus& cp, int threads,
-                   std::uint64_t seed) {
+                   std::uint64_t seed, int shards = 0) {
   BatchRun out;
   out.img = minic::compile(cp.module);
-  engine::ObfuscationEngine eng(&out.img, full_cfg(seed));
-  out.mod = eng.obfuscate_module(cp.functions, threads);
+  // Private cache per run: with the shared process cache, run 2+ would
+  // serve every artifact from the craft memo and never exercise the
+  // parallel craft path these determinism tests exist to compare
+  // (cold-vs-warm equivalence is test_cache.cpp's job).
+  engine::ObfuscationEngine eng(&out.img, full_cfg(seed),
+                                std::make_shared<analysis::AnalysisCache>());
+  out.mod = eng.obfuscate_module(cp.functions, threads, shards);
   out.agg = eng.aggregate();
   return out;
 }
@@ -82,6 +87,35 @@ TEST(EngineDeterminism, ThreadCountSweepAgrees) {
     EXPECT_EQ(base.img.section_bytes(".ropdata"),
               other.img.section_bytes(".ropdata"))
         << threads << " threads";
+  }
+}
+
+TEST(EngineDeterminism, ShardTimesThreadSweepBitIdentical) {
+  // The sharded phase-2a resolution must reproduce the serial (1 shard,
+  // 1 thread) reference bit for bit at every (shards, threads) pair:
+  // same-key requests share a shard, planned gadgets merge in global
+  // request order, and every random decision is a counter-based
+  // per-request stream.
+  auto cp = workload::make_corpus(7, 100);
+  BatchRun ref = run_batch(cp, 1, 11, 1);
+  for (int shards : {1, 4, 16}) {
+    for (int threads : {1, 3}) {
+      BatchRun other = run_batch(cp, threads, 11, shards);
+      for (const char* sec : {".ropdata", ".text", ".data"})
+        EXPECT_EQ(ref.img.section_bytes(sec),
+                  other.img.section_bytes(sec))
+            << sec << " diverges at " << shards << " shards, " << threads
+            << " threads";
+      ASSERT_EQ(ref.mod.results.size(), other.mod.results.size());
+      EXPECT_EQ(ref.mod.ok_count, other.mod.ok_count);
+      for (std::size_t i = 0; i < ref.mod.results.size(); ++i) {
+        EXPECT_EQ(ref.mod.results[i].chain_addr,
+                  other.mod.results[i].chain_addr);
+        EXPECT_EQ(ref.mod.results[i].stats.unique_gadgets,
+                  other.mod.results[i].stats.unique_gadgets);
+      }
+      EXPECT_EQ(ref.agg.unique_gadgets, other.agg.unique_gadgets);
+    }
   }
 }
 

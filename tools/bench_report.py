@@ -17,10 +17,16 @@ Usage:
                                         additionally fail (exit 1) if the
                                         named metric is more than 20%
                                         below the baseline value
+  bench_report.py DIR --check-min table2.warm_speedup:1.5
+                                        fail if the metric is below an
+                                        absolute floor (no baseline
+                                        needed -- for hardware-agnostic
+                                        ratios like warm/cold speedups)
 
 --check may be repeated; each spec is <bench>.<metric>[:<max_drop_pct>]
 (default 20). A metric or bench missing from the baseline is a warning,
 not a failure, so fresh metrics can land before their first baseline.
+--check-min may be repeated; each spec is <bench>.<metric>:<floor>.
 """
 
 import argparse
@@ -71,6 +77,10 @@ def main():
                     metavar="BENCH.METRIC[:MAX_DROP_PCT]",
                     help="fail if METRIC dropped more than MAX_DROP_PCT "
                          "(default 20) below the baseline; repeatable")
+    ap.add_argument("--check-min", action="append", default=[],
+                    metavar="BENCH.METRIC:FLOOR",
+                    help="fail if METRIC is below the absolute FLOOR "
+                         "(baseline-free); repeatable")
     args = ap.parse_args()
 
     benches = load_benches(args.directory)
@@ -86,8 +96,27 @@ def main():
     print(f"wrote {out} ({len(benches)} benches: "
           f"{', '.join(sorted(benches))})")
 
+    failed = False
+    for spec in args.check_min:
+        key, sep, floor_s = spec.rpartition(":")
+        if not sep:
+            print(f"error: --check-min spec '{spec}' needs :FLOOR",
+                  file=sys.stderr)
+            return 1
+        bench, _, metric = key.partition(".")
+        floor = float(floor_s)
+        cur = lookup(summary, bench, metric)
+        if cur is None:
+            print(f"FAIL  {key}: metric missing from current run")
+            failed = True
+            continue
+        status = "ok  " if cur >= floor else "FAIL"
+        print(f"{status}  {key}: current {cur:g} vs absolute floor {floor:g}")
+        if cur < floor:
+            failed = True
+
     if not args.check:
-        return 0
+        return 1 if failed else 0
     if not args.baseline:
         print("error: --check requires --baseline", file=sys.stderr)
         return 1
@@ -97,8 +126,6 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot read baseline: {e}", file=sys.stderr)
         return 1
-
-    failed = False
     for spec in args.check:
         key, _, drop = spec.partition(":")
         bench, _, metric = key.partition(".")
