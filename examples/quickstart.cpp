@@ -1,6 +1,10 @@
 // Quickstart: compile a tiny function, ROP-rewrite it with the full
 // predicate stack, and show that native and chain executions agree --
 // then dump the first chain entries, Figure-1 style.
+//
+// This drives the one-shot engine facade; for the streaming,
+// multi-client front door (sessions, JobHandles, the craft/commit
+// pipeline) see examples/service_demo.cpp.
 #include <cstdio>
 
 #include "engine/engine.hpp"

@@ -273,7 +273,9 @@ CraftedFunction ObfuscationEngine::craft_one(const std::string& name,
   return cf;
 }
 
-rop::RewriteResult ObfuscationEngine::materialize_one(CraftedFunction& cf) {
+rop::RewriteResult ObfuscationEngine::stage_one(CraftedFunction& cf,
+                                                std::uint64_t chain_base,
+                                                Image::DeferredCommit* dc) {
   rop::RewriteResult res;
   if (!cf.ok) {
     res.failure = cf.failure;
@@ -284,15 +286,14 @@ rop::RewriteResult ObfuscationEngine::materialize_one(CraftedFunction& cf) {
 
   // Materialization (§IV-B3): fix the layout, embed the chain, patch the
   // switch displacements into the (now dead) original body, install the
-  // pivot stub. The chain lands at the current end of .ropdata, which is
-  // what absolute chain items (flag-preserving jumps) resolve against.
-  // Everything is staged as one deferred commit and applied atomically.
-  std::uint64_t chain_base = img_->section_end(".ropdata");
+  // pivot stub. `chain_base` is where these bytes will land in .ropdata
+  // (current section end plus every chain staged before this one in the
+  // batch), which is what absolute chain items (flag-preserving jumps)
+  // resolve against. Nothing touches the image here: the whole batch
+  // accumulates into one deferred commit, applied once by the caller.
   rop::Chain::Materialized mat =
       art.chain.materialize(chain_base, cf.req_addrs);
-  Image::DeferredCommit dc;
-  dc.section = ".ropdata";
-  dc.bytes = mat.bytes;
+  dc->bytes.insert(dc->bytes.end(), mat.bytes.begin(), mat.bytes.end());
   if (art.p1) {
     // One contiguous raw patch for the whole P1 array: per-cell u64
     // patches cost a section scan each.
@@ -301,26 +302,14 @@ rop::RewriteResult ObfuscationEngine::materialize_one(CraftedFunction& cf) {
       for (int k = 0; k < 8; ++k)
         cells[8 * i + k] =
             static_cast<std::uint8_t>(art.p1->cells[i] >> (8 * k));
-    dc.raw_patches.push_back({art.p1->addr, std::move(cells)});
+    dc->raw_patches.push_back({art.p1->addr, std::move(cells)});
   }
   for (auto [addr, val] : mat.patches)
-    dc.u32_patches.push_back({addr, static_cast<std::uint32_t>(val)});
-  dc.raw_patches.push_back({cf.fn_addr, make_pivot_stub(chain_base)});
-  // Tripwire BEFORE mutating: if .ropdata grew between reading
-  // chain_base and committing (it cannot in a serial phase 2b; gadget
-  // synthesis in phase 2a appends to .text, not .ropdata -- but a
-  // future pool/section change could), fail while the image is intact.
-  if (img_->section_end(".ropdata") != chain_base) {
-    res.failure = rop::RewriteFailure::UnsupportedInsn;
-    res.detail = "chain base moved during materialization";
-    return res;
-  }
-  img_->apply_commit(dc);
-  std::uint64_t chain_addr = chain_base;
-  img_->function(cf.name)->rop_rewritten = true;
+    dc->u32_patches.push_back({addr, static_cast<std::uint32_t>(val)});
+  dc->raw_patches.push_back({cf.fn_addr, make_pivot_stub(chain_base)});
 
   res.ok = true;
-  res.chain_addr = chain_addr;
+  res.chain_addr = chain_base;
   res.chain_size = mat.bytes.size();
   res.stats.program_points = art.program_points;
   res.stats.gadget_slots = art.chain.gadget_slots();
@@ -339,12 +328,11 @@ rop::RewriteResult ObfuscationEngine::materialize_one(CraftedFunction& cf) {
   return res;
 }
 
-ModuleResult ObfuscationEngine::obfuscate_module(
-    const std::vector<std::string>& names, int threads, int shards) {
-  ModuleResult out;
+CraftedModule ObfuscationEngine::craft_module(
+    const std::vector<std::string>& names, int threads, ThreadPool* pool) {
+  CraftedModule cm;
+  cm.names = names;
   Stopwatch watch;
-  if (shards <= 0) shards = std::max(1, threads);
-  out.commit_shards = shards;
 
   // Serial pre-pass: fix every address crafting will need (P1 arrays,
   // spill slots) and catch image-dependent early failures, so phase 1
@@ -354,16 +342,38 @@ ModuleResult ObfuscationEngine::obfuscate_module(
   for (const std::string& name : names) pre.push_back(preallocate(name));
 
   // Phase 1: pure parallel craft against the frozen pool. Results land
-  // in their input slot; thread scheduling cannot reorder anything.
+  // in their input slot; thread scheduling cannot reorder anything. An
+  // external pool (the service's shared workers) is used as-is; its
+  // width then governs parallelism.
   pool_.freeze();
-  std::vector<CraftedFunction> crafted(names.size());
-  {
-    ThreadPool tp(threads);
+  cm.crafted.resize(names.size());
+  auto craft_all = [&](ThreadPool& tp) {
     tp.parallel_for(names.size(), [&](std::size_t i) {
-      crafted[i] = craft_one(names[i], pre[i]);
+      cm.crafted[i] = craft_one(names[i], pre[i]);
     });
+  };
+  if (pool) {
+    craft_all(*pool);
+  } else {
+    ThreadPool tp(threads);
+    craft_all(tp);
   }
-  out.craft_seconds = watch.seconds();
+  cm.craft_seconds = watch.seconds();
+  return cm;
+}
+
+ModuleResult ObfuscationEngine::commit_module(CraftedModule&& cm, int threads,
+                                              int shards, ThreadPool* pool) {
+  ModuleResult out;
+  Stopwatch watch;
+  if (shards <= 0) shards = std::max(1, threads);
+  out.commit_shards = shards;
+  out.craft_seconds = cm.craft_seconds;
+  out.queue_seconds = cm.queue_seconds;
+  out.overlap_seconds = cm.overlap_seconds;
+  out.sessions_in_flight = cm.sessions_in_flight;
+  std::vector<CraftedFunction>& crafted = cm.crafted;
+
   for (const CraftedFunction& cf : crafted) {
     if (!cf.analyses) continue;  // early failure: no cache consultation
     if (cf.analysis_cache_hit)
@@ -406,7 +416,7 @@ ModuleResult ObfuscationEngine::obfuscate_module(
   // request may be served by a gadget synthesized for an earlier
   // function in the batch: cross-function reuse (Table III's B << A).
   std::vector<std::uint64_t> addrs =
-      pool_.resolve_batch(flat, shards, threads);
+      pool_.resolve_batch(flat, shards, threads, pool);
   std::size_t cursor = 0;
   for (CraftedFunction& cf : crafted) {
     if (!cf.ok) continue;
@@ -416,14 +426,50 @@ ModuleResult ObfuscationEngine::obfuscate_module(
   }
   out.resolve_seconds = watch.seconds();
 
-  // Phase 2b: serial materialization in batch order.
-  out.results.reserve(names.size());
+  // Phase 2b: serial materialization in batch order, staged into ONE
+  // deferred image commit -- one .ropdata append for every chain of the
+  // batch plus all P1/switch/pivot patches -- instead of one commit per
+  // function. Chain bases are assigned cumulatively exactly as the
+  // per-function commits would have, so the image bytes are unchanged;
+  // only the serial tail (a section scan + append per function) shrinks.
+  const std::uint64_t batch_base = img_->section_end(".ropdata");
+  std::uint64_t chain_base = batch_base;
+  Image::DeferredCommit dc;
+  dc.section = ".ropdata";
+  out.results.reserve(cm.names.size());
   for (CraftedFunction& cf : crafted) {
-    out.results.push_back(materialize_one(cf));
-    if (out.results.back().ok) ++out.ok_count;
+    out.results.push_back(stage_one(cf, chain_base, &dc));
+    const rop::RewriteResult& res = out.results.back();
+    if (res.ok) {
+      ++out.ok_count;
+      chain_base += res.chain_size;
+    }
   }
+  // Tripwire BEFORE mutating: if .ropdata grew while the batch was
+  // staged (it cannot: staging is pure and gadget synthesis in phase 2a
+  // appends to .text, not .ropdata -- but a future pool/section change
+  // could), fail while the image is intact.
+  if (img_->section_end(".ropdata") != batch_base) {
+    for (rop::RewriteResult& res : out.results) {
+      if (!res.ok) continue;
+      res = rop::RewriteResult{};
+      res.failure = rop::RewriteFailure::UnsupportedInsn;
+      res.detail = "chain base moved during materialization";
+    }
+    out.ok_count = 0;
+    out.commit_seconds = watch.seconds();
+    return out;
+  }
+  img_->apply_commit(dc);
+  for (const CraftedFunction& cf : crafted)
+    if (cf.ok) img_->function(cf.name)->rop_rewritten = true;
   out.commit_seconds = watch.seconds();
   return out;
+}
+
+ModuleResult ObfuscationEngine::obfuscate_module(
+    const std::vector<std::string>& names, int threads, int shards) {
+  return commit_module(craft_module(names, threads), threads, shards);
 }
 
 rop::RewriteResult ObfuscationEngine::rewrite_function(

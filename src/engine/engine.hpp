@@ -18,8 +18,17 @@
 //      planned in parallel, merged in deterministic batch order. This is
 //      where cross-function gadget reuse (Table III's B << A) happens.
 //   2b (materialize, serial): chains land in .ropdata in batch order,
-//      P1 arrays are written, pivot stubs installed.
+//      P1 arrays are written, pivot stubs installed -- the whole batch
+//      staged as ONE deferred image commit (one .ropdata append plus all
+//      patches), so the serial tail is a single image mutation per batch.
 // Output images are bit-identical for every (threads, shards) pair.
+//
+// The two phases are public pipeline stages (craft_module /
+// commit_module) so a long-lived ObfuscationService (service.hpp) can
+// double-buffer phase 1 of module N+1 against phase 2 of module N on a
+// shared ThreadPool. obfuscate_module() is the synchronous facade: the
+// two stages back to back -- there is exactly one execution path whether
+// a module is streamed through the service or rewritten standalone.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +44,10 @@
 #include "rop/predicates.hpp"
 #include "rop/types.hpp"
 #include "support/rng.hpp"
+
+namespace raindrop {
+class ThreadPool;  // support/thread_pool.hpp
+}
 
 namespace raindrop::engine {
 
@@ -88,6 +101,15 @@ struct ModuleResult {
   double commit_seconds = 0.0;   // phase 2 wall-clock (resolve + materialize)
   double resolve_seconds = 0.0;  // phase 2a (sharded request resolution)
   int commit_shards = 0;         // shard count phase 2a actually used
+  // Pipeline telemetry, filled by the ObfuscationService scheduler; all
+  // zero on the synchronous obfuscate_module path. None of these affect
+  // the output bytes -- they only describe how the job moved through the
+  // craft/commit pipeline.
+  double queue_seconds = 0.0;    // submit -> craft start
+  double overlap_seconds = 0.0;  // craft time hidden behind another
+                                 // job's commit (double-buffering win)
+  int sessions_in_flight = 0;    // sessions with queued/running jobs
+                                 // when this job entered craft
   // AnalysisCache telemetry for this batch (functions that reached the
   // analyses; early failures consult no cache).
   std::size_t analysis_cache_hits = 0;
@@ -97,6 +119,22 @@ struct ModuleResult {
   // addressed from the cache side table.
   std::size_t craft_memo_hits = 0;
   std::size_t craft_memo_misses = 0;
+};
+
+// The product of pipeline stage 1 for a whole batch: every function
+// crafted, nothing committed. Produced by craft_module() and consumed
+// exactly once by commit_module(); the ObfuscationService carries one
+// of these between its craft and commit pipeline stages. The scheduler
+// telemetry fields are filled by the service and flow into the
+// ModuleResult commit_module() returns.
+struct CraftedModule {
+  std::vector<std::string> names;
+  std::vector<CraftedFunction> crafted;  // parallel to names
+  double craft_seconds = 0.0;
+  // Scheduler telemetry (see ModuleResult); zero outside the service.
+  double queue_seconds = 0.0;
+  double overlap_seconds = 0.0;
+  int sessions_in_flight = 0;
 };
 
 class ObfuscationEngine {
@@ -112,9 +150,26 @@ class ObfuscationEngine {
   // Batch API: obfuscates `names` with phase 1 on `threads` crafting
   // threads and phase-2a request resolution on `shards` core-key shards
   // (<= 0: one shard per thread). Output images and stats are
-  // bit-identical for every (threads, shards) combination.
+  // bit-identical for every (threads, shards) combination. A thin facade
+  // over the two pipeline stages below (craft_module + commit_module),
+  // which is the same path the streaming ObfuscationService drives.
   ModuleResult obfuscate_module(const std::vector<std::string>& names,
                                 int threads = 1, int shards = 0);
+
+  // Pipeline stage 1: serial prealloc pre-pass + pure parallel craft.
+  // Runs on `pool` when given (the service's shared workers; its width
+  // then governs parallelism), else on a private `threads`-wide pool.
+  // Mutates the image only through reservations; a CraftedModule from
+  // engine state S must be committed before the next craft of the same
+  // engine (the service serializes a session's jobs for exactly this
+  // reason).
+  CraftedModule craft_module(const std::vector<std::string>& names,
+                             int threads = 1, ThreadPool* pool = nullptr);
+
+  // Pipeline stage 2: sharded parallel request resolution (2a) + one
+  // batched serial image commit (2b). Consumes the CraftedModule.
+  ModuleResult commit_module(CraftedModule&& cm, int threads = 1,
+                             int shards = 0, ThreadPool* pool = nullptr);
 
   // Single-function convenience (a 1-element batch); the facade the
   // legacy Rewriter API forwards to.
@@ -163,8 +218,13 @@ class ObfuscationEngine {
   // revalidated out-of-body dependency fingerprint, prealloc addresses,
   // config, seed, ordinal, catalog fingerprint): the craft memo key.
   std::uint64_t craft_key(const Prealloc& pre, std::uint64_t dep_fp) const;
-  // Phase 2b: lands an artifact whose gadget refs are already resolved.
-  rop::RewriteResult materialize_one(CraftedFunction& cf);
+  // Phase 2b: stages one resolved artifact into the batch's deferred
+  // commit. `chain_base` is where this chain will land in .ropdata; the
+  // chain bytes append to dc->bytes and all patches (P1 cells, switch
+  // displacements, pivot stub) accumulate in dc. Pure with respect to
+  // the image -- nothing lands until the caller applies dc once.
+  rop::RewriteResult stage_one(CraftedFunction& cf, std::uint64_t chain_base,
+                               Image::DeferredCommit* dc);
   std::vector<std::uint8_t> make_pivot_stub(std::uint64_t chain_addr) const;
 
   Image* img_;

@@ -1,0 +1,194 @@
+#include "engine/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace raindrop::engine {
+
+// One submission moving through the pipeline. Owns a strong reference
+// to its session so a client may drop the session handle with jobs in
+// flight; the job (and its engine/image access) stays alive until the
+// commit lands.
+struct ServiceJob {
+  std::shared_ptr<Session> session;
+  std::vector<std::string> names;
+  JobHandle handle;
+  CraftedModule cm;  // filled by the craft stage
+  double submit_t = 0.0;
+  double craft_start_t = 0.0;
+  double craft_end_t = 0.0;
+};
+
+ObfuscationService::ObfuscationService(ServiceConfig cfg)
+    : cfg_(cfg),
+      cache_(cfg.cache ? std::move(cfg.cache)
+                       : analysis::AnalysisCache::process_cache()),
+      pool_(std::max(1, cfg.craft_threads)) {
+  crafter_ = std::thread([this] { craft_loop(); });
+  committer_ = std::thread([this] { commit_loop(); });
+}
+
+ObfuscationService::~ObfuscationService() { shutdown(); }
+
+std::shared_ptr<Session> ObfuscationService::open_session(
+    Image* img, const rop::ObfConfig& cfg) {
+  auto session = std::make_shared<Session>(img, cfg, cache_);
+  std::lock_guard<std::mutex> g(mu_);
+  if (accepting_) {
+    session->service_.store(this, std::memory_order_release);
+    std::erase_if(sessions_, [](const std::weak_ptr<Session>& w) {
+      return w.expired();
+    });
+    sessions_.push_back(session);
+  }
+  // After shutdown the session stays standalone: submit() runs
+  // synchronously, results are still correct.
+  return session;
+}
+
+void ObfuscationService::fulfill(const JobHandle& h, ModuleResult result) {
+  std::lock_guard<std::mutex> g(h.st_->mu);
+  h.st_->result = std::move(result);
+  h.st_->done = true;
+  h.st_->cv.notify_all();
+}
+
+JobHandle ObfuscationService::enqueue(std::shared_ptr<Session> session,
+                                      std::vector<std::string> names) {
+  auto job = std::make_shared<ServiceJob>();
+  job->session = std::move(session);
+  job->names = std::move(names);
+  job->handle.st_ = std::make_shared<JobHandle::State>();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (accepting_) {
+      job->submit_t = wall_.seconds();
+      ++stats_.jobs_submitted;
+      ++jobs_in_flight_;
+      Session& sess = *job->session;
+      if (sess.job_in_pipeline_) {
+        // Strict per-session FIFO: the pipe holds at most one job per
+        // session, so job K+1 crafts against the image job K committed.
+        sess.backlog_.push_back(job);
+      } else {
+        sess.job_in_pipeline_ = true;
+        ++busy_sessions_;
+        stats_.peak_sessions_in_flight =
+            std::max(stats_.peak_sessions_in_flight, busy_sessions_);
+        craft_q_.push_back(job);
+        craft_ready_.notify_one();
+      }
+      return job->handle;
+    }
+    // Shut down (or shutting down): wait for the pipe to drain -- this
+    // session may still have a job in flight, and the engine is not
+    // concurrent-safe -- then serve synchronously so the caller still
+    // holds a ready, correct handle.
+    drained_.wait(lk, [this] { return jobs_in_flight_ == 0; });
+  }
+  fulfill(job->handle, job->session->run(job->names, cfg_.craft_threads,
+                                         cfg_.commit_shards));
+  return job->handle;
+}
+
+double ObfuscationService::commit_busy_at(double now) const {
+  return stats_.commit_busy_seconds +
+         (commit_active_since_ >= 0.0 ? now - commit_active_since_ : 0.0);
+}
+
+void ObfuscationService::craft_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    craft_ready_.wait(lk, [this] { return stopping_ || !craft_q_.empty(); });
+    if (craft_q_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    std::shared_ptr<ServiceJob> job = std::move(craft_q_.front());
+    craft_q_.pop_front();
+    job->craft_start_t = wall_.seconds();
+    const double commit_busy0 = commit_busy_at(job->craft_start_t);
+    const int in_flight = static_cast<int>(busy_sessions_);
+    lk.unlock();
+    job->cm = job->session->engine_.craft_module(job->names,
+                                                 cfg_.craft_threads, &pool_);
+    lk.lock();
+    job->craft_end_t = wall_.seconds();
+    job->cm.queue_seconds = job->craft_start_t - job->submit_t;
+    // Exactly the commit-stage busy time that elapsed during this craft:
+    // the double-buffering overlap this job enjoyed.
+    job->cm.overlap_seconds =
+        commit_busy_at(job->craft_end_t) - commit_busy0;
+    job->cm.sessions_in_flight = in_flight;
+    stats_.craft_busy_seconds += job->craft_end_t - job->craft_start_t;
+    stats_.overlap_seconds += job->cm.overlap_seconds;
+    commit_q_.push_back(std::move(job));
+    commit_ready_.notify_one();
+  }
+}
+
+void ObfuscationService::commit_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    commit_ready_.wait(lk,
+                       [this] { return stopping_ || !commit_q_.empty(); });
+    if (commit_q_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    std::shared_ptr<ServiceJob> job = std::move(commit_q_.front());
+    commit_q_.pop_front();
+    commit_active_since_ = wall_.seconds();
+    lk.unlock();
+    ModuleResult result = job->session->engine_.commit_module(
+        std::move(job->cm), cfg_.craft_threads, cfg_.commit_shards, &pool_);
+    lk.lock();
+    stats_.commit_busy_seconds += wall_.seconds() - commit_active_since_;
+    commit_active_since_ = -1.0;
+    ++stats_.jobs_completed;
+    fulfill(job->handle, std::move(result));
+    // Release the session's next queued job into the craft stage.
+    Session& sess = *job->session;
+    if (!sess.backlog_.empty()) {
+      craft_q_.push_back(std::move(sess.backlog_.front()));
+      sess.backlog_.pop_front();
+      craft_ready_.notify_one();
+    } else {
+      sess.job_in_pipeline_ = false;
+      --busy_sessions_;
+    }
+    if (--jobs_in_flight_ == 0) drained_.notify_all();
+  }
+}
+
+void ObfuscationService::shutdown() {
+  std::vector<std::weak_ptr<Session>> sessions;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    accepting_ = false;
+    // Drain: every job already submitted commits and its handle fires.
+    drained_.wait(lk, [this] { return jobs_in_flight_ == 0; });
+    if (stage_threads_joined_) return;  // an earlier shutdown() finished
+    stopping_ = true;
+    stage_threads_joined_ = true;
+    sessions.swap(sessions_);
+    craft_ready_.notify_all();
+    commit_ready_.notify_all();
+  }
+  crafter_.join();
+  committer_.join();
+  // Detach surviving sessions: their next submit() runs synchronously.
+  for (auto& w : sessions)
+    if (auto s = w.lock()) s->service_.store(nullptr, std::memory_order_release);
+  std::lock_guard<std::mutex> g(mu_);
+  stats_.wall_seconds = wall_.seconds();
+}
+
+ObfuscationService::Stats ObfuscationService::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  Stats s = stats_;
+  if (!stage_threads_joined_) s.wall_seconds = wall_.seconds();
+  return s;
+}
+
+}  // namespace raindrop::engine

@@ -1,0 +1,141 @@
+// ObfuscationService: the long-lived, streaming front door to the
+// rewriting pipeline (ROADMAP: "multi-module streaming service").
+//
+// The batch ObfuscationEngine is one-shot: one engine per image, one
+// obfuscate_module() call, teardown. The service keeps the expensive
+// state alive across many client modules instead:
+//
+//   * one shared AnalysisCache (analyses, harvest layers, craft memos
+//     stay hot across sessions -- DESIGN.md §7),
+//   * one shared ThreadPool (craft fan-out and sharded resolve of all
+//     sessions run on the same workers),
+//   * a two-stage pipeline that double-buffers phase 1 (craft) of
+//     module N+1 against phase 2 (commit) of module N: a dedicated
+//     craft worker and a dedicated commit worker each drain their own
+//     queue, so while one module's chains are being resolved and
+//     landed, the next module is already crafting.
+//
+// Clients open a Session per module and submit() jobs; per-session
+// ordering is strict FIFO (a session's next job enters craft only after
+// its previous job committed), so a streamed module is byte-identical
+// to standalone obfuscate_module() runs with the same batches and seed
+// -- the pipeline moves wall-clock, never bytes (tests/test_service.cpp).
+//
+// Telemetry: every ModuleResult carries queue_seconds / overlap_seconds
+// / sessions_in_flight, and Stats aggregates pipeline busy times, so
+// the double-buffering win is a measured quantity (bench_service).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "analysis/cache.hpp"
+#include "engine/session.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
+
+namespace raindrop::engine {
+
+struct ServiceConfig {
+  // Workers in the shared pool that phase 1 (craft) and phase 2a
+  // (resolve) of every session fan out on. <= 1 runs stage work inline
+  // on the stage threads -- the two-stage overlap remains.
+  int craft_threads = 1;
+  // Phase-2a shard count for every job (<= 0: one per craft thread).
+  int commit_shards = 0;
+  // Analysis cache shared by every session; null selects the
+  // process-wide singleton. Benchmarks isolating a cold service pass a
+  // private instance.
+  std::shared_ptr<analysis::AnalysisCache> cache;
+};
+
+class ObfuscationService {
+ public:
+  explicit ObfuscationService(ServiceConfig cfg = {});
+  // Drains in-flight jobs (every issued JobHandle becomes ready), then
+  // stops the pipeline. Open sessions degrade to standalone synchronous
+  // sessions. As with any object, destruction must not race calls into
+  // the service -- quiesce client threads (or call shutdown() and wait
+  // for their last submits to return) before destroying; only AFTER the
+  // destructor returns are surviving sessions safely standalone.
+  ~ObfuscationService();
+
+  ObfuscationService(const ObfuscationService&) = delete;
+  ObfuscationService& operator=(const ObfuscationService&) = delete;
+
+  // Opens a streaming session for one module. The session shares the
+  // service's analysis cache and submits into the pipeline; it may
+  // outlive the service (it then runs synchronously).
+  std::shared_ptr<Session> open_session(Image* img,
+                                        const rop::ObfConfig& cfg);
+
+  // Stops accepting pipeline work, waits for every submitted job to
+  // commit, joins the stage workers. Idempotent; also run by the
+  // destructor. submit() calls racing or following shutdown run
+  // synchronously and still return ready handles.
+  void shutdown();
+
+  struct Stats {
+    std::size_t jobs_submitted = 0;
+    std::size_t jobs_completed = 0;
+    std::size_t peak_sessions_in_flight = 0;
+    double craft_busy_seconds = 0.0;   // craft stage busy time
+    double commit_busy_seconds = 0.0;  // commit stage busy time
+    double overlap_seconds = 0.0;      // craft time that ran while the
+                                       // commit stage was busy
+    double wall_seconds = 0.0;         // service lifetime so far
+    // Fraction of commit-stage busy time hidden behind crafting -- the
+    // double-buffering win; 0 when nothing committed yet.
+    double overlap_ratio() const {
+      return commit_busy_seconds > 0.0 ? overlap_seconds / commit_busy_seconds
+                                       : 0.0;
+    }
+  };
+  Stats stats() const;
+
+  const std::shared_ptr<analysis::AnalysisCache>& analysis_cache() const {
+    return cache_;
+  }
+  int craft_threads() const { return cfg_.craft_threads; }
+  int commit_shards() const { return cfg_.commit_shards; }
+
+ private:
+  friend class Session;
+
+  // Session::submit() on a service-owned session lands here.
+  JobHandle enqueue(std::shared_ptr<Session> session,
+                    std::vector<std::string> names);
+  void craft_loop();
+  void commit_loop();
+  // Cumulative commit-stage busy time as of `now` (caller holds mu_):
+  // completed commit intervals plus the in-progress one. Sampling it at
+  // craft start and craft end gives that craft's overlap exactly, O(1).
+  double commit_busy_at(double now) const;
+  static void fulfill(const JobHandle& h, ModuleResult result);
+
+  ServiceConfig cfg_;
+  std::shared_ptr<analysis::AnalysisCache> cache_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable craft_ready_, commit_ready_, drained_;
+  std::deque<std::shared_ptr<ServiceJob>> craft_q_, commit_q_;
+  std::vector<std::weak_ptr<Session>> sessions_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  bool stage_threads_joined_ = false;
+  std::size_t jobs_in_flight_ = 0;
+  std::size_t busy_sessions_ = 0;
+  double commit_active_since_ = -1.0;  // < 0: commit stage idle
+  Stats stats_;
+  Stopwatch wall_;
+
+  std::thread crafter_, committer_;
+};
+
+}  // namespace raindrop::engine

@@ -219,7 +219,8 @@ struct GadgetPool::Planned {
 };
 
 std::vector<std::uint64_t> GadgetPool::resolve_batch(
-    std::span<const GadgetRequest* const> reqs, int shards, int threads) {
+    std::span<const GadgetRequest* const> reqs, int shards, int threads,
+    ThreadPool* pool) {
   std::vector<std::uint64_t> addrs(reqs.size(), 0);
   if (reqs.empty()) {
     frozen_ = false;
@@ -256,8 +257,11 @@ std::vector<std::uint64_t> GadgetPool::resolve_batch(
       static_cast<std::size_t>(nshards));
   frozen_ = true;
   {
-    ThreadPool tp(threads);
-    tp.parallel_for(static_cast<std::size_t>(nshards), [&](std::size_t s) {
+    // Plan on the caller's shared pool when given (service pipeline),
+    // else a private pool of `threads` workers.
+    std::optional<ThreadPool> own;
+    if (!pool) pool = &own.emplace(threads);
+    pool->parallel_for(static_cast<std::size_t>(nshards), [&](std::size_t s) {
       std::vector<Planned>& planned = shard_planned[s];
       std::unordered_map<std::string, std::vector<std::size_t>>
           planned_by_key;

@@ -34,6 +34,10 @@
 #include "isa/insn.hpp"
 #include "support/rng.hpp"
 
+namespace raindrop {
+class ThreadPool;  // support/thread_pool.hpp
+}
+
 namespace raindrop::gadgets {
 
 using analysis::RegSet;
@@ -123,9 +127,12 @@ class GadgetPool {
   // committed image -- are bit-identical for every (shards, threads)
   // combination, including the serial reference (1, 1). May reuse a
   // gadget synthesized for an earlier request in this or any previous
-  // batch (cross-function reuse: Table III's B << A).
+  // batch (cross-function reuse: Table III's B << A). The plan phase
+  // runs on `pool` when given (the service's shared workers; `threads`
+  // is then ignored), else on a private `threads`-wide pool.
   std::vector<std::uint64_t> resolve_batch(
-      std::span<const GadgetRequest* const> reqs, int shards, int threads);
+      std::span<const GadgetRequest* const> reqs, int shards, int threads,
+      ThreadPool* pool = nullptr);
 
   // Single-request resolution (pool must be unfrozen); the batch path
   // above is what the engine uses. Kept for one-off callers.

@@ -6,7 +6,12 @@
 //
 // Since the two-phase refactor this is a thin single-function facade over
 // engine::ObfuscationEngine; batch/parallel callers should use the engine
-// directly (engine.obfuscate_module(names, threads)).
+// directly (engine.obfuscate_module(names, threads)), and long-lived
+// multi-module callers the streaming engine::ObfuscationService
+// (engine/service.hpp). All three front doors run the same two pipeline
+// stages (craft_module / commit_module) -- one execution path, so a
+// function rewritten here is byte-identical to the same function
+// rewritten through a streamed session (DESIGN.md §8).
 #pragma once
 
 #include <memory>

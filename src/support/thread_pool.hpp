@@ -3,6 +3,12 @@
 // gadget pool, per-function RNG streams), so tasks may run in any order
 // on any thread; results are stored by index and committed serially, which
 // keeps batch output bit-identical at every thread count.
+//
+// One pool may be shared by concurrent callers: parallel_for() tracks
+// completion with a per-call latch, so the ObfuscationService's craft
+// stage (phase 1 of module N+1) and commit stage (phase 2a of module N)
+// can fan out on the same workers simultaneously -- each call returns
+// when *its* indices are done, not when the pool drains.
 #pragma once
 
 #include <condition_variable>
@@ -36,8 +42,9 @@ class ThreadPool {
   void wait_idle();
 
   // Runs fn(0) .. fn(n-1) across the pool and waits for completion
-  // (inline, in index order, when no workers exist). One queued task per
-  // index, so long and short items balance across threads.
+  // (inline, in index order, when no workers exist or n == 1). One
+  // queued task per index, so long and short items balance across
+  // threads. Safe to call from several threads at once.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -1,0 +1,255 @@
+// ObfuscationService tests: the streaming front door must move
+// wall-clock, never bytes. A module streamed through the craft/commit
+// pipeline -- concurrently with other sessions, at any thread/shard
+// combination, against the shared analysis cache -- must be
+// byte-identical to standalone obfuscate_module() runs with the same
+// batches and seed; per-session results arrive in submission order;
+// shutdown with jobs in flight completes every handle.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/service.hpp"
+#include "image/image.hpp"
+#include "minic/codegen.hpp"
+#include "rop/rewriter.hpp"
+#include "workload/corpus.hpp"
+
+namespace raindrop {
+namespace {
+
+rop::ObfConfig full_cfg(std::uint64_t seed) {
+  rop::ObfConfig c = rop::rop_k(0.25, seed);
+  c.p2 = true;
+  c.gadget_confusion = true;
+  return c;
+}
+
+// Splits the corpus functions into `parts` contiguous batches: one
+// submitted job each, mirroring a client streaming a module in pieces.
+std::vector<std::vector<std::string>> split_batches(
+    const std::vector<std::string>& names, int parts) {
+  std::vector<std::vector<std::string>> out(parts);
+  for (std::size_t i = 0; i < names.size(); ++i)
+    out[i * parts / names.size()].push_back(names[i]);
+  return out;
+}
+
+// The standalone reference: one engine with a private cache, the same
+// batches as sequential obfuscate_module calls. This is the bit-identity
+// oracle every streamed run is held to.
+struct StandaloneRun {
+  Image img;
+  std::vector<engine::ModuleResult> results;
+};
+
+StandaloneRun run_standalone(const workload::Corpus& cp,
+                             const std::vector<std::vector<std::string>>& jobs,
+                             std::uint64_t seed, int threads = 1,
+                             int shards = 0) {
+  StandaloneRun out;
+  out.img = minic::compile(cp.module);
+  engine::ObfuscationEngine eng(&out.img, full_cfg(seed),
+                                std::make_shared<analysis::AnalysisCache>());
+  for (const auto& names : jobs)
+    out.results.push_back(eng.obfuscate_module(names, threads, shards));
+  return out;
+}
+
+void expect_same_image(const Image& a, const Image& b, const char* what) {
+  for (const char* sec : {".ropdata", ".text", ".data", ".rodata"})
+    EXPECT_EQ(a.section_bytes(sec), b.section_bytes(sec))
+        << what << ": " << sec << " diverges";
+}
+
+void expect_same_results(const engine::ModuleResult& a,
+                         const engine::ModuleResult& b, const char* what) {
+  ASSERT_EQ(a.results.size(), b.results.size()) << what;
+  EXPECT_EQ(a.ok_count, b.ok_count) << what;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].ok, b.results[i].ok) << what << " fn " << i;
+    EXPECT_EQ(a.results[i].failure, b.results[i].failure) << what;
+    EXPECT_EQ(a.results[i].chain_addr, b.results[i].chain_addr) << what;
+    EXPECT_EQ(a.results[i].chain_size, b.results[i].chain_size) << what;
+    EXPECT_EQ(a.results[i].stats.unique_gadgets,
+              b.results[i].stats.unique_gadgets)
+        << what;
+  }
+}
+
+TEST(ServiceStreaming, ThreeConcurrentSessionsAreByteIdentical) {
+  // Three clients, three distinct modules, two jobs each, submitted
+  // interleaved so the pipeline holds several sessions at once. Every
+  // streamed image and every per-job result must match the standalone
+  // sequential reference for that module.
+  const std::uint64_t corpus_seeds[] = {3, 5, 7};
+  std::vector<workload::Corpus> corpora;
+  std::vector<std::vector<std::vector<std::string>>> jobs;
+  std::vector<StandaloneRun> refs;
+  for (std::uint64_t cs : corpus_seeds) {
+    corpora.push_back(workload::make_corpus(cs, 60));
+    jobs.push_back(split_batches(corpora.back().functions, 2));
+    refs.push_back(run_standalone(corpora.back(), jobs.back(), 100 + cs));
+  }
+
+  engine::ServiceConfig sc;
+  sc.craft_threads = 2;
+  sc.cache = std::make_shared<analysis::AnalysisCache>();
+  engine::ObfuscationService service(sc);
+
+  std::vector<Image> imgs(corpora.size());
+  std::vector<std::shared_ptr<engine::Session>> sessions;
+  for (std::size_t m = 0; m < corpora.size(); ++m) {
+    imgs[m] = minic::compile(corpora[m].module);
+    sessions.push_back(
+        service.open_session(&imgs[m], full_cfg(100 + corpus_seeds[m])));
+  }
+  // Interleave: batch 0 of every session, then batch 1 of every session.
+  std::vector<std::vector<engine::JobHandle>> handles(corpora.size());
+  for (int b = 0; b < 2; ++b)
+    for (std::size_t m = 0; m < corpora.size(); ++m)
+      handles[m].push_back(sessions[m]->submit(jobs[m][b]));
+
+  for (std::size_t m = 0; m < corpora.size(); ++m) {
+    for (int b = 0; b < 2; ++b) {
+      const engine::ModuleResult& streamed = handles[m][b].wait();
+      expect_same_results(streamed, refs[m].results[b], "streamed job");
+      EXPECT_GE(streamed.queue_seconds, 0.0);
+      EXPECT_GE(streamed.overlap_seconds, 0.0);
+      EXPECT_GE(streamed.sessions_in_flight, 1);
+    }
+    expect_same_image(imgs[m], refs[m].img, "streamed module");
+  }
+
+  auto st = service.stats();
+  EXPECT_EQ(st.jobs_submitted, 6u);
+  EXPECT_EQ(st.jobs_completed, 6u);
+  EXPECT_GE(st.peak_sessions_in_flight, 2u);
+  EXPECT_GT(st.craft_busy_seconds, 0.0);
+  EXPECT_GT(st.commit_busy_seconds, 0.0);
+}
+
+TEST(ServiceStreaming, ThreadShardSweepMatchesSerialReference) {
+  // The streamed output must reproduce the serial (1 thread, 1 shard)
+  // standalone reference bit for bit at every (craft_threads, shards)
+  // service configuration.
+  auto cp = workload::make_corpus(9, 60);
+  auto jobs = split_batches(cp.functions, 2);
+  StandaloneRun ref = run_standalone(cp, jobs, 42, 1, 1);
+
+  for (int threads : {1, 2, 4}) {
+    for (int shards : {1, 3}) {
+      engine::ServiceConfig sc;
+      sc.craft_threads = threads;
+      sc.commit_shards = shards;
+      sc.cache = std::make_shared<analysis::AnalysisCache>();
+      engine::ObfuscationService service(sc);
+      Image img = minic::compile(cp.module);
+      auto session = service.open_session(&img, full_cfg(42));
+      std::vector<engine::JobHandle> hs;
+      for (const auto& names : jobs) hs.push_back(session->submit(names));
+      for (std::size_t b = 0; b < hs.size(); ++b)
+        expect_same_results(hs[b].wait(), ref.results[b], "sweep job");
+      expect_same_image(img, ref.img, "sweep module");
+    }
+  }
+}
+
+TEST(ServiceStreaming, CacheSharingAcrossSessionsServesRepeatedModuleHot) {
+  // The service's raison d'etre: a second client submitting an identical
+  // module is served entirely from the shared analysis cache and craft
+  // memo -- warm hit rate 1.0 -- and still lands identical bytes.
+  auto cp = workload::make_corpus(4, 60);
+  engine::ServiceConfig sc;
+  sc.craft_threads = 2;
+  sc.cache = std::make_shared<analysis::AnalysisCache>();
+  engine::ObfuscationService service(sc);
+
+  Image img_a = minic::compile(cp.module);
+  Image img_b = minic::compile(cp.module);
+  auto sess_a = service.open_session(&img_a, full_cfg(77));
+  auto sess_b = service.open_session(&img_b, full_cfg(77));
+
+  const engine::ModuleResult& ra = sess_a->submit(cp.functions).wait();
+  const engine::ModuleResult& rb = sess_b->submit(cp.functions).wait();
+
+  EXPECT_GT(ra.ok_count, 0u);
+  EXPECT_EQ(ra.ok_count, rb.ok_count);
+  // Session B ran fully hot off session A's work.
+  EXPECT_GT(rb.analysis_cache_hits, 0u);
+  EXPECT_EQ(rb.analysis_cache_misses, 0u);
+  EXPECT_DOUBLE_EQ(rb.analysis_cache_hit_rate, 1.0);
+  EXPECT_GT(rb.craft_memo_hits, 0u);
+  EXPECT_EQ(rb.craft_memo_misses, 0u);
+  expect_same_image(img_a, img_b, "hot-served repeat module");
+}
+
+TEST(ServiceStreaming, ShutdownWithJobsInFlightCompletesEveryHandle) {
+  // shutdown() (and the destructor) drains: every submitted handle must
+  // become ready with a correct result, and post-shutdown submits still
+  // work synchronously.
+  auto cp = workload::make_corpus(6, 60);
+  auto jobs = split_batches(cp.functions, 3);
+  StandaloneRun ref = run_standalone(cp, jobs, 11);
+
+  Image img = minic::compile(cp.module);
+  std::vector<engine::JobHandle> hs;
+  std::shared_ptr<engine::Session> session;
+  {
+    engine::ServiceConfig sc;
+    sc.craft_threads = 2;
+    sc.cache = std::make_shared<analysis::AnalysisCache>();
+    engine::ObfuscationService service(sc);
+    session = service.open_session(&img, full_cfg(11));
+    // First two jobs stream; shutdown races their pipeline transit.
+    hs.push_back(session->submit(jobs[0]));
+    hs.push_back(session->submit(jobs[1]));
+    service.shutdown();
+    for (auto& h : hs) EXPECT_TRUE(h.ready());
+    // Post-shutdown submit: the synchronous fallback, ready on return.
+    hs.push_back(session->submit(jobs[2]));
+    EXPECT_TRUE(hs.back().ready());
+  }  // destructor after explicit shutdown: idempotent
+  for (std::size_t b = 0; b < hs.size(); ++b)
+    expect_same_results(hs[b].wait(), ref.results[b], "drained job");
+  expect_same_image(img, ref.img, "drained module");
+
+  // The detached session keeps working standalone after service death.
+  EXPECT_FALSE(session->submit({cp.functions[0]}).wait().results[0].ok)
+      << "already-rewritten function must fail, not crash";
+}
+
+TEST(ServiceStreaming, FacadesShareTheStreamedExecutionPath) {
+  // One execution path: Rewriter -> engine facade -> the same
+  // craft_module/commit_module stages the service drives. All three
+  // front doors produce identical bytes for identical input.
+  auto cp = workload::make_corpus(11, 20);
+  Image a = minic::compile(cp.module);
+  Image b = minic::compile(cp.module);
+  Image c = minic::compile(cp.module);
+
+  rop::Rewriter rw(&a, full_cfg(5), std::make_shared<analysis::AnalysisCache>());
+  for (const std::string& name : cp.functions) rw.rewrite_function(name);
+
+  engine::ObfuscationEngine eng(&b, full_cfg(5),
+                                std::make_shared<analysis::AnalysisCache>());
+  for (const std::string& name : cp.functions)
+    eng.obfuscate_module({name}, 1);
+
+  engine::ServiceConfig sc;
+  sc.cache = std::make_shared<analysis::AnalysisCache>();
+  engine::ObfuscationService service(sc);
+  auto session = service.open_session(&c, full_cfg(5));
+  std::vector<engine::JobHandle> hs;
+  for (const std::string& name : cp.functions)
+    hs.push_back(session->submit({name}));
+  for (auto& h : hs) h.wait();
+
+  expect_same_image(a, b, "Rewriter vs engine");
+  expect_same_image(b, c, "engine vs streamed session");
+}
+
+}  // namespace
+}  // namespace raindrop
