@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "engine/service.hpp"
 #include "image/image.hpp"
 #include "minic/codegen.hpp"
 #include "rop/rewriter.hpp"
@@ -197,6 +198,42 @@ inline void emit_analysis_cache(BenchJson& json) {
   json.metric("analysis_cache_hit_rate", s.hit_rate());
   auto a = analysis::AnalysisCache::process_cache()->aux_stats();
   json.metric("harvest_cache_hit_rate", a.hit_rate());
+}
+
+// Per-stage pipeline telemetry (DESIGN.md §9): the craft / resolve /
+// materialize split of one engine batch, under a common key prefix, so
+// every bench that runs a batch records where its wall-clock went.
+inline void emit_stage_seconds(BenchJson& json,
+                               const engine::ModuleResult& mr,
+                               const std::string& prefix = "") {
+  json.metric(prefix + "craft_s", mr.craft_seconds);
+  json.metric(prefix + "resolve_s", mr.resolve_seconds);
+  json.metric(prefix + "materialize_s", mr.materialize_seconds);
+  json.metric(prefix + "commit_s", mr.commit_seconds);
+}
+
+// Service pipeline telemetry (DESIGN.md §9): per-stage busy seconds,
+// queue occupancy peaks and admission outcomes of an ObfuscationService
+// run, under a common key prefix.
+inline void emit_service_stats(BenchJson& json,
+                               const engine::ObfuscationService::Stats& st,
+                               const std::string& prefix = "") {
+  json.metric(prefix + "craft_busy_s", st.craft_busy_seconds);
+  json.metric(prefix + "resolve_busy_s", st.resolve_busy_seconds);
+  json.metric(prefix + "materialize_busy_s", st.materialize_busy_seconds);
+  json.metric(prefix + "commit_busy_s", st.commit_busy_seconds);
+  json.metric(prefix + "overlap_s", st.overlap_seconds);
+  json.metric(prefix + "pipeline_overlap_ratio", st.overlap_ratio());
+  json.metric(prefix + "craft_queue_peak",
+              static_cast<double>(st.craft_queue_peak));
+  json.metric(prefix + "resolve_queue_peak",
+              static_cast<double>(st.resolve_queue_peak));
+  json.metric(prefix + "materialize_queue_peak",
+              static_cast<double>(st.materialize_queue_peak));
+  json.metric(prefix + "jobs_cancelled",
+              static_cast<double>(st.jobs_cancelled));
+  json.metric(prefix + "jobs_rejected",
+              static_cast<double>(st.jobs_rejected));
 }
 
 // Obfuscation configurations of Table I.

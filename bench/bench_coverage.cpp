@@ -140,6 +140,8 @@ int main() {
   json.metric("commit_seconds", serial.mod.commit_seconds);
   json.metric("resolve_seconds_1t", serial.mod.resolve_seconds);
   json.metric("resolve_seconds_nt", parallel.mod.resolve_seconds);
+  emit_stage_seconds(json, serial.mod, "batch_1t_");
+  emit_stage_seconds(json, parallel.mod, "batch_nt_");
   json.metric("craft_funcs_per_s",
               serial.mod.craft_seconds > 0
                   ? static_cast<double>(cp.functions.size()) /

@@ -223,6 +223,7 @@ int main(int argc, char** argv) {
                             mr.craft_seconds
                       : 0.0);
       json.metric("engine_resolve_s_1t", mr.resolve_seconds);
+      emit_stage_seconds(json, mr, "engine_1t_");
       json.metric("batch_analysis_cache_hit_rate",
                   mr.analysis_cache_hit_rate);
     }

@@ -1,9 +1,12 @@
 // Service demo: the streaming front door. Three "clients" each hand the
-// long-lived ObfuscationService a module; the service pipelines them --
-// crafting one client's chains while committing another's -- against one
-// shared analysis cache, and every result arrives through a future-like
-// JobHandle. Compare examples/quickstart.cpp, which drives the same
-// pipeline synchronously through the one-shot engine facade.
+// long-lived ObfuscationService a module; the service pipelines them
+// through its three stages -- crafting one client's chains while
+// resolving another's gadgets and materializing a third's image --
+// against one shared analysis cache, and every result arrives through a
+// future-like JobHandle. The bounded craft queue means submit() exerts
+// backpressure instead of buffering unboundedly (DESIGN.md §9).
+// Compare examples/quickstart.cpp, which drives the same pipeline
+// synchronously through the one-shot engine facade.
 #include <cstdio>
 #include <vector>
 
@@ -27,6 +30,10 @@ int main() {
   // all of them (DESIGN.md §7/§8).
   engine::ServiceConfig sc;
   sc.craft_threads = 2;
+  // Admission control (§9): at most 4 jobs buffered ahead of the craft
+  // stage and 2 in flight per session; a full queue parks submit().
+  sc.craft_queue_depth = 4;
+  sc.session_quota = 2;
   engine::ObfuscationService service(sc);
 
   // One session per client module: image + config + seed. submit()
@@ -53,11 +60,14 @@ int main() {
   }
 
   auto st = service.stats();
-  std::printf("\nservice: %zu jobs, craft busy %.1fms, commit busy %.1fms, "
-              "overlap %.1fms (ratio %.2f), peak %zu sessions in flight\n",
+  std::printf("\nservice: %zu jobs, stage busy craft %.1fms / resolve %.1fms "
+              "/ materialize %.1fms, overlap %.1fms (ratio %.2f), peak %zu "
+              "sessions in flight, craft-queue peak %zu\n",
               st.jobs_completed, st.craft_busy_seconds * 1e3,
-              st.commit_busy_seconds * 1e3, st.overlap_seconds * 1e3,
-              st.overlap_ratio(), st.peak_sessions_in_flight);
+              st.resolve_busy_seconds * 1e3,
+              st.materialize_busy_seconds * 1e3, st.overlap_seconds * 1e3,
+              st.overlap_ratio(), st.peak_sessions_in_flight,
+              st.craft_queue_peak);
 
   // Functional spot check: a rewritten function still runs.
   for (std::size_t m = 0; m < corpora.size(); ++m) {

@@ -362,17 +362,60 @@ CraftedModule ObfuscationEngine::craft_module(
   return cm;
 }
 
-ModuleResult ObfuscationEngine::commit_module(CraftedModule&& cm, int threads,
-                                              int shards, ThreadPool* pool) {
-  ModuleResult out;
+ResolvedModule ObfuscationEngine::resolve_module(CraftedModule&& cm,
+                                                 int threads, int shards,
+                                                 ThreadPool* pool) {
+  ResolvedModule rm;
   Stopwatch watch;
   if (shards <= 0) shards = std::max(1, threads);
-  out.commit_shards = shards;
-  out.craft_seconds = cm.craft_seconds;
-  out.queue_seconds = cm.queue_seconds;
-  out.overlap_seconds = cm.overlap_seconds;
-  out.sessions_in_flight = cm.sessions_in_flight;
-  std::vector<CraftedFunction>& crafted = cm.crafted;
+  rm.commit_shards = shards;
+  rm.names = std::move(cm.names);
+  rm.crafted = std::move(cm.crafted);
+  rm.craft_seconds = cm.craft_seconds;
+  rm.queue_seconds = cm.queue_seconds;
+  rm.overlap_seconds = cm.overlap_seconds;
+  rm.sessions_in_flight = cm.sessions_in_flight;
+
+  // Phase 2a: sharded parallel request planning, batch order. A name
+  // listed twice in one batch crafts twice (prealloc happens before any
+  // commit); only the first artifact may land, so losers are demoted
+  // *before* planning and synthesize nothing.
+  std::unordered_set<std::string> landing;
+  for (CraftedFunction& cf : rm.crafted) {
+    if (!cf.ok) continue;
+    if (img_->function(cf.name)->rop_rewritten || !landing.insert(cf.name).second) {
+      cf.ok = false;
+      cf.failure = rop::RewriteFailure::UnsupportedInsn;
+      cf.detail = "already rewritten";
+    }
+  }
+  std::vector<const gadgets::GadgetRequest*> flat;
+  for (const CraftedFunction& cf : rm.crafted) {
+    if (!cf.ok) continue;
+    for (const gadgets::GadgetRequest& req : cf.art->requests)
+      flat.push_back(&req);
+  }
+  // The pool stays frozen from phase 1 through the plan: plan_batch
+  // reads the frozen catalog in parallel and touches no image bytes --
+  // commit_plan (in materialize_module) appends the planned gadgets in
+  // global request order. A request may be served by a gadget planned
+  // for an earlier function in the batch: cross-function reuse
+  // (Table III's B << A).
+  rm.plan = pool_.plan_batch(flat, shards, threads, pool);
+  rm.resolve_seconds = watch.seconds();
+  return rm;
+}
+
+ModuleResult ObfuscationEngine::materialize_module(ResolvedModule&& rm) {
+  ModuleResult out;
+  Stopwatch watch;
+  out.commit_shards = rm.commit_shards;
+  out.craft_seconds = rm.craft_seconds;
+  out.resolve_seconds = rm.resolve_seconds;
+  out.queue_seconds = rm.queue_seconds;
+  out.overlap_seconds = rm.overlap_seconds;
+  out.sessions_in_flight = rm.sessions_in_flight;
+  std::vector<CraftedFunction>& crafted = rm.crafted;
 
   for (const CraftedFunction& cf : crafted) {
     if (!cf.analyses) continue;  // early failure: no cache consultation
@@ -391,32 +434,10 @@ ModuleResult ObfuscationEngine::commit_module(CraftedModule&& cm, int threads,
                     static_cast<double>(lookups)
               : 0.0;
 
-  // Phase 2a: sharded parallel request resolution, batch order. A name
-  // listed twice in one batch crafts twice (prealloc happens before any
-  // commit); only the first artifact may land, so losers are demoted
-  // *before* resolution and synthesize nothing.
-  watch.reset();
-  std::unordered_set<std::string> landing;
-  for (CraftedFunction& cf : crafted) {
-    if (!cf.ok) continue;
-    if (img_->function(cf.name)->rop_rewritten || !landing.insert(cf.name).second) {
-      cf.ok = false;
-      cf.failure = rop::RewriteFailure::UnsupportedInsn;
-      cf.detail = "already rewritten";
-    }
-  }
-  std::vector<const gadgets::GadgetRequest*> flat;
-  for (const CraftedFunction& cf : crafted) {
-    if (!cf.ok) continue;
-    for (const gadgets::GadgetRequest& req : cf.art->requests)
-      flat.push_back(&req);
-  }
-  // The pool stays frozen from phase 1: resolve_batch plans against the
-  // frozen catalog in parallel and unfreezes for its serial merge. A
-  // request may be served by a gadget synthesized for an earlier
-  // function in the batch: cross-function reuse (Table III's B << A).
-  std::vector<std::uint64_t> addrs =
-      pool_.resolve_batch(flat, shards, threads, pool);
+  // The serial half of phase 2a: planned gadgets land in the image in
+  // global request order (bit-identical to the former fused resolve),
+  // then request addresses distribute back to their functions.
+  std::vector<std::uint64_t> addrs = pool_.commit_plan(std::move(rm.plan));
   std::size_t cursor = 0;
   for (CraftedFunction& cf : crafted) {
     if (!cf.ok) continue;
@@ -424,7 +445,6 @@ ModuleResult ObfuscationEngine::commit_module(CraftedModule&& cm, int threads,
                         addrs.begin() + cursor + cf.art->requests.size());
     cursor += cf.art->requests.size();
   }
-  out.resolve_seconds = watch.seconds();
 
   // Phase 2b: serial materialization in batch order, staged into ONE
   // deferred image commit -- one .ropdata append for every chain of the
@@ -436,7 +456,7 @@ ModuleResult ObfuscationEngine::commit_module(CraftedModule&& cm, int threads,
   std::uint64_t chain_base = batch_base;
   Image::DeferredCommit dc;
   dc.section = ".ropdata";
-  out.results.reserve(cm.names.size());
+  out.results.reserve(rm.names.size());
   for (CraftedFunction& cf : crafted) {
     out.results.push_back(stage_one(cf, chain_base, &dc));
     const rop::RewriteResult& res = out.results.back();
@@ -457,14 +477,22 @@ ModuleResult ObfuscationEngine::commit_module(CraftedModule&& cm, int threads,
       res.detail = "chain base moved during materialization";
     }
     out.ok_count = 0;
-    out.commit_seconds = watch.seconds();
+    out.materialize_seconds = watch.seconds();
+    out.commit_seconds = out.resolve_seconds + out.materialize_seconds;
     return out;
   }
   img_->apply_commit(dc);
   for (const CraftedFunction& cf : crafted)
     if (cf.ok) img_->function(cf.name)->rop_rewritten = true;
-  out.commit_seconds = watch.seconds();
+  out.materialize_seconds = watch.seconds();
+  out.commit_seconds = out.resolve_seconds + out.materialize_seconds;
   return out;
+}
+
+ModuleResult ObfuscationEngine::commit_module(CraftedModule&& cm, int threads,
+                                              int shards, ThreadPool* pool) {
+  return materialize_module(resolve_module(std::move(cm), threads, shards,
+                                           pool));
 }
 
 ModuleResult ObfuscationEngine::obfuscate_module(

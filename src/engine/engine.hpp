@@ -13,22 +13,27 @@
 // serially.
 //
 // Phase 2 (commit) is split in two:
-//   2a (resolve, parallel): all gadget requests of the batch resolve
-//      through GadgetPool::resolve_batch -- sharded by core-key hash,
-//      planned in parallel, merged in deterministic batch order. This is
-//      where cross-function gadget reuse (Table III's B << A) happens.
-//   2b (materialize, serial): chains land in .ropdata in batch order,
+//   2a (resolve, parallel): all gadget requests of the batch plan
+//      through GadgetPool::plan_batch -- sharded by core-key hash,
+//      planned in parallel against the frozen catalog, pure with respect
+//      to the image. This is where cross-function gadget reuse
+//      (Table III's B << A) happens.
+//   2b (materialize, serial): the plan's new gadgets land in the image
+//      in deterministic batch order, then chains land in .ropdata,
 //      P1 arrays are written, pivot stubs installed -- the whole batch
 //      staged as ONE deferred image commit (one .ropdata append plus all
 //      patches), so the serial tail is a single image mutation per batch.
 // Output images are bit-identical for every (threads, shards) pair.
 //
-// The two phases are public pipeline stages (craft_module /
-// commit_module) so a long-lived ObfuscationService (service.hpp) can
-// double-buffer phase 1 of module N+1 against phase 2 of module N on a
-// shared ThreadPool. obfuscate_module() is the synchronous facade: the
-// two stages back to back -- there is exactly one execution path whether
-// a module is streamed through the service or rewritten standalone.
+// All three phases are public pipeline stages (craft_module /
+// resolve_module / materialize_module) so a long-lived
+// ObfuscationService (service.hpp) can run a three-deep pipeline: craft
+// of module N+2 overlaps the parallel resolve of module N+1 and the
+// serial-per-image materialize of module N on a shared ThreadPool
+// (DESIGN.md §9). commit_module() is resolve + materialize back to
+// back; obfuscate_module() is all three stages -- there is exactly one
+// execution path whether a module is streamed through the service or
+// rewritten standalone.
 #pragma once
 
 #include <cstdint>
@@ -97,10 +102,18 @@ struct CraftedFunction {
 struct ModuleResult {
   std::vector<rop::RewriteResult> results;  // parallel to the input names
   std::size_t ok_count = 0;
-  double craft_seconds = 0.0;    // phase 1 wall-clock
-  double commit_seconds = 0.0;   // phase 2 wall-clock (resolve + materialize)
-  double resolve_seconds = 0.0;  // phase 2a (sharded request resolution)
-  int commit_shards = 0;         // shard count phase 2a actually used
+  double craft_seconds = 0.0;        // phase 1 wall-clock
+  double commit_seconds = 0.0;       // phase 2 (resolve + materialize)
+  double resolve_seconds = 0.0;      // phase 2a (sharded request planning)
+  double materialize_seconds = 0.0;  // phase 2b (serial image mutation)
+  int commit_shards = 0;             // shard count phase 2a actually used
+  // Pipeline admission outcomes (service only): a job rejected by the
+  // fail-fast backpressure policy, or cancelled because every client
+  // JobHandle was dropped before it entered resolve. Either way
+  // `results` is empty and nothing touched the image in resolve or
+  // materialize.
+  bool rejected = false;
+  bool cancelled = false;
   // Pipeline telemetry, filled by the ObfuscationService scheduler; all
   // zero on the synchronous obfuscate_module path. None of these affect
   // the output bytes -- they only describe how the job moved through the
@@ -137,6 +150,26 @@ struct CraftedModule {
   int sessions_in_flight = 0;
 };
 
+// The product of pipeline stage 2a for a whole batch: every gadget
+// request planned (GadgetPool::plan_batch), nothing committed -- the
+// image is untouched since craft. Produced by resolve_module() and
+// consumed exactly once by materialize_module(); the ObfuscationService
+// carries one of these between its resolve and materialize stages, so
+// the parallel planning of module N+1 overlaps the serial image
+// mutation of module N.
+struct ResolvedModule {
+  std::vector<std::string> names;
+  std::vector<CraftedFunction> crafted;  // parallel to names
+  gadgets::ResolvedPlan plan;            // persistent 2a output
+  double craft_seconds = 0.0;
+  double resolve_seconds = 0.0;
+  int commit_shards = 0;
+  // Scheduler telemetry passthrough (see ModuleResult).
+  double queue_seconds = 0.0;
+  double overlap_seconds = 0.0;
+  int sessions_in_flight = 0;
+};
+
 class ObfuscationEngine {
  public:
   // `cache` is the content-addressed analysis cache to consult during
@@ -166,8 +199,22 @@ class ObfuscationEngine {
   CraftedModule craft_module(const std::vector<std::string>& names,
                              int threads = 1, ThreadPool* pool = nullptr);
 
-  // Pipeline stage 2: sharded parallel request resolution (2a) + one
-  // batched serial image commit (2b). Consumes the CraftedModule.
+  // Pipeline stage 2a: sharded parallel planning of every gadget
+  // request of the batch (GadgetPool::plan_batch) -- pure with respect
+  // to the image, so it may overlap another module's materialize. Runs
+  // on `pool` when given, else on a private `threads`-wide pool.
+  // Consumes the CraftedModule; the ResolvedModule must be materialized
+  // before this engine's next craft (per-session FIFO in the service).
+  ResolvedModule resolve_module(CraftedModule&& cm, int threads = 1,
+                                int shards = 0, ThreadPool* pool = nullptr);
+
+  // Pipeline stage 2b: the serial image-mutating tail -- planned
+  // gadgets appended in batch order, then the whole batch staged as one
+  // deferred image commit. Consumes the ResolvedModule.
+  ModuleResult materialize_module(ResolvedModule&& rm);
+
+  // Stages 2a+2b back to back: the two-stage facade the synchronous
+  // path and the depth-2 service pipeline drive.
   ModuleResult commit_module(CraftedModule&& cm, int threads = 1,
                              int shards = 0, ThreadPool* pool = nullptr);
 

@@ -8,24 +8,31 @@ namespace raindrop::engine {
 // One submission moving through the pipeline. Owns a strong reference
 // to its session so a client may drop the session handle with jobs in
 // flight; the job (and its engine/image access) stays alive until the
-// commit lands.
+// materialize lands. Holds only a WEAK reference to the handle state:
+// when every client copy of the JobHandle is gone, the state expires
+// and the job is cancelled at its next stage boundary -- unless it
+// already entered resolve, after which it always runs to completion.
 struct ServiceJob {
   std::shared_ptr<Session> session;
   std::vector<std::string> names;
-  JobHandle handle;
-  CraftedModule cm;  // filled by the craft stage
+  std::weak_ptr<JobHandle::State> state;
+  CraftedModule cm;    // filled by the craft stage
+  ResolvedModule rm;   // filled by the resolve stage (depth 3)
   double submit_t = 0.0;
   double craft_start_t = 0.0;
   double craft_end_t = 0.0;
 };
 
 ObfuscationService::ObfuscationService(ServiceConfig cfg)
-    : cfg_(cfg),
-      cache_(cfg.cache ? std::move(cfg.cache)
-                       : analysis::AnalysisCache::process_cache()),
-      pool_(std::max(1, cfg.craft_threads)) {
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cache ? cfg_.cache
+                        : analysis::AnalysisCache::process_cache()),
+      pool_(std::max(1, cfg_.craft_threads)) {
+  if (cfg_.pipeline_stages != 2) cfg_.pipeline_stages = 3;
   crafter_ = std::thread([this] { craft_loop(); });
-  committer_ = std::thread([this] { commit_loop(); });
+  if (cfg_.pipeline_stages == 3)
+    resolver_ = std::thread([this] { resolve_loop(); });
+  materializer_ = std::thread([this] { materialize_loop(); });
 }
 
 ObfuscationService::~ObfuscationService() { shutdown(); }
@@ -46,11 +53,12 @@ std::shared_ptr<Session> ObfuscationService::open_session(
   return session;
 }
 
-void ObfuscationService::fulfill(const JobHandle& h, ModuleResult result) {
-  std::lock_guard<std::mutex> g(h.st_->mu);
-  h.st_->result = std::move(result);
-  h.st_->done = true;
-  h.st_->cv.notify_all();
+void ObfuscationService::fulfill(const std::shared_ptr<JobHandle::State>& st,
+                                 ModuleResult result) {
+  std::lock_guard<std::mutex> g(st->mu);
+  st->result = std::move(result);
+  st->done = true;
+  st->cv.notify_all();
 }
 
 JobHandle ObfuscationService::enqueue(std::shared_ptr<Session> session,
@@ -58,27 +66,58 @@ JobHandle ObfuscationService::enqueue(std::shared_ptr<Session> session,
   auto job = std::make_shared<ServiceJob>();
   job->session = std::move(session);
   job->names = std::move(names);
-  job->handle.st_ = std::make_shared<JobHandle::State>();
+  auto st = std::make_shared<JobHandle::State>();
+  job->state = st;
+  JobHandle handle;
+  handle.st_ = st;
   {
     std::unique_lock<std::mutex> lk(mu_);
-    if (accepting_) {
-      job->submit_t = wall_.seconds();
-      ++stats_.jobs_submitted;
-      ++jobs_in_flight_;
+    while (accepting_) {
       Session& sess = *job->session;
-      if (sess.job_in_pipeline_) {
-        // Strict per-session FIFO: the pipe holds at most one job per
-        // session, so job K+1 crafts against the image job K committed.
-        sess.backlog_.push_back(job);
-      } else {
-        sess.job_in_pipeline_ = true;
-        ++busy_sessions_;
-        stats_.peak_sessions_in_flight =
-            std::max(stats_.peak_sessions_in_flight, busy_sessions_);
-        craft_q_.push_back(job);
-        craft_ready_.notify_one();
+      const bool queue_full = cfg_.craft_queue_depth != 0 &&
+                              pending_craft_ >= cfg_.craft_queue_depth;
+      const bool quota_full = cfg_.session_quota != 0 &&
+                              sess.in_flight_ >= cfg_.session_quota;
+      if (!queue_full && !quota_full) {
+        // Admission: the job enters the (bounded) craft queue, or the
+        // session's backlog when the session already has a job in the
+        // pipe -- both count against craft_queue_depth, which bounds
+        // admitted-but-not-yet-crafting work however it is parked.
+        job->submit_t = wall_.seconds();
+        ++stats_.jobs_submitted;
+        ++jobs_in_flight_;
+        ++sess.in_flight_;
+        ++pending_craft_;
+        stats_.craft_queue_peak =
+            std::max(stats_.craft_queue_peak, pending_craft_);
+        if (sess.job_in_pipeline_) {
+          // Strict per-session FIFO: the pipe holds at most one job per
+          // session, so job K+1 crafts against the image job K left.
+          sess.backlog_.push_back(job);
+        } else {
+          sess.job_in_pipeline_ = true;
+          ++busy_sessions_;
+          stats_.peak_sessions_in_flight =
+              std::max(stats_.peak_sessions_in_flight, busy_sessions_);
+          craft_q_.push_back(job);
+          craft_ready_.notify_one();
+        }
+        return handle;
       }
-      return job->handle;
+      if (cfg_.submit_policy == ServiceConfig::SubmitPolicy::kFailFast) {
+        // Backpressure, fail-fast flavour: refuse instead of buffering.
+        // The handle is ready on return with result.rejected set; the
+        // image is untouched and the caller may retry later.
+        ++stats_.jobs_rejected;
+        lk.unlock();
+        ModuleResult r;
+        r.rejected = true;
+        fulfill(st, std::move(r));
+        return handle;
+      }
+      // Backpressure, blocking flavour: wait for queue/quota space (a
+      // craft start or a finished job of this session) or shutdown.
+      admit_ready_.wait(lk);
     }
     // Shut down (or shutting down): wait for the pipe to drain -- this
     // session may still have a job in flight, and the engine is not
@@ -86,14 +125,51 @@ JobHandle ObfuscationService::enqueue(std::shared_ptr<Session> session,
     // holds a ready, correct handle.
     drained_.wait(lk, [this] { return jobs_in_flight_ == 0; });
   }
-  fulfill(job->handle, job->session->run(job->names, cfg_.craft_threads,
-                                         cfg_.commit_shards));
-  return job->handle;
+  fulfill(st, job->session->run(job->names, cfg_.craft_threads,
+                                cfg_.commit_shards));
+  return handle;
+}
+
+void ObfuscationService::downstream_begin(double now) {
+  if (downstream_active_++ == 0) downstream_since_ = now;
+}
+
+void ObfuscationService::downstream_end(double now) {
+  if (--downstream_active_ == 0) {
+    stats_.commit_busy_seconds += now - downstream_since_;
+    downstream_since_ = -1.0;
+  }
 }
 
 double ObfuscationService::commit_busy_at(double now) const {
   return stats_.commit_busy_seconds +
-         (commit_active_since_ >= 0.0 ? now - commit_active_since_ : 0.0);
+         (downstream_active_ > 0 ? now - downstream_since_ : 0.0);
+}
+
+void ObfuscationService::finish_locked(ServiceJob& job, ModuleResult result,
+                                       bool completed) {
+  if (completed)
+    ++stats_.jobs_completed;
+  else
+    ++stats_.jobs_cancelled;
+  if (auto st = job.state.lock()) fulfill(st, std::move(result));
+  // Release the session's next queued job into the craft stage. A
+  // backlog promotion bypasses the craft_queue_depth bound on purpose:
+  // the job was admitted (and counted) at submit, and the materialize
+  // worker must never block on an upstream queue (that cycle could
+  // deadlock the pipeline).
+  Session& sess = *job.session;
+  --sess.in_flight_;
+  if (!sess.backlog_.empty()) {
+    craft_q_.push_back(std::move(sess.backlog_.front()));
+    sess.backlog_.pop_front();
+    craft_ready_.notify_one();
+  } else {
+    sess.job_in_pipeline_ = false;
+    --busy_sessions_;
+  }
+  admit_ready_.notify_all();  // quota space for blocked submitters
+  if (--jobs_in_flight_ == 0) drained_.notify_all();
 }
 
 void ObfuscationService::craft_loop() {
@@ -106,58 +182,168 @@ void ObfuscationService::craft_loop() {
     }
     std::shared_ptr<ServiceJob> job = std::move(craft_q_.front());
     craft_q_.pop_front();
+    --pending_craft_;
+    admit_ready_.notify_all();  // craft-queue space for blocked submitters
+    if (job->state.expired()) {
+      // Every client handle is gone and the job never started: cancel
+      // before any image mutation (even prealloc), so the module's
+      // bytes are as if the job was never submitted.
+      ModuleResult r;
+      r.cancelled = true;
+      finish_locked(*job, std::move(r), /*completed=*/false);
+      continue;
+    }
     job->craft_start_t = wall_.seconds();
     const double commit_busy0 = commit_busy_at(job->craft_start_t);
     const int in_flight = static_cast<int>(busy_sessions_);
+    craft_active_since_ = job->craft_start_t;
     lk.unlock();
+    probe("craft");
     job->cm = job->session->engine_.craft_module(job->names,
                                                  cfg_.craft_threads, &pool_);
     lk.lock();
     job->craft_end_t = wall_.seconds();
+    craft_active_since_ = -1.0;
     job->cm.queue_seconds = job->craft_start_t - job->submit_t;
-    // Exactly the commit-stage busy time that elapsed during this craft:
-    // the double-buffering overlap this job enjoyed.
+    // Exactly the downstream (resolve/materialize) busy time that
+    // elapsed during this craft: the pipelining overlap it enjoyed.
     job->cm.overlap_seconds =
         commit_busy_at(job->craft_end_t) - commit_busy0;
     job->cm.sessions_in_flight = in_flight;
     stats_.craft_busy_seconds += job->craft_end_t - job->craft_start_t;
     stats_.overlap_seconds += job->cm.overlap_seconds;
-    commit_q_.push_back(std::move(job));
-    commit_ready_.notify_one();
+    // Hand off downstream (resolve at depth 3, the fused commit stage
+    // at depth 2) through a bounded queue: a full queue parks the craft
+    // worker, which in turn fills the craft queue -- backpressure
+    // propagates to submit().
+    std::deque<std::shared_ptr<ServiceJob>>& q =
+        cfg_.pipeline_stages == 3 ? resolve_q_ : mat_q_;
+    std::condition_variable& space =
+        cfg_.pipeline_stages == 3 ? resolve_space_ : mat_space_;
+    space.wait(lk, [&] {
+      return cfg_.stage_queue_depth == 0 || q.size() < cfg_.stage_queue_depth;
+    });
+    q.push_back(std::move(job));
+    if (cfg_.pipeline_stages == 3) {
+      stats_.resolve_queue_peak =
+          std::max(stats_.resolve_queue_peak, resolve_q_.size());
+      resolve_ready_.notify_one();
+    } else {
+      stats_.materialize_queue_peak =
+          std::max(stats_.materialize_queue_peak, mat_q_.size());
+      mat_ready_.notify_one();
+    }
   }
 }
 
-void ObfuscationService::commit_loop() {
+void ObfuscationService::resolve_loop() {
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    commit_ready_.wait(lk,
-                       [this] { return stopping_ || !commit_q_.empty(); });
-    if (commit_q_.empty()) {
+    resolve_ready_.wait(lk,
+                        [this] { return stopping_ || !resolve_q_.empty(); });
+    if (resolve_q_.empty()) {
       if (stopping_) return;
       continue;
     }
-    std::shared_ptr<ServiceJob> job = std::move(commit_q_.front());
-    commit_q_.pop_front();
-    commit_active_since_ = wall_.seconds();
+    std::shared_ptr<ServiceJob> job = std::move(resolve_q_.front());
+    resolve_q_.pop_front();
+    resolve_space_.notify_one();
+    if (job->state.expired()) {
+      // Cancelled after craft, before resolve: no chains, no gadgets,
+      // nothing lands. (The craft prepass reserved addresses, so later
+      // jobs of this session keep their exact layout; only the
+      // cancelled batch's work is dropped.)
+      ModuleResult r;
+      r.cancelled = true;
+      finish_locked(*job, std::move(r), /*completed=*/false);
+      continue;
+    }
+    const double t0 = wall_.seconds();
+    resolve_active_since_ = t0;
+    downstream_begin(t0);
     lk.unlock();
-    ModuleResult result = job->session->engine_.commit_module(
+    probe("resolve");
+    job->rm = job->session->engine_.resolve_module(
         std::move(job->cm), cfg_.craft_threads, cfg_.commit_shards, &pool_);
     lk.lock();
-    stats_.commit_busy_seconds += wall_.seconds() - commit_active_since_;
-    commit_active_since_ = -1.0;
-    ++stats_.jobs_completed;
-    fulfill(job->handle, std::move(result));
-    // Release the session's next queued job into the craft stage.
-    Session& sess = *job->session;
-    if (!sess.backlog_.empty()) {
-      craft_q_.push_back(std::move(sess.backlog_.front()));
-      sess.backlog_.pop_front();
-      craft_ready_.notify_one();
-    } else {
-      sess.job_in_pipeline_ = false;
-      --busy_sessions_;
+    const double t1 = wall_.seconds();
+    resolve_active_since_ = -1.0;
+    stats_.resolve_busy_seconds += t1 - t0;
+    downstream_end(t1);
+    mat_space_.wait(lk, [this] {
+      return cfg_.stage_queue_depth == 0 ||
+             mat_q_.size() < cfg_.stage_queue_depth;
+    });
+    mat_q_.push_back(std::move(job));
+    stats_.materialize_queue_peak =
+        std::max(stats_.materialize_queue_peak, mat_q_.size());
+    mat_ready_.notify_one();
+  }
+}
+
+void ObfuscationService::materialize_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    mat_ready_.wait(lk, [this] { return stopping_ || !mat_q_.empty(); });
+    if (mat_q_.empty()) {
+      if (stopping_) return;
+      continue;
     }
-    if (--jobs_in_flight_ == 0) drained_.notify_all();
+    std::shared_ptr<ServiceJob> job = std::move(mat_q_.front());
+    mat_q_.pop_front();
+    mat_space_.notify_one();
+    ModuleResult result;
+    if (cfg_.pipeline_stages == 3) {
+      // The job entered resolve; it always materializes, even if every
+      // handle was dropped meanwhile -- gadgets were planned against
+      // engine state and the plan must land to keep the session's FIFO
+      // image evolution deterministic.
+      const double t0 = wall_.seconds();
+      mat_active_since_ = t0;
+      downstream_begin(t0);
+      lk.unlock();
+      probe("materialize");
+      result = job->session->engine_.materialize_module(std::move(job->rm));
+      lk.lock();
+      const double t1 = wall_.seconds();
+      mat_active_since_ = -1.0;
+      stats_.materialize_busy_seconds += t1 - t0;
+      downstream_end(t1);
+    } else {
+      // Depth-2 topology: this worker is the fused commit stage. The
+      // cancellation point is the same contract -- before resolve.
+      if (job->state.expired()) {
+        ModuleResult r;
+        r.cancelled = true;
+        finish_locked(*job, std::move(r), /*completed=*/false);
+        continue;
+      }
+      // No mat_active_since_ marker here: the in-flight interval is
+      // fused resolve+materialize and its split is unknown until the
+      // engine reports it, so live stats() snapshots carry it only in
+      // commit_busy_seconds (the downstream union) and the per-stage
+      // split updates at job completion.
+      const double t0 = wall_.seconds();
+      downstream_begin(t0);
+      lk.unlock();
+      probe("commit");
+      result = job->session->engine_.commit_module(
+          std::move(job->cm), cfg_.craft_threads, cfg_.commit_shards, &pool_);
+      lk.lock();
+      const double t1 = wall_.seconds();
+      // Attribute the fused stage's wall time to its halves using the
+      // engine's own split, scaled to the measured interval.
+      const double dt = t1 - t0;
+      const double engine_split =
+          result.resolve_seconds + result.materialize_seconds;
+      const double rs = engine_split > 0.0
+                            ? dt * result.resolve_seconds / engine_split
+                            : 0.0;
+      stats_.resolve_busy_seconds += rs;
+      stats_.materialize_busy_seconds += dt - rs;
+      downstream_end(t1);
+    }
+    finish_locked(*job, std::move(result), /*completed=*/true);
   }
 }
 
@@ -166,17 +352,20 @@ void ObfuscationService::shutdown() {
   {
     std::unique_lock<std::mutex> lk(mu_);
     accepting_ = false;
-    // Drain: every job already submitted commits and its handle fires.
+    admit_ready_.notify_all();  // blocked submitters fall to the sync path
+    // Drain: every job already submitted finishes and its handle fires.
     drained_.wait(lk, [this] { return jobs_in_flight_ == 0; });
     if (stage_threads_joined_) return;  // an earlier shutdown() finished
     stopping_ = true;
     stage_threads_joined_ = true;
     sessions.swap(sessions_);
     craft_ready_.notify_all();
-    commit_ready_.notify_all();
+    resolve_ready_.notify_all();
+    mat_ready_.notify_all();
   }
   crafter_.join();
-  committer_.join();
+  if (resolver_.joinable()) resolver_.join();
+  materializer_.join();
   // Detach surviving sessions: their next submit() runs synchronously.
   for (auto& w : sessions)
     if (auto s = w.lock()) s->service_.store(nullptr, std::memory_order_release);
@@ -187,7 +376,20 @@ void ObfuscationService::shutdown() {
 ObfuscationService::Stats ObfuscationService::stats() const {
   std::lock_guard<std::mutex> g(mu_);
   Stats s = stats_;
-  if (!stage_threads_joined_) s.wall_seconds = wall_.seconds();
+  const double now = wall_.seconds();
+  if (!stage_threads_joined_) s.wall_seconds = now;
+  // Fold the in-progress stage intervals into the snapshot: a caller
+  // sampling mid-run sees busy times consistent with the overlap
+  // already accrued (overlap_ratio() would otherwise divide overlap by
+  // a commit_busy_seconds that lags it -- the "no commit work yet"
+  // artifact).
+  if (craft_active_since_ >= 0.0)
+    s.craft_busy_seconds += now - craft_active_since_;
+  if (resolve_active_since_ >= 0.0)
+    s.resolve_busy_seconds += now - resolve_active_since_;
+  if (mat_active_since_ >= 0.0)
+    s.materialize_busy_seconds += now - mat_active_since_;
+  if (downstream_active_ > 0) s.commit_busy_seconds += now - downstream_since_;
   return s;
 }
 

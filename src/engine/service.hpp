@@ -1,5 +1,6 @@
 // ObfuscationService: the long-lived, streaming front door to the
-// rewriting pipeline (ROADMAP: "multi-module streaming service").
+// rewriting pipeline (ROADMAP: "multi-module streaming service",
+// "multi-stage pipeline depth", "session admission control").
 //
 // The batch ObfuscationEngine is one-shot: one engine per image, one
 // obfuscate_module() call, teardown. The service keeps the expensive
@@ -9,26 +10,42 @@
 //     stay hot across sessions -- DESIGN.md §7),
 //   * one shared ThreadPool (craft fan-out and sharded resolve of all
 //     sessions run on the same workers),
-//   * a two-stage pipeline that double-buffers phase 1 (craft) of
-//     module N+1 against phase 2 (commit) of module N: a dedicated
-//     craft worker and a dedicated commit worker each drain their own
-//     queue, so while one module's chains are being resolved and
-//     landed, the next module is already crafting.
+//   * a three-stage pipeline mirroring the engine's public stages
+//     (DESIGN.md §9): a craft worker, a resolve worker and a
+//     materialize worker each drain their own bounded queue, so module
+//     N+2's craft overlaps module N+1's parallel resolve and module N's
+//     serial-per-image materialize. pipeline_stages = 2 selects the
+//     legacy craft/commit topology (resolve + materialize fused on one
+//     worker) so the depth win stays a measured quantity.
+//
+// Admission control: the craft queue is bounded (craft_queue_depth) and
+// every session has an in-flight quota (session_quota). A full queue or
+// quota makes submit() block until space (SubmitPolicy::kBlock) or
+// return an immediately-ready handle whose result is flagged `rejected`
+// (kFailFast) -- the service exerts real backpressure instead of
+// buffering unboundedly. Dropping every client copy of a JobHandle
+// cancels the job if it has not yet entered resolve (result flagged
+// `cancelled`; nothing lands in the image).
 //
 // Clients open a Session per module and submit() jobs; per-session
 // ordering is strict FIFO (a session's next job enters craft only after
-// its previous job committed), so a streamed module is byte-identical
-// to standalone obfuscate_module() runs with the same batches and seed
-// -- the pipeline moves wall-clock, never bytes (tests/test_service.cpp).
+// its previous job materialized), so a streamed module is
+// byte-identical to standalone obfuscate_module() runs with the same
+// batches and seed -- the pipeline moves wall-clock, never bytes, at
+// every (threads, shards, sessions, queue-depth, stages) combination
+// (tests/test_service.cpp).
 //
 // Telemetry: every ModuleResult carries queue_seconds / overlap_seconds
-// / sessions_in_flight, and Stats aggregates pipeline busy times, so
-// the double-buffering win is a measured quantity (bench_service).
+// / sessions_in_flight plus per-stage craft/resolve/materialize
+// seconds, and Stats aggregates per-stage busy times and queue
+// occupancy peaks, so both the double-buffering win and the admission
+// behaviour are measured quantities (bench_service).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -44,14 +61,43 @@ namespace raindrop::engine {
 struct ServiceConfig {
   // Workers in the shared pool that phase 1 (craft) and phase 2a
   // (resolve) of every session fan out on. <= 1 runs stage work inline
-  // on the stage threads -- the two-stage overlap remains.
+  // on the stage threads -- the inter-stage overlap remains.
   int craft_threads = 1;
   // Phase-2a shard count for every job (<= 0: one per craft thread).
   int commit_shards = 0;
+  // Pipeline depth: 3 (default) runs craft / resolve / materialize on
+  // three stage workers; 2 fuses resolve+materialize on one commit
+  // worker (the pre-§9 topology, kept selectable for measurement).
+  int pipeline_stages = 3;
+  // Bound on jobs admitted but not yet crafting (craft queue plus
+  // session backlogs). 0 = unbounded. When full, submit() follows
+  // `submit_policy`.
+  std::size_t craft_queue_depth = 16;
+  // Bound on each inter-stage handoff queue (craft->resolve,
+  // resolve->materialize); an upstream stage finishing a job waits for
+  // space, which propagates backpressure toward the craft queue.
+  // 0 = unbounded; 1 = classic double buffering per hop. The default of
+  // 2 keeps the handoff bounded while sparing the upstream worker a
+  // park/wake cycle on every job.
+  std::size_t stage_queue_depth = 2;
+  // Max jobs of one session submitted but not yet finished (completed,
+  // cancelled or rejected). 0 = unbounded.
+  std::size_t session_quota = 0;
+  enum class SubmitPolicy {
+    kBlock,     // submit() waits for queue/quota space
+    kFailFast,  // submit() returns a ready handle with result.rejected
+  };
+  SubmitPolicy submit_policy = SubmitPolicy::kBlock;
   // Analysis cache shared by every session; null selects the
   // process-wide singleton. Benchmarks isolating a cold service pass a
   // private instance.
   std::shared_ptr<analysis::AnalysisCache> cache;
+  // Test/observability probe: called unlocked on a stage worker just
+  // before it runs a job's stage work ("craft", "resolve",
+  // "materialize", or "commit" for the fused depth-2 stage). A blocking
+  // probe stalls that stage -- the backpressure and cancellation tests
+  // hold the pipeline in a known state this way.
+  std::function<void(const char* stage)> stage_probe;
 };
 
 class ObfuscationService {
@@ -75,25 +121,44 @@ class ObfuscationService {
                                         const rop::ObfConfig& cfg);
 
   // Stops accepting pipeline work, waits for every submitted job to
-  // commit, joins the stage workers. Idempotent; also run by the
+  // finish, joins the stage workers. Idempotent; also run by the
   // destructor. submit() calls racing or following shutdown run
   // synchronously and still return ready handles.
   void shutdown();
 
   struct Stats {
-    std::size_t jobs_submitted = 0;
+    std::size_t jobs_submitted = 0;  // admitted into the pipeline
     std::size_t jobs_completed = 0;
+    std::size_t jobs_cancelled = 0;  // every handle dropped before resolve
+    std::size_t jobs_rejected = 0;   // kFailFast admission refusals
     std::size_t peak_sessions_in_flight = 0;
-    double craft_busy_seconds = 0.0;   // craft stage busy time
-    double commit_busy_seconds = 0.0;  // commit stage busy time
-    double overlap_seconds = 0.0;      // craft time that ran while the
-                                       // commit stage was busy
-    double wall_seconds = 0.0;         // service lifetime so far
-    // Fraction of commit-stage busy time hidden behind crafting -- the
-    // double-buffering win; 0 when nothing committed yet.
+    // Per-stage busy times. commit_busy_seconds is the UNION busy time
+    // of the resolve and materialize stages (the "downstream" of
+    // craft), which is what overlap_seconds is measured against; in a
+    // depth-2 service it is simply the fused commit stage's busy time,
+    // and the resolve/materialize split (attributed pro-rata from the
+    // engine's own stage timings) updates only at job completion.
+    double craft_busy_seconds = 0.0;
+    double resolve_busy_seconds = 0.0;
+    double materialize_busy_seconds = 0.0;
+    double commit_busy_seconds = 0.0;
+    double overlap_seconds = 0.0;  // craft time that ran while the
+                                   // downstream stages were busy
+    double wall_seconds = 0.0;     // service lifetime so far
+    // Queue occupancy peaks: jobs buffered ahead of each stage (for
+    // craft: admitted-not-yet-crafting, i.e. craft queue + backlogs).
+    std::size_t craft_queue_peak = 0;
+    std::size_t resolve_queue_peak = 0;
+    std::size_t materialize_queue_peak = 0;
+    // Fraction of downstream (resolve+materialize) busy time hidden
+    // behind crafting -- the pipelining win. Guarded: before any
+    // commit-side work has run, commit_busy_seconds is 0 and the ratio
+    // is 0.0 by definition, never a divide-by-zero artifact. stats()
+    // snapshots include in-progress stage intervals, so overlap can
+    // never outrun the busy time it is measured against.
     double overlap_ratio() const {
-      return commit_busy_seconds > 0.0 ? overlap_seconds / commit_busy_seconds
-                                       : 0.0;
+      if (!(commit_busy_seconds > 0.0)) return 0.0;
+      return overlap_seconds / commit_busy_seconds;
     }
   };
   Stats stats() const;
@@ -103,6 +168,7 @@ class ObfuscationService {
   }
   int craft_threads() const { return cfg_.craft_threads; }
   int commit_shards() const { return cfg_.commit_shards; }
+  int pipeline_stages() const { return cfg_.pipeline_stages; }
 
  private:
   friend class Session;
@@ -111,31 +177,49 @@ class ObfuscationService {
   JobHandle enqueue(std::shared_ptr<Session> session,
                     std::vector<std::string> names);
   void craft_loop();
-  void commit_loop();
-  // Cumulative commit-stage busy time as of `now` (caller holds mu_):
-  // completed commit intervals plus the in-progress one. Sampling it at
-  // craft start and craft end gives that craft's overlap exactly, O(1).
+  void resolve_loop();
+  void materialize_loop();
+  // End-of-pipeline bookkeeping for one job (caller holds mu_): fulfill
+  // surviving handles, advance the session's FIFO backlog, release the
+  // admission quota, update drain/cancel counters.
+  void finish_locked(ServiceJob& job, ModuleResult result, bool completed);
+  // Downstream (resolve/materialize) union busy-time accounting; the
+  // overlap a craft enjoys is this quantity sampled at craft start/end.
+  void downstream_begin(double now);
+  void downstream_end(double now);
   double commit_busy_at(double now) const;
-  static void fulfill(const JobHandle& h, ModuleResult result);
+  void probe(const char* stage) const {
+    if (cfg_.stage_probe) cfg_.stage_probe(stage);
+  }
+  static void fulfill(const std::shared_ptr<JobHandle::State>& st,
+                      ModuleResult result);
 
   ServiceConfig cfg_;
   std::shared_ptr<analysis::AnalysisCache> cache_;
   ThreadPool pool_;
 
   mutable std::mutex mu_;
-  std::condition_variable craft_ready_, commit_ready_, drained_;
-  std::deque<std::shared_ptr<ServiceJob>> craft_q_, commit_q_;
+  std::condition_variable craft_ready_, resolve_ready_, mat_ready_;
+  std::condition_variable resolve_space_, mat_space_;
+  std::condition_variable admit_ready_, drained_;
+  std::deque<std::shared_ptr<ServiceJob>> craft_q_, resolve_q_, mat_q_;
   std::vector<std::weak_ptr<Session>> sessions_;
   bool accepting_ = true;
   bool stopping_ = false;
   bool stage_threads_joined_ = false;
   std::size_t jobs_in_flight_ = 0;
+  std::size_t pending_craft_ = 0;  // admitted, craft not yet started
   std::size_t busy_sessions_ = 0;
-  double commit_active_since_ = -1.0;  // < 0: commit stage idle
+  // In-progress stage intervals (< 0: idle), for live stats snapshots.
+  double craft_active_since_ = -1.0;
+  double resolve_active_since_ = -1.0;
+  double mat_active_since_ = -1.0;
+  int downstream_active_ = 0;  // resolve/materialize stages running now
+  double downstream_since_ = -1.0;
   Stats stats_;
   Stopwatch wall_;
 
-  std::thread crafter_, committer_;
+  std::thread crafter_, resolver_, materializer_;
 };
 
 }  // namespace raindrop::engine

@@ -51,6 +51,7 @@ class JobHandle {
  private:
   friend class ObfuscationService;
   friend class Session;
+  friend struct ServiceJob;  // holds a weak ref: expiry = cancellation
   struct State {
     mutable std::mutex mu;
     mutable std::condition_variable cv;
@@ -102,6 +103,9 @@ class Session : public std::enable_shared_from_this<Session> {
   // head one wait here so a session is never in the pipe twice.
   std::deque<std::shared_ptr<ServiceJob>> backlog_;
   bool job_in_pipeline_ = false;
+  // Jobs admitted for this session and not yet finished (completed or
+  // cancelled) -- the quantity ServiceConfig::session_quota bounds.
+  std::size_t in_flight_ = 0;
 };
 
 }  // namespace raindrop::engine

@@ -210,22 +210,45 @@ std::uint64_t GadgetPool::want_ret() {
 // -- Batch resolution ---------------------------------------------------
 
 // A gadget the plan phase decided to synthesize: everything but its
-// address, which the serial merge assigns in global request order.
+// address, which the serial merge assigns in global request order. Owns
+// its bank key so a ResolvedPlan stays valid across a pipeline hop even
+// if the requests it was planned from are released early.
 struct GadgetPool::Planned {
   std::size_t ordinal = 0;  // creating request's index in the batch
   Gadget g;
   std::vector<std::uint8_t> bytes;
-  const std::string* key = nullptr;
+  std::string key;
 };
 
-std::vector<std::uint64_t> GadgetPool::resolve_batch(
-    std::span<const GadgetRequest* const> reqs, int shards, int threads,
-    ThreadPool* pool) {
-  std::vector<std::uint64_t> addrs(reqs.size(), 0);
-  if (reqs.empty()) {
-    frozen_ = false;
-    return addrs;
-  }
+// Per-request resolution: an already-known address lives in addrs; a
+// planned gadget is addressed by (shard, index-within-shard).
+struct ResolvedPlan::Impl {
+  struct Slot {
+    std::int32_t shard = -1;
+    std::uint32_t planned = 0;
+  };
+  std::vector<std::uint64_t> addrs;
+  std::vector<Slot> slots;
+  std::vector<std::vector<GadgetPool::Planned>> shard_planned;
+  std::size_t planned_total = 0;
+};
+
+ResolvedPlan::ResolvedPlan() : impl_(std::make_unique<Impl>()) {}
+ResolvedPlan::ResolvedPlan(ResolvedPlan&&) noexcept = default;
+ResolvedPlan& ResolvedPlan::operator=(ResolvedPlan&&) noexcept = default;
+ResolvedPlan::~ResolvedPlan() = default;
+std::size_t ResolvedPlan::size() const { return impl_ ? impl_->addrs.size() : 0; }
+std::size_t ResolvedPlan::planned_count() const {
+  return impl_ ? impl_->planned_total : 0;
+}
+
+ResolvedPlan GadgetPool::plan_batch(std::span<const GadgetRequest* const> reqs,
+                                    int shards, int threads, ThreadPool* pool) {
+  ResolvedPlan plan;
+  std::vector<std::uint64_t>& addrs = plan.impl_->addrs;
+  addrs.assign(reqs.size(), 0);
+  frozen_ = true;  // the catalog is read-only until commit_plan()
+  if (reqs.empty()) return plan;
   const std::uint64_t base_ordinal = next_request_ordinal_;
   next_request_ordinal_ += reqs.size();
   const int nshards = std::max(1, shards);
@@ -248,14 +271,11 @@ std::vector<std::uint64_t> GadgetPool::resolve_batch(
   // the shard-local gadgets planned by earlier requests of its key;
   // randomness comes from a counter-based stream over the request's
   // global ordinal, so nothing depends on shard count or scheduling.
-  struct Slot {  // per-request resolution: address or planned gadget
-    std::int32_t shard = -1;
-    std::uint32_t planned = 0;
-  };
-  std::vector<Slot> slots(reqs.size());
-  std::vector<std::vector<Planned>> shard_planned(
-      static_cast<std::size_t>(nshards));
-  frozen_ = true;
+  using Slot = ResolvedPlan::Impl::Slot;
+  std::vector<Slot>& slots = plan.impl_->slots;
+  slots.resize(reqs.size());
+  std::vector<std::vector<Planned>>& shard_planned = plan.impl_->shard_planned;
+  shard_planned.resize(static_cast<std::size_t>(nshards));
   {
     // Plan on the caller's shared pool when given (service pipeline),
     // else a private pool of `threads` workers.
@@ -296,7 +316,7 @@ std::vector<std::uint64_t> GadgetPool::resolve_batch(
         auto plan_new = [&]() {
           Planned p;
           p.ordinal = i;
-          p.key = &req.key;
+          p.key = req.key;
           p.g = make_body(req.core, req.jop, req.jop_target,
                           req.allowed_clobbers, rng, &p.bytes);
           slots[i] = {static_cast<std::int32_t>(s),
@@ -332,27 +352,41 @@ std::vector<std::uint64_t> GadgetPool::resolve_batch(
     });
   }
 
+  for (const auto& sp : shard_planned) plan.impl_->planned_total += sp.size();
+  return plan;
+}
+
+std::vector<std::uint64_t> GadgetPool::commit_plan(ResolvedPlan&& plan) {
   // Merge: append planned gadgets to the image in global request order
-  // (shard-independent by construction), then patch request slots.
+  // (shard-independent by construction), then patch request slots. This
+  // is the only image-mutating half; it must run serially per image, in
+  // the order the plans were made.
   frozen_ = false;
+  ResolvedPlan::Impl& p = *plan.impl_;
   std::vector<Planned*> order;
-  for (auto& sp : shard_planned)
-    for (Planned& p : sp) order.push_back(&p);
+  for (auto& sp : p.shard_planned)
+    for (Planned& pl : sp) order.push_back(&pl);
   std::sort(order.begin(), order.end(),
             [](const Planned* a, const Planned* b) {
               return a->ordinal < b->ordinal;
             });
-  for (Planned* p : order) {
-    p->g.addr = img_->append(section_, p->bytes);
-    synth_bytes_ += p->bytes.size();
-    register_owned(p->g, *p->key);
+  for (Planned* pl : order) {
+    pl->g.addr = img_->append(section_, pl->bytes);
+    synth_bytes_ += pl->bytes.size();
+    register_owned(pl->g, pl->key);
   }
-  for (std::size_t i = 0; i < reqs.size(); ++i) {
-    if (slots[i].shard < 0) continue;
-    addrs[i] = shard_planned[static_cast<std::size_t>(slots[i].shard)]
-                   [slots[i].planned].g.addr;
+  for (std::size_t i = 0; i < p.addrs.size(); ++i) {
+    if (p.slots[i].shard < 0) continue;
+    p.addrs[i] = p.shard_planned[static_cast<std::size_t>(p.slots[i].shard)]
+                     [p.slots[i].planned].g.addr;
   }
-  return addrs;
+  return std::move(p.addrs);
+}
+
+std::vector<std::uint64_t> GadgetPool::resolve_batch(
+    std::span<const GadgetRequest* const> reqs, int shards, int threads,
+    ThreadPool* pool) {
+  return commit_plan(plan_batch(reqs, shards, threads, pool));
 }
 
 // -- Harvesting ---------------------------------------------------------

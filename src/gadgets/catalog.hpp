@@ -74,6 +74,33 @@ struct GadgetRequest {
                     // resolution never re-encodes the core
 };
 
+// Persistent output of the parallel plan phase (2a): every request of a
+// batch resolved to either an existing gadget address or a fully-built
+// planned gadget that still needs its image address. Produced by
+// plan_batch() against a frozen catalog and pure with respect to the
+// image; consumed exactly once by commit_plan(), whose serial merge
+// appends the planned gadgets and yields the final address table. The
+// engine's materialize stage carries one of these across the service's
+// resolve -> materialize pipeline hop, so the image-mutating tail stays
+// serial-per-image while planning parallelises freely.
+class ResolvedPlan {
+ public:
+  ResolvedPlan();
+  ResolvedPlan(ResolvedPlan&&) noexcept;
+  ResolvedPlan& operator=(ResolvedPlan&&) noexcept;
+  ~ResolvedPlan();
+
+  // Requests planned (size of the address table commit_plan returns).
+  std::size_t size() const;
+  // How many requests need a new gadget appended at commit.
+  std::size_t planned_count() const;
+
+ private:
+  friend class GadgetPool;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 class GadgetPool {
  public:
   // New gadgets are synthesized into `section` of the image (defaults to
@@ -134,6 +161,21 @@ class GadgetPool {
       std::span<const GadgetRequest* const> reqs, int shards, int threads,
       ThreadPool* pool = nullptr);
 
+  // The two halves of resolve_batch as first-class pipeline stages
+  // (DESIGN.md §9). plan_batch is the parallel half: it freezes the
+  // catalog (idempotent when the engine already froze it for craft),
+  // plans every request against the frozen banks, and returns a
+  // persistent ResolvedPlan without touching the image -- the catalog
+  // stays frozen so further plans/crafts may read it. commit_plan is
+  // the serial half: it appends the planned gadgets to the image in
+  // global request order, registers them, unfreezes the pool, and
+  // returns the final per-request address table. Exactly one
+  // commit_plan must follow each plan_batch (on the same pool, in plan
+  // order); resolve_batch() is the back-to-back composition.
+  ResolvedPlan plan_batch(std::span<const GadgetRequest* const> reqs,
+                          int shards, int threads, ThreadPool* pool = nullptr);
+  std::vector<std::uint64_t> commit_plan(ResolvedPlan&& plan);
+
   // Single-request resolution (pool must be unfrozen); the batch path
   // above is what the engine uses. Kept for one-off callers.
   std::uint64_t resolve(const GadgetRequest& req);
@@ -168,6 +210,7 @@ class GadgetPool {
 
  private:
   struct Planned;  // shard-local synthesized gadget awaiting an address
+  friend struct ResolvedPlan::Impl;  // holds Planned across the 2a/2b hop
 
   std::uint64_t synthesize(std::span<const isa::Insn> core, bool jop,
                            isa::Reg jop_target, RegSet junk_allowed);

@@ -145,6 +145,44 @@ TEST(EngineDeterminism, RewrittenBatchStillExecutesCorrectly) {
   EXPECT_GT(checked, 0);
 }
 
+TEST(EngineStages, ExplicitThreeStageDriveMatchesFacade) {
+  // The public craft/resolve/materialize stages driven by hand -- the
+  // exact sequence the service's three stage workers execute -- must
+  // land the same bytes and stats as the obfuscate_module facade, and
+  // the resolve stage must be pure with respect to the image (nothing
+  // lands until materialize).
+  auto cp = workload::make_corpus(13, 80);
+  BatchRun facade = run_batch(cp, 2, 21, 2);
+
+  Image img = minic::compile(cp.module);
+  engine::ObfuscationEngine eng(&img, full_cfg(21),
+                                std::make_shared<analysis::AnalysisCache>());
+  engine::CraftedModule cm = eng.craft_module(cp.functions, 2);
+  const auto text_after_craft = img.section_bytes(".text");
+  const auto ropdata_after_craft = img.section_bytes(".ropdata");
+  engine::ResolvedModule rm = eng.resolve_module(std::move(cm), 2, 2);
+  // Resolve planned new gadgets but appended none: the image is
+  // untouched between craft and materialize.
+  EXPECT_GT(rm.plan.planned_count(), 0u);
+  EXPECT_EQ(img.section_bytes(".text"), text_after_craft)
+      << "resolve_module must not synthesize into the image";
+  EXPECT_EQ(img.section_bytes(".ropdata"), ropdata_after_craft);
+  engine::ModuleResult mr = eng.materialize_module(std::move(rm));
+
+  EXPECT_EQ(mr.ok_count, facade.mod.ok_count);
+  EXPECT_GT(mr.materialize_seconds, 0.0);
+  EXPECT_GE(mr.commit_seconds, mr.resolve_seconds + mr.materialize_seconds);
+  for (const char* sec : {".ropdata", ".text", ".data"})
+    EXPECT_EQ(img.section_bytes(sec), facade.img.section_bytes(sec))
+        << sec << " diverges between staged drive and facade";
+  ASSERT_EQ(mr.results.size(), facade.mod.results.size());
+  for (std::size_t i = 0; i < mr.results.size(); ++i) {
+    EXPECT_EQ(mr.results[i].chain_addr, facade.mod.results[i].chain_addr);
+    EXPECT_EQ(mr.results[i].stats.unique_gadgets,
+              facade.mod.results[i].stats.unique_gadgets);
+  }
+}
+
 TEST(EngineFailureClasses, CorpusPopulationsStillFire) {
   // §VII-C1 regression: each failure class fires on the corpus population
   // that promises it, through the batch path, at full corpus scale.

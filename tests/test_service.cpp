@@ -7,8 +7,12 @@
 // shutdown with jobs in flight completes every handle.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/service.hpp"
@@ -219,6 +223,244 @@ TEST(ServiceStreaming, ShutdownWithJobsInFlightCompletesEveryHandle) {
   // The detached session keeps working standalone after service death.
   EXPECT_FALSE(session->submit({cp.functions[0]}).wait().results[0].ok)
       << "already-rewritten function must fail, not crash";
+}
+
+TEST(ServiceStreaming, PipelineSweepMatchesSerialReference) {
+  // The §9 acceptance sweep: streamed output must reproduce the serial
+  // (1 thread, 1 shard) standalone reference bit for bit at every
+  // (threads, shards, sessions, queue-depth, pipeline-stages)
+  // combination -- queues and stage topology move wall-clock, never
+  // bytes. Two concurrent sessions over distinct modules, three jobs
+  // each, submitted interleaved.
+  const std::uint64_t corpus_seeds[] = {17, 19};
+  std::vector<workload::Corpus> corpora;
+  std::vector<std::vector<std::vector<std::string>>> jobs;
+  std::vector<StandaloneRun> refs;
+  for (std::uint64_t cs : corpus_seeds) {
+    corpora.push_back(workload::make_corpus(cs, 40));
+    jobs.push_back(split_batches(corpora.back().functions, 3));
+    refs.push_back(run_standalone(corpora.back(), jobs.back(), 200 + cs, 1, 1));
+  }
+
+  for (int stages : {2, 3}) {
+    for (std::size_t queue_depth : {std::size_t{1}, std::size_t{0}}) {
+      for (int threads : {1, 2}) {
+        for (int shards : {1, 3}) {
+          engine::ServiceConfig sc;
+          sc.craft_threads = threads;
+          sc.commit_shards = shards;
+          sc.pipeline_stages = stages;
+          sc.craft_queue_depth = queue_depth == 0 ? 0 : 2;
+          sc.stage_queue_depth = queue_depth;
+          sc.cache = std::make_shared<analysis::AnalysisCache>();
+          engine::ObfuscationService service(sc);
+          std::vector<Image> imgs(corpora.size());
+          std::vector<std::shared_ptr<engine::Session>> sessions;
+          for (std::size_t m = 0; m < corpora.size(); ++m) {
+            imgs[m] = minic::compile(corpora[m].module);
+            sessions.push_back(service.open_session(
+                &imgs[m], full_cfg(200 + corpus_seeds[m])));
+          }
+          std::vector<std::vector<engine::JobHandle>> hs(corpora.size());
+          for (std::size_t b = 0; b < 3; ++b)
+            for (std::size_t m = 0; m < corpora.size(); ++m)
+              hs[m].push_back(sessions[m]->submit(jobs[m][b]));
+          for (std::size_t m = 0; m < corpora.size(); ++m) {
+            for (std::size_t b = 0; b < 3; ++b)
+              expect_same_results(hs[m][b].wait(), refs[m].results[b],
+                                  "pipeline sweep job");
+            expect_same_image(imgs[m], refs[m].img, "pipeline sweep module");
+          }
+          auto st = service.stats();
+          EXPECT_EQ(st.jobs_completed, 6u)
+              << "stages=" << stages << " depth=" << queue_depth;
+          EXPECT_EQ(st.jobs_cancelled + st.jobs_rejected, 0u);
+        }
+      }
+    }
+  }
+}
+
+// Blocks a chosen pipeline stage until released, so tests can hold the
+// service in a known state (a job mid-craft, the queues full).
+struct StageGate {
+  std::mutex m;
+  std::condition_variable cv;
+  bool open = false;
+  int entered = 0;
+  std::string stage_to_block = "craft";
+
+  void on_probe(const char* stage) {
+    std::unique_lock<std::mutex> lk(m);
+    if (stage != stage_to_block) return;
+    ++entered;
+    cv.notify_all();
+    cv.wait(lk, [this] { return open; });
+  }
+  void wait_entered(int n) {
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return entered >= n; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lk(m);
+    open = true;
+    cv.notify_all();
+  }
+};
+
+TEST(ServiceAdmission, BoundedCraftQueueBlocksSubmitUntilSpace) {
+  // With craft_queue_depth = 1 and the blocking policy, a submit
+  // against a full craft queue must park the caller instead of
+  // buffering unboundedly, and admit it as soon as the pipeline makes
+  // space. The gate holds job 1 mid-craft so the queue state is exact.
+  auto cp = workload::make_corpus(23, 30);
+  auto jobs = split_batches(cp.functions, 3);
+  StandaloneRun ref = run_standalone(cp, jobs, 31);
+
+  auto gate = std::make_shared<StageGate>();
+  engine::ServiceConfig sc;
+  sc.craft_queue_depth = 1;
+  sc.submit_policy = engine::ServiceConfig::SubmitPolicy::kBlock;
+  sc.cache = std::make_shared<analysis::AnalysisCache>();
+  sc.stage_probe = [gate](const char* stage) { gate->on_probe(stage); };
+  engine::ObfuscationService service(sc);
+  Image img = minic::compile(cp.module);
+  auto session = service.open_session(&img, full_cfg(31));
+
+  std::vector<engine::JobHandle> hs;
+  hs.push_back(session->submit(jobs[0]));  // popped by the craft worker
+  gate->wait_entered(1);                   // ...which is now held mid-craft
+  hs.push_back(session->submit(jobs[1]));  // fills the craft queue
+  EXPECT_EQ(service.stats().jobs_submitted, 2u);
+
+  // Queue full: this submit must block until job 1 starts crafting.
+  engine::JobHandle h3;
+  std::thread submitter(
+      [&] { h3 = session->submit(jobs[2]); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(service.stats().jobs_submitted, 2u)
+      << "submit() accepted a job although the craft queue was full";
+
+  gate->release();
+  submitter.join();
+  for (auto& h : hs) h.wait();
+  h3.wait();
+
+  auto st = service.stats();
+  EXPECT_EQ(st.jobs_submitted, 3u);
+  EXPECT_EQ(st.jobs_completed, 3u);
+  EXPECT_EQ(st.jobs_rejected, 0u);
+  EXPECT_LE(st.craft_queue_peak, 1u) << "the depth bound was exceeded";
+  for (std::size_t b = 0; b < 2; ++b)
+    expect_same_results(hs[b].wait(), ref.results[b], "backpressured job");
+  expect_same_results(h3.wait(), ref.results[2], "backpressured job");
+  expect_same_image(img, ref.img, "backpressured module");
+}
+
+TEST(ServiceAdmission, FailFastSubmitRejectsWhenFullAndLandsNothing) {
+  // Fail-fast flavour: a full craft queue (or exhausted session quota)
+  // refuses immediately with a ready, `rejected` handle, and a rejected
+  // job must leave the image exactly as if it was never submitted.
+  auto cp = workload::make_corpus(29, 30);
+  auto jobs = split_batches(cp.functions, 3);
+  StandaloneRun ref = run_standalone(cp, {jobs[0], jobs[1]}, 37);
+
+  auto gate = std::make_shared<StageGate>();
+  engine::ServiceConfig sc;
+  sc.craft_queue_depth = 1;
+  sc.submit_policy = engine::ServiceConfig::SubmitPolicy::kFailFast;
+  sc.cache = std::make_shared<analysis::AnalysisCache>();
+  sc.stage_probe = [gate](const char* stage) { gate->on_probe(stage); };
+  engine::ObfuscationService service(sc);
+  Image img = minic::compile(cp.module);
+  auto session = service.open_session(&img, full_cfg(37));
+
+  engine::JobHandle h1 = session->submit(jobs[0]);
+  gate->wait_entered(1);                        // job 1 held mid-craft
+  engine::JobHandle h2 = session->submit(jobs[1]);  // fills the queue
+  engine::JobHandle h3 = session->submit(jobs[2]);  // refused
+  EXPECT_TRUE(h3.ready()) << "fail-fast submit must return a ready handle";
+  const engine::ModuleResult& r3 = h3.wait();
+  EXPECT_TRUE(r3.rejected);
+  EXPECT_FALSE(r3.cancelled);
+  EXPECT_TRUE(r3.results.empty());
+
+  gate->release();
+  h1.wait();
+  h2.wait();
+  auto st = service.stats();
+  EXPECT_EQ(st.jobs_submitted, 2u);
+  EXPECT_EQ(st.jobs_rejected, 1u);
+  EXPECT_EQ(st.jobs_completed, 2u);
+  expect_same_results(h1.wait(), ref.results[0], "surviving job");
+  expect_same_results(h2.wait(), ref.results[1], "surviving job");
+  expect_same_image(img, ref.img, "rejected job leaked into the image");
+}
+
+TEST(ServiceAdmission, SessionQuotaRefusesIndependentlyOfQueueSpace) {
+  // Per-session in-flight quota: with session_quota = 1 a session's
+  // second concurrent job is refused even though the craft queue has
+  // plenty of room -- one tenant cannot monopolize the pipe.
+  auto cp = workload::make_corpus(31, 20);
+  auto jobs = split_batches(cp.functions, 2);
+
+  auto gate = std::make_shared<StageGate>();
+  engine::ServiceConfig sc;
+  sc.craft_queue_depth = 16;
+  sc.session_quota = 1;
+  sc.submit_policy = engine::ServiceConfig::SubmitPolicy::kFailFast;
+  sc.cache = std::make_shared<analysis::AnalysisCache>();
+  sc.stage_probe = [gate](const char* stage) { gate->on_probe(stage); };
+  engine::ObfuscationService service(sc);
+  Image img = minic::compile(cp.module);
+  auto session = service.open_session(&img, full_cfg(41));
+
+  engine::JobHandle h1 = session->submit(jobs[0]);
+  gate->wait_entered(1);
+  engine::JobHandle h2 = session->submit(jobs[1]);
+  EXPECT_TRUE(h2.wait().rejected) << "quota must refuse the second job";
+  gate->release();
+  EXPECT_GT(h1.wait().ok_count, 0u);
+  EXPECT_EQ(service.stats().jobs_rejected, 1u);
+}
+
+TEST(ServiceCancellation, DroppedHandlesCancelJobsBeforeResolve) {
+  // Dropping every client copy of a JobHandle cancels the job at its
+  // next stage boundary if it has not entered resolve: the cancelled
+  // batches land nothing, and the surviving jobs' bytes are exactly the
+  // standalone reference that never contained the cancelled batches.
+  auto cp = workload::make_corpus(37, 40);
+  auto jobs = split_batches(cp.functions, 4);
+  StandaloneRun ref = run_standalone(cp, {jobs[0], jobs[3]}, 43);
+
+  auto gate = std::make_shared<StageGate>();
+  engine::ServiceConfig sc;
+  sc.cache = std::make_shared<analysis::AnalysisCache>();
+  sc.stage_probe = [gate](const char* stage) { gate->on_probe(stage); };
+  engine::ObfuscationService service(sc);
+  Image img = minic::compile(cp.module);
+  auto session = service.open_session(&img, full_cfg(43));
+
+  engine::JobHandle h1 = session->submit(jobs[0]);
+  gate->wait_entered(1);  // job 1 held mid-craft; later jobs queue behind it
+  {
+    engine::JobHandle h2 = session->submit(jobs[1]);
+    engine::JobHandle h3 = session->submit(jobs[2]);
+    EXPECT_FALSE(h2.ready());
+    EXPECT_FALSE(h3.ready());
+  }  // both handles dropped before their jobs could enter craft
+  engine::JobHandle h4 = session->submit(jobs[3]);
+  gate->release();
+
+  EXPECT_GT(h1.wait().ok_count, 0u);
+  EXPECT_GT(h4.wait().ok_count, 0u);
+  auto st = service.stats();
+  EXPECT_EQ(st.jobs_submitted, 4u);
+  EXPECT_EQ(st.jobs_completed, 2u);
+  EXPECT_EQ(st.jobs_cancelled, 2u);
+  expect_same_results(h1.wait(), ref.results[0], "surviving job 1");
+  expect_same_results(h4.wait(), ref.results[1], "surviving job 4");
+  expect_same_image(img, ref.img, "cancelled jobs leaked into the image");
 }
 
 TEST(ServiceStreaming, FacadesShareTheStreamedExecutionPath) {
