@@ -78,10 +78,12 @@ int main() {
       std::printf("%-14s (rewrite failed)\n", cs.name.c_str());
       continue;
     }
-    Memory mem = img.load();
+    // Frozen snapshot + prewarmed cache shared by the timing run and
+    // every shadow re-execution inside the attack (DESIGN.md §10).
+    LoadedImage li = img.load_shared();
 
     // Timing: one encoder run.
-    auto timing = call_function(mem, img.function(w.hash_fn)->addr,
+    auto timing = call_function(li, img.function(w.hash_fn)->addr,
                                 {{w.secret}}, 50'000'000'000ull);
     std::uint64_t insns =
         timing.status == CpuStatus::kHalted ? timing.insns : 0;
@@ -94,7 +96,7 @@ int main() {
     cfg.toa_memory = true;
     cfg.max_trace_insns = 50'000'000;
     cfg.solver_slice_s = 2.0;
-    auto out = attack::dse_attack(mem, img.function(w.check_fn)->addr, cfg,
+    auto out = attack::dse_attack(li, img.function(w.check_fn)->addr, cfg,
                                   Deadline(budget));
     std::printf("%-14s %10s %12.1f %14llu %13.1fx\n", cs.name.c_str(),
                 out.success ? "YES" : "no", out.seconds,

@@ -163,10 +163,17 @@ inline Memory load_counted_loop(const CountedLoop& cl) {
 
 // CPU throughput probe: the counted loop (~1M executed instructions)
 // on a fresh machine, timed end to end, under the given hook bundle
-// (default: none, the zero-hook fast path). Returns executed
-// instructions per second; 0 on any anomaly.
-inline double cpu_insns_per_sec(std::uint64_t loop_iters = 200'000,
-                                HookSet hooks = {}) {
+// (default: none, the zero-hook fast path). `insns_per_s` is 0 on any
+// anomaly; `chain_hit_rate` is the fraction of block dispatches that
+// chained through successor links instead of the central fetch loop
+// (DESIGN.md §10) -- 0 whenever a hook demotes dispatch.
+struct CpuProbe {
+  double insns_per_s = 0.0;
+  double chain_hit_rate = 0.0;
+};
+
+inline CpuProbe cpu_probe(std::uint64_t loop_iters = 200'000,
+                          HookSet hooks = {}) {
   CountedLoop cl = make_counted_loop(loop_iters);
   Memory mem = load_counted_loop(cl);
   Cpu cpu(&mem);
@@ -175,15 +182,29 @@ inline double cpu_insns_per_sec(std::uint64_t loop_iters = 200'000,
   Stopwatch watch;
   CpuStatus st = cpu.run(cl.insn_count + 16);
   double s = watch.seconds();
-  if (st != CpuStatus::kHalted || s <= 0.0) return 0.0;
-  return static_cast<double>(cpu.insn_count()) / s;
+  CpuProbe p;
+  const Cpu::CacheStats& cs = cpu.cache_stats();
+  double total = static_cast<double>(cs.chain_hits + cs.central_dispatches);
+  if (total > 0) p.chain_hit_rate = static_cast<double>(cs.chain_hits) / total;
+  if (st != CpuStatus::kHalted || s <= 0.0) return p;
+  p.insns_per_s = static_cast<double>(cpu.insn_count()) / s;
+  return p;
 }
 
-// Standard per-bench engine-speed metric: every bench JSON carries
-// `cpu_minsns_per_s` so the perf trajectory of the simulated CPU is
-// recorded alongside each experiment (DESIGN.md §4/§6).
+inline double cpu_insns_per_sec(std::uint64_t loop_iters = 200'000,
+                                HookSet hooks = {}) {
+  return cpu_probe(loop_iters, std::move(hooks)).insns_per_s;
+}
+
+// Standard per-bench engine-speed metrics: every bench JSON carries
+// `cpu_minsns_per_s` (executed Minsns/s of the simulated CPU) and
+// `cpu_chain_hit_rate` (threaded-dispatch link hit rate) so the perf
+// trajectory of the execution engine is recorded alongside each
+// experiment (DESIGN.md §4/§6/§10).
 inline void emit_cpu_throughput(BenchJson& json) {
-  json.metric("cpu_minsns_per_s", cpu_insns_per_sec() / 1e6);
+  CpuProbe p = cpu_probe();
+  json.metric("cpu_minsns_per_s", p.insns_per_s / 1e6);
+  json.metric("cpu_chain_hit_rate", p.chain_hit_rate);
 }
 
 // AnalysisCache telemetry (DESIGN.md §7): every bench JSON records the

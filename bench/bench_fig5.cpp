@@ -14,8 +14,10 @@ namespace {
 
 std::uint64_t run_insns(const Image& img, const std::string& entry,
                         std::int64_t arg) {
-  Memory mem = img.load();
-  auto r = call_function(mem, img.function(entry)->addr,
+  // Frozen snapshot + prewarmed cache: the run starts with every
+  // function body pre-decoded (DESIGN.md §10).
+  LoadedImage li = img.load_shared();
+  auto r = call_function(li, img.function(entry)->addr,
                          {{static_cast<std::uint64_t>(arg)}},
                          60'000'000'000ull);
   if (r.status != CpuStatus::kHalted) return 0;

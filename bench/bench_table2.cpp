@@ -175,7 +175,10 @@ int main(int argc, char** argv) {
       Image img;
       if (!build_config(rf, nc, 1000 + applicable, &img)) continue;
       ++applicable;
-      Memory mem = img.load();
+      // One frozen snapshot + CodeCache per built config; both attacks
+      // (and every shadow re-execution inside them) clone it and start
+      // with the whole function pre-decoded (DESIGN.md §10).
+      LoadedImage li = img.load_shared();
       std::uint64_t fn = img.function(rf.name)->addr;
       int nbytes = minic::type_size(rf.spec.type);
 
@@ -183,7 +186,7 @@ int main(int argc, char** argv) {
       g1.input_bytes = nbytes;
       g1.goal = attack::Goal::kSecretFinding;
       g1.max_trace_insns = 20'000'000;
-      auto o1 = attack::dse_attack(mem, fn, g1, Deadline(budget_s));
+      auto o1 = attack::dse_attack(li, fn, g1, Deadline(budget_s));
       if (o1.success) {
         ++found;
         total_time += o1.seconds;
@@ -192,7 +195,7 @@ int main(int argc, char** argv) {
       attack::DseConfig g2 = g1;
       g2.goal = attack::Goal::kCodeCoverage;
       g2.target_probes = rf.reachable_probes;
-      auto o2 = attack::dse_attack(mem, fn, g2, Deadline(budget_s));
+      auto o2 = attack::dse_attack(li, fn, g2, Deadline(budget_s));
       if (o2.success) ++covered;
     }
     std::printf("%-14s | %4d/%-5d %-7.1f | %4d/%d\n", nc.name.c_str(),

@@ -25,10 +25,12 @@ Assignment unpack(std::uint64_t v) {
   return a;
 }
 
-}  // namespace
-
-AttackOutcome dse_attack(const Memory& loaded, std::uint64_t fn_addr,
-                         const DseConfig& cfg, const Deadline& deadline) {
+// One body serves the plain-Memory and LoadedImage entry points: the
+// shadow_run overload set routes the LoadedImage variant through the
+// CodeCache import.
+template <typename LoadedT>
+AttackOutcome dse_impl(const LoadedT& loaded, std::uint64_t fn_addr,
+                       const DseConfig& cfg, const Deadline& deadline) {
   AttackOutcome out;
   Stopwatch watch;
   ExprPool pool;
@@ -130,6 +132,18 @@ AttackOutcome dse_attack(const Memory& loaded, std::uint64_t fn_addr,
   out.seconds = watch.seconds();
   out.solver_queries = solver.stats().queries;
   return out;
+}
+
+}  // namespace
+
+AttackOutcome dse_attack(const Memory& loaded, std::uint64_t fn_addr,
+                         const DseConfig& cfg, const Deadline& deadline) {
+  return dse_impl(loaded, fn_addr, cfg, deadline);
+}
+
+AttackOutcome dse_attack(const LoadedImage& li, std::uint64_t fn_addr,
+                         const DseConfig& cfg, const Deadline& deadline) {
+  return dse_impl(li, fn_addr, cfg, deadline);
 }
 
 }  // namespace raindrop::attack

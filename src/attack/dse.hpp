@@ -12,6 +12,10 @@
 #include "mem/memory.hpp"
 #include "support/stopwatch.hpp"
 
+namespace raindrop {
+struct LoadedImage;
+}
+
 namespace raindrop::attack {
 
 struct DseConfig {
@@ -34,6 +38,13 @@ struct DseConfig {
 };
 
 AttackOutcome dse_attack(const Memory& loaded, std::uint64_t fn_addr,
+                         const DseConfig& cfg, const Deadline& deadline);
+
+// Same attack against a frozen LoadedImage (Image::load_shared): every
+// concolic trace re-clones the snapshot, so the prewarmed CodeCache is
+// imported once per trace instead of re-decoding the image each time --
+// the hot path of the table2/casestudy sweeps.
+AttackOutcome dse_attack(const LoadedImage& li, std::uint64_t fn_addr,
                          const DseConfig& cfg, const Deadline& deadline);
 
 }  // namespace raindrop::attack

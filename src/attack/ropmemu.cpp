@@ -34,14 +34,25 @@ struct RunOutcome {
   bool derailed = false;
 };
 
+// Adapters so one exploration body serves both a plain loaded Memory
+// and a frozen LoadedImage with an importable CodeCache.
+Memory clone_loaded(const Memory& m) { return m.clone(); }
+Memory clone_loaded(const LoadedImage& li) { return li.mem.clone(); }
+void import_loaded(Cpu&, const Memory&) {}
+void import_loaded(Cpu& cpu, const LoadedImage& li) {
+  cpu.import_cache(li.cache);
+}
+
 // Executes from the function stub; flips the flags right before the
 // `flip_occurrence`-th flag-leaking instruction (cmov/setcc/adc) when
 // flip_occurrence >= 0.
-RunOutcome run_once(const Memory& loaded, std::uint64_t fn_addr,
+template <typename LoadedT>
+RunOutcome run_once(const LoadedT& loaded, std::uint64_t fn_addr,
                     std::uint64_t chain_lo, std::uint64_t chain_hi,
                     std::uint64_t arg, long flip_occurrence) {
-  Memory mem = loaded.clone();
+  Memory mem = clone_loaded(loaded);
   Cpu cpu(&mem);
+  import_loaded(cpu, loaded);
   cpu.set_reg(Reg::RDI, arg);
   std::uint64_t rsp = kStackBase + kStackSize - 64 - 8;
   mem.write_u64(rsp, kHltPad);
@@ -75,12 +86,11 @@ RunOutcome run_once(const Memory& loaded, std::uint64_t fn_addr,
   return out;
 }
 
-}  // namespace
-
-RopMemuResult ropmemu_explore(const Memory& loaded, std::uint64_t fn_addr,
-                              std::uint64_t chain_addr,
-                              std::uint64_t chain_size, std::uint64_t arg,
-                              const Deadline& deadline) {
+template <typename LoadedT>
+RopMemuResult explore_impl(const LoadedT& loaded, std::uint64_t fn_addr,
+                           std::uint64_t chain_addr,
+                           std::uint64_t chain_size, std::uint64_t arg,
+                           const Deadline& deadline) {
   RopMemuResult res;
   std::uint64_t hi = chain_addr + chain_size;
   RunOutcome base = run_once(loaded, fn_addr, chain_addr, hi, arg, -1);
@@ -102,6 +112,22 @@ RopMemuResult ropmemu_explore(const Memory& loaded, std::uint64_t fn_addr,
     if (res.chain_offsets.size() > before) ++res.flips_revealing;
   }
   return res;
+}
+
+}  // namespace
+
+RopMemuResult ropmemu_explore(const Memory& loaded, std::uint64_t fn_addr,
+                              std::uint64_t chain_addr,
+                              std::uint64_t chain_size, std::uint64_t arg,
+                              const Deadline& deadline) {
+  return explore_impl(loaded, fn_addr, chain_addr, chain_size, arg, deadline);
+}
+
+RopMemuResult ropmemu_explore(const LoadedImage& li, std::uint64_t fn_addr,
+                              std::uint64_t chain_addr,
+                              std::uint64_t chain_size, std::uint64_t arg,
+                              const Deadline& deadline) {
+  return explore_impl(li, fn_addr, chain_addr, chain_size, arg, deadline);
 }
 
 }  // namespace raindrop::attack

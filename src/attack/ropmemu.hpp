@@ -11,6 +11,10 @@
 #include "mem/memory.hpp"
 #include "support/stopwatch.hpp"
 
+namespace raindrop {
+struct LoadedImage;
+}
+
 namespace raindrop::attack {
 
 struct RopMemuResult {
@@ -22,6 +26,15 @@ struct RopMemuResult {
 };
 
 RopMemuResult ropmemu_explore(const Memory& loaded, std::uint64_t fn_addr,
+                              std::uint64_t chain_addr,
+                              std::uint64_t chain_size, std::uint64_t arg,
+                              const Deadline& deadline);
+
+// Same exploration against a frozen LoadedImage (Image::load_shared):
+// each emulation run clones the snapshot and imports its prewarmed
+// CodeCache (the per-insn hook demotes dispatch to the central loop,
+// but decode still starts warm).
+RopMemuResult ropmemu_explore(const LoadedImage& li, std::uint64_t fn_addr,
                               std::uint64_t chain_addr,
                               std::uint64_t chain_size, std::uint64_t arg,
                               const Deadline& deadline);

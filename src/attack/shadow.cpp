@@ -19,8 +19,11 @@ namespace {
 
 class Shadow {
  public:
-  Shadow(ExprPool* pool, const Memory& loaded, const ShadowConfig& cfg)
-      : pool_(pool), mem_(loaded.clone()), cpu_(&mem_), cfg_(cfg) {}
+  Shadow(ExprPool* pool, const Memory& loaded, const ShadowConfig& cfg,
+         std::shared_ptr<const CodeCache> cache = nullptr)
+      : pool_(pool), mem_(loaded.clone()), cpu_(&mem_), cfg_(cfg) {
+    if (cache) cpu_.import_cache(std::move(cache));
+  }
 
   ShadowResult run(std::uint64_t fn_addr, std::uint64_t arg,
                    int input_bytes);
@@ -628,6 +631,13 @@ ShadowResult shadow_run(ExprPool* pool, const Memory& loaded,
                         std::uint64_t fn_addr, std::uint64_t arg,
                         int input_bytes, const ShadowConfig& cfg) {
   Shadow sh(pool, loaded, cfg);
+  return sh.run(fn_addr, arg, input_bytes);
+}
+
+ShadowResult shadow_run(ExprPool* pool, const LoadedImage& li,
+                        std::uint64_t fn_addr, std::uint64_t arg,
+                        int input_bytes, const ShadowConfig& cfg) {
+  Shadow sh(pool, li.mem, cfg, li.cache);
   return sh.run(fn_addr, arg, input_bytes);
 }
 

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <span>
 
+#include "cpu/code_cache.hpp"
+
 namespace raindrop {
 
 using isa::Cond;
@@ -38,6 +40,12 @@ std::uint64_t zext(std::uint64_t v, unsigned size) {
 bool ends_block(Op op) {
   return isa::is_branch(op) || op == Op::HLT || op == Op::UD ||
          op == Op::TRACE;
+}
+
+// Direct-mapped slot for the return-target cache. Multiplicative hash:
+// return addresses and gadget entries cluster on small strides.
+std::size_t rtc_slot(std::uint64_t addr) {
+  return static_cast<std::size_t>((addr * 0x9E3779B97F4A7C15ull) >> 58);
 }
 }  // namespace
 
@@ -106,21 +114,21 @@ void Cpu::set_flags_sub(std::uint64_t a, std::uint64_t b,
 
 // ---- Superblock cache --------------------------------------------------
 
-Cpu::DecodedBlock Cpu::build_block(std::uint64_t start) const {
+DecodedBlock decode_superblock(const Memory& mem, std::uint64_t start) {
   DecodedBlock b;
   b.start = start;
   // One bulk read covers the whole block plus the 16-byte lookahead the
   // decoder sees for the final instruction (unmapped bytes read as 0,
   // exactly like per-instruction fetch did).
   std::vector<std::uint8_t> window =
-      mem_->read_bytes(start, kMaxBlockBytes + 16);
+      mem.read_bytes(start, kMaxBlockBytes + 16);
   // Blocks never cross the boundary of the region the block starts in
   // (nor enter one from unmapped space), so a single permission check at
   // dispatch is equivalent to the seed's per-instruction NX check.
-  const Memory::Region* home = mem_->region_at(start);
+  const Memory::Region* home = mem.region_at(start);
   std::size_t off = 0;
   while (b.insns.size() < kMaxBlockInsns && off < kMaxBlockBytes) {
-    if (off != 0 && mem_->region_at(start + off) != home) break;
+    if (off != 0 && mem.region_at(start + off) != home) break;
     isa::Decoded d;
     if (!isa::decode_into(
             std::span<const std::uint8_t>(window.data() + off, 16), &d))
@@ -138,16 +146,20 @@ Cpu::DecodedBlock Cpu::build_block(std::uint64_t start) const {
   }
   b.byte_len = static_cast<std::uint32_t>(off);
   b.perm_x = home && (home->perm & kPermX);
-  b.region_count = static_cast<std::uint32_t>(mem_->regions().size());
+  b.region_count = static_cast<std::uint32_t>(mem.regions().size());
   if (!b.insns.empty()) {
-    b.gen0 = mem_->page_gen(start);
+    b.gen0 = mem.page_gen(start);
     std::uint64_t last = start + b.byte_len - 1;
     if ((last >> Memory::kPageBits) != (start >> Memory::kPageBits)) {
       b.two_pages = true;
-      b.gen1 = mem_->page_gen(last);
+      b.gen1 = mem.page_gen(last);
     }
   }
   return b;
+}
+
+DecodedBlock Cpu::build_block(std::uint64_t start) const {
+  return decode_superblock(*mem_, start);
 }
 
 bool Cpu::block_valid(const DecodedBlock& b) const {
@@ -167,27 +179,30 @@ bool Cpu::block_exec_ok(DecodedBlock& b) const {
   return b.perm_x;
 }
 
-void Cpu::insert_block(DecodedBlock&& b) {
+DecodedBlock* Cpu::insert_block(DecodedBlock&& b) {
   std::uint64_t start = b.start;
   // A block keyed at `start` can only exist alongside an index entry for
   // `start`, and callers build only on index misses -- but drop any stale
   // twin defensively so its interior index entries can never outlive it.
   discard_block(start);
-  auto [it, inserted] = blocks_.emplace(start, std::move(b));
-  DecodedBlock& blk = it->second;
+  arena_.push_back(std::move(b));
+  DecodedBlock& blk = arena_.back();
+  blocks_[start] = &blk;
   std::uint64_t addr = start;
-  for (std::uint32_t i = 0; i < blk.insns.size(); ++i) {
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(blk.insns.size());
+       ++i) {
     // try_emplace: interior addresses already indexed by an overlapping
     // block keep their mapping (both decodes are identical by construction).
     addr_index_.try_emplace(addr, AddrEntry{&blk, i});
     addr += blk.insns[i].length;
   }
+  return &blk;
 }
 
 void Cpu::discard_block(std::uint64_t block_start) {
   auto it = blocks_.find(block_start);
   if (it == blocks_.end()) return;
-  const DecodedBlock* blk = &it->second;
+  DecodedBlock* blk = it->second;
   std::uint64_t addr = block_start;
   for (const BlockInsn& bi : blk->insns) {
     auto ai = addr_index_.find(addr);
@@ -195,10 +210,25 @@ void Cpu::discard_block(std::uint64_t block_start) {
       addr_index_.erase(ai);
     addr += bi.length;
   }
+  // The arena node stays: successor links and return-target-cache
+  // entries may still point at it, and it self-invalidates (its
+  // generation snapshot can never match again once a spanned page
+  // moved). Nodes are reclaimed by invalidate_decode_cache().
   blocks_.erase(it);
 }
 
-CpuStatus Cpu::fetch_block(const DecodedBlock** out, std::uint32_t* index) {
+bool Cpu::import_cache(std::shared_ptr<const CodeCache> cache) {
+  // Frozen-ancestor rule: admit only a cache anchored to the immutable
+  // snapshot this Memory descends from. Sibling caches (or caches over
+  // mutable memory, epoch 0) are unsound -- equal page generations do
+  // not imply equal bytes without a common frozen ancestor.
+  if (!cache || cache->epoch() == 0 || mem_->lineage() != cache->epoch())
+    return false;
+  imported_ = std::move(cache);
+  return true;
+}
+
+CpuStatus Cpu::fetch_block(DecodedBlock** out, std::uint32_t* index) {
   auto it = addr_index_.find(rip_);
   if (it != addr_index_.end()) {
     AddrEntry entry = it->second;
@@ -215,15 +245,36 @@ CpuStatus Cpu::fetch_block(const DecodedBlock** out, std::uint32_t* index) {
     ++stats_.stale_redecodes;
     discard_block(b.start);
   }
+  if (imported_) {
+    // Copy-on-first-use import: the shared block's generation snapshot
+    // was taken over the frozen ancestor, so validating it against this
+    // clone's pages proves the bytes are unchanged here too. The local
+    // copy gets fresh successor links (links are per-Cpu arena
+    // pointers) and then flows through the normal NX path.
+    if (const CodeCache::Entry* e = imported_->lookup(rip_)) {
+      if (block_valid(*e->block)) {
+        DecodedBlock copy = *e->block;
+        copy.fall = {};
+        copy.taken = {};
+        std::uint32_t idx = e->index;
+        DecodedBlock* nb = insert_block(std::move(copy));
+        ++stats_.import_hits;
+        if (enforce_nx_ && !block_exec_ok(*nb)) {
+          return fault_out("execute permission violation");
+        }
+        *out = nb;
+        *index = idx;
+        return CpuStatus::kRunning;
+      }
+    }
+  }
   if (enforce_nx_ && !(mem_->perm_at(rip_) & kPermX)) {
     return fault_out("execute permission violation");
   }
   DecodedBlock nb = build_block(rip_);
   ++stats_.blocks_built;
   if (nb.insns.empty()) return fault_out("undecodable instruction");
-  std::uint64_t key = nb.start;
-  insert_block(std::move(nb));
-  *out = &blocks_.find(key)->second;
+  *out = insert_block(std::move(nb));
   *index = 0;
   return CpuStatus::kRunning;
 }
@@ -268,11 +319,20 @@ CpuStatus Cpu::run_blocks(std::uint64_t end) {
   // revalidation, so hook-driven writes and control transfers behave
   // as if the block were re-fetched per instruction).
   while (insn_count_ < end) {
-    const DecodedBlock* b = nullptr;
+    if (threaded_dispatch_ && hooks_.empty()) {
+      // Zero-hook stratum: hand the whole run to the chained dispatcher.
+      // Nothing can install a hook mid-run when none is installed, so
+      // this never needs to fall back (it returns only on
+      // halt/fault/budget). Any installed hook demotes dispatch to this
+      // central loop so per-dispatch/per-insn callbacks keep firing.
+      return run_chained(end);
+    }
+    DecodedBlock* b = nullptr;
     std::uint32_t idx = 0;
     CpuStatus st = fetch_block(&b, &idx);
     if (st != CpuStatus::kRunning) return st;
     ++stats_.dispatches;
+    ++stats_.central_dispatches;
     if (hooks_.block) hooks_.block(*this, b->start);
     // The insn stratum is sampled after the block hook (which may have
     // just installed one) and its liveness re-read per hooked
@@ -311,8 +371,121 @@ CpuStatus Cpu::run_blocks(std::uint64_t end) {
   return CpuStatus::kBudgetExceeded;
 }
 
+CpuStatus Cpu::run_chained(std::uint64_t end) {
+  // Threaded dispatch (DESIGN.md §10): after a block completes, follow
+  // its cached successor link (or the return-target cache for indirect
+  // transfers) instead of returning to the central hash-lookup fetch. A
+  // link is trusted outright when the Memory write epoch is unchanged
+  // since it was last validated -- no write anywhere implies no page
+  // generation moved -- and revalidated against the target's page
+  // generations otherwise. Link targets live in the never-freed arena,
+  // so a stale pointer is safe to dereference and self-invalidating.
+  // Architecturally this is the exact central-loop execution: same
+  // per-instruction budget check, same mid-block revalidation after
+  // memory writes, and every link was established by a central fetch
+  // that performed the NX check (X coverage is monotonic: regions are
+  // append-only and their permissions never change).
+  DecodedBlock* b = nullptr;
+  std::uint32_t idx = 0;
+  DecodedBlock::Link* memo = nullptr;  // link to backfill after a fetch
+  RtcEntry* rtc_memo = nullptr;
+  for (;;) {
+    if (b == nullptr) {
+      // Budget check precedes the fetch, exactly like the central
+      // loop's while condition: an exhausted run must pause, not fault
+      // on whatever rip_ points at.
+      if (insn_count_ >= end) return CpuStatus::kBudgetExceeded;
+      std::uint64_t at = rip_;
+      CpuStatus st = fetch_block(&b, &idx);
+      if (st != CpuStatus::kRunning) return st;
+      ++stats_.central_dispatches;
+      std::uint64_t ep = mem_->write_epoch();
+      if (memo != nullptr) {
+        *memo = DecodedBlock::Link{b, idx, ep};
+      } else if (rtc_memo != nullptr) {
+        *rtc_memo = RtcEntry{at, b, idx, ep};
+      }
+    }
+    memo = nullptr;
+    rtc_memo = nullptr;
+    ++stats_.dispatches;
+    const std::size_t n = b->insns.size();
+    bool smashed = false;
+    for (; idx < n; ++idx) {
+      if (insn_count_ >= end) return CpuStatus::kBudgetExceeded;
+      const BlockInsn& bi = b->insns[idx];
+      ++insn_count_;
+      std::uint64_t fallthrough = rip_ + bi.length;
+      CpuStatus st = exec(bi.insn, fallthrough);
+      if (st != CpuStatus::kRunning) return st;
+      if (bi.writes_mem && !block_valid(*b)) {
+        // In-block code smash: resume centrally at rip_ (the write
+        // invalidated this block; no block-end link is involved).
+        smashed = true;
+        break;
+      }
+    }
+    if (smashed) {
+      b = nullptr;
+      idx = 0;
+      continue;
+    }
+    // Block completed; rip_ names the successor. The terminator decides
+    // which link slot covers this transition (direct targets are fixed
+    // per block, so slot identity implies the address).
+    DecodedBlock::Link* slot = nullptr;
+    switch (b->insns[n - 1].insn.op) {
+      case Op::JMP_REL:
+      case Op::CALL_REL:
+        slot = &b->taken;
+        break;
+      case Op::JCC_REL:
+        slot = rip_ == b->start + b->byte_len ? &b->fall : &b->taken;
+        break;
+      case Op::RET:
+      case Op::JMP_R:
+      case Op::JMP_M:
+      case Op::CALL_R:
+        slot = nullptr;  // indirect: return-target cache below
+        break;
+      default:
+        // TRACE cut or size-cap split: straight-line fallthrough.
+        slot = &b->fall;
+        break;
+    }
+    std::uint64_t ep = mem_->write_epoch();
+    if (slot != nullptr) {
+      DecodedBlock* t = slot->target;
+      if (t != nullptr && (slot->epoch == ep || block_valid(*t))) {
+        slot->epoch = ep;
+        ++stats_.chain_hits;
+        b = t;
+        idx = slot->index;
+        continue;
+      }
+      slot->target = nullptr;
+      memo = slot;  // refill from the central fetch below
+      b = nullptr;
+      idx = 0;
+      continue;
+    }
+    RtcEntry& e = rtc_[rtc_slot(rip_)];
+    if (e.block != nullptr && e.addr == rip_ &&
+        (e.epoch == ep || block_valid(*e.block))) {
+      e.epoch = ep;
+      ++stats_.chain_hits;
+      b = e.block;
+      idx = e.index;
+      continue;
+    }
+    rtc_memo = &e;
+    b = nullptr;
+    idx = 0;
+  }
+}
+
 CpuStatus Cpu::step() {
-  const DecodedBlock* b = nullptr;
+  DecodedBlock* b = nullptr;
   std::uint32_t idx = 0;
   CpuStatus st = fetch_block(&b, &idx);
   if (st != CpuStatus::kRunning) return st;

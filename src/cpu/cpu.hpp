@@ -15,11 +15,28 @@
 // decode from (Memory::page_gen) and lazily re-decode when a spanned
 // page is written -- a .ropdata commit or P1-cell write no longer
 // destroys unrelated cached code.
+//
+// Two further layers sit on top (DESIGN.md §10):
+//  * threaded dispatch -- in the zero-hook stratum each block caches
+//    validated links to its successor blocks (fallthrough, direct
+//    branch taken/not-taken, indirect targets via a small return-target
+//    cache), so execution chains block-to-block without returning to
+//    the central hash-lookup fetch; a write-epoch or page-generation
+//    mismatch unlinks and falls back to the central path. Any installed
+//    hook demotes dispatch to the central loop so per-dispatch and
+//    per-insn callbacks keep firing exactly as before.
+//  * clone-aware cache import -- a CodeCache built over a frozen
+//    Memory snapshot (code_cache.hpp) can be imported into any Cpu
+//    whose Memory descends from that snapshot; blocks are copied in
+//    lazily on first fetch after revalidating their page generations
+//    against the importing clone.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -44,6 +61,7 @@ struct CpuFault {
 };
 
 class Cpu;
+class CodeCache;
 
 // Typed hook bundle. The strata are ordered by cost:
 //  * none      -- superblock fast path, zero per-instruction checks;
@@ -68,14 +86,61 @@ struct HookSet {
   bool empty() const { return !insn && !block; }
 };
 
+// A decoded straight-line run. `insns` ends at the first terminator
+// (branch/call/ret/hlt/ud/trace), region boundary, or size cap; the
+// decode never crosses the memory region containing `start`, so one
+// NX check at dispatch covers every instruction in the block.
+struct BlockInsn {
+  isa::Insn insn;
+  std::uint8_t length = 0;
+  // Any op that writes memory mid-block (stores, read-modify-writes,
+  // pushes). After one executes, the current block is revalidated so
+  // in-block code smashes take effect exactly as per-instruction
+  // interpretation would. Calls also write, but always end a block.
+  bool writes_mem = false;
+};
+
+struct DecodedBlock {
+  std::uint64_t start = 0;
+  std::uint32_t byte_len = 0;
+  std::vector<BlockInsn> insns;
+  // Generation snapshot of the (at most two) pages spanned by
+  // [start, start + byte_len).
+  std::uint32_t gen0 = 0;
+  std::uint32_t gen1 = 0;
+  bool two_pages = false;
+  // NX verdict snapshot: valid while the region list has not grown
+  // (regions are append-only, so an existing region's permissions
+  // never change; only previously-uncovered addresses can gain one).
+  bool perm_x = false;
+  std::uint32_t region_count = 0;
+  // Threaded-dispatch successor links (valid only inside the owning
+  // Cpu's arena; cleared when a block is copied out of a shared
+  // CodeCache). A link is trusted when the Memory write epoch is
+  // unchanged since it was last validated, and revalidated against the
+  // target's page generations otherwise -- see DESIGN.md §10.
+  struct Link {
+    DecodedBlock* target = nullptr;
+    std::uint32_t index = 0;     // instruction index within target
+    std::uint64_t epoch = 0;     // Memory::write_epoch at last validation
+  };
+  Link fall;   // fallthrough / not-taken successor
+  Link taken;  // direct branch / direct call target
+};
+
+// Decodes one superblock at `start` against `mem` without touching any
+// cache (shared by Cpu::build_block and build_code_cache).
+DecodedBlock decode_superblock(const Memory& mem, std::uint64_t start);
+
 class Cpu {
  public:
   explicit Cpu(Memory* mem) : mem_(mem) {}
 
-  // Not copyable: addr_index_ holds raw pointers into blocks_ nodes, so
-  // a copy would dispatch blocks owned by the source. Fork the Memory
-  // (Memory::clone) and build a fresh Cpu instead. Moves are fine --
-  // unordered_map nodes are stable across a container move.
+  // Not copyable: addr_index_ and successor links hold raw pointers into
+  // arena_ nodes, so a copy would dispatch blocks owned by the source.
+  // Fork the Memory (Memory::clone) and build a fresh Cpu instead.
+  // Moves are fine -- deque and unordered_map nodes are stable across a
+  // container move.
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
   Cpu(Cpu&&) = default;
@@ -113,15 +178,41 @@ class Cpu {
   const HookSet& hooks() const { return hooks_; }
 
   // Enforce NX: RIP must lie in a kPermX region. On by default; the image
-  // loader maps regions. Tests running raw code can disable it.
-  void set_enforce_nx(bool on) { enforce_nx_ = on; }
+  // loader maps regions. Tests running raw code can disable it. Toggling
+  // the setting drops the decode cache: successor links memoize the NX
+  // verdict of their establishment-time setting, so a flip must sever
+  // them (and rebuilding a handful of blocks is cheap).
+  void set_enforce_nx(bool on) {
+    if (on != enforce_nx_) invalidate_decode_cache();
+    enforce_nx_ = on;
+  }
 
-  // Drops every cached superblock. Never required for correctness --
+  // Threaded dispatch toggle (on by default). Off forces every block
+  // transition through the central fetch loop -- the reference path the
+  // equivalence tests compare against.
+  void set_threaded_dispatch(bool on) { threaded_dispatch_ = on; }
+  bool threaded_dispatch() const { return threaded_dispatch_; }
+
+  // Adopts a shared read-only CodeCache built over a frozen Memory
+  // snapshot. Returns false (and imports nothing) unless this Cpu's
+  // Memory descends from exactly that snapshot (Memory::lineage) --
+  // sibling-to-sibling import is unsound: two clones can reach equal
+  // page generations with different bytes. Imported blocks are copied
+  // into the local cache lazily, on first fetch of an address the cache
+  // covers, after their page-generation snapshot is revalidated against
+  // this clone's pages.
+  bool import_cache(std::shared_ptr<const CodeCache> cache);
+
+  // Drops every cached superblock (and all successor links / the
+  // return-target cache). Never required for correctness --
   // page-generation checks invalidate stale blocks lazily -- but kept
-  // for tests and memory pressure.
+  // for tests and memory pressure. An imported CodeCache is retained:
+  // it re-seeds the cache on the next fetch.
   void invalidate_decode_cache() {
     blocks_.clear();
     addr_index_.clear();
+    arena_.clear();
+    rtc_.fill(RtcEntry{});
   }
 
   // Decodes superblocks over [lo, hi) without executing, so a later run
@@ -131,44 +222,21 @@ class Cpu {
   // Block-cache observability (tests, bench counters).
   struct CacheStats {
     std::uint64_t blocks_built = 0;      // decode passes, incl. rebuilds
-    std::uint64_t block_hits = 0;        // dispatches served from cache
+    std::uint64_t block_hits = 0;        // central fetches served from cache
     std::uint64_t stale_redecodes = 0;   // rebuilds forced by page gens
     std::uint64_t dispatches = 0;        // block dispatches in run()
+    std::uint64_t chain_hits = 0;        // dispatches via successor links
+    std::uint64_t import_hits = 0;       // blocks copied from a CodeCache
+    std::uint64_t central_dispatches = 0;  // run() dispatches via fetch
   };
   const CacheStats& cache_stats() const { return stats_; }
 
  private:
-  // A decoded straight-line run. `insns` ends at the first terminator
-  // (branch/call/ret/hlt/ud/trace), region boundary, or size cap; the
-  // decode never crosses the memory region containing `start`, so one
-  // NX check at dispatch covers every instruction in the block.
-  struct BlockInsn {
-    isa::Insn insn;
-    std::uint8_t length = 0;
-    // Any op that writes memory mid-block (stores, read-modify-writes,
-    // pushes). After one executes, the current block is revalidated so
-    // in-block code smashes take effect exactly as per-instruction
-    // interpretation would. Calls also write, but always end a block.
-    bool writes_mem = false;
-  };
-  struct DecodedBlock {
-    std::uint64_t start = 0;
-    std::uint32_t byte_len = 0;
-    std::vector<BlockInsn> insns;
-    // Generation snapshot of the (at most two) pages spanned by
-    // [start, start + byte_len).
-    std::uint32_t gen0 = 0;
-    std::uint32_t gen1 = 0;
-    bool two_pages = false;
-    // NX verdict snapshot: valid while the region list has not grown
-    // (regions are append-only, so an existing region's permissions
-    // never change; only previously-uncovered addresses can gain one).
-    bool perm_x = false;
-    std::uint32_t region_count = 0;
-  };
-  struct AddrEntry {
-    DecodedBlock* block = nullptr;  // stable: unordered_map nodes don't move
-    std::uint32_t index = 0;        // instruction index within the block
+  struct RtcEntry {
+    std::uint64_t addr = 0;
+    DecodedBlock* block = nullptr;
+    std::uint32_t index = 0;
+    std::uint64_t epoch = 0;
   };
 
   CpuStatus fault_out(const std::string& reason);
@@ -182,13 +250,14 @@ class Cpu {
   CpuStatus exec(const isa::Insn& insn, std::uint64_t next_rip);
 
   // Superblock machinery.
-  CpuStatus fetch_block(const DecodedBlock** out, std::uint32_t* index);
+  CpuStatus fetch_block(DecodedBlock** out, std::uint32_t* index);
   DecodedBlock build_block(std::uint64_t start) const;
   bool block_valid(const DecodedBlock& b) const;
   bool block_exec_ok(DecodedBlock& b) const;
-  void insert_block(DecodedBlock&& b);
+  DecodedBlock* insert_block(DecodedBlock&& b);
   void discard_block(std::uint64_t block_start);
   CpuStatus run_blocks(std::uint64_t end_count);
+  CpuStatus run_chained(std::uint64_t end_count);
 
   Memory* mem_;
   std::array<std::uint64_t, isa::kNumRegs> regs_{};
@@ -199,11 +268,28 @@ class Cpu {
   std::vector<std::int64_t> probes_;
   HookSet hooks_;
   bool enforce_nx_ = true;
-  std::unordered_map<std::uint64_t, DecodedBlock> blocks_;
+  bool threaded_dispatch_ = true;
+  // Block storage. Nodes live in arena_ and are never destroyed before
+  // invalidate_decode_cache() -- a discarded (stale) block merely drops
+  // out of blocks_/addr_index_. That makes every successor-link and
+  // return-target-cache pointer permanently safe to dereference: a
+  // pointer to a discarded block self-invalidates, because page
+  // generations only move forward and its snapshot can never match
+  // again.
+  std::deque<DecodedBlock> arena_;
+  std::unordered_map<std::uint64_t, DecodedBlock*> blocks_;
+  struct AddrEntry {
+    DecodedBlock* block = nullptr;  // stable: arena nodes never move
+    std::uint32_t index = 0;        // instruction index within the block
+  };
   // Every decoded instruction start -> its block, so single-stepping and
   // branches into block interiors reuse existing blocks instead of
   // decoding overlapping suffixes.
   std::unordered_map<std::uint64_t, AddrEntry> addr_index_;
+  // Direct-mapped cache for indirect control transfers (RET above all:
+  // ROP dispatch is a RET per gadget), keyed on the target address.
+  std::array<RtcEntry, 64> rtc_{};
+  std::shared_ptr<const CodeCache> imported_;
   CacheStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <set>
 #include <span>
@@ -329,7 +330,8 @@ rop::RewriteResult ObfuscationEngine::stage_one(CraftedFunction& cf,
 }
 
 CraftedModule ObfuscationEngine::craft_module(
-    const std::vector<std::string>& names, int threads, ThreadPool* pool) {
+    const std::vector<std::string>& names, int threads, ThreadPool* pool,
+    const std::function<bool()>& cancel) {
   CraftedModule cm;
   cm.names = names;
   Stopwatch watch;
@@ -347,8 +349,16 @@ CraftedModule ObfuscationEngine::craft_module(
   // width then governs parallelism.
   pool_.freeze();
   cm.crafted.resize(names.size());
+  std::atomic<std::size_t> shed{0};
   auto craft_all = [&](ThreadPool& tp) {
     tp.parallel_for(names.size(), [&](std::size_t i) {
+      // Cancellation poll between functions: a dropped JobHandle sheds
+      // the rest of an in-flight batch instead of crafting to
+      // completion. Expiry is permanent, so a shed batch stays shed.
+      if (cancel && cancel()) {
+        shed.fetch_add(1, std::memory_order_relaxed);
+        return;  // slot keeps its default (not-ok) CraftedFunction
+      }
       cm.crafted[i] = craft_one(names[i], pre[i]);
     });
   };
@@ -358,6 +368,7 @@ CraftedModule ObfuscationEngine::craft_module(
     ThreadPool tp(threads);
     craft_all(tp);
   }
+  cm.craft_shed = shed.load(std::memory_order_relaxed);
   cm.craft_seconds = watch.seconds();
   return cm;
 }

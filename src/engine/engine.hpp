@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -144,6 +145,11 @@ struct CraftedModule {
   std::vector<std::string> names;
   std::vector<CraftedFunction> crafted;  // parallel to names
   double craft_seconds = 0.0;
+  // Functions skipped because the cancel predicate fired mid-batch
+  // (their slots keep the default not-ok CraftedFunction). A shed batch
+  // is safe to resolve/materialize -- shed slots behave like failures
+  // -- but the service cancels such jobs instead.
+  std::size_t craft_shed = 0;
   // Scheduler telemetry (see ModuleResult); zero outside the service.
   double queue_seconds = 0.0;
   double overlap_seconds = 0.0;
@@ -195,9 +201,13 @@ class ObfuscationEngine {
   // Mutates the image only through reservations; a CraftedModule from
   // engine state S must be committed before the next craft of the same
   // engine (the service serializes a session's jobs for exactly this
-  // reason).
+  // reason). `cancel` is polled once per function between crafts: once
+  // it returns true, remaining functions are shed (CraftedModule::
+  // craft_shed counts them). The prealloc pre-pass always completes, so
+  // later batches keep their exact addresses either way.
   CraftedModule craft_module(const std::vector<std::string>& names,
-                             int threads = 1, ThreadPool* pool = nullptr);
+                             int threads = 1, ThreadPool* pool = nullptr,
+                             const std::function<bool()>& cancel = {});
 
   // Pipeline stage 2a: sharded parallel planning of every gadget
   // request of the batch (GadgetPool::plan_batch) -- pure with respect

@@ -199,9 +199,15 @@ void ObfuscationService::craft_loop() {
     craft_active_since_ = job->craft_start_t;
     lk.unlock();
     probe("craft");
-    job->cm = job->session->engine_.craft_module(job->names,
-                                                 cfg_.craft_threads, &pool_);
+    // The cancel poll between functions: if every client handle is
+    // dropped mid-craft, the rest of the batch is shed (expiry is
+    // permanent, so the job is then cancelled at the next stage
+    // boundary before resolve touches the image).
+    job->cm = job->session->engine_.craft_module(
+        job->names, cfg_.craft_threads, &pool_,
+        [&job] { return job->state.expired(); });
     lk.lock();
+    stats_.craft_shed_functions += job->cm.craft_shed;
     job->craft_end_t = wall_.seconds();
     craft_active_since_ = -1.0;
     job->cm.queue_seconds = job->craft_start_t - job->submit_t;

@@ -131,6 +131,9 @@ class ObfuscationService {
     std::size_t jobs_completed = 0;
     std::size_t jobs_cancelled = 0;  // every handle dropped before resolve
     std::size_t jobs_rejected = 0;   // kFailFast admission refusals
+    // Functions shed by the mid-craft cancel poll (handles dropped
+    // while their batch was crafting).
+    std::size_t craft_shed_functions = 0;
     std::size_t peak_sessions_in_flight = 0;
     // Per-stage busy times. commit_busy_seconds is the UNION busy time
     // of the resolve and materialize stages (the "downstream" of

@@ -161,17 +161,30 @@ Memory Image::load() const {
   return mem;
 }
 
+LoadedImage Image::load_shared() const {
+  LoadedImage li;
+  li.mem = load();
+  li.mem.freeze();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  ranges.reserve(funcs_.size() + 1);
+  for (const FunctionSym& f : funcs_) {
+    if (f.size > 0) ranges.emplace_back(f.addr, f.addr + f.size);
+  }
+  ranges.emplace_back(kHltPad, kHltPad + 1);  // sentinel return block
+  li.cache = build_code_cache(li.mem, ranges);
+  return li;
+}
+
 void Image::prewarm(Cpu* cpu) const {
   for (const FunctionSym& f : funcs_) {
     if (f.size > 0) cpu->prewarm(f.addr, f.addr + f.size);
   }
 }
 
-CallResult call_function(const Memory& loaded, std::uint64_t fn_addr,
-                         std::span<const std::uint64_t> args,
-                         std::uint64_t insn_budget) {
-  Memory mem = loaded.clone();
-  Cpu cpu(&mem);
+namespace {
+CallResult call_on(Cpu& cpu, Memory& mem, std::uint64_t fn_addr,
+                   std::span<const std::uint64_t> args,
+                   std::uint64_t insn_budget) {
   static const isa::Reg kArgRegs[] = {isa::Reg::RDI, isa::Reg::RSI,
                                       isa::Reg::RDX, isa::Reg::RCX,
                                       isa::Reg::R8,  isa::Reg::R9};
@@ -190,6 +203,24 @@ CallResult call_function(const Memory& loaded, std::uint64_t fn_addr,
   r.probes = cpu.trace_probes();
   if (cpu.fault()) r.fault_reason = cpu.fault()->reason;
   return r;
+}
+}  // namespace
+
+CallResult call_function(const Memory& loaded, std::uint64_t fn_addr,
+                         std::span<const std::uint64_t> args,
+                         std::uint64_t insn_budget) {
+  Memory mem = loaded.clone();
+  Cpu cpu(&mem);
+  return call_on(cpu, mem, fn_addr, args, insn_budget);
+}
+
+CallResult call_function(const LoadedImage& li, std::uint64_t fn_addr,
+                         std::span<const std::uint64_t> args,
+                         std::uint64_t insn_budget) {
+  Memory mem = li.mem.clone();
+  Cpu cpu(&mem);
+  cpu.import_cache(li.cache);
+  return call_on(cpu, mem, fn_addr, args, insn_budget);
 }
 
 }  // namespace raindrop

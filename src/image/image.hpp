@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cpu/code_cache.hpp"
 #include "cpu/cpu.hpp"
 #include "isa/insn.hpp"
 #include "mem/memory.hpp"
@@ -29,6 +30,15 @@ inline constexpr std::uint64_t kHeapBase = 0x4000000;
 inline constexpr std::uint64_t kStackBase = 0x7ff00000;
 inline constexpr std::uint64_t kStackSize = 0x100000;
 inline constexpr std::uint64_t kHltPad = 0x10000;  // sentinel return target
+
+// A frozen, shareable load of an image: the immutable Memory snapshot
+// plus a CodeCache pre-decoded over it (DESIGN.md §10). Execution
+// clones `mem` and imports `cache` so every call/run starts warm; the
+// lineage check inside Cpu::import_cache keeps the pairing sound.
+struct LoadedImage {
+  Memory mem;                              // frozen (Memory::freeze)
+  std::shared_ptr<const CodeCache> cache;  // may be null (empty image)
+};
 
 struct FunctionSym {
   std::string name;
@@ -100,6 +110,14 @@ class Image {
   // Materialises the image into a Memory (regions + bytes + stack + pad).
   Memory load() const;
 
+  // Materialises the image into a *frozen* Memory snapshot bundled with
+  // a CodeCache pre-decoded over every function body (plus the HLT
+  // sentinel pad). The snapshot is immutable; execute against clones
+  // (call_function / the attack engines clone per run and import the
+  // cache, so every run starts warm). Callers that mutate the loaded
+  // memory before running keep using load().
+  LoadedImage load_shared() const;
+
   // Pre-warms `cpu`'s superblock cache for every function body in .text
   // (the cpu must execute a Memory produced by load() of this image).
   // Purely an optimisation: page-generation checks keep pre-decoded
@@ -132,6 +150,13 @@ struct CallResult {
 };
 
 CallResult call_function(const Memory& loaded, std::uint64_t fn_addr,
+                         std::span<const std::uint64_t> args,
+                         std::uint64_t insn_budget = 200'000'000);
+
+// Same call against a frozen LoadedImage: clones the snapshot and
+// imports its prewarmed CodeCache, so repeated calls skip the per-call
+// re-decode. Architecturally identical to the Memory overload.
+CallResult call_function(const LoadedImage& li, std::uint64_t fn_addr,
                          std::span<const std::uint64_t> args,
                          std::uint64_t insn_budget = 200'000'000);
 

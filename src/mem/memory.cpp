@@ -1,11 +1,20 @@
 #include "mem/memory.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstring>
+#include <stdexcept>
 
 namespace raindrop {
 
 Memory::Page& Memory::page_for(std::uint64_t addr) {
+  // Sole mutation gateway: every write path lands here exactly once per
+  // page generation bump, so the global write epoch is bumped in lockstep
+  // with the per-page generations (write_epoch() doc in the header).
+  if (frozen_)
+    throw std::logic_error("raindrop::Memory: write to frozen snapshot");
+  ++write_epoch_;
   std::uint64_t key = addr >> kPageBits;
   auto it = pages_.find(key);
   if (it == pages_.end()) {
@@ -111,25 +120,40 @@ std::vector<std::uint8_t> Memory::read_bytes(std::uint64_t addr,
 
 void Memory::map_region(std::uint64_t addr, std::uint64_t size, Perm perm,
                         std::string name) {
+  if (frozen_)
+    throw std::logic_error("raindrop::Memory: map_region on frozen snapshot");
+  ++write_epoch_;
+  std::uint32_t idx = static_cast<std::uint32_t>(regions_.size());
   regions_.push_back(Region{addr, size, perm, std::move(name)});
+  if (size == 0) return;  // can never contain an address; keep out of index
+  auto pos = std::upper_bound(
+      by_start_.begin(), by_start_.end(), addr,
+      [&](std::uint64_t a, std::uint32_t i) { return a < regions_[i].start; });
+  if (!overlapping_) {
+    // Disjointness check against the sorted neighbours; the first overlap
+    // permanently demotes lookups to the linear first-match scan.
+    if (pos != by_start_.begin()) {
+      const Region& prev = regions_[*(pos - 1)];
+      if (prev.start + prev.size > addr) overlapping_ = true;
+    }
+    if (pos != by_start_.end() && regions_[*pos].start < addr + size)
+      overlapping_ = true;
+  }
+  by_start_.insert(pos, idx);
 }
 
 bool Memory::is_mapped(std::uint64_t addr) const {
-  for (const auto& r : regions_)
-    if (r.contains(addr)) return true;
-  return false;
+  return region_at(addr) != nullptr;
 }
 
 Perm Memory::perm_at(std::uint64_t addr) const {
-  for (const auto& r : regions_)
-    if (r.contains(addr)) return r.perm;
-  return kPermNone;
+  const Region* r = region_at(addr);
+  return r ? r->perm : kPermNone;
 }
 
 const std::string* Memory::region_name(std::uint64_t addr) const {
-  for (const auto& r : regions_)
-    if (r.contains(addr)) return &r.name;
-  return nullptr;
+  const Region* r = region_at(addr);
+  return r ? &r->name : nullptr;
 }
 
 const Memory::Region* Memory::find_region(const std::string& name) const {
@@ -139,14 +163,40 @@ const Memory::Region* Memory::find_region(const std::string& name) const {
 }
 
 const Memory::Region* Memory::region_at(std::uint64_t addr) const {
-  for (const auto& r : regions_)
-    if (r.contains(addr)) return &r;
-  return nullptr;
+  if (overlapping_) {
+    // Overlapping regions: the sorted index cannot express first-match
+    // precedence, so fall back to the original linear scan.
+    for (const auto& r : regions_)
+      if (r.contains(addr)) return &r;
+    return nullptr;
+  }
+  // Disjoint regions: the unique candidate is the greatest start <= addr.
+  auto pos = std::upper_bound(
+      by_start_.begin(), by_start_.end(), addr,
+      [&](std::uint64_t a, std::uint32_t i) { return a < regions_[i].start; });
+  if (pos == by_start_.begin()) return nullptr;
+  const Region& r = regions_[*(pos - 1)];
+  return r.contains(addr) ? &r : nullptr;
 }
 
 Memory Memory::clone() const {
   // Shallow copy; pages become shared and copy-on-write on next write.
-  return *this;
+  Memory c = *this;
+  if (frozen_) {
+    // Descendant of an immutable snapshot: writable, and anchored to the
+    // ancestor for cache-import lineage checks.
+    c.frozen_ = false;
+    c.lineage_ = snapshot_id_;
+    c.snapshot_id_ = 0;
+  }
+  return c;
+}
+
+void Memory::freeze() {
+  if (frozen_) return;
+  static std::atomic<std::uint64_t> next_id{1};
+  snapshot_id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+  frozen_ = true;
 }
 
 }  // namespace raindrop

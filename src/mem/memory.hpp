@@ -17,6 +17,16 @@
 #include <unordered_map>
 #include <vector>
 
+// A Memory can additionally be frozen() into an immutable snapshot with a
+// process-unique snapshot id. Clones of a frozen snapshot (and clones of
+// those clones) carry the snapshot id as their lineage(), which is what
+// makes cross-Memory cache import sound: a cache built over the frozen
+// ancestor may be imported into any descendant and revalidated purely via
+// page generations, because the ancestor's pages can never change under
+// it. Siblings share no such anchor (see page_gen()) and have distinct
+// lineages unless both descend from the same frozen snapshot -- in which
+// case import is anchored to that common immutable ancestor and is sound.
+
 namespace raindrop {
 
 enum Perm : std::uint8_t {
@@ -59,6 +69,23 @@ class Memory {
   // different bytes, so caches must never migrate between siblings.
   std::uint32_t page_gen(std::uint64_t addr) const;
 
+  // Monotonic counter bumped every time *any* page generation moves (and
+  // on region appends). Cheap global "has anything changed since?" probe:
+  // equal epochs imply every page generation is unchanged, so any cached
+  // view validated at that epoch is still valid. Unequal epochs say
+  // nothing -- fall back to per-page generation checks.
+  std::uint64_t write_epoch() const { return write_epoch_; }
+
+  // Freeze this Memory into an immutable snapshot and assign it a
+  // process-unique snapshot id (idempotent). Writes and region appends on
+  // a frozen Memory throw std::logic_error. clone() of a frozen Memory
+  // yields a writable descendant whose lineage() is the ancestor's id.
+  void freeze();
+  bool frozen() const { return frozen_; }
+  // Snapshot id of the frozen ancestor this Memory descends from (its own
+  // id if frozen itself); 0 when it has no frozen ancestor.
+  std::uint64_t lineage() const { return frozen_ ? snapshot_id_ : lineage_; }
+
   // Region bookkeeping. Regions are what the CPU consults for NX checks
   // and what attacks use to tell ".text addresses" from data.
   void map_region(std::uint64_t addr, std::uint64_t size, Perm perm,
@@ -94,6 +121,18 @@ class Memory {
 
   std::unordered_map<std::uint64_t, std::shared_ptr<Page>> pages_;
   std::vector<Region> regions_;
+  // Region indices ordered by start address. Regions are append-only and
+  // in practice disjoint, so containment lookups binary-search this index
+  // instead of walking the region list (which sits on the block-build and
+  // NX-check hot paths). The first overlapping append flips overlapping_
+  // and lookups fall back to the linear scan, preserving the documented
+  // first-match precedence exactly.
+  std::vector<std::uint32_t> by_start_;
+  bool overlapping_ = false;
+  std::uint64_t write_epoch_ = 0;
+  bool frozen_ = false;
+  std::uint64_t snapshot_id_ = 0;  // nonzero once frozen
+  std::uint64_t lineage_ = 0;      // frozen ancestor's snapshot id
 };
 
 }  // namespace raindrop

@@ -549,5 +549,215 @@ TEST(Cpu, PageGenerationInvalidationOnEngineCommit) {
   EXPECT_GT(after_b.stale_redecodes, after_a.stale_redecodes);
 }
 
+// -- Clone-aware cache import + threaded dispatch (DESIGN.md §10) -------
+
+// One call against a clone of the frozen snapshot, optionally importing
+// its CodeCache, under a hook bundle and either dispatch mode.
+RunOutcome run_clone(const LoadedImage& li, std::uint64_t fn_addr,
+                     std::uint64_t arg, bool import, bool threaded,
+                     const HookSet* hooks = nullptr,
+                     Cpu::CacheStats* stats = nullptr) {
+  Memory mem = li.mem.clone();
+  Cpu cpu(&mem);
+  cpu.set_threaded_dispatch(threaded);
+  if (import) EXPECT_TRUE(cpu.import_cache(li.cache));
+  if (hooks) cpu.set_hooks(*hooks);
+  cpu.set_reg(Reg::RDI, arg);
+  std::uint64_t rsp = kStackBase + kStackSize - 64 - 8;
+  mem.write_u64(rsp, kHltPad);
+  cpu.set_reg(Reg::RSP, rsp);
+  cpu.set_rip(fn_addr);
+  CpuStatus st = cpu.run(1'000'000);
+  RunOutcome out;
+  out.status = st;
+  out.rax = cpu.reg(Reg::RAX);
+  out.insns = cpu.insn_count();
+  out.probes = cpu.trace_probes();
+  if (cpu.fault()) out.fault_reason = cpu.fault()->reason;
+  if (stats) *stats = cpu.cache_stats();
+  return out;
+}
+
+TEST(Cpu, ImportedCacheWarmStart) {
+  workload::RandomFunSpec spec;
+  spec.control = 2;
+  spec.seed = 3;
+  auto rf = workload::make_random_fun(spec);
+  Image img = minic::compile(rf.module);
+  std::uint64_t fn = img.function(rf.name)->addr;
+
+  RunOutcome cold = run_loaded(img, fn, 42, nullptr, false);
+
+  LoadedImage li = img.load_shared();
+  ASSERT_TRUE(li.mem.frozen());
+  ASSERT_NE(li.cache, nullptr);
+  EXPECT_GT(li.cache->block_count(), 0u);
+
+  // The imported run decodes nothing: every block the call needs (the
+  // function body and the HLT sentinel pad) is copied from the cache.
+  Cpu::CacheStats stats;
+  RunOutcome warm = run_clone(li, fn, 42, /*import=*/true,
+                              /*threaded=*/true, nullptr, &stats);
+  EXPECT_EQ(warm, cold);
+  EXPECT_GT(stats.import_hits, 0u);
+  EXPECT_EQ(stats.blocks_built, 0u);
+
+  // Same snapshot without the import: architecturally identical, but it
+  // pays the full decode.
+  Cpu::CacheStats cold_stats;
+  RunOutcome unimported = run_clone(li, fn, 42, /*import=*/false,
+                                    /*threaded=*/true, nullptr, &cold_stats);
+  EXPECT_EQ(unimported, cold);
+  EXPECT_GT(cold_stats.blocks_built, 0u);
+  EXPECT_EQ(cold_stats.import_hits, 0u);
+}
+
+TEST(Cpu, SiblingImportRejectedDescendantAccepted) {
+  workload::RandomFunSpec spec;
+  spec.control = 1;
+  spec.seed = 5;
+  auto rf = workload::make_random_fun(spec);
+  Image img = minic::compile(rf.module);
+  const FunctionSym f = *img.function(rf.name);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> range{
+      {f.addr, f.addr + f.size}};
+
+  // No frozen anchor, no cache: a mutable Memory cannot back one.
+  Memory plain = img.load();
+  EXPECT_EQ(build_code_cache(plain, range), nullptr);
+
+  LoadedImage li = img.load_shared();
+  Memory a = li.mem.clone();
+  Memory b = li.mem.clone();
+  {
+    Cpu ca(&a);
+    EXPECT_TRUE(ca.import_cache(li.cache));  // descendant: sound
+  }
+
+  // Freeze sibling A and build a cache over it. B has the same page
+  // generations as A (both cloned the same ancestor) but A's bytes may
+  // have diverged -- importing A's cache into B must be refused.
+  a.freeze();
+  auto sibling_cache = build_code_cache(a, range);
+  ASSERT_NE(sibling_cache, nullptr);
+  Cpu cb(&b);
+  EXPECT_FALSE(cb.import_cache(sibling_cache));
+  EXPECT_TRUE(cb.import_cache(li.cache));  // the common ancestor is fine
+
+  // A descendant of the newly frozen A accepts A's cache.
+  Memory a2 = a.clone();
+  Cpu ca2(&a2);
+  EXPECT_TRUE(ca2.import_cache(sibling_cache));
+}
+
+TEST(Cpu, CloneWriteInvalidatesOnlyTouchedImportedPages) {
+  auto cp = workload::make_corpus(1, 40);
+  ASSERT_GE(cp.runnable.size(), 2u);
+  Image img = minic::compile(cp.module);
+  const FunctionSym a = *img.function(cp.runnable.front());
+  const FunctionSym b = *img.function(cp.runnable.back());
+  // Premise: A and B sit on disjoint pages, so a write into B cannot
+  // legitimately invalidate A's imported blocks.
+  ASSERT_GT(b.addr >> Memory::kPageBits,
+            (a.addr + a.size - 1) >> Memory::kPageBits);
+
+  LoadedImage li = img.load_shared();
+  Memory mem = li.mem.clone();
+  Cpu cpu(&mem);
+  ASSERT_TRUE(cpu.import_cache(li.cache));
+  auto call = [&](std::uint64_t addr, std::uint64_t arg) {
+    cpu.set_reg(Reg::RDI, arg);
+    std::uint64_t rsp = kStackBase + kStackSize - 64 - 8;
+    mem.write_u64(rsp, kHltPad);
+    cpu.set_reg(Reg::RSP, rsp);
+    cpu.set_rip(addr);
+    EXPECT_EQ(cpu.run(10'000'000), CpuStatus::kHalted);
+    return cpu.reg(Reg::RAX);
+  };
+
+  std::uint64_t a_ref = call(a.addr, 42);
+  Cpu::CacheStats s1 = cpu.cache_stats();
+  EXPECT_GT(s1.import_hits, 0u);
+  EXPECT_EQ(s1.blocks_built, 0u);
+
+  // Self-modify B's entry in the clone (smash it with HLT). Only blocks
+  // whose page-generation snapshot spans that page may be refused.
+  mem.write_bytes(b.addr, isa::encode_one(ib::hlt()));
+
+  // A stays warm: not a single decode.
+  EXPECT_EQ(call(a.addr, 42), a_ref);
+  EXPECT_EQ(cpu.cache_stats().blocks_built, 0u);
+
+  // B's touched page: the stale import is refused and the smashed entry
+  // block is decoded locally (it halts immediately).
+  call(b.addr, 42);
+  Cpu::CacheStats s3 = cpu.cache_stats();
+  EXPECT_GT(s3.blocks_built, 0u);
+
+  // A is still warm after B's rebuild.
+  std::uint64_t built_after_b = s3.blocks_built;
+  EXPECT_EQ(call(a.addr, 42), a_ref);
+  EXPECT_EQ(cpu.cache_stats().blocks_built, built_after_b);
+}
+
+// Chained (threaded) dispatch must be architecturally invisible: same
+// trace, probes and instruction counts as the central fetch loop, with
+// and without the imported cache, under every hook stratum. Chaining is
+// live only in the zero-hook stratum with threading enabled.
+TEST(Cpu, ChainedAndCentralDispatchIdentical) {
+  workload::RandomFunSpec spec;
+  spec.control = 2;
+  spec.seed = 7;
+  auto rf = workload::make_random_fun(spec);
+  Image img = minic::compile(rf.module);
+  // The ROP-rewritten body exercises RET-per-gadget dispatch (the
+  // return-target cache) on top of the native fallthrough/branch links.
+  engine::ObfuscationEngine eng(&img, rop::rop_k(1.0, 3));
+  ASSERT_TRUE(eng.rewrite_function(rf.name).ok);
+  std::uint64_t fn = img.function(rf.name)->addr;
+  LoadedImage li = img.load_shared();
+
+  HookSet block_hooks;
+  std::uint64_t blocks_seen = 0;
+  block_hooks.block = [&](Cpu&, std::uint64_t) { ++blocks_seen; };
+  HookSet insn_hooks;
+  std::uint64_t insns_seen = 0;
+  insn_hooks.insn = [&](Cpu&, std::uint64_t, const isa::Insn&) {
+    ++insns_seen;
+    return true;
+  };
+
+  for (std::uint64_t arg :
+       {std::uint64_t(42), std::uint64_t(rf.secret_input)}) {
+    Cpu::CacheStats central_stats;
+    RunOutcome central = run_clone(li, fn, arg, false, /*threaded=*/false,
+                                   nullptr, &central_stats);
+    EXPECT_EQ(central_stats.chain_hits, 0u) << arg;
+
+    for (bool import : {false, true}) {
+      Cpu::CacheStats chained_stats;
+      RunOutcome chained = run_clone(li, fn, arg, import, /*threaded=*/true,
+                                     nullptr, &chained_stats);
+      EXPECT_EQ(chained, central) << arg << " import=" << import;
+      EXPECT_GT(chained_stats.chain_hits, 0u) << arg << " import=" << import;
+
+      blocks_seen = insns_seen = 0;
+      RunOutcome blocked = run_clone(li, fn, arg, import, /*threaded=*/true,
+                                     &block_hooks, &chained_stats);
+      EXPECT_EQ(blocked, central) << arg << " import=" << import;
+      EXPECT_EQ(chained_stats.chain_hits, 0u)
+          << "a block hook must demote dispatch to the central loop";
+      EXPECT_GT(blocks_seen, 0u);
+
+      RunOutcome insned = run_clone(li, fn, arg, import, /*threaded=*/true,
+                                    &insn_hooks, &chained_stats);
+      EXPECT_EQ(insned, central) << arg << " import=" << import;
+      EXPECT_EQ(chained_stats.chain_hits, 0u)
+          << "a per-insn hook must demote dispatch to the central loop";
+      EXPECT_EQ(insns_seen, central.insns) << arg;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace raindrop

@@ -3,6 +3,7 @@
 // diversification contract.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <thread>
 
 #include "gadgets/catalog.hpp"
@@ -116,6 +117,94 @@ TEST(Memory, RegionsAndPermissions) {
   ASSERT_NE(m.region_name(0x1000), nullptr);
   EXPECT_EQ(*m.region_name(0x1000), ".text");
   EXPECT_NE(m.find_region(".data"), nullptr);
+}
+
+// Containment lookups run over a start-sorted index (not a linear region
+// scan); the index must stay exact across out-of-order appends, gaps,
+// boundary addresses, and appends made after earlier lookups -- and an
+// overlapping append must fall back to the documented first-mapped-wins
+// precedence.
+TEST(Memory, RegionLookupIndexExactAcrossAppendsAndOverlap) {
+  Memory m;
+  m.map_region(0x3000, 0x1000, kPermRX, "c");
+  m.map_region(0x1000, 0x1000, kPermRW, "a");
+  m.map_region(0x5000, 0x1000, kPermR, "e");
+  EXPECT_EQ(m.perm_at(0x1000), kPermRW);   // first byte
+  EXPECT_EQ(m.perm_at(0x1fff), kPermRW);   // last byte
+  EXPECT_EQ(m.perm_at(0x2000), kPermNone); // gap between a and c
+  EXPECT_EQ(m.perm_at(0x2fff), kPermNone);
+  ASSERT_NE(m.region_name(0x3fff), nullptr);
+  EXPECT_EQ(*m.region_name(0x3fff), "c");
+  EXPECT_EQ(m.perm_at(0x4000), kPermNone); // gap between c and e
+  EXPECT_EQ(m.perm_at(0x0), kPermNone);    // below every region
+  EXPECT_TRUE(m.is_mapped(0x5fff));
+  EXPECT_FALSE(m.is_mapped(0x6000));       // above every region
+
+  // Append into a gap after lookups ran: the index must pick it up.
+  m.map_region(0x2000, 0x800, kPermW, "b");
+  EXPECT_EQ(m.perm_at(0x2400), kPermW);
+  EXPECT_EQ(m.perm_at(0x2900), kPermNone);
+
+  // Overlapping append: earlier-mapped regions keep precedence where
+  // they cover, and the new region answers only where they do not.
+  m.map_region(0x1800, 0x1800, kPermRX, "overlay");  // spans a, b, gap
+  EXPECT_EQ(m.perm_at(0x1900), kPermRW);  // still "a" (mapped first)
+  EXPECT_EQ(m.perm_at(0x2100), kPermW);   // still "b"
+  EXPECT_EQ(m.perm_at(0x2900), kPermRX);  // only the overlay covers this
+  ASSERT_NE(m.region_at(0x2900), nullptr);
+  EXPECT_EQ(m.region_at(0x2900)->name, "overlay");
+}
+
+TEST(Memory, WriteEpochAdvancesOnAnyMutation) {
+  Memory m;
+  m.map_region(0x1000, 0x2000, kPermRW, "d");
+  std::uint64_t e0 = m.write_epoch();
+  m.write_u8(0x1000, 1);
+  std::uint64_t e1 = m.write_epoch();
+  EXPECT_GT(e1, e0);
+  (void)m.read_u64(0x1000);
+  EXPECT_EQ(m.write_epoch(), e1);  // reads never move the epoch
+  m.write_bytes(0x1ff0, std::vector<std::uint8_t>(32, 0xcc));
+  EXPECT_GT(m.write_epoch(), e1);  // one bump per page touched
+  std::uint64_t e2 = m.write_epoch();
+  m.map_region(0x9000, 0x1000, kPermR, "r");
+  EXPECT_GT(m.write_epoch(), e2);  // region appends count as mutations
+}
+
+TEST(Memory, FreezeLineageAndImmutability) {
+  Memory m;
+  m.map_region(0x1000, 0x1000, kPermRW, "d");
+  m.write_u64(0x1000, 42);
+  EXPECT_FALSE(m.frozen());
+  EXPECT_EQ(m.lineage(), 0u);  // no frozen ancestor yet
+
+  m.freeze();
+  EXPECT_TRUE(m.frozen());
+  std::uint64_t id = m.lineage();
+  EXPECT_NE(id, 0u);
+  m.freeze();                    // idempotent: the id must not change
+  EXPECT_EQ(m.lineage(), id);
+  EXPECT_THROW(m.write_u64(0x1000, 1), std::logic_error);
+  EXPECT_THROW(m.write_bytes(0x1000, std::vector<std::uint8_t>{1}),
+               std::logic_error);
+  EXPECT_THROW(m.map_region(0x9000, 0x1000, kPermRW, "x"), std::logic_error);
+  EXPECT_EQ(m.read_u64(0x1000), 42u);  // reads still fine
+
+  // Clones are writable descendants carrying the ancestor's lineage.
+  Memory c = m.clone();
+  EXPECT_FALSE(c.frozen());
+  EXPECT_EQ(c.lineage(), id);
+  c.write_u64(0x1000, 7);
+  EXPECT_EQ(c.read_u64(0x1000), 7u);
+  EXPECT_EQ(m.read_u64(0x1000), 42u);
+  Memory g = c.clone();  // grandchildren keep the same anchor
+  EXPECT_EQ(g.lineage(), id);
+
+  // A different frozen snapshot gets a process-unique id.
+  Memory other;
+  other.map_region(0x1000, 0x1000, kPermRW, "d");
+  other.freeze();
+  EXPECT_NE(other.lineage(), id);
 }
 
 TEST(Image, AppendPatchAndLoad) {

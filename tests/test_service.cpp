@@ -463,6 +463,40 @@ TEST(ServiceCancellation, DroppedHandlesCancelJobsBeforeResolve) {
   expect_same_image(img, ref.img, "cancelled jobs leaked into the image");
 }
 
+TEST(ServiceCancellation, MidCraftDropShedsRemainingFunctions) {
+  // Dropping every client handle while the job is *inside* the craft
+  // stage sheds the rest of the batch: craft_module polls the cancel
+  // flag between functions, skips the remaining bodies, and the job is
+  // cancelled at the resolve boundary. The shed count surfaces in
+  // Stats::craft_shed_functions; the next job is unaffected.
+  auto cp = workload::make_corpus(41, 30);
+  auto jobs = split_batches(cp.functions, 2);
+
+  auto gate = std::make_shared<StageGate>();
+  engine::ServiceConfig sc;
+  sc.cache = std::make_shared<analysis::AnalysisCache>();
+  sc.stage_probe = [gate](const char* stage) { gate->on_probe(stage); };
+  engine::ObfuscationService service(sc);
+  Image img = minic::compile(cp.module);
+  auto session = service.open_session(&img, full_cfg(47));
+
+  {
+    engine::JobHandle h1 = session->submit(jobs[0]);
+    gate->wait_entered(1);  // held at the craft probe, before function 0
+  }  // the only handle dropped while the job sits inside the craft stage
+  engine::JobHandle h2 = session->submit(jobs[1]);
+  gate->release();
+
+  EXPECT_GT(h2.wait().ok_count, 0u);
+  auto st = service.stats();
+  EXPECT_EQ(st.jobs_submitted, 2u);
+  EXPECT_EQ(st.jobs_completed, 1u);
+  EXPECT_EQ(st.jobs_cancelled, 1u);
+  // The probe fires before craft_module, so expiry preceded every
+  // per-function poll: the whole first batch was shed.
+  EXPECT_EQ(st.craft_shed_functions, jobs[0].size());
+}
+
 TEST(ServiceStreaming, FacadesShareTheStreamedExecutionPath) {
   // One execution path: Rewriter -> engine facade -> the same
   // craft_module/commit_module stages the service drives. All three
