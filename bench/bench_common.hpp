@@ -166,18 +166,30 @@ inline Memory load_counted_loop(const CountedLoop& cl) {
 // (default: none, the zero-hook fast path). `insns_per_s` is 0 on any
 // anomaly; `chain_hit_rate` is the fraction of block dispatches that
 // chained through successor links instead of the central fetch loop
-// (DESIGN.md §10) -- 0 whenever a hook demotes dispatch.
+// (DESIGN.md §10) -- 0 whenever a hook demotes dispatch;
+// `lowered_share` is the fraction of block dispatches executed as
+// pre-lowered µop streams (DESIGN.md §11) -- ~1.0 in the zero-hook
+// stratum, 0 when lowering is off or a hook demotes.
 struct CpuProbe {
   double insns_per_s = 0.0;
   double chain_hit_rate = 0.0;
+  double lowered_share = 0.0;
 };
 
+// Which executor stratum the probe pins (bench_micro's strata
+// comparison): the lowered µop fast path (the default), the
+// chained-but-unlowered reference, or the central fetch loop.
+enum class Dispatch { kLowered, kChainedUnlowered, kCentral };
+
 inline CpuProbe cpu_probe(std::uint64_t loop_iters = 200'000,
-                          HookSet hooks = {}) {
+                          HookSet hooks = {},
+                          Dispatch dispatch = Dispatch::kLowered) {
   CountedLoop cl = make_counted_loop(loop_iters);
   Memory mem = load_counted_loop(cl);
   Cpu cpu(&mem);
   cpu.set_hooks(std::move(hooks));
+  if (dispatch == Dispatch::kChainedUnlowered) cpu.set_lowered_dispatch(false);
+  if (dispatch == Dispatch::kCentral) cpu.set_threaded_dispatch(false);
   cpu.set_rip(0x1000);
   Stopwatch watch;
   CpuStatus st = cpu.run(cl.insn_count + 16);
@@ -186,6 +198,9 @@ inline CpuProbe cpu_probe(std::uint64_t loop_iters = 200'000,
   const Cpu::CacheStats& cs = cpu.cache_stats();
   double total = static_cast<double>(cs.chain_hits + cs.central_dispatches);
   if (total > 0) p.chain_hit_rate = static_cast<double>(cs.chain_hits) / total;
+  if (cs.dispatches > 0)
+    p.lowered_share = static_cast<double>(cs.lowered_dispatches) /
+                      static_cast<double>(cs.dispatches);
   if (st != CpuStatus::kHalted || s <= 0.0) return p;
   p.insns_per_s = static_cast<double>(cpu.insn_count()) / s;
   return p;
@@ -197,14 +212,19 @@ inline double cpu_insns_per_sec(std::uint64_t loop_iters = 200'000,
 }
 
 // Standard per-bench engine-speed metrics: every bench JSON carries
-// `cpu_minsns_per_s` (executed Minsns/s of the simulated CPU) and
-// `cpu_chain_hit_rate` (threaded-dispatch link hit rate) so the perf
-// trajectory of the execution engine is recorded alongside each
-// experiment (DESIGN.md §4/§6/§10).
+// `cpu_minsns_per_s` (executed Minsns/s of the simulated CPU),
+// `cpu_chain_hit_rate` (threaded-dispatch link hit rate),
+// `cpu_lowered_minsns_per_s` (same probe, stated explicitly as the
+// lowered fast path) and `cpu_lowered_dispatch_share` (fraction of
+// block dispatches that ran as µop streams) so the perf trajectory of
+// the execution engine is recorded alongside each experiment
+// (DESIGN.md §4/§6/§10/§11).
 inline void emit_cpu_throughput(BenchJson& json) {
   CpuProbe p = cpu_probe();
   json.metric("cpu_minsns_per_s", p.insns_per_s / 1e6);
   json.metric("cpu_chain_hit_rate", p.chain_hit_rate);
+  json.metric("cpu_lowered_minsns_per_s", p.insns_per_s / 1e6);
+  json.metric("cpu_lowered_dispatch_share", p.lowered_share);
 }
 
 // AnalysisCache telemetry (DESIGN.md §7): every bench JSON records the

@@ -101,6 +101,35 @@ void BM_CpuDispatchStrata(benchmark::State& state) {
 }
 BENCHMARK(BM_CpuDispatchStrata)->Arg(0)->Arg(1)->Arg(2);
 
+// Executor strata within the zero-hook path (DESIGN.md §11): the
+// pre-lowered µop fast path vs the chained-but-unlowered reference vs
+// the central fetch loop, on the same warm counted loop. The spread
+// between 0 and 1 is the lowering win alone; between 1 and 2, the
+// chaining win.
+void BM_CpuLowered(benchmark::State& state) {
+  int mode = static_cast<int>(state.range(0));  // see Dispatch
+  CountedLoop loop = make_counted_loop(1000);
+  Memory mem = load_counted_loop(loop);
+  Cpu cpu(&mem);
+  if (mode == 1) cpu.set_lowered_dispatch(false);
+  if (mode == 2) cpu.set_threaded_dispatch(false);
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    std::uint64_t before = cpu.insn_count();
+    cpu.set_rip(0x1000);
+    cpu.run(100'000);
+    insns += cpu.insn_count() - before;
+  }
+  state.counters["insns/s"] = benchmark::Counter(
+      static_cast<double>(insns), benchmark::Counter::kIsRate);
+  const Cpu::CacheStats& cs = cpu.cache_stats();
+  state.counters["lowered_dispatches"] =
+      benchmark::Counter(static_cast<double>(cs.lowered_dispatches));
+  state.counters["chain_hits"] =
+      benchmark::Counter(static_cast<double>(cs.chain_hits));
+}
+BENCHMARK(BM_CpuLowered)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_RewriteFunction(benchmark::State& state) {
   auto rf = target();
   for (auto _ : state) {
@@ -185,6 +214,20 @@ int main(int argc, char** argv) {
   json.metric("cpu_zero_hook_minsns_per_s", zero_hook_m);
   json.metric("cpu_minsns_per_s", zero_hook_m);
   json.metric("cpu_chain_hit_rate", zero_hook.chain_hit_rate);
+  // Executor strata (DESIGN.md §11): the default zero-hook probe runs
+  // the lowered µop path; the two reference strata below isolate the
+  // lowering win (lowered vs chained-unlowered) from the chaining win
+  // (chained-unlowered vs central). The lowered keys are gated by the
+  // Release CI job alongside cpu_minsns_per_s.
+  json.metric("cpu_lowered_minsns_per_s", zero_hook_m);
+  json.metric("cpu_lowered_dispatch_share", zero_hook.lowered_share);
+  {
+    CpuProbe unlowered = cpu_probe(200'000, {}, Dispatch::kChainedUnlowered);
+    json.metric("cpu_chained_unlowered_minsns_per_s",
+                unlowered.insns_per_s / 1e6);
+    CpuProbe central = cpu_probe(200'000, {}, Dispatch::kCentral);
+    json.metric("cpu_central_minsns_per_s", central.insns_per_s / 1e6);
+  }
   {
     HookSet hooks;
     hooks.insn = [](Cpu&, std::uint64_t, const isa::Insn&) { return true; };

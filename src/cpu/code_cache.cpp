@@ -18,6 +18,8 @@ std::shared_ptr<const CodeCache> build_code_cache(
         a = next > a ? next : a + 1;
         continue;
       }
+      // decode_superblock also lowers (DecodedBlock::uops), so the
+      // shared cache hands out blocks ready for µop dispatch.
       DecodedBlock b = decode_superblock(frozen, a);
       if (b.insns.empty()) {
         ++a;  // undecodable byte (data between functions): skip

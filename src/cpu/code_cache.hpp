@@ -5,6 +5,13 @@
 // per call, the shadow/ropmemu attack engines clone per run, and all of
 // them start warm instead of re-decoding the same .text.
 //
+// Cached blocks carry their pre-lowered µop streams (DecodedBlock::uops,
+// DESIGN.md §11): decode_superblock lowers at decode time, so importing
+// clones start warm in lowered form too -- the copy-on-first-fetch
+// import clones the µop vector verbatim (µops hold only absolute
+// addresses and constants; only the successor links are per-Cpu and are
+// cleared on copy).
+//
 // Soundness rests on the frozen-ancestor rule: the cache's epoch() is
 // the snapshot id of the immutable Memory it was built over, and
 // Cpu::import_cache admits it only into memories whose lineage() equals

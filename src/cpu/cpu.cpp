@@ -47,6 +47,21 @@ bool ends_block(Op op) {
 std::size_t rtc_slot(std::uint64_t addr) {
   return static_cast<std::size_t>((addr * 0x9E3779B97F4A7C15ull) >> 58);
 }
+
+// Effective address of a lowered memory operand: the recipe was
+// classified (and any rip constant folded) at lower time, so this is a
+// 2-bit switch over pure adds -- no MemRef flag walking.
+inline std::uint64_t uop_ea(const isa::MicroOp& u, const std::uint64_t* regs) {
+  std::uint64_t a = static_cast<std::uint64_t>(u.disp);
+  switch (u.mode) {
+    case isa::AddrMode::kAbs: return a;
+    case isa::AddrMode::kBase: return a + regs[u.base];
+    case isa::AddrMode::kIndex: return a + (regs[u.index] << u.scale);
+    case isa::AddrMode::kBaseIndex:
+      return a + regs[u.base] + (regs[u.index] << u.scale);
+  }
+  return a;
+}
 }  // namespace
 
 bool Cpu::eval_cond(Cond cc) const {
@@ -76,7 +91,7 @@ CpuStatus Cpu::fault_out(const std::string& reason) {
   return CpuStatus::kFault;
 }
 
-bool Cpu::effective_addr(const isa::MemRef& m, std::uint64_t insn_end,
+void Cpu::effective_addr(const isa::MemRef& m, std::uint64_t insn_end,
                          std::uint64_t& out) const {
   std::uint64_t a = static_cast<std::uint64_t>(m.disp);
   if (m.rip_rel) a += insn_end;
@@ -84,32 +99,30 @@ bool Cpu::effective_addr(const isa::MemRef& m, std::uint64_t insn_end,
   if (m.has_index)
     a += regs_[static_cast<int>(m.index)] << m.scale_log2;
   out = a;
-  return true;
 }
 
+// Flag recomputation is on the per-µop hot path (every ALU op), so the
+// helpers are branchless: each flag is materialized as a 0/1 product
+// instead of a conditional store.
 void Cpu::set_flags_logic(std::uint64_t r) {
-  flags_ = 0;
-  if (r == 0) flags_ |= isa::kZF;
-  if (r & kSignBit) flags_ |= isa::kSF;
+  flags_ = std::uint64_t(r == 0) * isa::kZF + (r >> 63) * isa::kSF;
 }
 
 void Cpu::set_flags_add(std::uint64_t a, std::uint64_t b,
                         std::uint64_t carry_in, std::uint64_t r) {
-  flags_ = 0;
   // Carry out of unsigned addition a + b + carry_in.
-  if (r < a || (carry_in && r == a)) flags_ |= isa::kCF;
-  if (r == 0) flags_ |= isa::kZF;
-  if (r & kSignBit) flags_ |= isa::kSF;
-  if (~(a ^ b) & (a ^ r) & kSignBit) flags_ |= isa::kOF;
+  std::uint64_t cf = std::uint64_t(r < a) | (carry_in & std::uint64_t(r == a));
+  std::uint64_t of = (~(a ^ b) & (a ^ r)) >> 63;
+  flags_ = cf * isa::kCF + std::uint64_t(r == 0) * isa::kZF +
+           (r >> 63) * isa::kSF + of * isa::kOF;
 }
 
 void Cpu::set_flags_sub(std::uint64_t a, std::uint64_t b,
                         std::uint64_t borrow_in, std::uint64_t r) {
-  flags_ = 0;
-  if (a < b || (borrow_in && a == b)) flags_ |= isa::kCF;
-  if (r == 0) flags_ |= isa::kZF;
-  if (r & kSignBit) flags_ |= isa::kSF;
-  if ((a ^ b) & (a ^ r) & kSignBit) flags_ |= isa::kOF;
+  std::uint64_t cf = std::uint64_t(a < b) | (borrow_in & std::uint64_t(a == b));
+  std::uint64_t of = ((a ^ b) & (a ^ r)) >> 63;
+  flags_ = cf * isa::kCF + std::uint64_t(r == 0) * isa::kZF +
+           (r >> 63) * isa::kSF + of * isa::kOF;
 }
 
 // ---- Superblock cache --------------------------------------------------
@@ -141,10 +154,31 @@ DecodedBlock decode_superblock(const Memory& mem, std::uint64_t start) {
                     op == Op::ADD_MI || op == Op::SUB_MI ||
                     op == Op::PUSH_R || op == Op::PUSH_I32 || op == Op::PUSHF;
     b.insns.push_back(bi);
+    b.uops.push_back(isa::lower(d.insn, start + off, bi.length));
     off += d.length;
     if (ends_block(op)) break;
   }
   b.byte_len = static_cast<std::uint32_t>(off);
+  if (!b.insns.empty()) {
+    switch (b.insns.back().insn.op) {
+      case Op::JMP_REL:
+      case Op::CALL_REL:
+        b.term = DecodedBlock::kTermTaken;
+        break;
+      case Op::JCC_REL:
+        b.term = DecodedBlock::kTermCond;
+        break;
+      case Op::RET:
+      case Op::JMP_R:
+      case Op::JMP_M:
+      case Op::CALL_R:
+        b.term = DecodedBlock::kTermIndirect;
+        break;
+      default:
+        b.term = DecodedBlock::kTermFall;
+        break;
+    }
+  }
   b.perm_x = home && (home->perm & kPermX);
   b.region_count = static_cast<std::uint32_t>(mem.regions().size());
   if (!b.insns.empty()) {
@@ -372,6 +406,11 @@ CpuStatus Cpu::run_blocks(std::uint64_t end) {
 }
 
 CpuStatus Cpu::run_chained(std::uint64_t end) {
+  // The zero-hook stratum normally runs the pre-lowered µop executor;
+  // this function is the reference-shaped chained loop it demotes to
+  // when lowering is disabled (the strata bench isolates the lowering
+  // win this way).
+  if (lowered_dispatch_) return run_lowered(end);
   // Threaded dispatch (DESIGN.md §10): after a block completes, follow
   // its cached successor link (or the return-target cache for indirect
   // transfers) instead of returning to the central hash-lookup fetch. A
@@ -409,47 +448,34 @@ CpuStatus Cpu::run_chained(std::uint64_t end) {
     memo = nullptr;
     rtc_memo = nullptr;
     ++stats_.dispatches;
-    const std::size_t n = b->insns.size();
+    // Execute the block body through the exec() reference switch. The
+    // executor stops with *smashed set when an in-block code write
+    // invalidated the block (resume centrally at rip_; no block-end
+    // link is involved).
     bool smashed = false;
-    for (; idx < n; ++idx) {
-      if (insn_count_ >= end) return CpuStatus::kBudgetExceeded;
-      const BlockInsn& bi = b->insns[idx];
-      ++insn_count_;
-      std::uint64_t fallthrough = rip_ + bi.length;
-      CpuStatus st = exec(bi.insn, fallthrough);
-      if (st != CpuStatus::kRunning) return st;
-      if (bi.writes_mem && !block_valid(*b)) {
-        // In-block code smash: resume centrally at rip_ (the write
-        // invalidated this block; no block-end link is involved).
-        smashed = true;
-        break;
-      }
-    }
+    CpuStatus st = exec_block_insns(*b, idx, end, &smashed);
+    if (st != CpuStatus::kRunning) return st;
     if (smashed) {
       b = nullptr;
       idx = 0;
       continue;
     }
-    // Block completed; rip_ names the successor. The terminator decides
-    // which link slot covers this transition (direct targets are fixed
-    // per block, so slot identity implies the address).
+    // Block completed; rip_ names the successor. The pre-classified
+    // terminator decides which link slot covers this transition (direct
+    // targets are fixed per block, so slot identity implies the
+    // address).
     DecodedBlock::Link* slot = nullptr;
-    switch (b->insns[n - 1].insn.op) {
-      case Op::JMP_REL:
-      case Op::CALL_REL:
+    switch (b->term) {
+      case DecodedBlock::kTermTaken:
         slot = &b->taken;
         break;
-      case Op::JCC_REL:
+      case DecodedBlock::kTermCond:
         slot = rip_ == b->start + b->byte_len ? &b->fall : &b->taken;
         break;
-      case Op::RET:
-      case Op::JMP_R:
-      case Op::JMP_M:
-      case Op::CALL_R:
+      case DecodedBlock::kTermIndirect:
         slot = nullptr;  // indirect: return-target cache below
         break;
-      default:
-        // TRACE cut or size-cap split: straight-line fallthrough.
+      default:  // kTermFall: TRACE cut or size-cap split
         slot = &b->fall;
         break;
     }
@@ -481,6 +507,577 @@ CpuStatus Cpu::run_chained(std::uint64_t end) {
     rtc_memo = &e;
     b = nullptr;
     idx = 0;
+  }
+}
+
+CpuStatus Cpu::exec_block_insns(DecodedBlock& b, std::uint32_t idx,
+                                std::uint64_t end, bool* smashed) {
+  // Reference-shaped chained block body: per-instruction budget check,
+  // exec() switch, mid-block revalidation after memory writes. This is
+  // the PR 6 inner loop, kept verbatim so set_lowered_dispatch(false)
+  // measures chaining without lowering.
+  const std::size_t n = b.insns.size();
+  for (; idx < n; ++idx) {
+    if (insn_count_ >= end) return CpuStatus::kBudgetExceeded;
+    const BlockInsn& bi = b.insns[idx];
+    ++insn_count_;
+    std::uint64_t fallthrough = rip_ + bi.length;
+    CpuStatus st = exec(bi.insn, fallthrough);
+    if (st != CpuStatus::kRunning) return st;
+    if (bi.writes_mem && !block_valid(b)) {
+      *smashed = true;
+      return CpuStatus::kRunning;
+    }
+  }
+  return CpuStatus::kRunning;
+}
+
+CpuStatus Cpu::run_lowered(std::uint64_t end) {
+  // The zero-hook stratum's whole execution loop: central fetch,
+  // successor-link chaining (the exact logic of run_chained) and a
+  // dense dispatch over each block's pre-lowered µop stream
+  // (DESIGN.md §11), all in one frame so a chained block transition is
+  // a couple of loads and a goto -- no call boundary, no re-derived
+  // operand kinds, no MemRef flag walking.
+  //
+  // Unlike exec(), rip_ is NOT maintained per instruction -- each µop
+  // carries its absolute fallthrough address, so rip_ is materialized
+  // only where it is observable, with exactly the value the reference
+  // path would hold there:
+  //   * budget pause before µop i  -> address of µop i
+  //   * UD fault                   -> address of the UD itself
+  //   * div-by-zero / HLT         -> fallthrough (exec() sets rip_ to
+  //     next_rip on entry and faults/halts from there)
+  //   * branch                     -> the taken/fallthrough target
+  //   * mid-block code smash       -> fallthrough of the smashing store
+  //   * block end                  -> fallthrough of the last µop
+  // insn_count_ is likewise kept in a local across block boundaries and
+  // written back at run exits and before every central fetch. Within
+  // the µop switch, store-class µops `break` into the revalidation tail
+  // below; non-terminators `continue`; terminal branches set rip_ and
+  // `goto block_done` (the chain logic).
+  using isa::UOp;
+  DecodedBlock* b = nullptr;
+  std::uint32_t idx = 0;
+  DecodedBlock::Link* memo = nullptr;  // link to backfill after a fetch
+  RtcEntry* rtc_memo = nullptr;
+  std::uint64_t* const regs = regs_.data();
+  constexpr int kRsp = static_cast<int>(Reg::RSP);
+  std::uint64_t count = insn_count_;
+  for (;;) {
+    if (b == nullptr) {
+      // Budget check precedes the fetch, exactly like the central
+      // loop's while condition: an exhausted run must pause, not fault
+      // on whatever rip_ points at.
+      if (count >= end) {
+        insn_count_ = count;
+        return CpuStatus::kBudgetExceeded;
+      }
+      insn_count_ = count;  // exact across the fetch, which may fault
+      std::uint64_t at = rip_;
+      CpuStatus st = fetch_block(&b, &idx);
+      if (st != CpuStatus::kRunning) return st;
+      ++stats_.central_dispatches;
+      std::uint64_t ep = mem_->write_epoch();
+      if (memo != nullptr) {
+        *memo = DecodedBlock::Link{b, idx, ep};
+      } else if (rtc_memo != nullptr) {
+        *rtc_memo = RtcEntry{at, b, idx, ep};
+      }
+    }
+    memo = nullptr;
+    rtc_memo = nullptr;
+    ++stats_.dispatches;
+    ++stats_.lowered_dispatches;
+    {
+    const isa::MicroOp* const uops = b->uops.data();
+    const std::uint32_t n = static_cast<std::uint32_t>(b->uops.size());
+    for (; idx < n; ++idx) {
+      const isa::MicroOp& u = uops[idx];
+      if (count >= end) [[unlikely]] {
+        insn_count_ = count;
+        rip_ = u.next_pc - u.len;
+        return CpuStatus::kBudgetExceeded;
+      }
+      ++count;
+      switch (u.op) {
+      case UOp::kNop:
+        continue;
+      case UOp::kHlt:
+        insn_count_ = count;
+        rip_ = u.next_pc;
+        return CpuStatus::kHalted;
+      case UOp::kUd:
+        insn_count_ = count;
+        rip_ = u.next_pc - u.len;
+        return fault_out("ud");
+      case UOp::kBadOp:
+      case UOp::kCount:
+        insn_count_ = count;
+        rip_ = u.next_pc;
+        return fault_out("bad opcode");
+      case UOp::kTrace:
+        probes_.push_back(u.imm);
+        continue;
+
+      case UOp::kMovRR:
+        regs[u.a] = regs[u.b];
+        continue;
+      case UOp::kMovRI:
+        regs[u.a] = static_cast<std::uint64_t>(u.imm);
+        continue;
+      case UOp::kLea:
+        regs[u.a] = uop_ea(u, regs);
+        continue;
+
+      case UOp::kLoad1:
+        regs[u.a] = mem_->read_fixed<1>(uop_ea(u, regs));
+        continue;
+      case UOp::kLoad2:
+        regs[u.a] = mem_->read_fixed<2>(uop_ea(u, regs));
+        continue;
+      case UOp::kLoad4:
+        regs[u.a] = mem_->read_fixed<4>(uop_ea(u, regs));
+        continue;
+      case UOp::kLoad8:
+        regs[u.a] = mem_->read_fixed<8>(uop_ea(u, regs));
+        continue;
+      case UOp::kLoads1:
+        regs[u.a] = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            static_cast<std::int8_t>(mem_->read_fixed<1>(uop_ea(u, regs)))));
+        continue;
+      case UOp::kLoads2:
+        regs[u.a] = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            static_cast<std::int16_t>(mem_->read_fixed<2>(uop_ea(u, regs)))));
+        continue;
+      case UOp::kLoads4:
+        regs[u.a] = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            static_cast<std::int32_t>(mem_->read_fixed<4>(uop_ea(u, regs)))));
+        continue;
+      case UOp::kStore1:
+        mem_->write_fixed<1>(uop_ea(u, regs), regs[u.a]);
+        break;
+      case UOp::kStore2:
+        mem_->write_fixed<2>(uop_ea(u, regs), regs[u.a]);
+        break;
+      case UOp::kStore4:
+        mem_->write_fixed<4>(uop_ea(u, regs), regs[u.a]);
+        break;
+      case UOp::kStore8:
+        mem_->write_fixed<8>(uop_ea(u, regs), regs[u.a]);
+        break;
+      case UOp::kXchgRR:
+        std::swap(regs[u.a], regs[u.b]);
+        continue;
+      case UOp::kXchgM8: {
+        std::uint64_t ea = uop_ea(u, regs);
+        std::uint64_t tmp = mem_->read_fixed<8>(ea);
+        mem_->write_fixed<8>(ea, regs[u.a]);
+        regs[u.a] = tmp;
+        break;
+      }
+
+      case UOp::kPushR: {
+        std::uint64_t v = regs[u.a];  // read before the RSP move: push rsp
+        regs[kRsp] -= 8;
+        mem_->write_fixed<8>(regs[kRsp], v);
+        break;
+      }
+      case UOp::kPopR: {
+        std::uint64_t v = mem_->read_fixed<8>(regs[kRsp]);
+        regs[kRsp] += 8;
+        regs[u.a] = v;  // pop rsp loads the value, like x86
+        continue;
+      }
+      case UOp::kPushI:
+        regs[kRsp] -= 8;
+        mem_->write_fixed<8>(regs[kRsp], static_cast<std::uint64_t>(u.imm));
+        break;
+      case UOp::kPushF:
+        regs[kRsp] -= 8;
+        mem_->write_fixed<8>(regs[kRsp], flags_);
+        break;
+      case UOp::kPopF:
+        flags_ = mem_->read_fixed<8>(regs[kRsp]) & 0xf;
+        regs[kRsp] += 8;
+        continue;
+
+      case UOp::kAddRR: {
+        std::uint64_t a = regs[u.a], v = regs[u.b];
+        std::uint64_t r = a + v;
+        set_flags_add(a, v, 0, r);
+        regs[u.a] = r;
+        continue;
+      }
+      case UOp::kAddRI: {
+        std::uint64_t a = regs[u.a], v = static_cast<std::uint64_t>(u.imm);
+        std::uint64_t r = a + v;
+        set_flags_add(a, v, 0, r);
+        regs[u.a] = r;
+        continue;
+      }
+      case UOp::kAddRM8: {
+        std::uint64_t a = regs[u.a];
+        std::uint64_t v = mem_->read_fixed<8>(uop_ea(u, regs));
+        std::uint64_t r = a + v;
+        set_flags_add(a, v, 0, r);
+        regs[u.a] = r;
+        continue;
+      }
+      case UOp::kAdcRR: {
+        std::uint64_t a = regs[u.a], v = regs[u.b];
+        std::uint64_t cin = (flags_ & isa::kCF) ? 1 : 0;
+        std::uint64_t r = a + v + cin;
+        set_flags_add(a, v, cin, r);
+        regs[u.a] = r;
+        continue;
+      }
+      case UOp::kSubRR: {
+        std::uint64_t a = regs[u.a], v = regs[u.b];
+        std::uint64_t r = a - v;
+        set_flags_sub(a, v, 0, r);
+        regs[u.a] = r;
+        continue;
+      }
+      case UOp::kSubRI: {
+        std::uint64_t a = regs[u.a], v = static_cast<std::uint64_t>(u.imm);
+        std::uint64_t r = a - v;
+        set_flags_sub(a, v, 0, r);
+        regs[u.a] = r;
+        continue;
+      }
+      case UOp::kSbbRR: {
+        std::uint64_t a = regs[u.a], v = regs[u.b];
+        std::uint64_t bin = (flags_ & isa::kCF) ? 1 : 0;
+        std::uint64_t r = a - v - bin;
+        set_flags_sub(a, v, bin, r);
+        regs[u.a] = r;
+        continue;
+      }
+      case UOp::kCmpRR: {
+        std::uint64_t a = regs[u.a], v = regs[u.b];
+        set_flags_sub(a, v, 0, a - v);
+        continue;
+      }
+      case UOp::kCmpRI: {
+        std::uint64_t a = regs[u.a], v = static_cast<std::uint64_t>(u.imm);
+        set_flags_sub(a, v, 0, a - v);
+        continue;
+      }
+      case UOp::kAndRR:
+        regs[u.a] &= regs[u.b];
+        set_flags_logic(regs[u.a]);
+        continue;
+      case UOp::kAndRI:
+        regs[u.a] &= static_cast<std::uint64_t>(u.imm);
+        set_flags_logic(regs[u.a]);
+        continue;
+      case UOp::kOrRR:
+        regs[u.a] |= regs[u.b];
+        set_flags_logic(regs[u.a]);
+        continue;
+      case UOp::kOrRI:
+        regs[u.a] |= static_cast<std::uint64_t>(u.imm);
+        set_flags_logic(regs[u.a]);
+        continue;
+      case UOp::kXorRR:
+        regs[u.a] ^= regs[u.b];
+        set_flags_logic(regs[u.a]);
+        continue;
+      case UOp::kXorRI:
+        regs[u.a] ^= static_cast<std::uint64_t>(u.imm);
+        set_flags_logic(regs[u.a]);
+        continue;
+      case UOp::kTestRR:
+        set_flags_logic(regs[u.a] & regs[u.b]);
+        continue;
+      case UOp::kTestRI:
+        set_flags_logic(regs[u.a] & static_cast<std::uint64_t>(u.imm));
+        continue;
+      case UOp::kImulRR:
+      case UOp::kImulRI: {
+        std::int64_t a = static_cast<std::int64_t>(regs[u.a]);
+        std::int64_t v = u.op == UOp::kImulRR
+                             ? static_cast<std::int64_t>(regs[u.b])
+                             : u.imm;
+        __int128 wide = static_cast<__int128>(a) * v;
+        std::int64_t r = static_cast<std::int64_t>(wide);
+        flags_ = 0;
+        if (wide != static_cast<__int128>(r)) flags_ |= isa::kCF | isa::kOF;
+        if (r == 0) flags_ |= isa::kZF;
+        if (r < 0) flags_ |= isa::kSF;
+        regs[u.a] = static_cast<std::uint64_t>(r);
+        continue;
+      }
+      case UOp::kUdivRR: {
+        std::uint64_t v = regs[u.b];
+        if (v == 0) {
+          insn_count_ = count;
+          rip_ = u.next_pc;
+          return fault_out("division by zero");
+        }
+        std::uint64_t r = regs[u.a] / v;
+        regs[u.a] = r;
+        set_flags_logic(r);
+        continue;
+      }
+      case UOp::kUremRR: {
+        std::uint64_t v = regs[u.b];
+        if (v == 0) {
+          insn_count_ = count;
+          rip_ = u.next_pc;
+          return fault_out("division by zero");
+        }
+        std::uint64_t r = regs[u.a] % v;
+        regs[u.a] = r;
+        set_flags_logic(r);
+        continue;
+      }
+      case UOp::kShlRR: {
+        unsigned c = regs[u.b] & 63;
+        std::uint64_t a = regs[u.a];
+        std::uint64_t r = c ? (a << c) : a;
+        flags_ = 0;
+        if (c && ((a >> (64 - c)) & 1)) flags_ |= isa::kCF;
+        if (r == 0) flags_ |= isa::kZF;
+        if (r & kSignBit) flags_ |= isa::kSF;
+        regs[u.a] = r;
+        continue;
+      }
+      case UOp::kShrRR: {
+        unsigned c = regs[u.b] & 63;
+        std::uint64_t a = regs[u.a];
+        std::uint64_t r = c ? (a >> c) : a;
+        flags_ = 0;
+        if (c && ((a >> (c - 1)) & 1)) flags_ |= isa::kCF;
+        if (r == 0) flags_ |= isa::kZF;
+        if (r & kSignBit) flags_ |= isa::kSF;
+        regs[u.a] = r;
+        continue;
+      }
+      case UOp::kSarRR: {
+        unsigned c = regs[u.b] & 63;
+        std::int64_t a = static_cast<std::int64_t>(regs[u.a]);
+        std::int64_t r = c ? (a >> c) : a;
+        flags_ = 0;
+        if (c && ((static_cast<std::uint64_t>(a) >> (c - 1)) & 1))
+          flags_ |= isa::kCF;
+        if (r == 0) flags_ |= isa::kZF;
+        if (r < 0) flags_ |= isa::kSF;
+        regs[u.a] = static_cast<std::uint64_t>(r);
+        continue;
+      }
+      // Immediate shifts: the count was masked and proven nonzero at
+      // lower time (count 0 lowered to kShiftRI0), so the c==0 guards
+      // vanish.
+      case UOp::kShlRI: {
+        unsigned c = static_cast<unsigned>(u.imm);
+        std::uint64_t a = regs[u.a];
+        std::uint64_t r = a << c;
+        flags_ = 0;
+        if ((a >> (64 - c)) & 1) flags_ |= isa::kCF;
+        if (r == 0) flags_ |= isa::kZF;
+        if (r & kSignBit) flags_ |= isa::kSF;
+        regs[u.a] = r;
+        continue;
+      }
+      case UOp::kShrRI: {
+        unsigned c = static_cast<unsigned>(u.imm);
+        std::uint64_t a = regs[u.a];
+        std::uint64_t r = a >> c;
+        flags_ = 0;
+        if ((a >> (c - 1)) & 1) flags_ |= isa::kCF;
+        if (r == 0) flags_ |= isa::kZF;
+        if (r & kSignBit) flags_ |= isa::kSF;
+        regs[u.a] = r;
+        continue;
+      }
+      case UOp::kSarRI: {
+        unsigned c = static_cast<unsigned>(u.imm);
+        std::int64_t a = static_cast<std::int64_t>(regs[u.a]);
+        std::int64_t r = a >> c;
+        flags_ = 0;
+        if ((static_cast<std::uint64_t>(a) >> (c - 1)) & 1)
+          flags_ |= isa::kCF;
+        if (r == 0) flags_ |= isa::kZF;
+        if (r < 0) flags_ |= isa::kSF;
+        regs[u.a] = static_cast<std::uint64_t>(r);
+        continue;
+      }
+      case UOp::kShiftRI0: {
+        // Shift by 0: value unchanged, CF/OF cleared, ZF/SF from the
+        // operand -- identical across SHL/SHR/SAR.
+        std::uint64_t a = regs[u.a];
+        flags_ = 0;
+        if (a == 0) flags_ |= isa::kZF;
+        if (a & kSignBit) flags_ |= isa::kSF;
+        continue;
+      }
+      case UOp::kAddM8I: {
+        std::uint64_t ea = uop_ea(u, regs);
+        std::uint64_t a = mem_->read_fixed<8>(ea);
+        std::uint64_t v = static_cast<std::uint64_t>(u.imm);
+        std::uint64_t r = a + v;
+        set_flags_add(a, v, 0, r);
+        mem_->write_fixed<8>(ea, r);
+        break;
+      }
+      case UOp::kSubM8I: {
+        std::uint64_t ea = uop_ea(u, regs);
+        std::uint64_t a = mem_->read_fixed<8>(ea);
+        std::uint64_t v = static_cast<std::uint64_t>(u.imm);
+        std::uint64_t r = a - v;
+        set_flags_sub(a, v, 0, r);
+        mem_->write_fixed<8>(ea, r);
+        break;
+      }
+
+      case UOp::kNegR: {
+        std::uint64_t a = regs[u.a];
+        std::uint64_t r = 0 - a;
+        set_flags_sub(0, a, 0, r);  // CF = (a != 0), like x86
+        regs[u.a] = r;
+        continue;
+      }
+      case UOp::kNotR:
+        regs[u.a] = ~regs[u.a];  // no flags, like x86
+        continue;
+      case UOp::kIncR: {
+        std::uint64_t cf = flags_ & isa::kCF;  // INC preserves CF
+        std::uint64_t a = regs[u.a], r = a + 1;
+        set_flags_add(a, 1, 0, r);
+        flags_ = (flags_ & ~std::uint64_t(isa::kCF)) | cf;
+        regs[u.a] = r;
+        continue;
+      }
+      case UOp::kDecR: {
+        std::uint64_t cf = flags_ & isa::kCF;
+        std::uint64_t a = regs[u.a], r = a - 1;
+        set_flags_sub(a, 1, 0, r);
+        flags_ = (flags_ & ~std::uint64_t(isa::kCF)) | cf;
+        regs[u.a] = r;
+        continue;
+      }
+
+      case UOp::kMovzx:
+        regs[u.a] = zext(regs[u.b], u.size);
+        continue;
+      case UOp::kMovsx:
+        regs[u.a] = sext(regs[u.b], u.size);
+        continue;
+      case UOp::kCmov:
+        if (eval_cond(static_cast<Cond>(u.cc))) regs[u.a] = regs[u.b];
+        continue;
+      case UOp::kSetcc:
+        regs[u.a] = eval_cond(static_cast<Cond>(u.cc)) ? 1 : 0;
+        continue;
+      case UOp::kRdFlags:
+        regs[u.a] = flags_;
+        continue;
+      case UOp::kWrFlags:
+        flags_ = regs[u.a] & 0xf;
+        continue;
+
+      // Branches always terminate the block (decode guarantees it), so
+      // they set rip_ to the transfer target and jump straight into the
+      // chain logic without leaving this frame.
+      case UOp::kJmp:
+        rip_ = static_cast<std::uint64_t>(u.imm);
+        goto block_done;
+      case UOp::kJcc:
+        rip_ = eval_cond(static_cast<Cond>(u.cc))
+                   ? static_cast<std::uint64_t>(u.imm)
+                   : u.next_pc;
+        goto block_done;
+      case UOp::kJmpR:
+        rip_ = regs[u.a];
+        goto block_done;
+      case UOp::kJmpM8:
+        rip_ = mem_->read_fixed<8>(uop_ea(u, regs));
+        goto block_done;
+      case UOp::kCall:
+        regs[kRsp] -= 8;
+        mem_->write_fixed<8>(regs[kRsp], u.next_pc);
+        rip_ = static_cast<std::uint64_t>(u.imm);
+        goto block_done;
+      case UOp::kCallR: {
+        std::uint64_t target = regs[u.a];  // read before the push: call rsp
+        regs[kRsp] -= 8;
+        mem_->write_fixed<8>(regs[kRsp], u.next_pc);
+        rip_ = target;
+        goto block_done;
+      }
+      case UOp::kRet:
+        rip_ = mem_->read_fixed<8>(regs[kRsp]);
+        regs[kRsp] += 8;
+        goto block_done;
+    }
+    // Store-class µops land here: a memory write may have smashed this
+    // very block. Revalidate so in-block code writes take effect exactly
+    // as per-instruction interpretation would. A smashed block demotes
+    // to a fresh central fetch at the store's fallthrough.
+    if (!block_valid(*b)) {
+      rip_ = u.next_pc;
+      b = nullptr;
+      idx = 0;
+      goto next_block;
+    }
+  }
+  // Natural (non-branch) block end: TRACE cut or size-cap split. The
+  // last µop's fallthrough is b->start + b->byte_len, exactly where the
+  // reference path leaves rip_.
+  rip_ = uops[n - 1].next_pc;
+  }
+
+  block_done: {
+    // Successor chaining, identical in policy to run_chained: dedicated
+    // fall/taken links for direct terminators, the return-target cache
+    // for indirect ones; a link is trusted without revalidation when its
+    // epoch matches the current write epoch.
+    DecodedBlock::Link* slot = nullptr;
+    switch (b->term) {
+      case DecodedBlock::kTermTaken:
+        slot = &b->taken;
+        break;
+      case DecodedBlock::kTermCond:
+        slot = rip_ == b->start + b->byte_len ? &b->fall : &b->taken;
+        break;
+      case DecodedBlock::kTermFall:
+        slot = &b->fall;
+        break;
+      default:  // kTermIndirect: RET/JMP_R/JMP_M/CALL_R use the RTC
+        break;
+    }
+    std::uint64_t ep = mem_->write_epoch();
+    if (slot != nullptr) {
+      DecodedBlock* t = slot->target;
+      if (t != nullptr && (slot->epoch == ep || block_valid(*t))) {
+        slot->epoch = ep;
+        ++stats_.chain_hits;
+        b = t;
+        idx = slot->index;
+        goto next_block;
+      }
+      slot->target = nullptr;
+      memo = slot;  // backfill after the central fetch decodes rip_
+      b = nullptr;
+      idx = 0;
+      goto next_block;
+    }
+    RtcEntry& e = rtc_[rtc_slot(rip_)];
+    if (e.block != nullptr && e.addr == rip_ &&
+        (e.epoch == ep || block_valid(*e.block))) {
+      e.epoch = ep;
+      ++stats_.chain_hits;
+      b = e.block;
+      idx = e.index;
+      goto next_block;
+    }
+    rtc_memo = &e;
+    b = nullptr;
+    idx = 0;
+  }
+  next_block:;
   }
 }
 

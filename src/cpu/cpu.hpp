@@ -44,6 +44,7 @@
 
 #include "isa/encode.hpp"
 #include "isa/insn.hpp"
+#include "isa/lower.hpp"
 #include "mem/memory.hpp"
 
 namespace raindrop {
@@ -104,6 +105,14 @@ struct DecodedBlock {
   std::uint64_t start = 0;
   std::uint32_t byte_len = 0;
   std::vector<BlockInsn> insns;
+  // Pre-lowered micro-op stream, index-parallel with `insns` (one µop
+  // per instruction, same index), produced once at decode time by
+  // isa::lower() -- see DESIGN.md §11. The zero-hook stratum executes
+  // this form; every other stratum executes `insns` through exec().
+  // Rides along CodeCache sharing: lowered µops contain only absolute
+  // addresses and constants, so a block copied out of a shared cache
+  // keeps them verbatim (only the successor links are per-Cpu).
+  std::vector<isa::MicroOp> uops;
   // Generation snapshot of the (at most two) pages spanned by
   // [start, start + byte_len).
   std::uint32_t gen0 = 0;
@@ -126,6 +135,16 @@ struct DecodedBlock {
   };
   Link fall;   // fallthrough / not-taken successor
   Link taken;  // direct branch / direct call target
+  // Terminator class, pre-classified at decode time so block-end chain
+  // dispatch never reloads the final Insn: which link slot (if any)
+  // covers the outgoing transition.
+  enum : std::uint8_t {
+    kTermFall = 0,  // TRACE cut / size-cap split: straight-line fallthrough
+    kTermTaken,     // JMP_REL / CALL_REL: fixed direct target
+    kTermCond,      // JCC_REL: fall or taken by comparing rip_
+    kTermIndirect,  // RET / JMP_R / JMP_M / CALL_R: return-target cache
+  };
+  std::uint8_t term = kTermFall;
 };
 
 // Decodes one superblock at `start` against `mem` without touching any
@@ -193,6 +212,14 @@ class Cpu {
   void set_threaded_dispatch(bool on) { threaded_dispatch_ = on; }
   bool threaded_dispatch() const { return threaded_dispatch_; }
 
+  // Lowered-dispatch toggle (on by default). Only meaningful inside the
+  // zero-hook chained dispatcher: on, blocks execute their pre-lowered
+  // µop stream; off, the same chained dispatch runs each BlockInsn
+  // through the exec() reference switch (the strata-comparison bench
+  // uses this to isolate the lowering win from block chaining).
+  void set_lowered_dispatch(bool on) { lowered_dispatch_ = on; }
+  bool lowered_dispatch() const { return lowered_dispatch_; }
+
   // Adopts a shared read-only CodeCache built over a frozen Memory
   // snapshot. Returns false (and imports nothing) unless this Cpu's
   // Memory descends from exactly that snapshot (Memory::lineage) --
@@ -228,6 +255,7 @@ class Cpu {
     std::uint64_t chain_hits = 0;        // dispatches via successor links
     std::uint64_t import_hits = 0;       // blocks copied from a CodeCache
     std::uint64_t central_dispatches = 0;  // run() dispatches via fetch
+    std::uint64_t lowered_dispatches = 0;  // dispatches run as µop streams
   };
   const CacheStats& cache_stats() const { return stats_; }
 
@@ -240,7 +268,7 @@ class Cpu {
   };
 
   CpuStatus fault_out(const std::string& reason);
-  bool effective_addr(const isa::MemRef& m, std::uint64_t insn_end,
+  void effective_addr(const isa::MemRef& m, std::uint64_t insn_end,
                       std::uint64_t& out) const;
   void set_flags_logic(std::uint64_t result);
   void set_flags_add(std::uint64_t a, std::uint64_t b, std::uint64_t carry_in,
@@ -258,6 +286,18 @@ class Cpu {
   void discard_block(std::uint64_t block_start);
   CpuStatus run_blocks(std::uint64_t end_count);
   CpuStatus run_chained(std::uint64_t end_count);
+  // Zero-hook chained dispatch over the pre-lowered µop streams: the
+  // whole fetch/chain/execute loop in one frame, so block-to-block
+  // transitions never leave the executor (DESIGN.md §11).
+  CpuStatus run_lowered(std::uint64_t end_count);
+  // One chained block dispatch through the exec() reference switch,
+  // starting at instruction `idx` (the set_lowered_dispatch(false)
+  // body). Returns kRunning when the block completed (rip_ names the
+  // successor) or, with *smashed set, when a mid-block code write
+  // invalidated the block (rip_ names the next instruction); any other
+  // status is a halt/fault/budget exit.
+  CpuStatus exec_block_insns(DecodedBlock& b, std::uint32_t idx,
+                             std::uint64_t end_count, bool* smashed);
 
   Memory* mem_;
   std::array<std::uint64_t, isa::kNumRegs> regs_{};
@@ -269,6 +309,7 @@ class Cpu {
   HookSet hooks_;
   bool enforce_nx_ = true;
   bool threaded_dispatch_ = true;
+  bool lowered_dispatch_ = true;
   // Block storage. Nodes live in arena_ and are never destroyed before
   // invalidate_decode_cache() -- a discarded (stale) block merely drops
   // out of blocks_/addr_index_. That makes every successor-link and

@@ -123,8 +123,14 @@ std::size_t encode(const Insn& insn, std::vector<std::uint8_t>& out) {
       put_s32(out, insn.imm);
       break;
     case Sig::RM:
+      // XCHG_RM/ADD_RM are architecturally qword-only (the CPU accesses
+      // 64 bits unconditionally and the lowered µop form relies on it);
+      // the encoding carries no size byte, so a drifted Insn::size
+      // would silently round-trip to 8 -- reject it instead. LEA has no
+      // access width and ignores the field.
+      ok = insn.op == Op::LEA || insn.size == 8;
       put_u8(out, static_cast<std::uint8_t>(insn.r1));
-      ok = put_mem(out, insn.mem);
+      if (ok) ok = put_mem(out, insn.mem);
       break;
     case Sig::RMS:
       ok = valid_size(insn.size, insn.op != Op::LOADS);

@@ -52,7 +52,10 @@ enum class Op : std::uint8_t {
   LOADS,                       // r1 = sx([mem], size in {1,2,4})
   STORE,                       // [mem] = low `size` bytes of r1
   XCHG_RR,
-  XCHG_RM,                     // xchg r1, qword [mem] (stack switching, §IV)
+  XCHG_RM,                     // xchg r1, qword [mem] (stack switching, §IV).
+                               // Qword-only: size must be 8 (encode rejects
+                               // anything else; the encoding has no size
+                               // byte, so decode always yields 8).
 
   PUSH_R, POP_R, PUSH_I32, PUSHF, POPF,
 
@@ -64,7 +67,7 @@ enum class Op : std::uint8_t {
   ADD_RI, SUB_RI, AND_RI, OR_RI, XOR_RI,
   CMP_RI, TEST_RI, IMUL_RI, SHL_RI, SHR_RI, SAR_RI,
 
-  ADD_RM,   // r1 += qword [mem]
+  ADD_RM,   // r1 += qword [mem]. Qword-only, like XCHG_RM: size must be 8.
   ADD_MI,   // qword [mem] += imm32 (sx)
   SUB_MI,   // qword [mem] -= imm32 (sx)
 

@@ -8,29 +8,8 @@
 
 namespace raindrop {
 
-Memory::Page& Memory::page_for(std::uint64_t addr) {
-  // Sole mutation gateway: every write path lands here exactly once per
-  // page generation bump, so the global write epoch is bumped in lockstep
-  // with the per-page generations (write_epoch() doc in the header).
-  if (frozen_)
-    throw std::logic_error("raindrop::Memory: write to frozen snapshot");
-  ++write_epoch_;
-  std::uint64_t key = addr >> kPageBits;
-  auto it = pages_.find(key);
-  if (it == pages_.end()) {
-    it = pages_.emplace(key, std::make_shared<Page>()).first;
-  } else if (it->second.use_count() > 1) {
-    // Copy-on-write: pages are shared between cloned memories (attack
-    // engines fork states constantly; deep copies would dominate runtime).
-    it->second = std::make_shared<Page>(*it->second);
-  }
-  return *it->second;
-}
-
-const Memory::Page* Memory::page_for(std::uint64_t addr) const {
-  auto it = pages_.find(addr >> kPageBits);
-  return it == pages_.end() ? nullptr : it->second.get();
-}
+// page_for (both overloads) is defined inline in the header: it sits on
+// the µop executor's store fast path.
 
 std::uint8_t Memory::read_u8(std::uint64_t addr) const {
   const Page* p = page_for(addr);

@@ -10,9 +10,12 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +57,17 @@ class Memory {
 
   std::uint64_t read_u64(std::uint64_t addr) const { return read(addr, 8); }
   void write_u64(std::uint64_t addr, std::uint64_t v) { write(addr, v, 8); }
+
+  // Compile-time-sized variants of read()/write() for callers that know
+  // the access width statically (the CPU's pre-lowered µop executor:
+  // every lowered load/store/push/pop/ret carries its width in the
+  // opcode). Same semantics, including zero reads from unmapped pages
+  // and byte-wise page-straddling fallback; the win is that the size
+  // branch and the memcpy length are constants. Defined below the class.
+  template <unsigned N>
+  std::uint64_t read_fixed(std::uint64_t addr) const;
+  template <unsigned N>
+  void write_fixed(std::uint64_t addr, std::uint64_t v);
 
   void write_bytes(std::uint64_t addr, std::span<const std::uint8_t> bytes);
   std::vector<std::uint8_t> read_bytes(std::uint64_t addr,
@@ -116,8 +130,31 @@ class Memory {
     std::array<std::uint8_t, kPageSize> bytes{};
     std::uint32_t gen = 0;  // see page_gen()
   };
-  Page& page_for(std::uint64_t addr);
-  const Page* page_for(std::uint64_t addr) const;
+
+  // Sole mutation gateway: every write path lands here exactly once per
+  // page generation bump, so the global write epoch is bumped in
+  // lockstep with the per-page generations (write_epoch() doc above).
+  // Inline: this sits on the µop store fast path.
+  Page& page_for(std::uint64_t addr) {
+    if (frozen_)
+      throw std::logic_error("raindrop::Memory: write to frozen snapshot");
+    ++write_epoch_;
+    std::uint64_t key = addr >> kPageBits;
+    auto it = pages_.find(key);
+    if (it == pages_.end()) {
+      it = pages_.emplace(key, std::make_shared<Page>()).first;
+    } else if (it->second.use_count() > 1) {
+      // Copy-on-write: pages are shared between cloned memories (attack
+      // engines fork states constantly; deep copies would dominate
+      // runtime).
+      it->second = std::make_shared<Page>(*it->second);
+    }
+    return *it->second;
+  }
+  const Page* page_for(std::uint64_t addr) const {
+    auto it = pages_.find(addr >> kPageBits);
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
 
   std::unordered_map<std::uint64_t, std::shared_ptr<Page>> pages_;
   std::vector<Region> regions_;
@@ -134,5 +171,42 @@ class Memory {
   std::uint64_t snapshot_id_ = 0;  // nonzero once frozen
   std::uint64_t lineage_ = 0;      // frozen ancestor's snapshot id
 };
+
+template <unsigned N>
+std::uint64_t Memory::read_fixed(std::uint64_t addr) const {
+  static_assert(N == 1 || N == 2 || N == 4 || N == 8);
+  std::uint64_t off = addr & (kPageSize - 1);
+  if (off + N <= kPageSize) [[likely]] {
+    const Page* p = page_for(addr);
+    if (!p) return 0;
+    std::uint64_t v = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&v, p->bytes.data() + off, N);
+    } else {
+      for (unsigned i = 0; i < N; ++i)
+        v |= std::uint64_t(p->bytes[off + i]) << (8 * i);
+    }
+    return v;
+  }
+  return read(addr, N);  // page-straddling access: rare, byte-wise
+}
+
+template <unsigned N>
+void Memory::write_fixed(std::uint64_t addr, std::uint64_t v) {
+  static_assert(N == 1 || N == 2 || N == 4 || N == 8);
+  std::uint64_t off = addr & (kPageSize - 1);
+  if (off + N <= kPageSize) [[likely]] {
+    Page& p = page_for(addr);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(p.bytes.data() + off, &v, N);
+    } else {
+      for (unsigned i = 0; i < N; ++i)
+        p.bytes[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    ++p.gen;
+    return;
+  }
+  write(addr, v, N);
+}
 
 }  // namespace raindrop

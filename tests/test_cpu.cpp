@@ -4,6 +4,8 @@
 // paper's Figure 1.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <random>
 #include <set>
 
 #include "cpu/cpu.hpp"
@@ -755,6 +757,323 @@ TEST(Cpu, ChainedAndCentralDispatchIdentical) {
       EXPECT_EQ(chained_stats.chain_hits, 0u)
           << "a per-insn hook must demote dispatch to the central loop";
       EXPECT_EQ(insns_seen, central.insns) << arg;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz for the pre-lowered µop executor (DESIGN.md §11):
+// seeded random programs spanning every opcode and operand shape --
+// including mid-block self-modifying stores, blocks that straddle a page
+// boundary, wild indirect jumps and mid-run budget pauses -- must be
+// architecturally indistinguishable between the lowered fast path, the
+// chained-but-unlowered reference (set_lowered_dispatch(false)) and the
+// central fetch loop (set_threaded_dispatch(false)).
+
+struct FuzzOutcome {
+  CpuStatus status = CpuStatus::kHalted;
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+  std::uint64_t flags = 0;
+  std::uint64_t rip = 0;
+  std::uint64_t insns = 0;
+  std::vector<std::int64_t> probes;
+  std::string fault_reason;
+
+  bool operator==(const FuzzOutcome&) const = default;
+};
+
+// The program starts 48 bytes shy of a page line so the entry superblock
+// straddles pages (the two-generation revalidation path).
+constexpr std::uint64_t kFuzzCode = 0x1FD0;
+constexpr std::uint64_t kFuzzData = 0x40000;  // scratch window for operands
+constexpr std::uint64_t kFuzzStack = 0x60000;
+constexpr std::uint64_t kFuzzPad = 0x3000;  // HLT pad: wild RETs land here
+
+std::vector<std::uint8_t> make_fuzz_program(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto reg = [&] { return static_cast<Reg>(rng() % isa::kNumRegs); };
+  auto cond = [&] { return static_cast<Cond>(rng() % isa::kNumConds); };
+  auto size4 = [&] { return static_cast<std::uint8_t>(1u << (rng() % 4)); };
+  auto size3 = [&] { return static_cast<std::uint8_t>(1u << (rng() % 3)); };
+  auto mem = [&]() -> MemRef {
+    // Every lowered addressing recipe. Register-free shapes stay inside
+    // the scratch window; register-relative ones roam wherever the run
+    // has driven the registers (unmapped reads are architecturally 0).
+    std::int64_t d = static_cast<std::int64_t>(kFuzzData + (rng() & 0xFF8));
+    switch (rng() % 5) {
+      case 0:
+        return MemRef::abs(d);
+      case 1:
+        return MemRef::base_disp(reg(),
+                                 static_cast<std::int64_t>(rng() & 0xFF) - 64);
+      case 2:
+        return MemRef::index_disp(reg(), static_cast<std::uint8_t>(rng() % 4),
+                                  d);
+      case 3:
+        return MemRef::base_index(reg(), reg(),
+                                  static_cast<std::uint8_t>(rng() % 4),
+                                  static_cast<std::int64_t>(rng() & 0x7F));
+      default:
+        return MemRef::rip(static_cast<std::int64_t>(rng() & 0x3F) - 8);
+    }
+  };
+  auto imm = [&]() -> std::int64_t {
+    switch (rng() % 4) {
+      case 0:
+        return static_cast<std::int64_t>(rng() & 0xFF);
+      case 1:
+        return -static_cast<std::int64_t>(rng() & 0xFF);
+      case 2:
+        return static_cast<std::int32_t>(rng());
+      default:
+        return 0;
+    }
+  };
+  static constexpr isa::Op kAluRR[] = {
+      isa::Op::ADD_RR, isa::Op::SUB_RR,  isa::Op::AND_RR,  isa::Op::OR_RR,
+      isa::Op::XOR_RR, isa::Op::ADC_RR,  isa::Op::SBB_RR,  isa::Op::CMP_RR,
+      isa::Op::TEST_RR, isa::Op::IMUL_RR, isa::Op::UDIV_RR, isa::Op::UREM_RR,
+      isa::Op::SHL_RR, isa::Op::SHR_RR,  isa::Op::SAR_RR,
+  };
+  static constexpr isa::Op kAluRI[] = {
+      isa::Op::ADD_RI, isa::Op::SUB_RI,  isa::Op::AND_RI, isa::Op::OR_RI,
+      isa::Op::XOR_RI, isa::Op::CMP_RI,  isa::Op::TEST_RI, isa::Op::IMUL_RI,
+      isa::Op::SHL_RI, isa::Op::SHR_RI,  isa::Op::SAR_RI,
+  };
+
+  std::vector<std::uint8_t> bytes;
+  auto emit = [&](const isa::Insn& i) { isa::encode(i, bytes); };
+  std::int64_t trace_id = 0;
+  std::size_t n_insns = 24 + rng() % 32;
+  for (std::size_t k = 0; k < n_insns; ++k) {
+    switch (rng() % 34) {
+      case 0:
+        emit(ib::mov(reg(), reg()));
+        break;
+      case 1:
+        emit(ib::mov_i64(reg(), imm()));
+        break;
+      case 2:
+        emit(ib::mov_i32(reg(), static_cast<std::int32_t>(rng())));
+        break;
+      case 3:
+        emit(ib::lea(reg(), mem()));
+        break;
+      case 4:
+      case 5:
+        emit(ib::load(reg(), mem(), size4()));
+        break;
+      case 6:
+        emit(ib::loads(reg(), mem(), size3()));
+        break;
+      case 7:
+      case 8:
+        emit(ib::store(mem(), reg(), size4()));
+        break;
+      case 9:
+        emit(ib::xchg(reg(), reg()));
+        break;
+      case 10:
+        emit(ib::xchg_m(reg(), mem()));
+        break;
+      case 11:
+        emit(ib::push(reg()));
+        break;
+      case 12:
+        emit(ib::pop(reg()));
+        break;
+      case 13:
+        emit(ib::push_i32(imm()));
+        break;
+      case 14:
+        emit(ib::pushf());
+        break;
+      case 15:
+        emit(ib::popf());
+        break;
+      case 16:
+      case 17:
+      case 18:
+        emit(ib::alu_rr(kAluRR[rng() % std::size(kAluRR)], reg(), reg()));
+        break;
+      case 19:
+      case 20:
+        emit(ib::alu_ri(kAluRI[rng() % std::size(kAluRI)], reg(), imm()));
+        break;
+      case 21:
+        // Shift-by-immediate with an effective count of zero: must keep
+        // flags untouched on every path (the kShiftRI0 µop).
+        emit(ib::alu_ri(rng() % 2 ? isa::Op::SHL_RI : isa::Op::SAR_RI, reg(),
+                        rng() % 2 ? 0 : 64));
+        break;
+      case 22:
+        emit(ib::add_m(reg(), mem()));
+        break;
+      case 23:
+        emit(rng() % 2 ? ib::add_mi(mem(), imm()) : ib::sub_mi(mem(), imm()));
+        break;
+      case 24: {
+        Reg r = reg();
+        switch (rng() % 4) {
+          case 0: emit(ib::neg(r)); break;
+          case 1: emit(ib::not_(r)); break;
+          case 2: emit(ib::inc(r)); break;
+          default: emit(ib::dec(r)); break;
+        }
+        break;
+      }
+      case 25:
+        emit(rng() % 2 ? ib::movzx(reg(), reg(), size3())
+                       : ib::movsx(reg(), reg(), size3()));
+        break;
+      case 26:
+        emit(rng() % 2 ? ib::cmov(cond(), reg(), reg())
+                       : ib::setcc(cond(), reg()));
+        break;
+      case 27:
+        emit(rng() % 2 ? ib::rdflags(reg()) : ib::wrflags(reg()));
+        break;
+      case 28:
+        emit(ib::trace(trace_id++));
+        break;
+      case 29: {
+        // Branch over one instruction: exercises both the taken and the
+        // fallthrough chain link depending on live flags.
+        std::vector<std::uint8_t> over;
+        isa::encode(ib::mov_i32(reg(), static_cast<std::int32_t>(rng())),
+                    over);
+        emit(rng() % 2 ? ib::jcc(cond(), static_cast<std::int64_t>(over.size()))
+                       : ib::jmp(static_cast<std::int64_t>(over.size())));
+        bytes.insert(bytes.end(), over.begin(), over.end());
+        break;
+      }
+      case 30: {
+        // Mid-block self-modifying store aimed into the program itself:
+        // the lowered path must demote exactly where the reference does.
+        emit(ib::store(
+            MemRef::abs(static_cast<std::int64_t>(kFuzzCode + (rng() % 0xC0))),
+            reg(), size4()));
+        break;
+      }
+      case 31: {
+        // Direct call to the HLT pad (tests kCall's push) or a call over
+        // the next instruction.
+        std::uint64_t after =
+            kFuzzCode + bytes.size() + isa::encoded_length(ib::call(0));
+        emit(ib::call(static_cast<std::int64_t>(kFuzzPad - after)));
+        break;
+      }
+      case 32: {
+        // Backward conditional loop: dec + jcc back over it. Terminates
+        // either by the condition or by the run budget; a budget pause
+        // inside the loop must match across executors.
+        Reg r = reg();
+        std::size_t dec_len = isa::encoded_length(ib::dec(r));
+        std::size_t jcc_len = isa::encoded_length(ib::jcc(Cond::NE, 0));
+        emit(ib::dec(r));
+        emit(ib::jcc(cond(), -static_cast<std::int64_t>(dec_len + jcc_len)));
+        break;
+      }
+      default: {
+        // Wild transfers and faults: indirect jumps through run-driven
+        // registers/memory, bare RET into the seeded pad, UD. Whatever
+        // happens -- garbage decode, NX fault, halt -- must be identical.
+        switch (rng() % 5) {
+          case 0: emit(ib::jmp_r(reg())); break;
+          case 1: emit(ib::jmp_m(mem())); break;
+          case 2: emit(ib::call_r(reg())); break;
+          case 3: emit(ib::ret()); break;
+          default: emit(ib::ud()); break;
+        }
+        break;
+      }
+    }
+  }
+  isa::encode(ib::hlt(), bytes);
+  return bytes;
+}
+
+enum class FuzzMode { kLowered, kChainedUnlowered, kCentral, kImported };
+
+FuzzOutcome run_fuzz(const std::vector<std::uint8_t>& bytes,
+                     std::uint64_t seed, FuzzMode mode,
+                     std::uint64_t budget = 2000) {
+  Memory proto;
+  proto.map_region(0, 1 << 20, kPermRWX, "all");
+  proto.write_bytes(kFuzzCode, bytes);
+  std::vector<std::uint8_t> pad = isa::encode_one(ib::hlt());
+  proto.write_bytes(kFuzzPad, pad);
+  // Seed the return-address window and the data scratch deterministically
+  // so RETs land on the pad and loads observe nonzero bytes of every
+  // width.
+  for (int i = 0; i < 8; ++i) proto.write_u64(kFuzzStack + 8 * i, kFuzzPad);
+  std::mt19937_64 datarng(seed * 0x9e3779b97f4a7c15ull + 1);
+  for (int i = 0; i < 64; ++i) proto.write_u64(kFuzzData + 8 * i, datarng());
+
+  std::shared_ptr<const CodeCache> cache;
+  Memory mem;
+  if (mode == FuzzMode::kImported) {
+    proto.freeze();
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges{
+        {kFuzzCode, kFuzzCode + bytes.size()},
+        {kFuzzPad, kFuzzPad + pad.size()}};
+    cache = build_code_cache(proto, ranges);
+    mem = proto.clone();
+  } else {
+    mem = std::move(proto);
+  }
+  Cpu cpu(&mem);
+  if (cache) EXPECT_TRUE(cpu.import_cache(cache));
+  if (mode == FuzzMode::kChainedUnlowered) cpu.set_lowered_dispatch(false);
+  if (mode == FuzzMode::kCentral) cpu.set_threaded_dispatch(false);
+  std::mt19937_64 regrng(seed ^ 0xda942042e4dd58b5ull);
+  for (int r = 0; r < isa::kNumRegs; ++r)
+    cpu.set_reg(static_cast<Reg>(r), kFuzzData + (regrng() & 0xFF8));
+  cpu.set_reg(Reg::RSP, kFuzzStack);
+  cpu.set_rip(kFuzzCode);
+
+  FuzzOutcome out;
+  out.status = cpu.run(budget);
+  for (int r = 0; r < isa::kNumRegs; ++r)
+    out.regs[r] = cpu.reg(static_cast<Reg>(r));
+  out.flags = cpu.flags();
+  out.rip = cpu.rip();
+  out.insns = cpu.insn_count();
+  out.probes = cpu.trace_probes();
+  if (cpu.fault()) out.fault_reason = cpu.fault()->reason;
+  return out;
+}
+
+TEST(Cpu, LoweredDifferentialFuzz) {
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    auto bytes = make_fuzz_program(seed);
+    FuzzOutcome lowered = run_fuzz(bytes, seed, FuzzMode::kLowered);
+    FuzzOutcome chained = run_fuzz(bytes, seed, FuzzMode::kChainedUnlowered);
+    FuzzOutcome central = run_fuzz(bytes, seed, FuzzMode::kCentral);
+    EXPECT_EQ(lowered, chained) << "seed " << seed;
+    EXPECT_EQ(lowered, central) << "seed " << seed;
+    if (seed % 4 == 0) {
+      // Imported shared-cache blocks carry pre-lowered µops too; a clone
+      // must execute them identically (including SMC demotion, which
+      // rebuilds locally).
+      FuzzOutcome imported = run_fuzz(bytes, seed, FuzzMode::kImported);
+      EXPECT_EQ(lowered, imported) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Cpu, LoweredBudgetPauseFuzz) {
+  // Tiny budgets force pauses at arbitrary µop positions -- mid-block,
+  // on block entry, inside backward loops. The paused architectural
+  // state (rip, insn_count, regs) must match the reference exactly.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto bytes = make_fuzz_program(seed);
+    for (std::uint64_t budget : {1ull, 3ull, 17ull, 101ull}) {
+      FuzzOutcome lowered =
+          run_fuzz(bytes, seed, FuzzMode::kLowered, budget);
+      FuzzOutcome central =
+          run_fuzz(bytes, seed, FuzzMode::kCentral, budget);
+      EXPECT_EQ(lowered, central) << "seed " << seed << " budget " << budget;
     }
   }
 }
