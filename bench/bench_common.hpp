@@ -19,6 +19,7 @@
 #include "image/image.hpp"
 #include "minic/codegen.hpp"
 #include "rop/rewriter.hpp"
+#include "support/faultpoint.hpp"
 #include "support/stopwatch.hpp"
 #include "vmobf/vmobf.hpp"
 #include "workload/randomfuns.hpp"
@@ -275,6 +276,22 @@ inline void emit_service_stats(BenchJson& json,
               static_cast<double>(st.jobs_cancelled));
   json.metric(prefix + "jobs_rejected",
               static_cast<double>(st.jobs_rejected));
+  // Robustness telemetry (DESIGN.md §12): every BENCH_*.json records
+  // whether the run needed self-healing. All zero on a healthy run.
+  json.metric(prefix + "faults_injected",
+              static_cast<double>(fault::injected_total()));
+  json.metric(prefix + "jobs_retried",
+              static_cast<double>(st.jobs_retried));
+  json.metric(prefix + "stage_retries",
+              static_cast<double>(st.stage_retries));
+  json.metric(prefix + "jobs_quarantined",
+              static_cast<double>(st.jobs_quarantined));
+  json.metric(prefix + "jobs_degraded_serial",
+              static_cast<double>(st.jobs_degraded_serial));
+  json.metric(prefix + "watchdog_flags",
+              static_cast<double>(st.watchdog_flags));
+  json.metric(prefix + "corruptions_recovered",
+              static_cast<double>(st.corruptions_recovered));
 }
 
 // Obfuscation configurations of Table I.

@@ -247,6 +247,13 @@ int main() {
               static_cast<double>(stream.stats.peak_sessions_in_flight));
   json.metric("rewrites", static_cast<double>(stream.ok));
   json.metric("deterministic", identical ? 1.0 : 0.0);
+  // CI gate (DESIGN.md §12): a production bench run must never have
+  // exercised the robustness machinery -- no injected faults, no
+  // quarantines, no watchdog demotions. 1 = clean.
+  const bool fault_free = fault::injected_total() == 0 &&
+                          stream.stats.jobs_quarantined == 0 &&
+                          stream.stats.jobs_degraded_serial == 0;
+  json.metric("fault_free", fault_free ? 1.0 : 0.0);
   // Cache telemetry of the service's shared cache (NOT the process-wide
   // one emit_analysis_cache reads -- this bench never touches that):
   // the repeats' warm hits are the cross-client reuse story.

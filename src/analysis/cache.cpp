@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "support/faultpoint.hpp"
+
 namespace raindrop::analysis {
 
 namespace {
@@ -28,6 +30,29 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
 }
 
 }  // namespace
+
+std::uint64_t AnalysisArtifacts::compute_integrity() const {
+  // Structural fold over everything craft consumes from the artifact.
+  // The digest does NOT cover the `integrity` field itself, so flipping
+  // any covered scalar -- or the stored digest -- produces a mismatch.
+  std::uint64_t h = 0x9d6f1e0cc7a5b311ull;
+  h = AnalysisCache::fold(h, cfg.entry);
+  h = AnalysisCache::fold(h, cfg.complete ? 1 : 0);
+  h = AnalysisCache::fold(h, cfg.error.size());
+  h = AnalysisCache::fold(h, cfg.blocks.size());
+  for (const auto& [addr, bb] : cfg.blocks) {
+    h = AnalysisCache::fold(h, addr);
+    h = AnalysisCache::fold(h, bb.insns.size());
+    for (const CfgInsn& ci : bb.insns) {
+      h = AnalysisCache::fold(h, ci.addr);
+      h = AnalysisCache::fold(h, static_cast<std::uint64_t>(ci.insn.op));
+    }
+    h = AnalysisCache::fold(h, bb.succs.size());
+    if (bb.jump_table) h = AnalysisCache::fold(h, bb.jump_table->table_addr);
+  }
+  h = AnalysisCache::fold(h, dep_fingerprint);
+  return h;
+}
 
 std::uint64_t AnalysisCache::hash_bytes(const std::uint8_t* data,
                                         std::size_t n, std::uint64_t seed) {
@@ -90,6 +115,7 @@ AnalysisCache::Entry AnalysisCache::build_entry(const Image& img,
     }
   }
   art->dep_fingerprint = dep_fp;
+  art->integrity = art->compute_integrity();
   e.art = std::move(art);
   return e;
 }
@@ -123,11 +149,16 @@ std::shared_ptr<const AnalysisArtifacts> AnalysisCache::lookup_or_build(
       // collision between coexisting functions; treat as a miss.
       if (e.entry_addr == entry && e.size == size &&
           e.arg_count == arg_count && deps_valid(e, img)) {
-        ++sh.hits;
-        if (hit) *hit = true;
-        return e.art;
+        if (e.art->integrity == e.art->compute_integrity()) {
+          ++sh.hits;
+          if (hit) *hit = true;
+          return e.art;
+        }
+        // Corrupted entry: the stored digest no longer matches the
+        // contents. Evict and rebuild -- the caller never sees it.
+        ++sh.integrity_evictions;
       }
-      // Stale dependencies (or collision): drop and rebuild below.
+      // Stale dependencies, corruption, or collision: drop and rebuild.
       sh.map.erase(it);
       ++sh.evictions;
     }
@@ -137,6 +168,15 @@ std::shared_ptr<const AnalysisArtifacts> AnalysisCache::lookup_or_build(
   // so a racing builder computes the identical value.
   Entry fresh = build_entry(img, entry, size, arg_count);
   std::shared_ptr<const AnalysisArtifacts> art = fresh.art;
+  if (fault::fire("cache.analysis.corrupt")) {
+    // Emulate in-cache corruption: store a copy with a digest-covered
+    // payload field flipped (keeping the clean stored digest), while the
+    // current caller still gets the clean artifact. The next hit must
+    // detect the mismatch, evict, and rebuild.
+    auto bad = std::make_shared<AnalysisArtifacts>(*art);
+    bad->dep_fingerprint ^= 1;
+    fresh.art = std::move(bad);
+  }
   {
     std::lock_guard<std::mutex> lock(sh.mu);
     ++sh.misses;
@@ -177,6 +217,17 @@ void AnalysisCache::aux_insert(std::uint64_t key,
   }
 }
 
+bool AnalysisCache::aux_evict(std::uint64_t key) {
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  if (!sh.aux.erase(key)) return false;
+  // The stale key may linger in aux_fifo; the eviction sweep in
+  // aux_insert tolerates keys that are already gone.
+  ++sh.aux_evictions;
+  ++sh.aux_integrity_evictions;
+  return true;
+}
+
 AnalysisCache::Stats AnalysisCache::stats() const {
   Stats s;
   for (const Shard& sh : shards_) {
@@ -184,6 +235,7 @@ AnalysisCache::Stats AnalysisCache::stats() const {
     s.hits += sh.hits;
     s.misses += sh.misses;
     s.evictions += sh.evictions;
+    s.integrity_evictions += sh.integrity_evictions;
   }
   return s;
 }
@@ -195,6 +247,7 @@ AnalysisCache::Stats AnalysisCache::aux_stats() const {
     s.hits += sh.aux_hits;
     s.misses += sh.aux_misses;
     s.evictions += sh.aux_evictions;
+    s.integrity_evictions += sh.aux_integrity_evictions;
   }
   return s;
 }
@@ -207,7 +260,9 @@ void AnalysisCache::clear() {
     sh.aux.clear();
     sh.aux_fifo.clear();
     sh.hits = sh.misses = sh.evictions = 0;
+    sh.integrity_evictions = 0;
     sh.aux_hits = sh.aux_misses = sh.aux_evictions = 0;
+    sh.aux_integrity_evictions = 0;
   }
 }
 

@@ -55,6 +55,13 @@ struct AnalysisArtifacts {
   // downstream memos (the engine's craft memo) fold it into their own
   // keys to inherit that revalidation.
   std::uint64_t dep_fingerprint = 0;
+  // Structural content digest, stamped at build time and re-verified on
+  // every hit (DESIGN.md §12): a corrupted cache entry is detected,
+  // evicted and transparently recomputed instead of silently steering
+  // craft. Deliberately O(#insns) -- cheap next to the O(#bytes) key
+  // hash the hit already pays.
+  std::uint64_t integrity = 0;
+  std::uint64_t compute_integrity() const;
 };
 
 class AnalysisCache {
@@ -63,6 +70,9 @@ class AnalysisCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;  // capacity + stale-dependency rebuilds
+    // Subset of evictions caused by an integrity-digest mismatch (a
+    // corrupted entry caught before it could be served).
+    std::uint64_t integrity_evictions = 0;
     double hit_rate() const {
       std::uint64_t total = hits + misses;
       return total ? static_cast<double>(hits) / static_cast<double>(total)
@@ -91,6 +101,11 @@ class AnalysisCache {
   // counted separately (aux_stats).
   std::shared_ptr<const void> aux_lookup(std::uint64_t key);
   void aux_insert(std::uint64_t key, std::shared_ptr<const void> value);
+  // Drops one aux entry (used by owners that detect a corrupted value
+  // via their own integrity digest: evict, then recompute and reinsert).
+  // Returns whether the key was present; counted as an aux
+  // integrity eviction.
+  bool aux_evict(std::uint64_t key);
 
   Stats stats() const;
   Stats aux_stats() const;
@@ -138,7 +153,9 @@ class AnalysisCache {
     std::unordered_map<std::uint64_t, std::shared_ptr<const void>> aux;
     std::deque<std::uint64_t> aux_fifo;
     std::uint64_t hits = 0, misses = 0, evictions = 0;
+    std::uint64_t integrity_evictions = 0;
     std::uint64_t aux_hits = 0, aux_misses = 0, aux_evictions = 0;
+    std::uint64_t aux_integrity_evictions = 0;
   };
 
   Shard& shard_for(std::uint64_t key);

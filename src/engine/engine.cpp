@@ -10,6 +10,7 @@
 #include "isa/encode.hpp"
 #include "rop/craft.hpp"
 #include "rop/roplet.hpp"
+#include "support/faultpoint.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 
@@ -152,6 +153,43 @@ constexpr std::uint64_t kCraftMemoTag = 0x435246540001ull;
 
 }  // namespace
 
+std::uint64_t CraftArtifact::compute_integrity() const {
+  // Structural fold over everything materialization consumes from the
+  // artifact. Does not cover the `integrity` field itself, so flipping
+  // any covered scalar -- or the stored digest -- is detectable.
+  std::uint64_t h = 0xd1f87c35b96ea207ull;
+  h = fold(h, ok ? 1 : 0);
+  h = fold(h, static_cast<std::uint64_t>(failure));
+  h = fold(h, detail.size());
+  h = fold(h, program_points);
+  h = fold(h, requests.size());
+  for (const gadgets::GadgetRequest& req : requests) {
+    h = fold(h, req.core.size());
+    h = fold(h, AnalysisCache::hash_bytes(
+                    reinterpret_cast<const std::uint8_t*>(req.key.data()),
+                    req.key.size()));
+  }
+  h = fold(h, p1 ? p1->cells.size() + 1 : 0);
+  if (p1)
+    for (std::uint64_t c : p1->cells) h = fold(h, c);
+  const auto& items = chain.items();
+  h = fold(h, items.size());
+  for (const rop::ChainItem& it : items) {
+    h = fold(h, static_cast<std::uint64_t>(it.kind));
+    h = fold(h, it.gadget);
+    h = fold(h, static_cast<std::uint64_t>(it.gadget_req + 1));
+    h = fold(h, static_cast<std::uint64_t>(it.imm));
+    h = fold(h, static_cast<std::uint64_t>(it.label_a + 1));
+    h = fold(h, static_cast<std::uint64_t>(it.label_b + 1));
+    h = fold(h, static_cast<std::uint64_t>(it.addend));
+    h = fold(h, it.raw.size());
+    for (std::uint8_t b : it.raw) h = fold(h, b);
+    h = fold(h, static_cast<std::uint64_t>(it.label + 1));
+  }
+  h = fold(h, chain.patches().size());
+  return h;
+}
+
 std::uint64_t ObfuscationEngine::craft_key(const Prealloc& pre,
                                            std::uint64_t dep_fp) const {
   std::span<const std::uint8_t> view =
@@ -197,6 +235,11 @@ CraftedFunction ObfuscationEngine::craft_one(const std::string& name,
     return cf;
   }
 
+  // Fault site before any work: craft_one is pure (const; the only side
+  // effect is a cache insert below this point), so a fault here is
+  // retried in place by craft_module without perturbing the output.
+  fault::maybe_throw("engine.craft_one");
+
   // Support analyses (Figure 2: CFG reconstruction, liveness, gadget
   // finder feed translation / chain crafting), shared through the
   // content-addressed cache: a warm sweep reuses the artifacts of any
@@ -211,12 +254,20 @@ CraftedFunction ObfuscationEngine::craft_one(const std::string& name,
   // identical configuration serves it without re-crafting.
   std::uint64_t key = craft_key(pre, cf.analyses->dep_fingerprint);
   if (auto cached = cache_->aux_lookup(key)) {
-    cf.art = std::static_pointer_cast<const CraftArtifact>(cached);
-    cf.craft_memo_hit = true;
-    cf.ok = cf.art->ok;
-    cf.failure = cf.art->failure;
-    cf.detail = cf.art->detail;
-    return cf;
+    auto cand = std::static_pointer_cast<const CraftArtifact>(cached);
+    if (cand->integrity == cand->compute_integrity()) {
+      cf.art = std::move(cand);
+      cf.craft_memo_hit = true;
+      cf.ok = cf.art->ok;
+      cf.failure = cf.art->failure;
+      cf.detail = cf.art->detail;
+      return cf;
+    }
+    // Corrupted memo entry: evict and re-craft below. The recomputed
+    // artifact is identical to an uncached craft (same key inputs), so
+    // the final image never sees the corruption.
+    cache_->aux_evict(key);
+    cf.memo_corruption_recovered = true;
   }
 
   auto art = std::make_shared<CraftArtifact>();
@@ -266,7 +317,18 @@ CraftedFunction ObfuscationEngine::craft_one(const std::string& name,
       }
     }
   }
-  cache_->aux_insert(key, art);
+  art->integrity = art->compute_integrity();
+  if (fault::fire("cache.craft_memo.corrupt")) {
+    // Emulate in-cache corruption: insert a copy with a digest-covered
+    // payload field flipped (the stored digest stays clean), while this
+    // function still uses the clean artifact. The next memo hit must
+    // detect the mismatch, evict, and re-craft.
+    auto bad = std::make_shared<CraftArtifact>(*art);
+    bad->program_points ^= 1;
+    cache_->aux_insert(key, std::move(bad));
+  } else {
+    cache_->aux_insert(key, art);
+  }
   cf.art = std::move(art);
   cf.ok = cf.art->ok;
   cf.failure = cf.art->failure;
@@ -350,6 +412,13 @@ CraftedModule ObfuscationEngine::craft_module(
   pool_.freeze();
   cm.crafted.resize(names.size());
   std::atomic<std::size_t> shed{0};
+  std::atomic<std::size_t> retried{0};
+  // craft_one is pure (const; its one side effect, the memo insert, is
+  // idempotent), so a transient failure is safely retried in place --
+  // the retried result is bit-identical to a never-failed craft. After
+  // kCraftAttempts the exception escapes through parallel_for's capture
+  // and the whole batch fails to the caller (the service quarantines).
+  constexpr int kCraftAttempts = 3;
   auto craft_all = [&](ThreadPool& tp) {
     tp.parallel_for(names.size(), [&](std::size_t i) {
       // Cancellation poll between functions: a dropped JobHandle sheds
@@ -359,7 +428,15 @@ CraftedModule ObfuscationEngine::craft_module(
         shed.fetch_add(1, std::memory_order_relaxed);
         return;  // slot keeps its default (not-ok) CraftedFunction
       }
-      cm.crafted[i] = craft_one(names[i], pre[i]);
+      for (int attempt = 1;; ++attempt) {
+        try {
+          cm.crafted[i] = craft_one(names[i], pre[i]);
+          break;
+        } catch (...) {
+          if (attempt >= kCraftAttempts) throw;
+          retried.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
     });
   };
   if (pool) {
@@ -369,6 +446,7 @@ CraftedModule ObfuscationEngine::craft_module(
     craft_all(tp);
   }
   cm.craft_shed = shed.load(std::memory_order_relaxed);
+  cm.craft_retries = retried.load(std::memory_order_relaxed);
   cm.craft_seconds = watch.seconds();
   return cm;
 }
@@ -383,6 +461,7 @@ ResolvedModule ObfuscationEngine::resolve_module(CraftedModule&& cm,
   rm.names = std::move(cm.names);
   rm.crafted = std::move(cm.crafted);
   rm.craft_seconds = cm.craft_seconds;
+  rm.craft_retries = cm.craft_retries;
   rm.queue_seconds = cm.queue_seconds;
   rm.overlap_seconds = cm.overlap_seconds;
   rm.sessions_in_flight = cm.sessions_in_flight;
@@ -423,12 +502,14 @@ ModuleResult ObfuscationEngine::materialize_module(ResolvedModule&& rm) {
   out.commit_shards = rm.commit_shards;
   out.craft_seconds = rm.craft_seconds;
   out.resolve_seconds = rm.resolve_seconds;
+  out.craft_retries = rm.craft_retries;
   out.queue_seconds = rm.queue_seconds;
   out.overlap_seconds = rm.overlap_seconds;
   out.sessions_in_flight = rm.sessions_in_flight;
   std::vector<CraftedFunction>& crafted = rm.crafted;
 
   for (const CraftedFunction& cf : crafted) {
+    if (cf.memo_corruption_recovered) ++out.corruptions_recovered;
     if (!cf.analyses) continue;  // early failure: no cache consultation
     if (cf.analysis_cache_hit)
       ++out.analysis_cache_hits;

@@ -74,6 +74,12 @@ struct CraftArtifact {
   std::vector<gadgets::GadgetRequest> requests;
   std::optional<rop::P1Array> p1;  // cells crafted; addr pre-reserved
   std::size_t program_points = 0;
+  // Structural content digest stamped before the artifact enters the
+  // craft memo and re-verified on every memo hit (DESIGN.md §12): a
+  // corrupted memo entry is evicted and the function re-crafted instead
+  // of materializing a wrong chain.
+  std::uint64_t integrity = 0;
+  std::uint64_t compute_integrity() const;
 };
 
 // The per-batch phase-1 slot: batch bookkeeping plus the shared
@@ -98,6 +104,30 @@ struct CraftedFunction {
   std::shared_ptr<const analysis::AnalysisArtifacts> analyses;
   bool analysis_cache_hit = false;
   bool craft_memo_hit = false;
+  // A memo hit failed its integrity check and the artifact was
+  // recomputed (counted into ModuleResult::corruptions_recovered).
+  bool memo_corruption_recovered = false;
+};
+
+// Typed failure record for the self-healing service pipeline
+// (DESIGN.md §12). Stage workers catch per-job exceptions and surface
+// one of these through ModuleResult::error instead of letting the
+// exception escape (which used to kill the worker thread).
+struct ObfError {
+  enum class Kind {
+    kNone = 0,
+    kFaultInjected,  // a fault-registry site fired (fault::FaultInjected)
+    kStageFailure,   // any other exception out of a stage body
+    kCorruption,     // integrity-digest mismatch that could not be healed
+    kTimeout,        // watchdog deadline exceeded
+    kShutdown,       // service shut down while the job was parked
+    kInternal,
+  };
+  Kind kind = Kind::kNone;
+  std::string stage;      // "submit" | "craft" | "resolve" | "materialize"
+  bool retryable = false; // whether the service was allowed to retry it
+  int attempts = 0;       // retries consumed before giving up
+  std::string detail;     // exception text / fault-site name
 };
 
 struct ModuleResult {
@@ -133,6 +163,15 @@ struct ModuleResult {
   // addressed from the cache side table.
   std::size_t craft_memo_hits = 0;
   std::size_t craft_memo_misses = 0;
+  // -- Robustness telemetry (DESIGN.md §12) ---------------------------
+  // Set by the self-healing service (and by the engine for in-stage
+  // recoveries); all empty/zero on an untroubled run.
+  std::optional<ObfError> error;        // quarantined: why the job failed
+  int retries = 0;                      // service-level stage retries
+  std::size_t craft_retries = 0;        // engine-internal craft_one retries
+  std::size_t corruptions_recovered = 0;  // memo integrity evict+recompute
+  bool degraded_serial = false;  // watchdog demoted the job to the serial
+                                 // reference path (obfuscate_module)
 };
 
 // The product of pipeline stage 1 for a whole batch: every function
@@ -150,6 +189,8 @@ struct CraftedModule {
   // is safe to resolve/materialize -- shed slots behave like failures
   // -- but the service cancels such jobs instead.
   std::size_t craft_shed = 0;
+  // Engine-internal robustness counters (flow into ModuleResult).
+  std::size_t craft_retries = 0;
   // Scheduler telemetry (see ModuleResult); zero outside the service.
   double queue_seconds = 0.0;
   double overlap_seconds = 0.0;
@@ -170,6 +211,7 @@ struct ResolvedModule {
   double craft_seconds = 0.0;
   double resolve_seconds = 0.0;
   int commit_shards = 0;
+  std::size_t craft_retries = 0;
   // Scheduler telemetry passthrough (see ModuleResult).
   double queue_seconds = 0.0;
   double overlap_seconds = 0.0;

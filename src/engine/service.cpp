@@ -1,9 +1,37 @@
 #include "engine/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "support/faultpoint.hpp"
+#include "support/rng.hpp"
+
 namespace raindrop::engine {
+
+namespace {
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (; *s; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+ObfError stage_error(ObfError::Kind kind, const char* stage, bool retryable,
+                     int attempts, std::string detail) {
+  ObfError e;
+  e.kind = kind;
+  e.stage = stage;
+  e.retryable = retryable;
+  e.attempts = attempts;
+  e.detail = std::move(detail);
+  return e;
+}
+
+}  // namespace
 
 // One submission moving through the pipeline. Owns a strong reference
 // to its session so a client may drop the session handle with jobs in
@@ -21,6 +49,11 @@ struct ServiceJob {
   double submit_t = 0.0;
   double craft_start_t = 0.0;
   double craft_end_t = 0.0;
+  // Set by the watchdog when the craft stage blows its deadline; the
+  // engine's cancel poll observes it and sheds the rest of the batch,
+  // after which the craft worker demotes the job to the serial path.
+  std::atomic<bool> watchdog_expired{false};
+  int retries = 0;  // service-level stage retries consumed so far
 };
 
 ObfuscationService::ObfuscationService(ServiceConfig cfg)
@@ -33,6 +66,8 @@ ObfuscationService::ObfuscationService(ServiceConfig cfg)
   if (cfg_.pipeline_stages == 3)
     resolver_ = std::thread([this] { resolve_loop(); });
   materializer_ = std::thread([this] { materialize_loop(); });
+  if (cfg_.watchdog_deadline_s > 0.0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 ObfuscationService::~ObfuscationService() { shutdown(); }
@@ -119,14 +154,19 @@ JobHandle ObfuscationService::enqueue(std::shared_ptr<Session> session,
       // craft start or a finished job of this session) or shutdown.
       admit_ready_.wait(lk);
     }
-    // Shut down (or shutting down): wait for the pipe to drain -- this
-    // session may still have a job in flight, and the engine is not
-    // concurrent-safe -- then serve synchronously so the caller still
-    // holds a ready, correct handle.
-    drained_.wait(lk, [this] { return jobs_in_flight_ == 0; });
+    // Shut down (or shutting down): the job was never admitted, so
+    // nothing touched the image. Wake the caller with a typed
+    // rejection instead of parking forever -- a kBlock submitter must
+    // not deadlock on a service that will never free queue space.
+    // (Post-shutdown submits on detached sessions never reach here;
+    // Session::submit serves them synchronously.)
+    ++stats_.jobs_rejected;
   }
-  fulfill(st, job->session->run(job->names, cfg_.craft_threads,
-                                cfg_.commit_shards));
+  ModuleResult r;
+  r.rejected = true;
+  r.error = stage_error(ObfError::Kind::kShutdown, "submit",
+                        /*retryable=*/false, 0, "service shutting down");
+  fulfill(st, std::move(r));
   return handle;
 }
 
@@ -147,11 +187,22 @@ double ObfuscationService::commit_busy_at(double now) const {
 }
 
 void ObfuscationService::finish_locked(ServiceJob& job, ModuleResult result,
-                                       bool completed) {
-  if (completed)
-    ++stats_.jobs_completed;
-  else
-    ++stats_.jobs_cancelled;
+                                       Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kCompleted:
+      ++stats_.jobs_completed;
+      stats_.corruptions_recovered += result.corruptions_recovered;
+      if (job.retries > 0 || result.craft_retries > 0) ++stats_.jobs_retried;
+      break;
+    case Outcome::kCancelled:
+      ++stats_.jobs_cancelled;
+      break;
+    case Outcome::kQuarantined:
+      // jobs_quarantined is counted by quarantine_locked, which also
+      // records the diagnostic ObfError before delegating here.
+      break;
+  }
+  result.retries = job.retries;
   if (auto st = job.state.lock()) fulfill(st, std::move(result));
   // Release the session's next queued job into the craft stage. A
   // backlog promotion bypasses the craft_queue_depth bound on purpose:
@@ -172,6 +223,52 @@ void ObfuscationService::finish_locked(ServiceJob& job, ModuleResult result,
   if (--jobs_in_flight_ == 0) drained_.notify_all();
 }
 
+void ObfuscationService::quarantine_locked(ServiceJob& job, ObfError err) {
+  ++stats_.jobs_quarantined;
+  // Keep the per-job diagnostics bounded: a pathological run (every job
+  // faulted) must not grow Stats without limit.
+  if (stats_.quarantined.size() < 64) stats_.quarantined.push_back(err);
+  ModuleResult r;
+  r.error = std::move(err);
+  finish_locked(job, std::move(r), Outcome::kQuarantined);
+}
+
+// Runs the named fault site for a stage entry, retrying injected faults
+// up to max_stage_retries with capped exponential backoff. Returns the
+// terminal error when retries are exhausted, nullopt on (eventual)
+// success. Called UNLOCKED: it sleeps.
+std::optional<ObfError> ObfuscationService::stage_gate(const char* stage,
+                                                       const char* site,
+                                                       std::uint64_t seed,
+                                                       int* attempts) const {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      fault::maybe_throw(site);
+      return std::nullopt;
+    } catch (const fault::FaultInjected& e) {
+      if (attempt >= cfg_.max_stage_retries)
+        return stage_error(ObfError::Kind::kFaultInjected, stage,
+                           /*retryable=*/true, attempt + 1, e.what());
+      ++*attempts;
+      backoff(stage, seed, attempt);
+    }
+  }
+}
+
+void ObfuscationService::backoff(const char* stage, std::uint64_t seed,
+                                 int attempt) const {
+  if (cfg_.retry_backoff_ms <= 0.0) return;
+  const std::uint64_t base_us =
+      static_cast<std::uint64_t>(cfg_.retry_backoff_ms * 1000.0);
+  // Doubling, capped at 8x base; the jitter draw is seed-derived so a
+  // rerun with the same config sleeps identically (determinism extends
+  // to the retry schedule, which keeps chaos runs reproducible).
+  std::uint64_t us = base_us << std::min(attempt, 3);
+  us += Rng::stream(seed ^ fnv1a(stage), static_cast<std::uint64_t>(attempt))
+            .below(base_us + 1);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
 void ObfuscationService::craft_loop() {
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
@@ -190,33 +287,86 @@ void ObfuscationService::craft_loop() {
       // bytes are as if the job was never submitted.
       ModuleResult r;
       r.cancelled = true;
-      finish_locked(*job, std::move(r), /*completed=*/false);
+      finish_locked(*job, std::move(r), Outcome::kCancelled);
       continue;
     }
     job->craft_start_t = wall_.seconds();
     const double commit_busy0 = commit_busy_at(job->craft_start_t);
     const int in_flight = static_cast<int>(busy_sessions_);
     craft_active_since_ = job->craft_start_t;
+    craft_active_job_ = job;  // the watchdog's deadline target
     lk.unlock();
-    probe("craft");
-    // The cancel poll between functions: if every client handle is
-    // dropped mid-craft, the rest of the batch is shed (expiry is
-    // permanent, so the job is then cancelled at the next stage
-    // boundary before resolve touches the image).
-    job->cm = job->session->engine_.craft_module(
-        job->names, cfg_.craft_threads, &pool_,
-        [&job] { return job->state.expired(); });
+    int attempts = 0;
+    std::optional<ObfError> err =
+        stage_gate("craft", "service.craft.pre",
+                   job->session->config().seed, &attempts);
+    if (!err) {
+      probe("craft");
+      // The cancel poll between functions: if every client handle is
+      // dropped mid-craft, the rest of the batch is shed (expiry is
+      // permanent, so the job is then cancelled at the next stage
+      // boundary before resolve touches the image). The watchdog uses
+      // the same poll to abandon an over-deadline craft. If the
+      // deadline already passed before craft entry, skip craft_module
+      // entirely: its prealloc prepass would consume image reservations
+      // the serial demotion path re-allocates itself (the demoted rerun
+      // then lands the exact standalone-reference bytes).
+      try {
+        if (!job->watchdog_expired.load(std::memory_order_relaxed))
+          job->cm = job->session->engine_.craft_module(
+              job->names, cfg_.craft_threads, &pool_, [&job] {
+                return job->state.expired() ||
+                       job->watchdog_expired.load(std::memory_order_relaxed);
+              });
+      } catch (const fault::FaultInjected& e) {
+        err = stage_error(ObfError::Kind::kFaultInjected, "craft",
+                          /*retryable=*/false, attempts + 1, e.what());
+      } catch (const std::exception& e) {
+        err = stage_error(ObfError::Kind::kStageFailure, "craft",
+                          /*retryable=*/false, attempts + 1, e.what());
+      } catch (...) {
+        err = stage_error(ObfError::Kind::kInternal, "craft",
+                          /*retryable=*/false, attempts + 1,
+                          "unknown exception in craft");
+      }
+    }
     lk.lock();
-    stats_.craft_shed_functions += job->cm.craft_shed;
+    craft_active_job_.reset();
     job->craft_end_t = wall_.seconds();
     craft_active_since_ = -1.0;
+    job->retries += attempts;
+    stats_.stage_retries += static_cast<std::size_t>(attempts);
+    stats_.craft_busy_seconds += job->craft_end_t - job->craft_start_t;
+    if (err) {
+      // Stage-entry retries exhausted, or the engine threw mid-craft.
+      // Either way nothing downstream may run: quarantine with the
+      // typed diagnostic and keep the pipe draining.
+      quarantine_locked(*job, std::move(*err));
+      continue;
+    }
+    if (job->watchdog_expired.load(std::memory_order_relaxed) &&
+        !job->state.expired()) {
+      // Deadline blown: the cancel poll shed the rest of the batch, so
+      // the pipelined artifacts are incomplete. Graceful degradation:
+      // rerun the whole job on the serial path, on this worker thread
+      // (per-session FIFO guarantees no other stage touches this
+      // session's engine while the job is still in flight).
+      ++stats_.jobs_degraded_serial;
+      lk.unlock();
+      ModuleResult r = job->session->run(job->names, cfg_.craft_threads,
+                                         cfg_.commit_shards);
+      r.degraded_serial = true;
+      lk.lock();
+      finish_locked(*job, std::move(r), Outcome::kCompleted);
+      continue;
+    }
+    stats_.craft_shed_functions += job->cm.craft_shed;
     job->cm.queue_seconds = job->craft_start_t - job->submit_t;
     // Exactly the downstream (resolve/materialize) busy time that
     // elapsed during this craft: the pipelining overlap it enjoyed.
     job->cm.overlap_seconds =
         commit_busy_at(job->craft_end_t) - commit_busy0;
     job->cm.sessions_in_flight = in_flight;
-    stats_.craft_busy_seconds += job->craft_end_t - job->craft_start_t;
     stats_.overlap_seconds += job->cm.overlap_seconds;
     // Hand off downstream (resolve at depth 3, the fused commit stage
     // at depth 2) through a bounded queue: a full queue parks the craft
@@ -261,21 +411,49 @@ void ObfuscationService::resolve_loop() {
       // cancelled batch's work is dropped.)
       ModuleResult r;
       r.cancelled = true;
-      finish_locked(*job, std::move(r), /*completed=*/false);
+      finish_locked(*job, std::move(r), Outcome::kCancelled);
       continue;
     }
     const double t0 = wall_.seconds();
     resolve_active_since_ = t0;
     downstream_begin(t0);
     lk.unlock();
-    probe("resolve");
-    job->rm = job->session->engine_.resolve_module(
-        std::move(job->cm), cfg_.craft_threads, cfg_.commit_shards, &pool_);
+    int attempts = 0;
+    std::optional<ObfError> err =
+        stage_gate("resolve", "service.resolve.pre",
+                   job->session->config().seed, &attempts);
+    if (!err) {
+      probe("resolve");
+      // resolve_module consumes the crafted module, so an engine throw
+      // mid-resolve is NOT retryable at this level: the input is gone
+      // (and gadget ordinals may have been consumed). Quarantine.
+      try {
+        job->rm = job->session->engine_.resolve_module(
+            std::move(job->cm), cfg_.craft_threads, cfg_.commit_shards,
+            &pool_);
+      } catch (const fault::FaultInjected& e) {
+        err = stage_error(ObfError::Kind::kFaultInjected, "resolve",
+                          /*retryable=*/false, attempts + 1, e.what());
+      } catch (const std::exception& e) {
+        err = stage_error(ObfError::Kind::kStageFailure, "resolve",
+                          /*retryable=*/false, attempts + 1, e.what());
+      } catch (...) {
+        err = stage_error(ObfError::Kind::kInternal, "resolve",
+                          /*retryable=*/false, attempts + 1,
+                          "unknown exception in resolve");
+      }
+    }
     lk.lock();
     const double t1 = wall_.seconds();
     resolve_active_since_ = -1.0;
     stats_.resolve_busy_seconds += t1 - t0;
     downstream_end(t1);
+    job->retries += attempts;
+    stats_.stage_retries += static_cast<std::size_t>(attempts);
+    if (err) {
+      quarantine_locked(*job, std::move(*err));
+      continue;
+    }
     mat_space_.wait(lk, [this] {
       return cfg_.stage_queue_depth == 0 ||
              mat_q_.size() < cfg_.stage_queue_depth;
@@ -299,6 +477,8 @@ void ObfuscationService::materialize_loop() {
     mat_q_.pop_front();
     mat_space_.notify_one();
     ModuleResult result;
+    std::optional<ObfError> err;
+    int attempts = 0;
     if (cfg_.pipeline_stages == 3) {
       // The job entered resolve; it always materializes, even if every
       // handle was dropped meanwhile -- gadgets were planned against
@@ -308,20 +488,43 @@ void ObfuscationService::materialize_loop() {
       mat_active_since_ = t0;
       downstream_begin(t0);
       lk.unlock();
-      probe("materialize");
-      result = job->session->engine_.materialize_module(std::move(job->rm));
+      err = stage_gate("materialize", "service.materialize.pre",
+                       job->session->config().seed, &attempts);
+      if (!err) {
+        probe("materialize");
+        try {
+          result =
+              job->session->engine_.materialize_module(std::move(job->rm));
+        } catch (const fault::FaultInjected& e) {
+          err = stage_error(ObfError::Kind::kFaultInjected, "materialize",
+                            /*retryable=*/false, attempts + 1, e.what());
+        } catch (const std::exception& e) {
+          err = stage_error(ObfError::Kind::kStageFailure, "materialize",
+                            /*retryable=*/false, attempts + 1, e.what());
+        } catch (...) {
+          err = stage_error(ObfError::Kind::kInternal, "materialize",
+                            /*retryable=*/false, attempts + 1,
+                            "unknown exception in materialize");
+        }
+      }
       lk.lock();
       const double t1 = wall_.seconds();
       mat_active_since_ = -1.0;
       stats_.materialize_busy_seconds += t1 - t0;
       downstream_end(t1);
+      job->retries += attempts;
+      stats_.stage_retries += static_cast<std::size_t>(attempts);
+      if (err) {
+        quarantine_locked(*job, std::move(*err));
+        continue;
+      }
     } else {
       // Depth-2 topology: this worker is the fused commit stage. The
       // cancellation point is the same contract -- before resolve.
       if (job->state.expired()) {
         ModuleResult r;
         r.cancelled = true;
-        finish_locked(*job, std::move(r), /*completed=*/false);
+        finish_locked(*job, std::move(r), Outcome::kCancelled);
         continue;
       }
       // No mat_active_since_ marker here: the in-flight interval is
@@ -332,9 +535,26 @@ void ObfuscationService::materialize_loop() {
       const double t0 = wall_.seconds();
       downstream_begin(t0);
       lk.unlock();
-      probe("commit");
-      result = job->session->engine_.commit_module(
-          std::move(job->cm), cfg_.craft_threads, cfg_.commit_shards, &pool_);
+      err = stage_gate("commit", "service.materialize.pre",
+                       job->session->config().seed, &attempts);
+      if (!err) {
+        probe("commit");
+        try {
+          result = job->session->engine_.commit_module(
+              std::move(job->cm), cfg_.craft_threads, cfg_.commit_shards,
+              &pool_);
+        } catch (const fault::FaultInjected& e) {
+          err = stage_error(ObfError::Kind::kFaultInjected, "commit",
+                            /*retryable=*/false, attempts + 1, e.what());
+        } catch (const std::exception& e) {
+          err = stage_error(ObfError::Kind::kStageFailure, "commit",
+                            /*retryable=*/false, attempts + 1, e.what());
+        } catch (...) {
+          err = stage_error(ObfError::Kind::kInternal, "commit",
+                            /*retryable=*/false, attempts + 1,
+                            "unknown exception in commit");
+        }
+      }
       lk.lock();
       const double t1 = wall_.seconds();
       // Attribute the fused stage's wall time to its halves using the
@@ -348,8 +568,49 @@ void ObfuscationService::materialize_loop() {
       stats_.resolve_busy_seconds += rs;
       stats_.materialize_busy_seconds += dt - rs;
       downstream_end(t1);
+      job->retries += attempts;
+      stats_.stage_retries += static_cast<std::size_t>(attempts);
+      if (err) {
+        quarantine_locked(*job, std::move(*err));
+        continue;
+      }
     }
-    finish_locked(*job, std::move(result), /*completed=*/true);
+    finish_locked(*job, std::move(result), Outcome::kCompleted);
+  }
+}
+
+// Deadline sentry: wakes 4x per deadline, flags any stage whose current
+// job has been in flight longer than watchdog_deadline_s. Only the
+// craft stage has a cooperative cancel point, so only craft jobs are
+// actively demoted; resolve/materialize overruns are flagged in Stats
+// for the operator (cancelling mid-commit would corrupt the image).
+void ObfuscationService::watchdog_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto tick = std::chrono::duration<double>(
+      std::max(0.005, cfg_.watchdog_deadline_s / 4.0));
+  while (!stopping_) {
+    watchdog_cv_.wait_for(lk, tick);
+    if (stopping_) return;
+    const double now = wall_.seconds();
+    auto over = [&](double since) {
+      return since >= 0.0 && now - since > cfg_.watchdog_deadline_s;
+    };
+    if (craft_active_job_ && over(craft_active_since_) &&
+        craft_flagged_at_ != craft_active_since_) {
+      craft_flagged_at_ = craft_active_since_;  // one flag per overrun
+      ++stats_.watchdog_flags;
+      craft_active_job_->watchdog_expired.store(true,
+                                                std::memory_order_relaxed);
+    }
+    if (over(resolve_active_since_) &&
+        resolve_flagged_at_ != resolve_active_since_) {
+      resolve_flagged_at_ = resolve_active_since_;
+      ++stats_.watchdog_flags;
+    }
+    if (over(mat_active_since_) && mat_flagged_at_ != mat_active_since_) {
+      mat_flagged_at_ = mat_active_since_;
+      ++stats_.watchdog_flags;
+    }
   }
 }
 
@@ -368,10 +629,12 @@ void ObfuscationService::shutdown() {
     craft_ready_.notify_all();
     resolve_ready_.notify_all();
     mat_ready_.notify_all();
+    watchdog_cv_.notify_all();
   }
   crafter_.join();
   if (resolver_.joinable()) resolver_.join();
   materializer_.join();
+  if (watchdog_.joinable()) watchdog_.join();
   // Detach surviving sessions: their next submit() runs synchronously.
   for (auto& w : sessions)
     if (auto s = w.lock()) s->service_.store(nullptr, std::memory_order_release);

@@ -44,10 +44,12 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -88,6 +90,25 @@ struct ServiceConfig {
     kFailFast,  // submit() returns a ready handle with result.rejected
   };
   SubmitPolicy submit_policy = SubmitPolicy::kBlock;
+  // -- Self-healing pipeline knobs (DESIGN.md §12) --------------------
+  // Retries for a retryable stage failure (a fault fired at the stage
+  // entry, before the engine touched any state). 1 means a job failing
+  // twice at one stage is quarantined. Engine-internal failures are
+  // never retried at this level: the stage may have consumed its input
+  // or advanced allocation cursors, so a re-run would not be
+  // byte-identical to a never-failed run.
+  int max_stage_retries = 1;
+  // Base delay of the capped exponential backoff between stage retries
+  // (doubling per attempt, capped at 8x) plus a deterministic jitter in
+  // [0, base) drawn from Rng::stream(seed ^ hash(stage), attempt).
+  // <= 0 disables the sleep.
+  double retry_backoff_ms = 1.0;
+  // Per-job stage deadline for the watchdog thread; 0 disables it. An
+  // overdue craft is cooperatively cancelled (the engine's cancel poll)
+  // and the job demoted to the serial reference path
+  // (obfuscate_module); overdue resolve/materialize stages have no
+  // cancellation point and are flagged in Stats::watchdog_flags only.
+  double watchdog_deadline_s = 0.0;
   // Analysis cache shared by every session; null selects the
   // process-wide singleton. Benchmarks isolating a cold service pass a
   // private instance.
@@ -122,15 +143,27 @@ class ObfuscationService {
 
   // Stops accepting pipeline work, waits for every submitted job to
   // finish, joins the stage workers. Idempotent; also run by the
-  // destructor. submit() calls racing or following shutdown run
-  // synchronously and still return ready handles.
+  // destructor. A submit() racing shutdown -- including one already
+  // parked on admission backpressure -- wakes with a ready handle whose
+  // result is `rejected` (error kind kShutdown); submits AFTER shutdown
+  // returns go through the then-detached session's synchronous path.
   void shutdown();
 
   struct Stats {
     std::size_t jobs_submitted = 0;  // admitted into the pipeline
     std::size_t jobs_completed = 0;
     std::size_t jobs_cancelled = 0;  // every handle dropped before resolve
-    std::size_t jobs_rejected = 0;   // kFailFast admission refusals
+    std::size_t jobs_rejected = 0;   // kFailFast refusals + shutdown wakes
+    // -- Robustness telemetry (DESIGN.md §12) -------------------------
+    std::size_t jobs_retried = 0;      // jobs needing >= 1 retry anywhere
+    std::size_t stage_retries = 0;     // service-level retry attempts
+    std::size_t jobs_quarantined = 0;  // failed past retries; typed error
+    std::size_t jobs_degraded_serial = 0;  // watchdog-demoted to serial
+    std::size_t watchdog_flags = 0;        // overdue-stage detections
+    std::size_t corruptions_recovered = 0; // memo evict+recompute events
+    // Diagnostics of quarantined jobs, in quarantine order (capped so a
+    // fault storm cannot grow Stats unboundedly).
+    std::vector<ObfError> quarantined;
     // Functions shed by the mid-craft cancel poll (handles dropped
     // while their batch was crafting).
     std::size_t craft_shed_functions = 0;
@@ -182,10 +215,23 @@ class ObfuscationService {
   void craft_loop();
   void resolve_loop();
   void materialize_loop();
+  void watchdog_loop();
+  enum class Outcome { kCompleted, kCancelled, kQuarantined };
   // End-of-pipeline bookkeeping for one job (caller holds mu_): fulfill
   // surviving handles, advance the session's FIFO backlog, release the
   // admission quota, update drain/cancel counters.
-  void finish_locked(ServiceJob& job, ModuleResult result, bool completed);
+  void finish_locked(ServiceJob& job, ModuleResult result, Outcome outcome);
+  // Quarantine: record diagnostics in Stats and fulfill the handle with
+  // a typed error instead of results (caller holds mu_). The session
+  // FIFO keeps draining -- only this job is lost.
+  void quarantine_locked(ServiceJob& job, ObfError err);
+  // Evaluates the retryable stage-entry fault site, sleeping the capped
+  // seed-jittered backoff between attempts (runs unlocked). Returns the
+  // error to quarantine with once retries are exhausted, or nullopt to
+  // proceed; *attempts reports retries consumed either way.
+  std::optional<ObfError> stage_gate(const char* stage, const char* site,
+                                     std::uint64_t seed, int* attempts) const;
+  void backoff(const char* stage, std::uint64_t seed, int attempt) const;
   // Downstream (resolve/materialize) union busy-time accounting; the
   // overlap a craft enjoys is this quantity sampled at craft start/end.
   void downstream_begin(double now);
@@ -219,10 +265,18 @@ class ObfuscationService {
   double mat_active_since_ = -1.0;
   int downstream_active_ = 0;  // resolve/materialize stages running now
   double downstream_since_ = -1.0;
+  // Watchdog bookkeeping: the job crafting right now (for the
+  // cooperative cancel) and the interval start each stage was last
+  // flagged at, so one overdue job is flagged once, not once per tick.
+  std::shared_ptr<ServiceJob> craft_active_job_;
+  double craft_flagged_at_ = -1.0;
+  double resolve_flagged_at_ = -1.0;
+  double mat_flagged_at_ = -1.0;
+  std::condition_variable watchdog_cv_;
   Stats stats_;
   Stopwatch wall_;
 
-  std::thread crafter_, resolver_, materializer_;
+  std::thread crafter_, resolver_, materializer_, watchdog_;
 };
 
 }  // namespace raindrop::engine

@@ -10,10 +10,15 @@ bool JobHandle::ready() const {
   return st_->done;
 }
 
-const ModuleResult& JobHandle::wait() const {
+const ModuleResult& JobHandle::wait() const& {
   std::unique_lock<std::mutex> lk(st_->mu);
   st_->cv.wait(lk, [this] { return st_->done; });
   return st_->result;
+}
+
+ModuleResult JobHandle::wait() && {
+  const JobHandle& self = *this;
+  return self.wait();
 }
 
 Session::Session(Image* img, const rop::ObfConfig& cfg,

@@ -46,7 +46,11 @@ class JobHandle {
   // Blocks until the job completes; returns the result (owned by the
   // handle's shared state, so the reference stays valid for the
   // handle's lifetime). Must not be called on an empty handle.
-  const ModuleResult& wait() const;
+  const ModuleResult& wait() const&;
+  // On a temporary handle (submit(...).wait()) the shared state dies
+  // with the temporary, so the result is returned by value instead of
+  // as a reference that would dangle.
+  ModuleResult wait() &&;
 
  private:
   friend class ObfuscationService;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "isa/encode.hpp"
+#include "support/faultpoint.hpp"
 #include "support/thread_pool.hpp"
 
 namespace raindrop::gadgets {
@@ -244,6 +245,9 @@ std::size_t ResolvedPlan::planned_count() const {
 
 ResolvedPlan GadgetPool::plan_batch(std::span<const GadgetRequest* const> reqs,
                                     int shards, int threads, ThreadPool* pool) {
+  // Fault site sits before any pool state changes (freeze, ordinal
+  // consumption), so a faulted plan leaves the catalog untouched.
+  fault::maybe_throw("pool.plan");
   ResolvedPlan plan;
   std::vector<std::uint64_t>& addrs = plan.impl_->addrs;
   addrs.assign(reqs.size(), 0);
@@ -357,6 +361,10 @@ ResolvedPlan GadgetPool::plan_batch(std::span<const GadgetRequest* const> reqs,
 }
 
 std::vector<std::uint64_t> GadgetPool::commit_plan(ResolvedPlan&& plan) {
+  // Fault site before the image-mutating merge: a faulted commit leaves
+  // the image clean (the plan is lost with the job, which is why the
+  // service treats this as non-retryable).
+  fault::maybe_throw("pool.commit");
   // Merge: append planned gadgets to the image in global request order
   // (shard-independent by construction), then patch request slots. This
   // is the only image-mutating half; it must run serially per image, in
@@ -430,10 +438,43 @@ std::shared_ptr<const HarvestLayer> build_harvest_layer(
     layer->by_core[GadgetPool::key_of(stored->body, false, Reg::RAX)]
         .push_back(stored);
   }
+  layer->integrity = layer->compute_integrity();
   return layer;
 }
 
+// Deep copy with one gadget dropped (or, for an empty layer, the stored
+// digest flipped) while keeping the clean integrity value: the shape of
+// in-cache corruption the fault site "cache.harvest.corrupt" emulates.
+// by_core pointers must be rebuilt -- they alias by_addr map nodes.
+std::shared_ptr<const HarvestLayer> corrupt_copy(const HarvestLayer& src) {
+  auto bad = std::make_shared<HarvestLayer>();
+  bad->fingerprint = src.fingerprint;
+  bad->integrity = src.integrity;
+  bad->by_addr = src.by_addr;
+  if (!bad->by_addr.empty())
+    bad->by_addr.erase(std::prev(bad->by_addr.end()));
+  else
+    bad->integrity ^= 1;
+  for (const auto& [addr, g] : bad->by_addr)
+    bad->by_core[GadgetPool::key_of(g.body, g.jop, g.jop_target)].push_back(
+        &g);
+  return bad;
+}
+
 }  // namespace
+
+std::uint64_t HarvestLayer::compute_integrity() const {
+  std::uint64_t h = 0xa3c59ec77481d2f5ull;
+  h = AnalysisCache::fold(h, fingerprint);
+  h = AnalysisCache::fold(h, by_addr.size());
+  for (const auto& [addr, g] : by_addr) {
+    h = AnalysisCache::fold(h, addr);
+    h = AnalysisCache::fold(h, g.body.size());
+    for (const isa::Insn& i : g.body)
+      h = AnalysisCache::fold(h, static_cast<std::uint64_t>(i.op));
+  }
+  return h;
+}
 
 std::size_t GadgetPool::harvest(std::uint64_t lo, std::uint64_t hi,
                                 AnalysisCache* cache) {
@@ -454,11 +495,22 @@ std::size_t GadgetPool::harvest(std::uint64_t lo, std::uint64_t hi,
   key ^= (n + kHarvestVersion) * 0xff51afd7ed558ccdull;
   std::shared_ptr<const HarvestLayer> layer;
   if (cache) {
-    if (auto cached = cache->aux_lookup(key))
-      layer = std::static_pointer_cast<const HarvestLayer>(cached);
+    if (auto cached = cache->aux_lookup(key)) {
+      auto cand = std::static_pointer_cast<const HarvestLayer>(cached);
+      if (cand->integrity == cand->compute_integrity()) {
+        layer = std::move(cand);
+      } else {
+        // Corrupted memo: evict and rescan below. The rebuilt layer is
+        // bit-identical to what an uncached scan produces, so gadget
+        // selection -- and the final image -- never see the corruption.
+        cache->aux_evict(key);
+      }
+    }
     if (!layer) {
       layer = build_harvest_layer(view.data(), view.size(), lo, key);
-      cache->aux_insert(key, layer);
+      cache->aux_insert(
+          key, fault::fire("cache.harvest.corrupt") ? corrupt_copy(*layer)
+                                                    : layer);
     }
   } else {
     layer = build_harvest_layer(view.data(), view.size(), lo, key);

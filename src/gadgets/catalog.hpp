@@ -57,6 +57,12 @@ struct HarvestLayer {
   std::unordered_map<std::string, std::vector<const Gadget*>> by_core;
   std::uint64_t fingerprint = 0;  // content hash of the scanned range
   std::size_t count() const { return by_addr.size(); }
+  // Structural content digest stamped by build_harvest_layer and
+  // re-verified on every memo hit (DESIGN.md §12): a corrupted cached
+  // layer is evicted and the scan redone instead of silently steering
+  // gadget selection.
+  std::uint64_t integrity = 0;
+  std::uint64_t compute_integrity() const;
 };
 
 // A deferred gadget demand recorded by the pure craft phase (which runs

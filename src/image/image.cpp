@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "support/faultpoint.hpp"
+
 namespace raindrop {
 
 Image::Image() {
@@ -136,6 +138,9 @@ std::optional<std::uint64_t> Image::object_addr(const std::string& name) const {
 }
 
 std::uint64_t Image::apply_commit(const DeferredCommit& dc) {
+  // Fault site before any mutation: a faulted commit leaves the image
+  // exactly as it was (no partial append/patch state to unwind).
+  fault::maybe_throw("image.apply_commit");
   std::uint64_t addr =
       dc.bytes.empty() ? section_end(dc.section) : append(dc.section, dc.bytes);
   for (const auto& [a, v] : dc.u64_patches) patch_u64(a, v);

@@ -1,0 +1,175 @@
+#include "support/faultpoint.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "support/rng.hpp"
+
+namespace raindrop::fault {
+
+namespace {
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (; *s; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct Site {
+  Spec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Site> sites;
+  std::uint64_t injected = 0;
+
+  Registry() { load_env(); }
+
+  // RAINDROP_FAULTS="site=nth:3;site=prob:0.01@7;site=nth:2,max:5"
+  void load_env() {
+    const char* env = std::getenv("RAINDROP_FAULTS");
+    if (!env) return;
+    std::string all(env);
+    std::size_t pos = 0;
+    while (pos < all.size()) {
+      std::size_t end = all.find(';', pos);
+      if (end == std::string::npos) end = all.size();
+      std::string item = all.substr(pos, end - pos);
+      pos = end + 1;
+      std::size_t eq = item.find('=');
+      if (eq == std::string::npos) continue;
+      std::string name = item.substr(0, eq);
+      std::string val = item.substr(eq + 1);
+      Spec spec;
+      bool has_max = false;
+      std::uint64_t max = 0;
+      std::size_t comma = val.find(",max:");
+      if (comma != std::string::npos) {
+        has_max = true;
+        max = std::strtoull(val.c_str() + comma + 5, nullptr, 10);
+        val = val.substr(0, comma);
+      }
+      if (val.rfind("nth:", 0) == 0) {
+        spec = Spec::every_nth(std::strtoull(val.c_str() + 4, nullptr, 10));
+      } else if (val.rfind("prob:", 0) == 0) {
+        char* rest = nullptr;
+        double p = std::strtod(val.c_str() + 5, &rest);
+        std::uint64_t seed = 1;
+        if (rest && *rest == '@') seed = std::strtoull(rest + 1, nullptr, 10);
+        spec = Spec::with_prob(p, seed);
+      } else {
+        continue;
+      }
+      if (has_max) spec.max_fires = max;
+      sites[name].spec = spec;
+    }
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+namespace detail {
+
+// Initialized before main(): when RAINDROP_FAULTS is set the fast path
+// must reach the registry even though arm() was never called.
+std::atomic<bool> g_armed{std::getenv("RAINDROP_FAULTS") != nullptr};
+
+bool fire_slow(const char* site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  Site& s = r.sites[site];  // unarmed sites still count hits
+  const std::uint64_t hit = s.hits++;
+  if (s.spec.mode == Spec::Mode::kOff) return false;
+  if (s.spec.max_fires && s.fires >= s.spec.max_fires) return false;
+  bool go = false;
+  switch (s.spec.mode) {
+    case Spec::Mode::kOff:
+      break;
+    case Spec::Mode::kNth:
+      go = (hit % s.spec.nth) == s.spec.nth - 1;
+      break;
+    case Spec::Mode::kProb:
+      go = Rng::stream(s.spec.seed ^ fnv1a(site), hit).unit() < s.spec.prob;
+      break;
+  }
+  if (go) {
+    ++s.fires;
+    ++r.injected;
+  }
+  return go;
+}
+
+}  // namespace detail
+
+const std::vector<const char*>& all_sites() {
+  static const std::vector<const char*> kSites = {
+      // Stage bodies (retryable: fire before the engine touches state).
+      "service.craft.pre",
+      "service.resolve.pre",
+      "service.materialize.pre",
+      // Engine internals (craft_one is pure; retried in place).
+      "engine.craft_one",
+      // Cache corruption (never throws: inserts a corrupted copy that a
+      // later hit must detect via the integrity digest).
+      "cache.analysis.corrupt",
+      "cache.craft_memo.corrupt",
+      "cache.harvest.corrupt",
+      // Gadget pool and image commit (throw-style, non-retryable).
+      "pool.plan",
+      "pool.commit",
+      "image.apply_commit",
+      // Pool task execution (throws inside parallel_for).
+      "threadpool.task",
+  };
+  return kSites;
+}
+
+void arm(const std::string& site, const Spec& spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  Site& s = r.sites[site];
+  s.spec = spec;
+  s.hits = 0;
+  s.fires = 0;
+  detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.sites.clear();
+  r.injected = 0;
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+SiteStats site_stats(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = r.sites.find(site);
+  SiteStats out;
+  if (it != r.sites.end()) {
+    out.hits = it->second.hits;
+    out.fires = it->second.fires;
+  }
+  return out;
+}
+
+std::uint64_t injected_total() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return r.injected;
+}
+
+}  // namespace raindrop::fault

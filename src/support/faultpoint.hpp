@@ -1,0 +1,112 @@
+// Deterministic fault-injection registry (DESIGN.md §12).
+//
+// Hot paths are instrumented with *named fault sites*:
+//
+//   fault::maybe_throw("pool.plan");            // throw-style site
+//   if (fault::fire("cache.harvest.corrupt"))   // behavior-style site
+//     ... insert a corrupted copy ...
+//
+// When no site is armed, fire() is a single relaxed atomic load and a
+// predictable branch -- the robustness layer costs nothing on the happy
+// path (the CI throughput floors hold with the registry compiled in).
+//
+// Arming is seed-deterministic: each site counts its hits, and whether
+// hit #k fires is a pure function of (site, spec, k) -- kNth fires on
+// every nth hit, kProb draws from Rng::stream(spec.seed ^ hash(site), k).
+// Runs with the same workload and the same specs inject the same faults,
+// which is what lets the chaos suite assert byte-identity of unaffected
+// jobs instead of merely "it didn't crash".
+//
+// Activation: programmatic via arm()/disarm_all() (tests, chaos bench),
+// or the RAINDROP_FAULTS environment variable for ad-hoc runs:
+//
+//   RAINDROP_FAULTS="pool.plan=nth:3;engine.craft_one=prob:0.01@7"
+//
+// (nth:<k> fires every k-th hit; prob:<p>@<seed> fires with probability
+// p per hit; an optional ",max:<m>" suffix caps total fires, default 1
+// for nth and unlimited for prob.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace raindrop::fault {
+
+// Thrown by throw-style sites. Code between a fault site and the stage
+// boundary must be exception-safe; the service maps this to a typed
+// ObfError (kind = kFaultInjected) instead of letting it escape.
+struct FaultInjected : std::runtime_error {
+  explicit FaultInjected(const char* site_name)
+      : std::runtime_error(std::string("fault injected at ") + site_name),
+        site(site_name) {}
+  const char* site;
+};
+
+struct Spec {
+  enum class Mode { kOff, kNth, kProb };
+  Mode mode = Mode::kOff;
+  std::uint64_t nth = 1;        // kNth: fire when hit_index % nth == nth - 1
+  double prob = 0.0;            // kProb: per-hit fire probability
+  std::uint64_t seed = 1;       // kProb decision stream
+  std::uint64_t max_fires = 1;  // stop injecting after this many (0 = no cap)
+
+  static Spec every_nth(std::uint64_t n, std::uint64_t cap = 1) {
+    Spec s;
+    s.mode = Mode::kNth;
+    s.nth = n ? n : 1;
+    s.max_fires = cap;
+    return s;
+  }
+  static Spec with_prob(double p, std::uint64_t seed_ = 1,
+                        std::uint64_t cap = 0) {
+    Spec s;
+    s.mode = Mode::kProb;
+    s.prob = p;
+    s.seed = seed_;
+    s.max_fires = cap;
+    return s;
+  }
+};
+
+struct SiteStats {
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+bool fire_slow(const char* site);
+}  // namespace detail
+
+// Canonical list of the sites wired through the codebase; the chaos
+// suite sweeps exactly this list, so adding a site without updating it
+// means the site ships untested -- keep them in sync.
+const std::vector<const char*>& all_sites();
+
+// Arms `site` with `spec` (replacing any previous spec). Thread-safe.
+void arm(const std::string& site, const Spec& spec);
+
+// Disarms every site and resets all hit/fire counters.
+void disarm_all();
+
+SiteStats site_stats(const std::string& site);
+
+// Total injections across all sites since the last disarm_all().
+std::uint64_t injected_total();
+
+// Evaluates the site. True means the caller should misbehave (throw,
+// corrupt, ...). Zero-overhead when nothing is armed.
+inline bool fire(const char* site) {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return false;
+  return detail::fire_slow(site);
+}
+
+// Throw-style site: raises FaultInjected when the site fires.
+inline void maybe_throw(const char* site) {
+  if (fire(site)) throw FaultInjected(site);
+}
+
+}  // namespace raindrop::fault

@@ -1,5 +1,9 @@
 #include "support/thread_pool.hpp"
 
+#include <exception>
+
+#include "support/faultpoint.hpp"
+
 namespace raindrop {
 
 ThreadPool::ThreadPool(int threads) {
@@ -32,7 +36,14 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // submit()'s contract says tasks must not throw, but a worker dying
+    // would wedge every later parallel_for latch -- swallow defensively.
+    // parallel_for's own wrapper captures the exception for the caller
+    // before it can reach this backstop.
+    try {
+      task();
+    } catch (...) {
+    }
     {
       std::unique_lock<std::mutex> lk(mu_);
       if (--in_flight_ == 0 && tasks_.empty()) idle_.notify_all();
@@ -68,29 +79,46 @@ void ThreadPool::parallel_for(std::size_t n,
     // Rewriter facade, a 1-shard resolve) runs on the calling thread --
     // a queue round-trip buys no parallelism. Callers sharing one pool
     // across pipeline stages (the ObfuscationService) keep their worker
-    // slots for batches that can actually fan out.
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    // slots for batches that can actually fan out. Exceptions propagate
+    // directly; later indices are not attempted.
+    for (std::size_t i = 0; i < n; ++i) {
+      fault::maybe_throw("threadpool.task");
+      fn(i);
+    }
     return;
   }
   // One task per index: craft items vary wildly in cost (a 6-line leaf vs
   // a 300-point switch machine), so per-index queueing is the balancer.
+  // A throwing fn(i) must not strand the latch or kill the worker: the
+  // first exception is captured and rethrown on the calling thread once
+  // every index has finished (remaining indices still run -- craft items
+  // are independent, and a partial batch would be harder to reason about
+  // than a complete one with one recorded failure).
   struct Shared {
     std::mutex mu;
     std::condition_variable done;
     std::size_t remaining;
+    std::exception_ptr first_error;
   };
   auto shared = std::make_shared<Shared>();
   shared->remaining = n;
   if (n == 0) return;
   for (std::size_t i = 0; i < n; ++i) {
     submit([i, &fn, shared] {
-      fn(i);
+      try {
+        fault::maybe_throw("threadpool.task");
+        fn(i);
+      } catch (...) {
+        std::unique_lock<std::mutex> lk(shared->mu);
+        if (!shared->first_error) shared->first_error = std::current_exception();
+      }
       std::unique_lock<std::mutex> lk(shared->mu);
       if (--shared->remaining == 0) shared->done.notify_all();
     });
   }
   std::unique_lock<std::mutex> lk(shared->mu);
   shared->done.wait(lk, [&] { return shared->remaining == 0; });
+  if (shared->first_error) std::rethrow_exception(shared->first_error);
 }
 
 }  // namespace raindrop

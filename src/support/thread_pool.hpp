@@ -45,6 +45,11 @@ class ThreadPool {
   // (inline, in index order, when no workers exist or n == 1). One
   // queued task per index, so long and short items balance across
   // threads. Safe to call from several threads at once.
+  //
+  // If fn throws, the first exception is captured, the remaining indices
+  // still run (workers stay alive, the latch completes), and the
+  // exception is rethrown here on the calling thread. In inline mode the
+  // exception propagates immediately and later indices are skipped.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -10,6 +10,7 @@
 #include "engine/engine.hpp"
 #include "image/image.hpp"
 #include "minic/codegen.hpp"
+#include "support/faultpoint.hpp"
 #include "workload/corpus.hpp"
 
 namespace raindrop {
@@ -249,6 +250,104 @@ TEST(AnalysisCacheTest, CapacityBoundEvicts) {
   auto s = cache.stats();
   EXPECT_EQ(s.misses, 6u);
   EXPECT_GE(s.evictions, 4u);  // only 2 entries may survive
+}
+
+TEST(AnalysisCacheTest, CorruptedEntryIsDetectedEvictedAndRecomputed) {
+  // DESIGN.md §12: a corrupted cached analysis must never be served. The
+  // fault registry plants a corrupted copy at insert time; the next
+  // lookup's integrity digest catches it, evicts, recomputes, and the
+  // healed entry then serves clean hits.
+  auto cp = workload::make_corpus(5, 40);
+  Image img = minic::compile(cp.module);
+  const FunctionSym* fn = nullptr;
+  for (const auto& name : cp.functions) {
+    const FunctionSym* f = img.function(name);
+    if (f && f->size > 16) {
+      fn = f;
+      break;
+    }
+  }
+  ASSERT_NE(fn, nullptr);
+
+  AnalysisCache cache;
+  fault::arm("cache.analysis.corrupt", fault::Spec::every_nth(1));
+  bool hit = true;
+  auto clean = cache.lookup_or_build(img, fn->addr, fn->size, fn->arg_count,
+                                     &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(fault::site_stats("cache.analysis.corrupt").fires, 1u);
+  fault::disarm_all();
+  // The caller of the corrupting insert still got the clean artifact.
+  EXPECT_EQ(clean->integrity, clean->compute_integrity());
+
+  // The cached copy is corrupted: the next lookup must detect the
+  // digest mismatch and rebuild instead of serving it.
+  auto s0 = cache.stats();
+  auto healed = cache.lookup_or_build(img, fn->addr, fn->size, fn->arg_count,
+                                      &hit);
+  EXPECT_FALSE(hit) << "a corrupted entry was served as a hit";
+  auto s1 = cache.stats();
+  EXPECT_EQ(s1.integrity_evictions, s0.integrity_evictions + 1);
+  EXPECT_EQ(healed->integrity, healed->compute_integrity());
+  EXPECT_EQ(healed->dep_fingerprint, clean->dep_fingerprint);
+
+  // Healed: subsequent lookups hit the recomputed entry.
+  auto again = cache.lookup_or_build(img, fn->addr, fn->size, fn->arg_count,
+                                     &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(again.get(), healed.get());
+}
+
+TEST(AnalysisCacheTest, CorruptedCraftMemoHealsToByteIdenticalOutput) {
+  // End-to-end recovery: corrupt every craft-memo insert during the cold
+  // run, then re-run warm. Every poisoned memo entry must be detected,
+  // evicted and re-crafted -- and both runs' images must be
+  // byte-identical to a never-corrupted reference.
+  auto cp = workload::make_corpus(3, 40);
+  CacheRun ref = run_corpus(cp, std::make_shared<AnalysisCache>(), 1);
+
+  auto cache = std::make_shared<AnalysisCache>();
+  fault::arm("cache.craft_memo.corrupt",
+             fault::Spec::every_nth(1, /*cap=*/0));  // poison every insert
+  CacheRun cold = run_corpus(cp, cache, 1);
+  EXPECT_GT(fault::site_stats("cache.craft_memo.corrupt").fires, 0u);
+  fault::disarm_all();
+  // The cold run crafted from the clean artifacts; corruption only went
+  // into the cache.
+  for (const char* sec : {".ropdata", ".text", ".data", ".rodata"})
+    EXPECT_EQ(cold.img.section_bytes(sec), ref.img.section_bytes(sec))
+        << sec << " diverges on the corrupting cold run";
+
+  CacheRun warm = run_corpus(cp, cache, 1);
+  EXPECT_GT(warm.mod.corruptions_recovered, 0u)
+      << "no memo corruption was detected on the warm run";
+  EXPECT_EQ(warm.mod.craft_memo_hits, 0u)
+      << "a corrupted memo artifact was served";
+  for (const char* sec : {".ropdata", ".text", ".data", ".rodata"})
+    EXPECT_EQ(warm.img.section_bytes(sec), ref.img.section_bytes(sec))
+        << sec << " diverges after corruption recovery";
+}
+
+TEST(AnalysisCacheTest, CorruptedHarvestLayerIsRescanned) {
+  // The gadget finder's memoized harvest scan heals the same way: a
+  // poisoned layer fails its integrity check on attach, is evicted from
+  // the aux table, and the engine rescans -- both engines end up with
+  // identical pools.
+  auto cp = workload::make_corpus(2, 25);
+  auto cache = std::make_shared<AnalysisCache>();
+  Image a = minic::compile(cp.module);
+  Image b = minic::compile(cp.module);
+  fault::arm("cache.harvest.corrupt", fault::Spec::every_nth(1));
+  engine::ObfuscationEngine e1(&a, cache_cfg(3), cache);
+  EXPECT_EQ(fault::site_stats("cache.harvest.corrupt").fires, 1u);
+  fault::disarm_all();
+
+  auto aux0 = cache->aux_stats();
+  engine::ObfuscationEngine e2(&b, cache_cfg(3), cache);
+  auto aux1 = cache->aux_stats();
+  EXPECT_GT(aux1.integrity_evictions, aux0.integrity_evictions)
+      << "the corrupted harvest layer was attached without detection";
+  EXPECT_EQ(e1.pool().unique_count(), e2.pool().unique_count());
 }
 
 TEST(AnalysisCacheTest, HarvestLayerSharedAcrossEngines) {

@@ -3,6 +3,7 @@
 // diversification contract.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
 #include <thread>
 
@@ -105,6 +106,40 @@ TEST(ThreadPool, MultiThreadCompletesAllTasks) {
   std::vector<int> hits(64, 0);
   tp.parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; });
   for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstExceptionAndSurvives) {
+  // A throwing body must not bring a worker down (or deadlock the
+  // latch): parallel_for captures the first exception, finishes the
+  // remaining indices, rethrows on the calling thread, and the pool
+  // stays fully usable afterwards.
+  ThreadPool tp(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(tp.parallel_for(64,
+                               [&](std::size_t i) {
+                                 if (i % 7 == 3)
+                                   throw std::runtime_error("task boom");
+                                 ran.fetch_add(1, std::memory_order_relaxed);
+                               }),
+               std::runtime_error);
+  EXPECT_GT(ran.load(), 0);
+  // The pool survived: every worker still drains new work.
+  std::vector<int> hits(64, 0);
+  tp.parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  tp.wait_idle();
+
+  // Inline (single-thread) flavour: same contract, immediate propagation.
+  ThreadPool inline_tp(1);
+  int before = 0;
+  EXPECT_THROW(inline_tp.parallel_for(8,
+                                      [&](std::size_t i) {
+                                        if (i == 2)
+                                          throw std::runtime_error("boom");
+                                        ++before;
+                                      }),
+               std::runtime_error);
+  EXPECT_EQ(before, 2);  // indices 0,1 ran; 2 threw; 3.. skipped
 }
 
 TEST(Memory, RegionsAndPermissions) {

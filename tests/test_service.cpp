@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -23,6 +25,19 @@
 
 namespace raindrop {
 namespace {
+
+// Same convention as test_attack: RAINDROP_DEADLINE_SCALE widens every
+// wall-clock budget uniformly on slower machines (sanitized Debug
+// builds run ~10x slower), so deadline-driven scenarios keep their
+// shape -- the gated job overruns, its followers do not.
+double deadline_scale() {
+  static const double scale = [] {
+    const char* e = std::getenv("RAINDROP_DEADLINE_SCALE");
+    double s = (e && *e) ? std::atof(e) : 0.0;
+    return s > 0.0 ? s : 1.0;
+  }();
+  return scale;
+}
 
 rop::ObfConfig full_cfg(std::uint64_t seed) {
   rop::ObfConfig c = rop::rop_k(0.25, seed);
@@ -422,6 +437,95 @@ TEST(ServiceAdmission, SessionQuotaRefusesIndependentlyOfQueueSpace) {
   gate->release();
   EXPECT_GT(h1.wait().ok_count, 0u);
   EXPECT_EQ(service.stats().jobs_rejected, 1u);
+}
+
+TEST(ServiceAdmission, ShutdownWakesParkedBlockingSubmitWithRejection) {
+  // DESIGN.md §12: a kBlock submitter parked on a full craft queue must
+  // not deadlock when the service shuts down underneath it -- it wakes
+  // with a ready, rejected handle carrying a typed kShutdown error,
+  // before the drain completes (the drain here is held up by the gate).
+  auto cp = workload::make_corpus(43, 30);
+  auto jobs = split_batches(cp.functions, 3);
+
+  auto gate = std::make_shared<StageGate>();
+  engine::ServiceConfig sc;
+  sc.craft_queue_depth = 1;
+  sc.submit_policy = engine::ServiceConfig::SubmitPolicy::kBlock;
+  sc.cache = std::make_shared<analysis::AnalysisCache>();
+  sc.stage_probe = [gate](const char* stage) { gate->on_probe(stage); };
+  engine::ObfuscationService service(sc);
+  Image img = minic::compile(cp.module);
+  auto session = service.open_session(&img, full_cfg(53));
+
+  engine::JobHandle h1 = session->submit(jobs[0]);  // held mid-craft
+  gate->wait_entered(1);
+  engine::JobHandle h2 = session->submit(jobs[1]);  // fills the queue
+  engine::JobHandle h3;
+  std::thread submitter([&] { h3 = session->submit(jobs[2]); });
+  // Let the submitter park on admission (queue full, policy kBlock).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(service.stats().jobs_submitted, 2u);
+
+  std::thread shutter([&] { service.shutdown(); });
+  // The parked submitter must wake and return rejected NOW, while the
+  // drain is still blocked on the gated craft stage.
+  submitter.join();
+  EXPECT_TRUE(h3.ready());
+  const engine::ModuleResult& r3 = h3.wait();
+  EXPECT_TRUE(r3.rejected);
+  ASSERT_TRUE(r3.error.has_value());
+  EXPECT_EQ(r3.error->kind, engine::ObfError::Kind::kShutdown);
+  EXPECT_EQ(r3.error->stage, "submit");
+
+  gate->release();
+  shutter.join();
+  EXPECT_GT(h1.wait().ok_count, 0u);
+  EXPECT_GT(h2.wait().ok_count, 0u);
+  auto st = service.stats();
+  EXPECT_EQ(st.jobs_completed, 2u);
+  EXPECT_EQ(st.jobs_rejected, 1u);
+}
+
+TEST(ServiceWatchdog, DeadlineDemotesOverrunningCraftToSerialPath) {
+  // Graceful degradation: a craft held past watchdog_deadline_s is
+  // flagged, cancelled via the engine's poll, and rerun on the serial
+  // obfuscate_module path. Expiring *before* craft entry means nothing
+  // touched the image, so the demoted job -- and the whole session --
+  // still lands the exact standalone-reference bytes.
+  auto cp = workload::make_corpus(47, 30);
+  auto jobs = split_batches(cp.functions, 2);
+  StandaloneRun ref = run_standalone(cp, jobs, 59);
+
+  auto gate = std::make_shared<StageGate>();
+  engine::ServiceConfig sc;
+  sc.watchdog_deadline_s = 0.05 * deadline_scale();
+  sc.cache = std::make_shared<analysis::AnalysisCache>();
+  sc.stage_probe = [gate](const char* stage) { gate->on_probe(stage); };
+  engine::ObfuscationService service(sc);
+  Image img = minic::compile(cp.module);
+  auto session = service.open_session(&img, full_cfg(59));
+
+  engine::JobHandle h1 = session->submit(jobs[0]);
+  gate->wait_entered(1);  // held at the craft probe, clock running
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(std::lround(250 * deadline_scale())));
+  gate->release();
+
+  const engine::ModuleResult& r1 = h1.wait();
+  EXPECT_TRUE(r1.degraded_serial);
+  EXPECT_FALSE(r1.error.has_value()) << "degradation is completion, not "
+                                        "quarantine";
+  engine::JobHandle h2 = session->submit(jobs[1]);  // unaffected follower
+  h2.wait();
+
+  auto st = service.stats();
+  EXPECT_GE(st.watchdog_flags, 1u);
+  EXPECT_EQ(st.jobs_degraded_serial, 1u);
+  EXPECT_EQ(st.jobs_completed, 2u);
+  EXPECT_EQ(st.jobs_quarantined, 0u);
+  expect_same_results(r1, ref.results[0], "demoted job");
+  expect_same_results(h2.wait(), ref.results[1], "follower job");
+  expect_same_image(img, ref.img, "demoted module");
 }
 
 TEST(ServiceCancellation, DroppedHandlesCancelJobsBeforeResolve) {
