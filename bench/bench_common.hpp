@@ -17,6 +17,7 @@
 #include "engine/engine.hpp"
 #include "engine/service.hpp"
 #include "image/image.hpp"
+#include "store/store.hpp"
 #include "minic/codegen.hpp"
 #include "rop/rewriter.hpp"
 #include "support/faultpoint.hpp"
@@ -240,6 +241,18 @@ inline void emit_analysis_cache(BenchJson& json) {
   json.metric("analysis_cache_hit_rate", s.hit_rate());
   auto a = analysis::AnalysisCache::process_cache()->aux_stats();
   json.metric("harvest_cache_hit_rate", a.hit_rate());
+  // Persistent-store tier (DESIGN.md §13): zeros when the process cache
+  // has no store attached (benches that drive their own store report its
+  // counters themselves).
+  store::ArtifactStore* st = analysis::AnalysisCache::process_cache()
+                                 ->store()
+                                 .get();
+  store::ArtifactStore::Stats ss =
+      st ? st->stats() : store::ArtifactStore::Stats{};
+  json.metric("store_hit_rate", ss.hit_rate());
+  json.metric("store_spills", static_cast<double>(ss.spills));
+  json.metric("store_corrupt_evictions",
+              static_cast<double>(ss.corrupt_evictions));
 }
 
 // Per-stage pipeline telemetry (DESIGN.md §9): the craft / resolve /
@@ -292,6 +305,13 @@ inline void emit_service_stats(BenchJson& json,
               static_cast<double>(st.watchdog_flags));
   json.metric(prefix + "corruptions_recovered",
               static_cast<double>(st.corruptions_recovered));
+  // Persistent-store tier (DESIGN.md §13): all zero without a store_dir.
+  json.metric(prefix + "store_hits", static_cast<double>(st.store_hits));
+  json.metric(prefix + "store_misses", static_cast<double>(st.store_misses));
+  json.metric(prefix + "store_spills", static_cast<double>(st.store_spills));
+  json.metric(prefix + "store_corrupt_evictions",
+              static_cast<double>(st.store_corrupt_evictions));
+  json.metric(prefix + "store_hit_rate", st.store_hit_rate());
 }
 
 // Obfuscation configurations of Table I.

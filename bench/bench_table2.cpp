@@ -12,11 +12,24 @@
 // cache hit rate land in BENCH_table2.json as tracked metrics
 // (`warm_speedup`, `analysis_cache_hit_rate`). The Release CI job gates
 // on `warm_speedup` (tools/bench_report.py --check-min).
+//
+// `--warm-restart` (or RAINDROP_WARM_RESTART=1) runs the warm-sweep
+// benchmark PLUS the persistent-store restart experiment (DESIGN.md
+// §13): one populate pass spills every artifact into a fresh on-disk
+// ArtifactStore, then the cache and store objects are destroyed (the
+// "process exit") and a restart pass over a brand-new cache + store on
+// the same directory rebuilds the corpus from disk. Emits
+// `warm_restart_speedup` (cold / restart wall-clock),
+// `warm_restart_deterministic` (1 iff every pass produced byte-identical
+// images) and the restart store hit rate; Release CI gates on the first
+// two (tools/bench_report.py --check-min).
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 #include "attack/dse.hpp"
 #include "bench_common.hpp"
+#include "store/store.hpp"
 #include "support/stopwatch.hpp"
 #include "workload/corpus.hpp"
 
@@ -45,15 +58,24 @@ std::vector<workload::RandomFun> sweep_funs(bool full) {
 // (one engine per configuration, like a production service rebuilding a
 // client's module under many hardening levels). `shared` is the analysis
 // cache every engine consults; nullptr gives each engine a private fresh
-// cache (no reuse anywhere -- the pre-cache pipeline). Returns wall-clock
-// seconds and accumulates engine cache telemetry into hits/misses.
-double run_sweep(const workload::Corpus& cp,
-                 const std::vector<double>& ks,
-                 std::shared_ptr<analysis::AnalysisCache> shared,
-                 std::size_t* hits, std::size_t* misses,
-                 std::size_t* built) {
+// cache (no reuse anywhere -- the pre-cache pipeline).
+struct SweepStats {
+  double seconds = 0.0;
+  std::size_t built = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t store_hits = 0;
+  std::size_t store_misses = 0;
+  // Fold of every configuration's serialized obfuscated image: two
+  // passes produced byte-identical modules iff their digests match.
+  std::uint64_t image_digest = 0;
+};
+
+SweepStats run_sweep(const workload::Corpus& cp,
+                     const std::vector<double>& ks,
+                     std::shared_ptr<analysis::AnalysisCache> shared) {
+  SweepStats st;
   Stopwatch watch;
-  std::size_t ok = 0;
   for (std::size_t ci = 0; ci < ks.size(); ++ci) {
     Image img = minic::compile(cp.module);
     // The Table II ROP row setup (§VII-B): P1 + P3 variant 1 at
@@ -69,15 +91,21 @@ double run_sweep(const workload::Corpus& cp,
         shared ? shared : std::make_shared<analysis::AnalysisCache>();
     engine::ObfuscationEngine eng(&img, c, cache);
     auto mr = eng.obfuscate_module(cp.functions, 1, bench_shards());
-    ok += mr.ok_count;
-    if (hits) *hits += mr.analysis_cache_hits;
-    if (misses) *misses += mr.analysis_cache_misses;
+    st.built += mr.ok_count;
+    st.hits += mr.analysis_cache_hits;
+    st.misses += mr.analysis_cache_misses;
+    st.store_hits += mr.store_hits;
+    st.store_misses += mr.store_misses;
+    auto blob = img.serialize();
+    st.image_digest = analysis::AnalysisCache::fold(
+        st.image_digest,
+        analysis::AnalysisCache::hash_bytes(blob.data(), blob.size()));
   }
-  if (built) *built = ok;
-  return watch.seconds();
+  st.seconds = watch.seconds();
+  return st;
 }
 
-int warm_mode_main() {
+int warm_mode_main(bool restart) {
   bool full = full_mode();
   bool smoke = smoke_mode();
   int corpus_size = full ? 1354 : smoke ? 60 : 200;
@@ -99,35 +127,35 @@ int warm_mode_main() {
 
   // Pass 1 (cold): isolated per-engine caches -- every engine redoes
   // CFG/liveness/taint and the harvest scan, like the pre-cache engine.
-  std::size_t built = 0;
-  double cold_s = run_sweep(cp, ks, nullptr, nullptr, nullptr, &built);
-  std::printf("cold  (isolated caches): %6.3fs  (%zu rewrites)\n", cold_s,
-              built);
+  SweepStats cold = run_sweep(cp, ks, nullptr);
+  std::printf("cold  (isolated caches): %6.3fs  (%zu rewrites)\n",
+              cold.seconds, cold.built);
 
   // Pass 2 (warm-up) + pass 3 (warm): the same sweep twice against one
   // shared cache. Pass 3 runs fully hot: every analysis and harvest scan
   // is served from the cache.
   auto shared = std::make_shared<analysis::AnalysisCache>();
-  double warmup_s = run_sweep(cp, ks, shared, nullptr, nullptr, nullptr);
-  std::size_t hits = 0, misses = 0;
-  double warm_s = run_sweep(cp, ks, shared, &hits, &misses, nullptr);
-  double hit_rate = hits + misses
-                        ? static_cast<double>(hits) /
-                              static_cast<double>(hits + misses)
-                        : 0.0;
-  double speedup = warm_s > 0 ? cold_s / warm_s : 0.0;
-  std::printf("warm-up (shared cache) : %6.3fs\n", warmup_s);
+  SweepStats warmup = run_sweep(cp, ks, shared);
+  SweepStats warm = run_sweep(cp, ks, shared);
+  double hit_rate =
+      warm.hits + warm.misses
+          ? static_cast<double>(warm.hits) /
+                static_cast<double>(warm.hits + warm.misses)
+          : 0.0;
+  double speedup = warm.seconds > 0 ? cold.seconds / warm.seconds : 0.0;
+  std::printf("warm-up (shared cache) : %6.3fs\n", warmup.seconds);
   std::printf("warm  (shared cache)   : %6.3fs   cold/warm: %.2fx   "
               "analysis hit rate: %.3f\n",
-              warm_s, speedup, hit_rate);
+              warm.seconds, speedup, hit_rate);
 
-  json.metric("cold_sweep_s", cold_s);
-  json.metric("warmup_sweep_s", warmup_s);
-  json.metric("warm_sweep_s", warm_s);
+  json.metric("cold_sweep_s", cold.seconds);
+  json.metric("warmup_sweep_s", warmup.seconds);
+  json.metric("warm_sweep_s", warm.seconds);
   json.metric("warm_speedup", speedup);
-  json.metric("rewrites", static_cast<double>(built));
-  json.metric("analysis_cache_warm_hits", static_cast<double>(hits));
-  json.metric("analysis_cache_warm_misses", static_cast<double>(misses));
+  json.metric("rewrites", static_cast<double>(cold.built));
+  json.metric("analysis_cache_warm_hits", static_cast<double>(warm.hits));
+  json.metric("analysis_cache_warm_misses",
+              static_cast<double>(warm.misses));
   // The acceptance metric: hit rate of the warm pass (not the process-
   // wide counters emit_analysis_cache reports below).
   json.metric("analysis_cache_hit_rate", hit_rate);
@@ -137,6 +165,67 @@ int warm_mode_main() {
               static_cast<double>(cs.misses));
   json.metric("shared_cache_evictions", static_cast<double>(cs.evictions));
   json.metric("harvest_cache_hit_rate", shared->aux_stats().hit_rate());
+
+  if (restart) {
+    // The warm-restart experiment (DESIGN.md §13): a populate pass spills
+    // every artifact into a fresh on-disk store, then cache AND store are
+    // destroyed -- the "process exit" -- and a restart pass over a new
+    // cache + store on the same directory rebuilds the corpus from disk.
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "raindrop_bench_store";
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+
+    SweepStats populate;
+    std::size_t spills = 0;
+    {
+      auto cache = std::make_shared<analysis::AnalysisCache>();
+      auto disk = std::make_shared<store::ArtifactStore>(dir.string());
+      cache->attach_store(disk);
+      populate = run_sweep(cp, ks, cache);
+      disk->flush();
+      spills = disk->stats().spills;
+    }  // "process exit": cache and store torn down, only the files remain
+
+    SweepStats rst;
+    double restart_hit_rate = 0.0;
+    std::size_t corrupt_evictions = 0;
+    {
+      auto cache = std::make_shared<analysis::AnalysisCache>();
+      auto disk = std::make_shared<store::ArtifactStore>(dir.string());
+      cache->attach_store(disk);
+      rst = run_sweep(cp, ks, cache);
+      auto ds = disk->stats();
+      restart_hit_rate = ds.hit_rate();
+      corrupt_evictions = ds.corrupt_evictions;
+    }
+    fs::remove_all(dir, ec);
+
+    double restart_speedup =
+        rst.seconds > 0 ? cold.seconds / rst.seconds : 0.0;
+    bool deterministic = cold.image_digest == warmup.image_digest &&
+                         cold.image_digest == warm.image_digest &&
+                         cold.image_digest == populate.image_digest &&
+                         cold.image_digest == rst.image_digest;
+    std::printf("populate (fresh store) : %6.3fs  (%zu spills)\n",
+                populate.seconds, spills);
+    std::printf("restart (store-backed) : %6.3fs   cold/restart: %.2fx   "
+                "store hit rate: %.3f   deterministic: %s\n",
+                rst.seconds, restart_speedup, restart_hit_rate,
+                deterministic ? "yes" : "NO");
+
+    json.metric("warm_restart_populate_s", populate.seconds);
+    json.metric("warm_restart_sweep_s", rst.seconds);
+    json.metric("warm_restart_speedup", restart_speedup);
+    json.metric("warm_restart_deterministic", deterministic ? 1.0 : 0.0);
+    json.metric("store_hit_rate", restart_hit_rate);
+    json.metric("store_hits", static_cast<double>(rst.store_hits));
+    json.metric("store_misses", static_cast<double>(rst.store_misses));
+    json.metric("store_spills", static_cast<double>(spills));
+    json.metric("store_corrupt_evictions",
+                static_cast<double>(corrupt_evictions));
+  }
+
   emit_cpu_throughput(json);
   json.write();
   return 0;
@@ -145,12 +234,16 @@ int warm_mode_main() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool warm = false;
-  for (int i = 1; i < argc; ++i)
+  bool warm = false, restart = false;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--warm") == 0) warm = true;
+    if (std::strcmp(argv[i], "--warm-restart") == 0) restart = true;
+  }
   if (const char* e = std::getenv("RAINDROP_WARM"); e && *e == '1')
     warm = true;
-  if (warm) return warm_mode_main();
+  if (const char* e = std::getenv("RAINDROP_WARM_RESTART"); e && *e == '1')
+    restart = true;
+  if (warm || restart) return warm_mode_main(restart);
 
   bool full = full_mode();
   double budget_s = full ? 20.0 : 4.0;

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "store/serialize.hpp"
+#include "store/store.hpp"
+#include "support/binio.hpp"
 #include "support/faultpoint.hpp"
 
 namespace raindrop::analysis {
@@ -120,6 +123,139 @@ AnalysisCache::Entry AnalysisCache::build_entry(const Image& img,
   return e;
 }
 
+void AnalysisCache::attach_store(std::shared_ptr<store::ArtifactStore> st) {
+  store_ = std::move(st);
+}
+
+// Disk record layout for one Entry (identity + out-of-body deps + the
+// full artifact). The store's header already authenticates kind/key/
+// payload digest; this codec only has to round-trip losslessly and
+// parse-fail recoverably on anything malformed.
+std::vector<std::uint8_t> AnalysisCache::serialize_entry(const Entry& e) {
+  binio::Writer w;
+  w.u64(e.entry_addr);
+  w.u64(e.size);
+  w.i64(e.arg_count);
+  w.u32(static_cast<std::uint32_t>(e.tables.size()));
+  for (const Entry::TableDep& td : e.tables) {
+    w.u64(td.addr);
+    w.u64(td.bytes);
+    w.u64(td.hash);
+  }
+  w.u32(static_cast<std::uint32_t>(e.callees.size()));
+  for (const Entry::CalleeDep& cd : e.callees) {
+    w.u64(cd.target);
+    w.i64(cd.arg_count);
+  }
+  const AnalysisArtifacts& a = *e.art;
+  w.u64(a.dep_fingerprint);
+  w.u64(a.integrity);
+  w.u64(a.cfg.entry);
+  w.u8(a.cfg.complete ? 1 : 0);
+  w.str(a.cfg.error);
+  w.u32(static_cast<std::uint32_t>(a.cfg.blocks.size()));
+  for (const auto& [addr, bb] : a.cfg.blocks) {
+    w.u64(addr);
+    w.u64(bb.start);
+    w.u32(static_cast<std::uint32_t>(bb.insns.size()));
+    for (const CfgInsn& ci : bb.insns) {
+      w.u64(ci.addr);
+      w.u64(ci.length);
+      store::write_insn(w, ci.insn);
+    }
+    w.u32(static_cast<std::uint32_t>(bb.succs.size()));
+    for (std::uint64_t s : bb.succs) w.u64(s);
+    w.u8(bb.jump_table ? 1 : 0);
+    if (bb.jump_table) {
+      w.u64(bb.jump_table->table_addr);
+      w.u32(static_cast<std::uint32_t>(bb.jump_table->targets.size()));
+      for (std::uint64_t t : bb.jump_table->targets) w.u64(t);
+    }
+  }
+  auto write_regmap = [&w](const std::map<std::uint64_t, RegSet>& m) {
+    w.u32(static_cast<std::uint32_t>(m.size()));
+    for (const auto& [addr, rs] : m) {
+      w.u64(addr);
+      store::write_regset(w, rs);
+    }
+  };
+  write_regmap(a.liveness.live_out);
+  write_regmap(a.liveness.block_in);
+  write_regmap(a.taint.tainted_in);
+  return w.take();
+}
+
+std::optional<AnalysisCache::Entry> AnalysisCache::deserialize_entry(
+    std::span<const std::uint8_t> payload) {
+  try {
+    binio::Reader r(payload);
+    Entry e;
+    e.entry_addr = r.u64();
+    e.size = r.u64();
+    e.arg_count = static_cast<int>(r.i64());
+    std::uint32_t n_tables = r.count(/*min_elem_bytes=*/24);
+    for (std::uint32_t i = 0; i < n_tables; ++i) {
+      Entry::TableDep td;
+      td.addr = r.u64();
+      td.bytes = r.u64();
+      td.hash = r.u64();
+      e.tables.push_back(td);
+    }
+    std::uint32_t n_callees = r.count(/*min_elem_bytes=*/16);
+    for (std::uint32_t i = 0; i < n_callees; ++i) {
+      Entry::CalleeDep cd;
+      cd.target = r.u64();
+      cd.arg_count = static_cast<int>(r.i64());
+      e.callees.push_back(cd);
+    }
+    auto art = std::make_shared<AnalysisArtifacts>();
+    art->dep_fingerprint = r.u64();
+    art->integrity = r.u64();
+    art->cfg.entry = r.u64();
+    art->cfg.complete = r.u8() != 0;
+    art->cfg.error = r.str();
+    std::uint32_t n_blocks = r.count(/*min_elem_bytes=*/25);
+    for (std::uint32_t i = 0; i < n_blocks; ++i) {
+      std::uint64_t addr = r.u64();
+      BasicBlock bb;
+      bb.start = r.u64();
+      std::uint32_t n_insns = r.count(/*min_elem_bytes=*/16);
+      for (std::uint32_t j = 0; j < n_insns; ++j) {
+        CfgInsn ci;
+        ci.addr = r.u64();
+        ci.length = r.u64();
+        ci.insn = store::read_insn(r);
+        bb.insns.push_back(ci);
+      }
+      std::uint32_t n_succs = r.count(/*min_elem_bytes=*/8);
+      for (std::uint32_t j = 0; j < n_succs; ++j) bb.succs.push_back(r.u64());
+      if (r.u8()) {
+        JumpTable jt;
+        jt.table_addr = r.u64();
+        std::uint32_t n_targets = r.count(/*min_elem_bytes=*/8);
+        for (std::uint32_t j = 0; j < n_targets; ++j)
+          jt.targets.push_back(r.u64());
+        bb.jump_table = std::move(jt);
+      }
+      art->cfg.blocks[addr] = std::move(bb);
+    }
+    auto read_regmap = [&r](std::map<std::uint64_t, RegSet>& m) {
+      std::uint32_t n = r.count(/*min_elem_bytes=*/9);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint64_t addr = r.u64();
+        m[addr] = store::read_regset(r);
+      }
+    };
+    read_regmap(art->liveness.live_out);
+    read_regmap(art->liveness.block_in);
+    read_regmap(art->taint.tainted_in);
+    e.art = std::move(art);
+    return e;
+  } catch (const binio::Error&) {
+    return std::nullopt;
+  }
+}
+
 bool AnalysisCache::deps_valid(const Entry& e, const Image& img) {
   for (const Entry::TableDep& td : e.tables)
     if (hash_range(img, td.addr, td.bytes) != td.hash) return false;
@@ -132,12 +268,13 @@ bool AnalysisCache::deps_valid(const Entry& e, const Image& img) {
 
 std::shared_ptr<const AnalysisArtifacts> AnalysisCache::lookup_or_build(
     const Image& img, std::uint64_t entry, std::uint64_t size,
-    int arg_count, bool* hit) {
+    int arg_count, bool* hit, bool* store_hit) {
   std::uint64_t key = hash_range(img, entry, static_cast<std::size_t>(size));
   key = mix(key, entry);
   key = mix(key, size);
   key = mix(key, static_cast<std::uint64_t>(arg_count));
   key = mix(key, kAnalysisVersion);
+  if (store_hit) *store_hit = false;
 
   Shard& sh = shard_for(key);
   {
@@ -164,10 +301,44 @@ std::shared_ptr<const AnalysisArtifacts> AnalysisCache::lookup_or_build(
     }
   }
 
+  // Memory miss: probe the disk tier (outside any lock -- store I/O and
+  // deserialization are slow next to a shard probe).
+  if (store_) {
+    if (std::optional<std::vector<std::uint8_t>> payload =
+            store_->get(store::Kind::kAnalysis, key)) {
+      std::optional<Entry> loaded = deserialize_entry(*payload);
+      if (loaded && loaded->art && loaded->entry_addr == entry &&
+          loaded->size == size && loaded->arg_count == arg_count &&
+          loaded->art->integrity == loaded->art->compute_integrity() &&
+          deps_valid(*loaded, img)) {
+        std::shared_ptr<const AnalysisArtifacts> art = loaded->art;
+        std::lock_guard<std::mutex> lock(sh.mu);
+        ++sh.hits;
+        if (hit) *hit = true;
+        if (store_hit) *store_hit = true;
+        if (sh.map.emplace(key, std::move(*loaded)).second) {
+          sh.fifo.push_back(key);
+          while (sh.fifo.size() > capacity_) {
+            if (sh.map.erase(sh.fifo.front())) ++sh.evictions;
+            sh.fifo.pop_front();
+          }
+        }
+        return art;
+      }
+      // Parsed-but-invalid record: corruption that beat the store digest,
+      // stale deps against this image, or a key collision. Evict so the
+      // rebuild below can spill a fresh copy.
+      store_->evict(store::Kind::kAnalysis, key);
+    }
+  }
+
   // Build outside the lock: artifacts are pure functions of the inputs,
   // so a racing builder computes the identical value.
   Entry fresh = build_entry(img, entry, size, arg_count);
   std::shared_ptr<const AnalysisArtifacts> art = fresh.art;
+  // Spill the clean entry before the corruption fault below can taint the
+  // in-memory copy: the disk tier always holds what build_entry produced.
+  if (store_) store_->put(store::Kind::kAnalysis, key, serialize_entry(fresh));
   if (fault::fire("cache.analysis.corrupt")) {
     // Emulate in-cache corruption: store a copy with a digest-covered
     // payload field flipped (keeping the clean stored digest), while the

@@ -26,12 +26,18 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "analysis/disasm.hpp"
 #include "analysis/liveness.hpp"
 #include "analysis/taintreg.hpp"
+
+namespace raindrop::store {
+class ArtifactStore;
+}
 
 namespace raindrop::analysis {
 
@@ -87,10 +93,22 @@ class AnalysisCache {
   // `arg_count` taint sources, computing and inserting them on a miss.
   // Thread-safe; concurrent callers with the same key may both compute
   // (both results are identical by construction). `hit`, when given,
-  // reports whether this call was served from the cache.
+  // reports whether this call was served from the cache (memory or
+  // disk); `store_hit` narrows that to "promoted from the disk tier".
   std::shared_ptr<const AnalysisArtifacts> lookup_or_build(
       const Image& img, std::uint64_t entry, std::uint64_t size,
-      int arg_count, bool* hit = nullptr);
+      int arg_count, bool* hit = nullptr, bool* store_hit = nullptr);
+
+  // -- Persistent second tier (DESIGN.md §13) ---------------------------
+  // With a store attached, lookup_or_build probes it on a memory miss
+  // (deserialize -> revalidate deps + integrity -> promote) and spills
+  // every freshly built entry; deserialization or validation failures
+  // evict the disk record and fall through to a rebuild. Aux users
+  // (craft memos, harvest layers) reach the same store through store().
+  void attach_store(std::shared_ptr<store::ArtifactStore> st);
+  const std::shared_ptr<store::ArtifactStore>& store() const {
+    return store_;
+  }
 
   // -- Generic content-addressed side table ----------------------------
   // Later pipeline stages memoize their own pure byte-derived results
@@ -162,9 +180,15 @@ class AnalysisCache {
   static bool deps_valid(const Entry& e, const Image& img);
   static Entry build_entry(const Image& img, std::uint64_t entry,
                            std::uint64_t size, int arg_count);
+  // Disk-tier record codec (cache.cpp; Entry is private so the layout
+  // lives here). deserialize_entry returns nullopt on any parse failure.
+  static std::vector<std::uint8_t> serialize_entry(const Entry& e);
+  static std::optional<Entry> deserialize_entry(
+      std::span<const std::uint8_t> payload);
 
   std::vector<Shard> shards_;
   std::size_t capacity_;
+  std::shared_ptr<store::ArtifactStore> store_;
 };
 
 }  // namespace raindrop::analysis

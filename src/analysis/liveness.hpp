@@ -21,6 +21,12 @@ class RegSet {
 
   RegSet() = default;
   static RegSet all_regs() { return RegSet(0xffff); }
+  // Reconstruction from raw() -- the artifact store's deserialization
+  // path (store/serialize.*). Masked to the defined bits so a corrupted
+  // payload cannot smuggle in meaningless set members.
+  static RegSet from_raw(std::uint32_t bits) {
+    return RegSet(bits & 0x1ffff);
+  }
 
   void add(isa::Reg r) { bits_ |= 1u << static_cast<int>(r); }
   void add_flags() { bits_ |= 1u << kFlagsBit; }

@@ -10,6 +10,9 @@
 #include "isa/encode.hpp"
 #include "rop/craft.hpp"
 #include "rop/roplet.hpp"
+#include "store/serialize.hpp"
+#include "store/store.hpp"
+#include "support/binio.hpp"
 #include "support/faultpoint.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
@@ -150,6 +153,73 @@ std::uint64_t config_hash(const rop::ObfConfig& c) {
 // Tag separating craft-memo keys from other aux-table users (the
 // harvest layers); bump with any craft semantics change.
 constexpr std::uint64_t kCraftMemoTag = 0x435246540001ull;
+constexpr std::uint64_t kModuleRecordTag = 0x4d4f44554c450001ull;
+
+// Disk-tier codec for a whole CraftArtifact (Kind::kCraftMemo records,
+// DESIGN.md §13). The craft key is cross-process deterministic (content
+// hashes + config + ordinal, no addresses of process objects), so a
+// record spilled by one process serves a warm restart byte-identically.
+std::vector<std::uint8_t> serialize_craft(const CraftArtifact& art) {
+  binio::Writer w;
+  w.u8(art.ok ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(art.failure));
+  w.str(art.detail);
+  store::write_chain(w, art.chain);
+  w.u32(static_cast<std::uint32_t>(art.requests.size()));
+  for (const gadgets::GadgetRequest& req : art.requests) {
+    w.vu64(req.core.size());
+    for (const isa::Insn& insn : req.core) store::write_insn(w, insn);
+    w.u8(req.jop ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(req.jop_target));
+    store::write_regset(w, req.allowed_clobbers);
+    // req.key is not stored: it is GadgetPool::key_of(core, jop,
+    // jop_target) by construction, so the reader recomputes it from the
+    // fields above. Keys are ~25% of a memo's request bytes.
+  }
+  w.u8(art.p1 ? 1 : 0);
+  if (art.p1) store::write_p1(w, *art.p1);
+  w.u64(art.program_points);
+  w.u64(art.integrity);
+  return w.take();
+}
+
+// Returns null on any parse failure; the caller additionally re-verifies
+// the artifact's own integrity digest before serving it.
+std::shared_ptr<CraftArtifact> deserialize_craft(
+    std::span<const std::uint8_t> payload) {
+  try {
+    binio::Reader r(payload);
+    auto art = std::make_shared<CraftArtifact>();
+    art->ok = r.u8() != 0;
+    art->failure = static_cast<rop::RewriteFailure>(r.u32());
+    art->detail = r.str();
+    art->chain = store::read_chain(r);
+    std::uint32_t n_reqs = r.count(/*min_elem_bytes=*/4);
+    for (std::uint32_t i = 0; i < n_reqs; ++i) {
+      gadgets::GadgetRequest req;
+      std::uint64_t n_core = r.vu64();
+      if (n_core > r.remaining() / 5)
+        throw binio::Error("binio: count exceeds remaining payload");
+      req.core.reserve(n_core);
+      for (std::uint64_t j = 0; j < n_core; ++j)
+        req.core.push_back(store::read_insn(r));
+      req.jop = r.u8() != 0;
+      std::uint8_t tgt = r.u8();
+      if (tgt >= isa::kNumRegs) return nullptr;
+      req.jop_target = static_cast<isa::Reg>(tgt);
+      req.allowed_clobbers = store::read_regset(r);
+      req.key = gadgets::GadgetPool::key_of(req.core, req.jop,
+                                            req.jop_target);
+      art->requests.push_back(std::move(req));
+    }
+    if (r.u8()) art->p1 = store::read_p1(r);
+    art->program_points = r.u64();
+    art->integrity = r.u64();
+    return art;
+  } catch (const binio::Error&) {
+    return nullptr;
+  }
+}
 
 }  // namespace
 
@@ -245,9 +315,13 @@ CraftedFunction ObfuscationEngine::craft_one(const std::string& name,
   // content-addressed cache: a warm sweep reuses the artifacts of any
   // earlier engine that analysed identical function bytes.
   bool hit = false;
+  bool store_hit = false;
   cf.analyses = cache_->lookup_or_build(*img_, pre.fn_addr, pre.fn_size,
-                                        pre.arg_count, &hit);
+                                        pre.arg_count, &hit, &store_hit);
   cf.analysis_cache_hit = hit;
+  cf.analysis_store_hit = store_hit;
+  const std::shared_ptr<store::ArtifactStore>& st = cache_->store();
+  cf.store_probe = st != nullptr;
 
   // Craft memo: the whole phase-1 artifact is a pure function of the
   // key's inputs, so a sweep re-obfuscating identical bytes under an
@@ -268,6 +342,30 @@ CraftedFunction ObfuscationEngine::craft_one(const std::string& name,
     // the final image never sees the corruption.
     cache_->aux_evict(key);
     cf.memo_corruption_recovered = true;
+  }
+
+  // Memory miss: probe the disk tier. The craft key is cross-process
+  // deterministic, so a record spilled by an earlier process (or this
+  // one, pre-restart) serves the whole artifact without re-crafting.
+  if (st) {
+    if (std::optional<std::vector<std::uint8_t>> payload =
+            st->get(store::Kind::kCraftMemo, key)) {
+      std::shared_ptr<CraftArtifact> loaded = deserialize_craft(*payload);
+      if (loaded && loaded->integrity == loaded->compute_integrity()) {
+        cache_->aux_insert(key, loaded);  // promote for sibling configs
+        cf.art = std::move(loaded);
+        cf.craft_memo_hit = true;
+        cf.memo_store_hit = true;
+        cf.ok = cf.art->ok;
+        cf.failure = cf.art->failure;
+        cf.detail = cf.art->detail;
+        return cf;
+      }
+      // Parsed-but-corrupt record (beat the store's payload digest):
+      // evict so the re-craft below spills a clean replacement.
+      st->evict(store::Kind::kCraftMemo, key);
+      cf.store_corruption_recovered = true;
+    }
   }
 
   auto art = std::make_shared<CraftArtifact>();
@@ -318,6 +416,9 @@ CraftedFunction ObfuscationEngine::craft_one(const std::string& name,
     }
   }
   art->integrity = art->compute_integrity();
+  // Spill the clean artifact before the corruption fault below can taint
+  // the in-memory copy: the disk tier always holds what craft produced.
+  if (st) st->put(store::Kind::kCraftMemo, key, serialize_craft(*art));
   if (fault::fire("cache.craft_memo.corrupt")) {
     // Emulate in-cache corruption: insert a copy with a digest-covered
     // payload field flipped (the stored digest stays clean), while this
@@ -394,6 +495,7 @@ rop::RewriteResult ObfuscationEngine::stage_one(CraftedFunction& cf,
 CraftedModule ObfuscationEngine::craft_module(
     const std::vector<std::string>& names, int threads, ThreadPool* pool,
     const std::function<bool()>& cancel) {
+  module_record_eligible_ = false;
   CraftedModule cm;
   cm.names = names;
   Stopwatch watch;
@@ -519,12 +621,35 @@ ModuleResult ObfuscationEngine::materialize_module(ResolvedModule&& rm) {
       ++out.craft_memo_hits;
     else
       ++out.craft_memo_misses;
+    // Disk-tier telemetry: with a store attached, a memory miss that the
+    // disk also missed rebuilt the value and spilled it (lookup_or_build
+    // / craft_one always put on rebuild, so misses == spills here).
+    if (cf.store_probe) {
+      if (cf.analysis_store_hit) {
+        ++out.store_hits;
+      } else if (!cf.analysis_cache_hit) {
+        ++out.store_misses;
+        ++out.store_spills;
+      }
+      if (cf.memo_store_hit) {
+        ++out.store_hits;
+      } else if (!cf.craft_memo_hit) {
+        ++out.store_misses;
+        ++out.store_spills;
+      }
+      if (cf.store_corruption_recovered) ++out.store_corrupt_evictions;
+    }
   }
   std::size_t lookups = out.analysis_cache_hits + out.analysis_cache_misses;
   out.analysis_cache_hit_rate =
       lookups ? static_cast<double>(out.analysis_cache_hits) /
                     static_cast<double>(lookups)
               : 0.0;
+  std::size_t store_lookups = out.store_hits + out.store_misses;
+  out.store_hit_rate =
+      store_lookups ? static_cast<double>(out.store_hits) /
+                          static_cast<double>(store_lookups)
+                    : 0.0;
 
   // The serial half of phase 2a: planned gadgets land in the image in
   // global request order (bit-identical to the former fused resolve),
@@ -587,9 +712,63 @@ ModuleResult ObfuscationEngine::commit_module(CraftedModule&& cm, int threads,
                                            pool));
 }
 
+std::uint64_t ObfuscationEngine::module_key(
+    const std::vector<std::string>& names) const {
+  std::vector<std::uint8_t> blob = img_->serialize();
+  std::uint64_t h = AnalysisCache::hash_bytes(blob.data(), blob.size());
+  h = fold(h, kModuleRecordTag);
+  h = fold(h, config_hash(cfg_));
+  h = fold(h, names.size());
+  for (const std::string& n : names)
+    h = fold(h, AnalysisCache::hash_bytes(
+                    reinterpret_cast<const std::uint8_t*>(n.data()),
+                    n.size()));
+  return h;
+}
+
+// The whole-module fast path (DESIGN.md §13): with a store attached and
+// a virgin engine, probe for a finished module record before doing any
+// work. Output is bit-identical either way -- the record's key covers
+// every input of the deterministic build (image bytes, config, batch),
+// so a hit can only serve what this build would have produced, and
+// Image round-trips byte-exactly. `threads`/`shards` are deliberately
+// not in the key: output is bit-identical across both (see above). On a
+// miss the freshly built module is spilled for the next process.
 ModuleResult ObfuscationEngine::obfuscate_module(
     const std::vector<std::string>& names, int threads, int shards) {
-  return commit_module(craft_module(names, threads), threads, shards);
+  std::shared_ptr<store::ArtifactStore> st =
+      (module_record_eligible_ && cache_) ? cache_->store() : nullptr;
+  if (!st) return commit_module(craft_module(names, threads), threads, shards);
+
+  const std::uint64_t mkey = module_key(names);
+  const std::uint64_t evictions_before = st->stats().corrupt_evictions;
+  if (std::optional<Image> loaded = store::get_module(*st, mkey)) {
+    module_record_eligible_ = false;
+    *img_ = std::move(*loaded);
+    ModuleResult out;
+    // rop_rewritten travels inside the record, so per-function success
+    // is recoverable without the per-function results.
+    for (const std::string& n : names) {
+      const FunctionSym* f = img_->function(n);
+      if (f && f->rop_rewritten) ++out.ok_count;
+    }
+    out.store_hits = 1;
+    out.store_hit_rate = 1.0;
+    return out;
+  }
+  ModuleResult out = commit_module(craft_module(names, threads), threads,
+                                   shards);
+  if (!out.rejected && !out.cancelled) {
+    store::put_module(*st, mkey, *img_);
+    ++out.store_misses;
+    ++out.store_spills;
+    out.store_corrupt_evictions +=
+        st->stats().corrupt_evictions - evictions_before;
+    std::size_t lookups = out.store_hits + out.store_misses;
+    out.store_hit_rate = static_cast<double>(out.store_hits) /
+                         static_cast<double>(lookups);
+  }
+  return out;
 }
 
 rop::RewriteResult ObfuscationEngine::rewrite_function(

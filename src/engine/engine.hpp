@@ -107,6 +107,16 @@ struct CraftedFunction {
   // A memo hit failed its integrity check and the artifact was
   // recomputed (counted into ModuleResult::corruptions_recovered).
   bool memo_corruption_recovered = false;
+  // -- Disk-tier telemetry (DESIGN.md §13) ----------------------------
+  // store_probe: a persistent store was attached, so this craft consulted
+  // the disk tier on memory misses (and spilled on rebuilds). The *_hit
+  // flags narrow the cache hits above to "served from disk";
+  // store_corruption_recovered marks a disk record that failed
+  // validation and was evicted + recomputed.
+  bool store_probe = false;
+  bool analysis_store_hit = false;
+  bool memo_store_hit = false;
+  bool store_corruption_recovered = false;
 };
 
 // Typed failure record for the self-healing service pipeline
@@ -163,6 +173,14 @@ struct ModuleResult {
   // addressed from the cache side table.
   std::size_t craft_memo_hits = 0;
   std::size_t craft_memo_misses = 0;
+  // Persistent-store telemetry (zero when no store is attached): disk
+  // records served / probed-and-absent (each miss implies a spill of the
+  // freshly built artifact) / evicted after failing validation.
+  std::size_t store_hits = 0;
+  std::size_t store_misses = 0;
+  std::size_t store_spills = 0;
+  std::size_t store_corrupt_evictions = 0;
+  double store_hit_rate = 0.0;  // 0 when the store was never probed
   // -- Robustness telemetry (DESIGN.md §12) ---------------------------
   // Set by the self-healing service (and by the engine for in-stage
   // recoveries); all empty/zero on an untroubled run.
@@ -325,6 +343,11 @@ class ObfuscationEngine {
   rop::RewriteResult stage_one(CraftedFunction& cf, std::uint64_t chain_base,
                                Image::DeferredCommit* dc);
   std::vector<std::uint8_t> make_pivot_stub(std::uint64_t chain_addr) const;
+  // Content hash of a whole-module record (Kind::kModule): pre-
+  // obfuscation image bytes + config + batch names. Two engines fed the
+  // same image, config, and batch compute the same key, so a module
+  // obfuscated by one process is reloadable by another.
+  std::uint64_t module_key(const std::vector<std::string>& names) const;
 
   Image* img_;
   rop::ObfConfig cfg_;
@@ -335,6 +358,11 @@ class ObfuscationEngine {
   std::size_t next_ordinal_ = 0;
   std::vector<std::uint64_t> all_gadget_addrs_;
   std::size_t total_points_ = 0;
+  // Whole-module store records are probed/spilled only while the engine
+  // is virgin (no batch crafted yet): after any craft the pool carries
+  // planned-gadget state a reloaded image would not reflect, so later
+  // batches stay on the per-record tier. Cleared by craft_module.
+  bool module_record_eligible_ = true;
 };
 
 }  // namespace raindrop::engine

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "store/store.hpp"
 #include "support/faultpoint.hpp"
 #include "support/rng.hpp"
 
@@ -58,10 +59,18 @@ struct ServiceJob {
 
 ObfuscationService::ObfuscationService(ServiceConfig cfg)
     : cfg_(std::move(cfg)),
-      cache_(cfg_.cache ? cfg_.cache
-                        : analysis::AnalysisCache::process_cache()),
+      cache_(cfg_.cache
+                 ? cfg_.cache
+                 : (cfg_.store_dir.empty()
+                        ? analysis::AnalysisCache::process_cache()
+                        : std::make_shared<analysis::AnalysisCache>())),
       pool_(std::max(1, cfg_.craft_threads)) {
   if (cfg_.pipeline_stages != 2) cfg_.pipeline_stages = 3;
+  // Disk tier (DESIGN.md §13): attach once; an explicit cache that
+  // already carries a store keeps it (the caller wired its own tier).
+  if (!cfg_.store_dir.empty() && !cache_->store())
+    cache_->attach_store(
+        std::make_shared<store::ArtifactStore>(cfg_.store_dir));
   crafter_ = std::thread([this] { craft_loop(); });
   if (cfg_.pipeline_stages == 3)
     resolver_ = std::thread([this] { resolve_loop(); });
@@ -192,6 +201,10 @@ void ObfuscationService::finish_locked(ServiceJob& job, ModuleResult result,
     case Outcome::kCompleted:
       ++stats_.jobs_completed;
       stats_.corruptions_recovered += result.corruptions_recovered;
+      stats_.store_hits += result.store_hits;
+      stats_.store_misses += result.store_misses;
+      stats_.store_spills += result.store_spills;
+      stats_.store_corrupt_evictions += result.store_corrupt_evictions;
       if (job.retries > 0 || result.craft_retries > 0) ++stats_.jobs_retried;
       break;
     case Outcome::kCancelled:

@@ -113,6 +113,13 @@ struct ServiceConfig {
   // process-wide singleton. Benchmarks isolating a cold service pass a
   // private instance.
   std::shared_ptr<analysis::AnalysisCache> cache;
+  // Persistent artifact-store directory (DESIGN.md §13). Non-empty: the
+  // service's cache gets a disk tier over this directory (created on
+  // demand) -- analyses, craft memos and harvest layers survive process
+  // restarts. When `cache` is null a non-empty store_dir selects a
+  // private cache instead of the process singleton, so the disk tier
+  // never silently attaches to unrelated engines.
+  std::string store_dir;
   // Test/observability probe: called unlocked on a stage worker just
   // before it runs a job's stage work ("craft", "resolve",
   // "materialize", or "commit" for the fused depth-2 stage). A blocking
@@ -161,6 +168,18 @@ class ObfuscationService {
     std::size_t jobs_degraded_serial = 0;  // watchdog-demoted to serial
     std::size_t watchdog_flags = 0;        // overdue-stage detections
     std::size_t corruptions_recovered = 0; // memo evict+recompute events
+    // -- Persistent-store telemetry (DESIGN.md §13); all zero without a
+    // store_dir. Misses imply spills of the freshly built artifacts.
+    std::size_t store_hits = 0;
+    std::size_t store_misses = 0;
+    std::size_t store_spills = 0;
+    std::size_t store_corrupt_evictions = 0;
+    double store_hit_rate() const {
+      std::size_t total = store_hits + store_misses;
+      return total ? static_cast<double>(store_hits) /
+                         static_cast<double>(total)
+                   : 0.0;
+    }
     // Diagnostics of quarantined jobs, in quarantine order (capped so a
     // fault storm cannot grow Stats unboundedly).
     std::vector<ObfError> quarantined;

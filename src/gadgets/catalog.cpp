@@ -5,6 +5,9 @@
 #include <cstring>
 
 #include "isa/encode.hpp"
+#include "store/serialize.hpp"
+#include "store/store.hpp"
+#include "support/binio.hpp"
 #include "support/faultpoint.hpp"
 #include "support/thread_pool.hpp"
 
@@ -461,6 +464,61 @@ std::shared_ptr<const HarvestLayer> corrupt_copy(const HarvestLayer& src) {
   return bad;
 }
 
+// Disk-tier codec for a whole HarvestLayer (Kind::kHarvest records,
+// DESIGN.md §13). Only by_addr is encoded: by_core aliases by_addr map
+// nodes, so it is rebuilt on read by iterating by_addr in ascending
+// order -- the exact insertion order of the original scan (addresses
+// scanned low to high), so bank order and gadget selection match a
+// fresh build_harvest_layer bit for bit.
+std::vector<std::uint8_t> serialize_harvest(const HarvestLayer& layer) {
+  binio::Writer w;
+  w.u64(layer.fingerprint);
+  w.u64(layer.integrity);
+  w.u32(static_cast<std::uint32_t>(layer.by_addr.size()));
+  for (const auto& [addr, g] : layer.by_addr) {
+    w.u64(addr);
+    w.u32(static_cast<std::uint32_t>(g.body.size()));
+    for (const Insn& insn : g.body) raindrop::store::write_insn(w, insn);
+    w.u8(g.jop ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(g.jop_target));
+    raindrop::store::write_regset(w, g.extra_clobbers);
+  }
+  return w.take();
+}
+
+// Returns null on any parse failure; the caller additionally verifies
+// fingerprint and integrity before attaching the layer.
+std::shared_ptr<const HarvestLayer> deserialize_harvest(
+    std::span<const std::uint8_t> payload) {
+  try {
+    binio::Reader r(payload);
+    auto layer = std::make_shared<HarvestLayer>();
+    layer->fingerprint = r.u64();
+    layer->integrity = r.u64();
+    std::uint32_t n = r.count(/*min_elem_bytes=*/15);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint64_t addr = r.u64();
+      Gadget g;
+      g.addr = addr;
+      std::uint32_t n_body = r.count(/*min_elem_bytes=*/5);
+      for (std::uint32_t j = 0; j < n_body; ++j)
+        g.body.push_back(raindrop::store::read_insn(r));
+      g.jop = r.u8() != 0;
+      std::uint8_t tgt = r.u8();
+      if (tgt >= isa::kNumRegs) return nullptr;
+      g.jop_target = static_cast<Reg>(tgt);
+      g.extra_clobbers = raindrop::store::read_regset(r);
+      layer->by_addr[addr] = std::move(g);
+    }
+    for (const auto& [addr, g] : layer->by_addr)
+      layer->by_core[GadgetPool::key_of(g.body, g.jop, g.jop_target)]
+          .push_back(&g);
+    return layer;
+  } catch (const binio::Error&) {
+    return nullptr;
+  }
+}
+
 }  // namespace
 
 std::uint64_t HarvestLayer::compute_integrity() const {
@@ -506,8 +564,29 @@ std::size_t GadgetPool::harvest(std::uint64_t lo, std::uint64_t hi,
         cache->aux_evict(key);
       }
     }
+    store::ArtifactStore* st = cache->store().get();
+    if (!layer && st) {
+      // Memory miss: probe the disk tier (DESIGN.md §13). The key is a
+      // pure content hash of the scanned range, so a layer spilled by an
+      // earlier process attaches identically on a warm restart.
+      if (std::optional<std::vector<std::uint8_t>> payload =
+              st->get(store::Kind::kHarvest, key)) {
+        std::shared_ptr<const HarvestLayer> loaded =
+            deserialize_harvest(*payload);
+        if (loaded && loaded->fingerprint == key &&
+            loaded->integrity == loaded->compute_integrity()) {
+          cache->aux_insert(key, loaded);
+          layer = std::move(loaded);
+        } else {
+          st->evict(store::Kind::kHarvest, key);
+        }
+      }
+    }
     if (!layer) {
       layer = build_harvest_layer(view.data(), view.size(), lo, key);
+      // Spill the clean layer before the corruption fault below can
+      // taint the in-memory copy: the disk tier stays clean.
+      if (st) st->put(store::Kind::kHarvest, key, serialize_harvest(*layer));
       cache->aux_insert(
           key, fault::fire("cache.harvest.corrupt") ? corrupt_copy(*layer)
                                                     : layer);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "support/binio.hpp"
 #include "support/faultpoint.hpp"
 
 namespace raindrop {
@@ -184,6 +185,65 @@ void Image::prewarm(Cpu* cpu) const {
   for (const FunctionSym& f : funcs_) {
     if (f.size > 0) cpu->prewarm(f.addr, f.addr + f.size);
   }
+}
+
+std::vector<std::uint8_t> Image::serialize() const {
+  binio::Writer w;
+  w.u32(static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& [name, s] : sections_) {
+    w.str(name);
+    w.u64(s.base);
+    w.u8(static_cast<std::uint8_t>(s.perm));
+    w.bytes(s.bytes);
+  }
+  w.u32(static_cast<std::uint32_t>(funcs_.size()));
+  for (const FunctionSym& f : funcs_) {
+    w.str(f.name);
+    w.u64(f.addr);
+    w.u64(f.size);
+    w.u8(f.rop_rewritten ? 1 : 0);
+    w.i64(f.arg_count);
+  }
+  w.u32(static_cast<std::uint32_t>(objects_.size()));
+  for (const auto& [name, as] : objects_) {
+    w.str(name);
+    w.u64(as.first);
+    w.u64(as.second);
+  }
+  return w.take();
+}
+
+Image Image::deserialize(std::span<const std::uint8_t> payload) {
+  binio::Reader r(payload);
+  Image img;
+  img.sections_.clear();  // drop the default skeleton; the record has all
+  std::uint32_t n_sec = r.count(/*min_elem_bytes=*/13);
+  for (std::uint32_t i = 0; i < n_sec; ++i) {
+    std::string name = r.str();
+    Section s;
+    s.base = r.u64();
+    s.perm = static_cast<Perm>(r.u8() & (kPermR | kPermW | kPermX));
+    s.bytes = r.bytes();
+    img.sections_[std::move(name)] = std::move(s);
+  }
+  std::uint32_t n_fn = r.count(/*min_elem_bytes=*/29);
+  for (std::uint32_t i = 0; i < n_fn; ++i) {
+    FunctionSym f;
+    f.name = r.str();
+    f.addr = r.u64();
+    f.size = r.u64();
+    f.rop_rewritten = r.u8() != 0;
+    f.arg_count = static_cast<int>(r.i64());
+    img.funcs_.push_back(std::move(f));
+  }
+  std::uint32_t n_obj = r.count(/*min_elem_bytes=*/20);
+  for (std::uint32_t i = 0; i < n_obj; ++i) {
+    std::string name = r.str();
+    std::uint64_t addr = r.u64();
+    std::uint64_t size = r.u64();
+    img.objects_[std::move(name)] = {addr, size};
+  }
+  return img;
 }
 
 namespace {

@@ -124,6 +124,15 @@ class Image {
   // blocks coherent even if the memory is patched afterwards.
   void prewarm(Cpu* cpu) const;
 
+  // -- Persistence (DESIGN.md §13) --------------------------------------
+  // Lossless byte encoding of the whole image -- sections (bases, perms,
+  // contents), function symbols and objects -- so a rewritten module is a
+  // durable artifact the store can hand to a later process. deserialize
+  // throws binio::Error on malformed payloads; a round-tripped image
+  // load()s to byte-identical memory.
+  std::vector<std::uint8_t> serialize() const;
+  static Image deserialize(std::span<const std::uint8_t> payload);
+
  private:
   struct Section {
     std::uint64_t base = 0;

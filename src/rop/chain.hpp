@@ -50,6 +50,20 @@ class Chain {
  public:
   int new_label() { return n_labels_++; }
 
+  // Reassembles a chain from its observable parts -- the inverse of
+  // items()/patches()/label_count(), used by the artifact store's
+  // deserialization path (a craft memo read back from disk must carry a
+  // chain indistinguishable from the freshly crafted one).
+  static Chain from_parts(std::vector<ChainItem> items,
+                          std::vector<ExternalPatch> patches,
+                          int label_count) {
+    Chain c;
+    c.items_ = std::move(items);
+    c.patches_ = std::move(patches);
+    c.n_labels_ = label_count;
+    return c;
+  }
+
   void g(std::uint64_t gadget_addr) {
     ChainItem it;
     it.kind = ChainItem::Kind::Gadget;

@@ -1,0 +1,54 @@
+// Shared domain serializers for the artifact store (DESIGN.md §13):
+// the byte encodings of the value types that appear inside more than
+// one record kind (instructions, register sets, chains, P1 arrays),
+// plus the whole-module record helpers. Per-kind record layouts live
+// with their owning types -- AnalysisCache entries in analysis/cache.cpp
+// (they cover private dependency records), craft memos in
+// engine/engine.cpp, harvest layers in gadgets/catalog.cpp -- all built
+// from these primitives so the encodings cannot drift apart.
+//
+// Every read_* validates enum ranges and throws binio::Error on
+// malformed input: a corrupted payload that beat the store's record
+// digest (or a stale-format file) must parse-fail recoverably, never
+// construct an out-of-range value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "analysis/liveness.hpp"
+#include "image/image.hpp"
+#include "isa/insn.hpp"
+#include "rop/chain.hpp"
+#include "rop/predicates.hpp"
+#include "store/store.hpp"
+#include "support/binio.hpp"
+
+namespace raindrop::store {
+
+void write_insn(binio::Writer& w, const isa::Insn& insn);
+isa::Insn read_insn(binio::Reader& r);
+
+void write_regset(binio::Writer& w, analysis::RegSet rs);
+analysis::RegSet read_regset(binio::Reader& r);
+
+void write_chain(binio::Writer& w, const rop::Chain& chain);
+rop::Chain read_chain(binio::Reader& r);
+
+void write_p1(binio::Writer& w, const rop::P1Array& p1);
+rop::P1Array read_p1(binio::Reader& r);
+
+// Whole-module records (Kind::kModule): a rewritten Image serialized
+// losslessly (sections + symbols + objects), so obfuscated modules are
+// durable artifacts a later process reloads and executes byte-for-byte.
+std::vector<std::uint8_t> serialize_image(const Image& img);
+// Throws binio::Error on malformed payloads.
+Image deserialize_image(std::span<const std::uint8_t> payload);
+
+// Store round-trip helpers: put_module spills synchronously-queued like
+// any record; get_module returns nullopt on miss or corruption (the
+// store evicts the record; parse failures evict here).
+void put_module(ArtifactStore& st, std::uint64_t key, const Image& img);
+std::optional<Image> get_module(ArtifactStore& st, std::uint64_t key);
+
+}  // namespace raindrop::store

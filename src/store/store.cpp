@@ -1,0 +1,329 @@
+#include "store/store.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "support/faultpoint.hpp"
+
+namespace raindrop::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Record header: 40 bytes, little-endian, preceding the payload.
+constexpr std::uint32_t kMagic = 0x53414452u;  // "RDAS"
+constexpr std::size_t kHeaderSize = 40;
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::string key_hex(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+// Full header + payload validation of an already-read file image.
+// `expect_kind`/`expect_key` come from the caller (get) or the file name
+// (scan); `check_digest` may be skipped for a header-only scan.
+bool record_valid(const std::vector<std::uint8_t>& file, Kind expect_kind,
+                  std::uint64_t expect_key, bool check_digest) {
+  if (file.size() < kHeaderSize) return false;
+  const std::uint8_t* h = file.data();
+  if (get_u32(h + 0) != kMagic) return false;
+  if (get_u32(h + 4) != kStoreFormatVersion) return false;
+  if (get_u32(h + 8) != static_cast<std::uint32_t>(expect_kind)) return false;
+  // bytes 12..16 reserved
+  if (get_u64(h + 16) != expect_key) return false;
+  std::uint64_t payload_size = get_u64(h + 24);
+  if (payload_size != file.size() - kHeaderSize) return false;
+  if (check_digest &&
+      get_u64(h + 32) != fnv1a(file.data() + kHeaderSize, payload_size))
+    return false;
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  std::streamoff size = in.tellg();
+  if (size < 0) return std::nullopt;
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+  in.seekg(0);
+  if (size && !in.read(reinterpret_cast<char*>(buf.data()), size))
+    return std::nullopt;
+  return buf;
+}
+
+std::optional<Kind> kind_of_dir(const std::string& name) {
+  for (Kind k : {Kind::kAnalysis, Kind::kCraftMemo, Kind::kHarvest,
+                 Kind::kModule})
+    if (name == kind_name(k)) return k;
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kAnalysis:
+      return "analysis";
+    case Kind::kCraftMemo:
+      return "craftmemo";
+    case Kind::kHarvest:
+      return "harvest";
+    case Kind::kModule:
+      return "module";
+  }
+  return "unknown";
+}
+
+ArtifactStore::ArtifactStore(std::string dir, bool async_spill)
+    : dir_(std::move(dir)) {
+  std::error_code ec;
+  for (Kind k : {Kind::kAnalysis, Kind::kCraftMemo, Kind::kHarvest,
+                 Kind::kModule})
+    fs::create_directories(fs::path(dir_) / kind_name(k), ec);
+  if (async_spill) {
+    async_ = true;
+    spiller_ = std::thread([this] { spill_loop(); });
+  }
+}
+
+ArtifactStore::~ArtifactStore() {
+  if (async_) {
+    {
+      std::lock_guard<std::mutex> lk(qmu_);
+      stop_ = true;
+    }
+    qcv_.notify_all();
+    spiller_.join();
+  }
+}
+
+std::filesystem::path ArtifactStore::path_for(Kind kind,
+                                              std::uint64_t key) const {
+  return fs::path(dir_) / kind_name(kind) / (key_hex(key) + ".art");
+}
+
+std::optional<std::vector<std::uint8_t>> ArtifactStore::get(
+    Kind kind, std::uint64_t key) {
+  fs::path p = path_for(kind, key);
+  std::optional<std::vector<std::uint8_t>> file = read_file(p);
+  if (!file) {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  // Disk-rot emulation (DESIGN.md §13): flip one byte of a successfully
+  // read record. The digest/header checks below must catch it -- the
+  // record is evicted and the caller recomputes, byte-identically.
+  if (fault::fire("store.read.corrupt") && !file->empty())
+    file->back() ^= 0x01;
+  if (!record_valid(*file, kind, key, /*check_digest=*/true)) {
+    std::error_code ec;
+    fs::remove(p, ec);
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.misses;
+    ++stats_.corrupt_evictions;
+    return std::nullopt;
+  }
+  file->erase(file->begin(), file->begin() + kHeaderSize);
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ++stats_.hits;
+  return file;
+}
+
+bool ArtifactStore::write_record(Kind kind, std::uint64_t key,
+                                 const std::vector<std::uint8_t>& payload) {
+  std::error_code ec;
+  fs::path target = path_for(kind, key);
+  if (fs::exists(target, ec)) return false;  // content-addressed: done
+
+  std::vector<std::uint8_t> rec(kHeaderSize + payload.size());
+  put_u32(rec.data() + 0, kMagic);
+  put_u32(rec.data() + 4, kStoreFormatVersion);
+  put_u32(rec.data() + 8, static_cast<std::uint32_t>(kind));
+  put_u32(rec.data() + 12, 0);
+  put_u64(rec.data() + 16, key);
+  put_u64(rec.data() + 24, payload.size());
+  put_u64(rec.data() + 32, fnv1a(payload.data(), payload.size()));
+  std::copy(payload.begin(), payload.end(), rec.begin() + kHeaderSize);
+
+  // Torn-write emulation (DESIGN.md §13): publish a record whose tail
+  // never reached the disk (as if power died between write and the
+  // durability barrier). The header's payload_size/digest then disagree
+  // with the truncated contents, so the next get() evicts + recomputes.
+  std::size_t n = rec.size();
+  if (fault::fire("store.write.torn"))
+    n -= payload.empty() ? 8 : payload.size() - payload.size() / 2;
+
+  // Same-directory temp name, unique per (key, attempt) so concurrent
+  // writers of one key cannot collide; dot prefix keeps scan()/readers
+  // from ever opening it. rename(2) within one directory is atomic.
+  static std::atomic<std::uint64_t> seq{0};
+  fs::path tmp = target.parent_path() /
+                 ("." + key_hex(key) + "." +
+                  std::to_string(seq.fetch_add(1, std::memory_order_relaxed)) +
+                  ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(rec.data()),
+              static_cast<std::streamsize>(n));
+    if (!out) {
+      out.close();
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ++stats_.spills;
+  return true;
+}
+
+void ArtifactStore::put(Kind kind, std::uint64_t key,
+                        std::vector<std::uint8_t> payload) {
+  if (async_) {
+    constexpr std::size_t kMaxQueue = 256;
+    std::unique_lock<std::mutex> lk(qmu_);
+    if (!stop_ && queue_.size() < kMaxQueue) {
+      queue_.push_back(Pending{kind, key, std::move(payload)});
+      lk.unlock();
+      qcv_.notify_one();
+      return;
+    }
+  }
+  // Synchronous path: no spiller, queue full, or shutting down.
+  write_record(kind, key, payload);
+}
+
+bool ArtifactStore::evict(Kind kind, std::uint64_t key) {
+  std::error_code ec;
+  bool removed = fs::remove(path_for(kind, key), ec);
+  if (removed) {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.corrupt_evictions;
+  }
+  return removed;
+}
+
+void ArtifactStore::flush() {
+  if (!async_) return;
+  std::unique_lock<std::mutex> lk(qmu_);
+  drained_.wait(lk, [this] { return queue_.empty() && writing_ == 0; });
+}
+
+void ArtifactStore::spill_loop() {
+  std::unique_lock<std::mutex> lk(qmu_);
+  for (;;) {
+    qcv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    ++writing_;
+    lk.unlock();
+    write_record(p.kind, p.key, p.payload);
+    lk.lock();
+    --writing_;
+    if (queue_.empty() && writing_ == 0) drained_.notify_all();
+  }
+}
+
+ArtifactStore::Stats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+std::vector<ArtifactStore::EntryInfo> ArtifactStore::scan(
+    const std::string& dir, bool verify) {
+  std::vector<EntryInfo> out;
+  std::error_code ec;
+  for (const fs::directory_entry& kd : fs::directory_iterator(dir, ec)) {
+    if (!kd.is_directory()) continue;
+    std::optional<Kind> k = kind_of_dir(kd.path().filename().string());
+    if (!k) continue;
+    std::vector<fs::path> files;
+    for (const fs::directory_entry& fe :
+         fs::directory_iterator(kd.path(), ec)) {
+      std::string name = fe.path().filename().string();
+      if (name.empty() || name[0] == '.') continue;  // temp files
+      files.push_back(fe.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& f : files) {
+      EntryInfo info;
+      info.kind = *k;
+      info.path = f.string();
+      std::string stem = f.stem().string();
+      info.key = std::strtoull(stem.c_str(), nullptr, 16);
+      bool named_ok = stem.size() == 16 && f.extension() == ".art";
+      std::optional<std::vector<std::uint8_t>> file = read_file(f);
+      if (file && file->size() >= kHeaderSize)
+        info.payload_size = file->size() - kHeaderSize;
+      info.valid = named_ok && file &&
+                   record_valid(*file, *k, info.key, verify);
+      out.push_back(std::move(info));
+    }
+  }
+  return out;
+}
+
+std::size_t ArtifactStore::prune(const std::string& dir) {
+  std::size_t removed = 0;
+  std::error_code ec;
+  // Stray temp files first (crash leftovers; invisible to get/scan).
+  for (const fs::directory_entry& kd : fs::directory_iterator(dir, ec)) {
+    if (!kd.is_directory() ||
+        !kind_of_dir(kd.path().filename().string()))
+      continue;
+    for (const fs::directory_entry& fe :
+         fs::directory_iterator(kd.path(), ec)) {
+      std::string name = fe.path().filename().string();
+      if (!name.empty() && name[0] == '.' && fe.path().extension() == ".tmp")
+        if (fs::remove(fe.path(), ec)) ++removed;
+    }
+  }
+  for (const EntryInfo& e : scan(dir, /*verify=*/true))
+    if (!e.valid && fs::remove(e.path, ec)) ++removed;
+  return removed;
+}
+
+}  // namespace raindrop::store

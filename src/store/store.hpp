@@ -1,0 +1,151 @@
+// ArtifactStore: the persistent, content-addressed second tier of the
+// pipeline's caches (DESIGN.md §13). The in-memory AnalysisCache already
+// content-addresses every expensive artifact -- support analyses, whole
+// craft memos, harvest layers -- on hashes of the bytes they were
+// computed from; this store spills those artifacts to disk under the
+// SAME keys, so a fresh process (a restarted service, the next CI sweep,
+// a sibling worker sharing the directory) starts warm instead of
+// recomputing everything. Whole obfuscated-module images round-trip
+// through the same records (Kind::kModule), making rewritten modules
+// durable, reloadable artifacts.
+//
+// Layout: one file per record at <dir>/<kind>/<key as %016x>.art. Each
+// record is a fixed 40-byte header (magic, format version, kind, key,
+// payload size, payload FNV-1a digest) followed by the payload bytes.
+//
+// Crash consistency: writes go to a dot-prefixed temp file in the target
+// directory and are published with one atomic rename(2), so a reader --
+// same process or another -- sees either no record or a fully-written
+// record header; a crash mid-write leaves only a stray temp file that
+// get() never opens (prune() sweeps them). Torn or corrupted records
+// that DO carry the final name (emulated by the "store.write.torn" /
+// "store.read.corrupt" fault sites, or real disk rot) are caught by the
+// header + digest checks on read: the record is unlinked, counted as a
+// corrupt eviction, and the caller recomputes -- corruption is never
+// fatal and never alters output bytes (the recompute is content-equal by
+// construction).
+//
+// Writes are asynchronous by default: put() enqueues onto one background
+// spiller thread (bounded queue; overflow degrades to a synchronous
+// write in the caller) so the craft hot path never waits on disk.
+// flush() drains the queue -- call it before handing the directory to
+// another process. A record whose file already exists is skipped: same
+// key means same content, so rewrites are wasted IO.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace raindrop::store {
+
+// Bump when the record header or any kind's payload encoding changes:
+// old stores read as misses (format_version mismatch), never as garbage.
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+
+enum class Kind : std::uint32_t {
+  kAnalysis = 1,   // AnalysisCache entry (artifacts + dependency facts)
+  kCraftMemo = 2,  // whole CraftArtifact (engine craft memo)
+  kHarvest = 3,    // HarvestLayer (gadget-finder scan result)
+  kModule = 4,     // whole obfuscated Image
+};
+const char* kind_name(Kind k);
+
+class ArtifactStore {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t spills = 0;             // records actually written
+    std::uint64_t corrupt_evictions = 0;  // bad records unlinked
+    double hit_rate() const {
+      std::uint64_t total = hits + misses;
+      return total ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+    }
+  };
+
+  // Opens (creating if needed) the store rooted at `dir`. `async_spill`
+  // starts the background writer; false makes put() synchronous (the
+  // inspector and deterministic tests use that).
+  explicit ArtifactStore(std::string dir, bool async_spill = true);
+  // Flushes pending spills and joins the writer.
+  ~ArtifactStore();
+
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+  // Reads the record (kind, key). Returns the payload on a clean hit;
+  // nullopt on a miss OR on any header/digest mismatch (the corrupt
+  // record is unlinked and counted -- the caller recomputes).
+  std::optional<std::vector<std::uint8_t>> get(Kind kind, std::uint64_t key);
+
+  // Writes the record (kind, key) -> payload, atomically (temp + rename).
+  // Asynchronous when the spiller is running; a record that already
+  // exists on disk is skipped (content-addressed: same key, same bytes).
+  void put(Kind kind, std::uint64_t key, std::vector<std::uint8_t> payload);
+
+  // Unlinks one record; used by owners whose post-parse validation
+  // (artifact integrity digest, dependency revalidation) rejected a
+  // record the container-level digest could not catch. Returns whether
+  // it existed; counted as a corrupt eviction.
+  bool evict(Kind kind, std::uint64_t key);
+
+  // Blocks until every put() enqueued so far has landed on disk.
+  void flush();
+
+  Stats stats() const;
+  const std::string& dir() const { return dir_; }
+
+  // -- Offline surface (tools/store_inspect) ---------------------------
+  struct EntryInfo {
+    Kind kind = Kind::kAnalysis;
+    std::uint64_t key = 0;
+    std::uint64_t payload_size = 0;
+    bool valid = false;  // header (and, with verify, digest) checks pass
+    std::string path;
+  };
+  // Lists every record under `dir` (no store instance needed). With
+  // `verify`, payloads are read and digest-checked; without, only the
+  // header is validated against the file name and size.
+  static std::vector<EntryInfo> scan(const std::string& dir, bool verify);
+  // Removes invalid records and stray temp files; returns how many
+  // filesystem entries were deleted.
+  static std::size_t prune(const std::string& dir);
+
+ private:
+  struct Pending {
+    Kind kind;
+    std::uint64_t key;
+    std::vector<std::uint8_t> payload;
+  };
+
+  std::filesystem::path path_for(Kind kind, std::uint64_t key) const;
+  // The synchronous write (header build, torn-write fault site, temp
+  // file, rename). Returns whether a new record landed.
+  bool write_record(Kind kind, std::uint64_t key,
+                    const std::vector<std::uint8_t>& payload);
+  void spill_loop();
+
+  std::string dir_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  std::mutex qmu_;
+  std::condition_variable qcv_;       // work available / stopping
+  std::condition_variable drained_;   // queue empty and writer idle
+  std::deque<Pending> queue_;
+  std::size_t writing_ = 0;
+  bool stop_ = false;
+  bool async_ = false;
+  std::thread spiller_;
+};
+
+}  // namespace raindrop::store

@@ -1,0 +1,142 @@
+// Bounds-checked little-endian byte-buffer serialization primitives for
+// the persistent artifact store (DESIGN.md §13). Writer appends scalars
+// and length-prefixed blobs to a growing buffer; Reader walks one back,
+// throwing binio::Error on any over-read or malformed length instead of
+// touching out-of-range memory -- a truncated or bit-flipped record that
+// slipped past the store's payload digest must surface as a recoverable
+// parse failure, never undefined behavior.
+//
+// Two scalar families: fixed-width little-endian (u8/u32/u64/i64) for
+// full-entropy values -- digests, content hashes, keys -- where a
+// varint would expand 64 bits to 10 bytes, and LEB128 varints
+// (vu64/vi64, zigzag for signed) for the high-volume smalls:
+// addresses, displacements, immediates, labels, ordinals. Craft-memo
+// chains and analysis instruction lists are thousands of such fields
+// per record; varints are what keep the disk tier's read volume (and
+// with it `table2.warm_restart_speedup`) in budget. No alignment, no
+// compression: the store's record header carries a format version for
+// evolution.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace raindrop::binio {
+
+struct Error : std::runtime_error {
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void vu64(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void vi64(std::int64_t v) {
+    // Zigzag: small magnitudes of either sign stay short.
+    vu64((static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63));
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::uint64_t vu64() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      std::uint8_t b = u8();
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) return v;
+    }
+    throw Error("binio: varint overlong");
+  }
+  std::int64_t vi64() {
+    std::uint64_t z = vu64();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+  std::string str() {
+    std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<std::uint8_t> bytes() {
+    std::uint32_t n = u32();
+    need(n);
+    std::vector<std::uint8_t> b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+  // Length prefix about to index a container build loop: reject counts
+  // that could not possibly fit in the remaining payload, so a flipped
+  // length byte fails fast instead of ballooning an allocation.
+  std::uint32_t count(std::size_t min_elem_bytes = 1) {
+    std::uint32_t n = u32();
+    if (min_elem_bytes && n > remaining() / min_elem_bytes)
+      throw Error("binio: count exceeds remaining payload");
+    return n;
+  }
+
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw Error("binio: truncated payload");
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace raindrop::binio

@@ -132,6 +132,11 @@ const std::vector<const char*>& all_sites() {
       "image.apply_commit",
       // Pool task execution (throws inside parallel_for).
       "threadpool.task",
+      // Artifact store disk tier (absorbed in place, never quarantined:
+      // a corrupt read evicts + recomputes; a torn write publishes a
+      // record the next read detects and evicts).
+      "store.read.corrupt",
+      "store.write.torn",
   };
   return kSites;
 }

@@ -4,12 +4,14 @@
 // argument counts), and the capacity bound must evict.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 
 #include "analysis/cache.hpp"
 #include "engine/engine.hpp"
 #include "image/image.hpp"
 #include "minic/codegen.hpp"
+#include "store/store.hpp"
 #include "support/faultpoint.hpp"
 #include "workload/corpus.hpp"
 
@@ -348,6 +350,130 @@ TEST(AnalysisCacheTest, CorruptedHarvestLayerIsRescanned) {
   EXPECT_GT(aux1.integrity_evictions, aux0.integrity_evictions)
       << "the corrupted harvest layer was attached without detection";
   EXPECT_EQ(e1.pool().unique_count(), e2.pool().unique_count());
+}
+
+TEST(AnalysisCacheTest, StoreTierPromotesAndHealsAcrossCaches) {
+  // DESIGN.md §13: the attached ArtifactStore is a second tier under the
+  // in-memory map. A fresh cache over a populated store promotes from
+  // disk (hit, store_hit both set); a corrupted record is evicted and
+  // rebuilt -- equal to the original -- and the rebuild re-spills.
+  auto cp = workload::make_corpus(5, 40);
+  Image img = minic::compile(cp.module);
+  const FunctionSym* fn = nullptr;
+  for (const auto& name : cp.functions) {
+    const FunctionSym* f = img.function(name);
+    if (f && f->size > 16) {
+      fn = f;
+      break;
+    }
+  }
+  ASSERT_NE(fn, nullptr);
+
+  auto dir = std::filesystem::path(::testing::TempDir()) / "cache_store_tier";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  std::uint64_t ref_fp = 0, ref_integrity = 0;
+  {
+    AnalysisCache cache;
+    cache.attach_store(std::make_shared<store::ArtifactStore>(dir.string()));
+    bool hit = true, store_hit = true;
+    auto art = cache.lookup_or_build(img, fn->addr, fn->size, fn->arg_count,
+                                     &hit, &store_hit);
+    EXPECT_FALSE(hit);
+    EXPECT_FALSE(store_hit);
+    ref_fp = art->dep_fingerprint;
+    ref_integrity = art->integrity;
+  }  // store destroyed: pending spill drained to disk
+
+  {
+    AnalysisCache cache;
+    auto disk = std::make_shared<store::ArtifactStore>(dir.string());
+    cache.attach_store(disk);
+    bool hit = false, store_hit = false;
+    auto art = cache.lookup_or_build(img, fn->addr, fn->size, fn->arg_count,
+                                     &hit, &store_hit);
+    EXPECT_TRUE(hit) << "populated store did not serve a fresh cache";
+    EXPECT_TRUE(store_hit);
+    EXPECT_EQ(art->dep_fingerprint, ref_fp);
+    EXPECT_EQ(art->integrity, ref_integrity);
+    // Promoted into memory: the next lookup hits without touching disk.
+    auto again = cache.lookup_or_build(img, fn->addr, fn->size,
+                                       fn->arg_count, &hit, &store_hit);
+    EXPECT_TRUE(hit);
+    EXPECT_FALSE(store_hit);
+    EXPECT_EQ(again.get(), art.get());
+    EXPECT_EQ(disk->stats().hits, 1u);
+  }
+
+  // Third process, rotten disk: the read-corruption fault defeats the
+  // record digest check; the store evicts, the cache rebuilds the same
+  // artifact, and the rebuild spills a clean replacement.
+  {
+    AnalysisCache cache;
+    auto disk = std::make_shared<store::ArtifactStore>(dir.string());
+    cache.attach_store(disk);
+    fault::arm("store.read.corrupt", fault::Spec::every_nth(1, /*cap=*/1));
+    bool hit = true, store_hit = true;
+    auto art = cache.lookup_or_build(img, fn->addr, fn->size, fn->arg_count,
+                                     &hit, &store_hit);
+    fault::disarm_all();
+    EXPECT_FALSE(hit) << "a corrupted store record was served";
+    EXPECT_FALSE(store_hit);
+    EXPECT_EQ(disk->stats().corrupt_evictions, 1u);
+    EXPECT_EQ(art->dep_fingerprint, ref_fp);
+    EXPECT_EQ(art->integrity, ref_integrity);
+    disk->flush();
+    EXPECT_EQ(disk->stats().spills, 1u) << "the rebuild did not re-spill";
+  }
+}
+
+TEST(AnalysisCacheTest, TornSpillNeverServesAndHeals) {
+  // A spill torn mid-write (power loss between write and rename) carries
+  // the final record name but fails validation: the next process treats
+  // it as a miss, rebuilds byte-identically, and replaces it.
+  auto cp = workload::make_corpus(5, 40);
+  Image img = minic::compile(cp.module);
+  const FunctionSym* fn = nullptr;
+  for (const auto& name : cp.functions) {
+    const FunctionSym* f = img.function(name);
+    if (f && f->size > 16) {
+      fn = f;
+      break;
+    }
+  }
+  ASSERT_NE(fn, nullptr);
+
+  auto dir = std::filesystem::path(::testing::TempDir()) / "cache_store_torn";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  std::uint64_t ref_fp = 0;
+  {
+    AnalysisCache cache;
+    // Synchronous spill so the fault deterministically strikes the one
+    // write this test performs.
+    cache.attach_store(std::make_shared<store::ArtifactStore>(
+        dir.string(), /*async_spill=*/false));
+    fault::arm("store.write.torn", fault::Spec::every_nth(1, /*cap=*/1));
+    auto art = cache.lookup_or_build(img, fn->addr, fn->size, fn->arg_count);
+    EXPECT_EQ(fault::site_stats("store.write.torn").fires, 1u);
+    fault::disarm_all();
+    ref_fp = art->dep_fingerprint;
+  }
+
+  {
+    AnalysisCache cache;
+    auto disk = std::make_shared<store::ArtifactStore>(dir.string());
+    cache.attach_store(disk);
+    bool hit = true, store_hit = true;
+    auto art = cache.lookup_or_build(img, fn->addr, fn->size, fn->arg_count,
+                                     &hit, &store_hit);
+    EXPECT_FALSE(hit) << "a torn record was served";
+    EXPECT_FALSE(store_hit);
+    EXPECT_EQ(disk->stats().corrupt_evictions, 1u);
+    EXPECT_EQ(art->dep_fingerprint, ref_fp);
+  }
 }
 
 TEST(AnalysisCacheTest, HarvestLayerSharedAcrossEngines) {

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <set>
@@ -113,6 +114,37 @@ void run_chaos_round(const std::string& site) {
   SCOPED_TRACE("site=" + site);
   const Reference& ref = reference();
   fault::disarm_all();
+
+  // Store sites need the disk tier wired up -- and read-side corruption
+  // needs records on disk to corrupt, so populate the directory with one
+  // fault-free pass first (a prior "process", torn down to flush).
+  namespace fs = std::filesystem;
+  const bool store_site = site.rfind("store.", 0) == 0;
+  fs::path store_dir;
+  if (store_site) {
+    store_dir = fs::path(::testing::TempDir()) / "chaos_store";
+    std::error_code ec;
+    fs::remove_all(store_dir, ec);
+    if (site == "store.read.corrupt") {
+      engine::ServiceConfig pc;
+      pc.craft_threads = 2;
+      pc.store_dir = store_dir.string();
+      engine::ObfuscationService populate(pc);
+      std::vector<Image> pimgs;
+      pimgs.reserve(ref.corpora.size());
+      std::vector<std::shared_ptr<engine::Session>> psessions;
+      for (std::size_t m = 0; m < ref.corpora.size(); ++m) {
+        pimgs.push_back(minic::compile(ref.corpora[m].module));
+        psessions.push_back(
+            populate.open_session(&pimgs[m], full_cfg(100 + kCorpusSeeds[m])));
+      }
+      std::vector<engine::JobHandle> phs;
+      for (int b = 0; b < kJobsPerSession; ++b)
+        for (std::size_t m = 0; m < ref.corpora.size(); ++m)
+          phs.push_back(psessions[m]->submit(ref.jobs[m][b]));
+      for (auto& h : phs) h.wait();
+    }
+  }
   fault::arm(site, fault::Spec::every_nth(2, /*cap=*/1));
 
   std::vector<Image> imgs;
@@ -122,7 +154,10 @@ void run_chaos_round(const std::string& site) {
   {
     engine::ServiceConfig sc;
     sc.craft_threads = 2;
-    sc.cache = std::make_shared<analysis::AnalysisCache>();
+    if (store_site)
+      sc.store_dir = store_dir.string();
+    else
+      sc.cache = std::make_shared<analysis::AnalysisCache>();
     engine::ObfuscationService service(sc);
     imgs.reserve(ref.corpora.size());
     std::vector<std::shared_ptr<engine::Session>> sessions;
@@ -144,6 +179,10 @@ void run_chaos_round(const std::string& site) {
     st = service.stats();
   }
   fault::disarm_all();
+  if (store_site) {
+    std::error_code ec;
+    fs::remove_all(store_dir, ec);
+  }
 
   // The spec must actually have exercised the site: a site that never
   // fires is a wiring bug in this suite, not a pass.

@@ -1,0 +1,66 @@
+// store_inspect: offline CLI over an ArtifactStore directory
+// (DESIGN.md §13). Lists records, verifies payload digests, or prunes
+// invalid records and stray temp files -- without constructing a store
+// instance, so it is safe to point at a directory another process is
+// actively spilling into (it only ever sees fully-published records).
+//
+//   store_inspect <dir> [list|verify|prune]
+//
+//   list    header-validate every record, print kind/key/size (default)
+//   verify  additionally read + digest-check payloads; exit 1 if any
+//           record is invalid
+//   prune   delete invalid records and stray temp files
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "store/store.hpp"
+
+using raindrop::store::ArtifactStore;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s <store-dir> [list|verify|prune]\n", argv0);
+  return 2;
+}
+
+int list_or_verify(const std::string& dir, bool verify) {
+  auto entries = ArtifactStore::scan(dir, verify);
+  std::size_t bad = 0;
+  std::uint64_t bytes = 0;
+  std::printf("%-10s %-18s %10s  %-7s %s\n", "KIND", "KEY", "PAYLOAD",
+              "STATUS", "PATH");
+  for (const auto& e : entries) {
+    if (!e.valid) ++bad;
+    bytes += e.payload_size;
+    std::printf("%-10s %016" PRIx64 " %10" PRIu64 "  %-7s %s\n",
+                raindrop::store::kind_name(e.kind), e.key, e.payload_size,
+                e.valid ? "ok" : "INVALID", e.path.c_str());
+  }
+  std::printf("%zu record(s), %" PRIu64 " payload byte(s), %zu invalid%s\n",
+              entries.size(), bytes, bad,
+              verify ? " (digest-checked)" : "");
+  return verify && bad ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) return usage(argv[0]);
+  std::string dir = argv[1];
+  std::string cmd = argc == 3 ? argv[2] : "list";
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "store_inspect: not a directory: %s\n", dir.c_str());
+    return 2;
+  }
+  if (cmd == "list") return list_or_verify(dir, false);
+  if (cmd == "verify") return list_or_verify(dir, true);
+  if (cmd == "prune") {
+    std::size_t removed = ArtifactStore::prune(dir);
+    std::printf("pruned %zu entr%s\n", removed, removed == 1 ? "y" : "ies");
+    return 0;
+  }
+  return usage(argv[0]);
+}
