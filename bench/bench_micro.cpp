@@ -221,6 +221,10 @@ int main(int argc, char** argv) {
   // Release CI job alongside cpu_minsns_per_s.
   json.metric("cpu_lowered_minsns_per_s", zero_hook_m);
   json.metric("cpu_lowered_dispatch_share", zero_hook.lowered_share);
+  // Trace-arena residency and macro-op fusion coverage (DESIGN.md §14);
+  // both gated by the Release CI job (--check-min).
+  json.metric("cpu_fused_share", zero_hook.fused_share);
+  json.metric("cpu_arena_resident_share", zero_hook.arena_resident_share);
   {
     CpuProbe unlowered = cpu_probe(200'000, {}, Dispatch::kChainedUnlowered);
     json.metric("cpu_chained_unlowered_minsns_per_s",

@@ -1,0 +1,69 @@
+#include "cpu/trace_arena.hpp"
+
+#include "cpu/cpu.hpp"
+
+namespace raindrop {
+
+void TraceArena::pack(std::span<DecodedBlock* const> run) {
+  if (run.empty()) return;
+  std::vector<isa::MicroOp> seg;
+  struct Annot {
+    std::size_t base = 0;
+    std::uint32_t count = 0;
+    std::vector<std::uint16_t> map;
+  };
+  std::vector<Annot> annots(run.size());
+  for (std::size_t bi = 0; bi < run.size(); ++bi) {
+    const DecodedBlock* b = run[bi];
+    const std::vector<isa::MicroOp>& uops = b->uops;
+    Annot& an = annots[bi];
+    an.base = seg.size();
+    an.map.assign(uops.size(), kNoUop);
+    std::size_t j = 0;
+    const std::size_t n = uops.size();
+    while (j < n) {
+      an.map[j] = static_cast<std::uint16_t>(seg.size() - an.base);
+      // Intra-block pair: the branch ends the block, so a fused pair is
+      // always the stream's last emission. The consumer keeps its kNoUop
+      // map entry -- an entry point landing on the jcc itself runs the
+      // unfused reference stream for that dispatch.
+      if (j + 1 < n && isa::can_fuse(uops[j], uops[j + 1])) {
+        seg.push_back(
+            isa::fuse_pair(uops[j], uops[j + 1], static_cast<std::uint16_t>(j)));
+        j += 2;
+        continue;
+      }
+      // Seam pair: a fall-terminated block whose last µop is a fusable
+      // producer, followed in the run by its fall successor holding a
+      // lone kJcc. The seam bit defers commitment to run time, where the
+      // live fall link is revalidated semantically (the run ordering is
+      // a packing hint, not a soundness anchor).
+      if (j + 1 == n && b->term == DecodedBlock::kTermFall &&
+          bi + 1 < run.size()) {
+        const DecodedBlock* t = run[bi + 1];
+        if (t->start == b->start + b->byte_len && t->uops.size() == 1 &&
+            isa::can_fuse(uops[j], t->uops[0])) {
+          seg.push_back(isa::fuse_pair(
+              uops[j], t->uops[0],
+              static_cast<std::uint16_t>(static_cast<std::uint16_t>(j) |
+                                         kSeamBit)));
+          ++j;
+          continue;
+        }
+      }
+      seg.push_back(uops[j]);
+      ++j;
+    }
+    an.count = static_cast<std::uint32_t>(seg.size() - an.base);
+  }
+  segments_.push_back(std::move(seg));
+  const std::vector<isa::MicroOp>& stable = segments_.back();
+  uops_total_ += stable.size();
+  for (std::size_t bi = 0; bi < run.size(); ++bi) {
+    run[bi]->arena_uops = stable.data() + annots[bi].base;
+    run[bi]->arena_n = annots[bi].count;
+    run[bi]->arena_map = std::move(annots[bi].map);
+  }
+}
+
+}  // namespace raindrop

@@ -1,0 +1,74 @@
+// Trace-arena µop layout (DESIGN.md §14). Hot superblocks' pre-lowered
+// µop streams are relocated into one contiguous, successor-ordered
+// buffer -- a run of chain-linked blocks (fall/taken successors, §10
+// links) packs back-to-back so run_lowered walks straight-line memory
+// across block boundaries -- and adjacent flags-producer + kJcc pairs
+// are fused into single macro-ops at pack time, both within blocks and
+// across chained-superblock seams.
+//
+// The arena stream is a pure acceleration view: DecodedBlock::uops keeps
+// the unfused, index-parallel reference form, and every observation
+// point (budget pause, hook, step(), mid-pair fault, SMC) demotes to it
+// bit-identically. Segments are append-only and never freed before the
+// owning cache drops every block that points into them (the same
+// never-freed-before-invalidate discipline as the Cpu block arena), so
+// a stale DecodedBlock annotation can never dangle while reachable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "isa/lower.hpp"
+
+namespace raindrop {
+
+struct DecodedBlock;
+
+// DecodedBlock::arena_map sentinel: the unfused µop at this index was
+// consumed into a fused pair as the *consumer*, so a block entry landing
+// exactly there has no arena position -- that dispatch runs the unfused
+// reference stream instead.
+inline constexpr std::uint16_t kNoUop = 0xFFFF;
+
+// MicroOp::aux bit marking a seam-fused macro-op: the consumer kJcc
+// lives in the block's fall successor, which must be revalidated (live
+// fall link, lone semantically-identical kJcc) before the pair commits.
+inline constexpr std::uint16_t kSeamBit = 0x8000;
+
+// Packing policy. A block is packed once its dispatch count crosses
+// kTraceHeat (or eagerly during build_code_cache's prewarm sweep); a
+// packed run follows chain-successor links up to kMaxTraceBlocks blocks
+// / kMaxTraceUops µops.
+inline constexpr std::uint16_t kTraceHeat = 16;
+inline constexpr std::size_t kMaxTraceBlocks = 16;
+inline constexpr std::size_t kMaxTraceUops = 2048;
+
+class TraceArena {
+ public:
+  // Packs the µop streams of `run` (a chain-linked, successor-ordered
+  // block sequence) into one contiguous segment, fusing legal pairs
+  // intra-block and across seams, and annotates each block with its
+  // arena view (arena_uops/arena_n/arena_map). Blocks must not already
+  // be packed. Empty runs are a no-op.
+  void pack(std::span<DecodedBlock* const> run);
+
+  // Drops every segment. Callers must drop (or have dropped) every
+  // DecodedBlock annotated against this arena in the same breath.
+  void clear() {
+    segments_.clear();
+    uops_total_ = 0;
+  }
+
+  std::uint64_t segment_count() const { return segments_.size(); }
+  std::uint64_t uop_count() const { return uops_total_; }
+
+ private:
+  // Deque of immutable segment buffers: node-stable, and each vector's
+  // data pointer never moves after the segment is pushed.
+  std::deque<std::vector<isa::MicroOp>> segments_;
+  std::uint64_t uops_total_ = 0;
+};
+
+}  // namespace raindrop

@@ -593,7 +593,41 @@ ResolvedModule ObfuscationEngine::resolve_module(CraftedModule&& cm,
   // global request order. A request may be served by a gadget planned
   // for an earlier function in the batch: cross-function reuse
   // (Table III's B << A).
-  rm.plan = pool_.plan_batch(flat, shards, threads, pool);
+  //
+  // Disk tier for the plan itself (DESIGN.md §13): the plan is a pure
+  // function of (catalog fingerprint, resolve seed, base ordinal,
+  // requests), so with a store attached a warm restart replays phase 2a
+  // from the spilled record instead of re-planning. Empty batches skip
+  // the store: nothing to save, and a probe would pollute the
+  // perfect-hit-rate restart contract.
+  store::ArtifactStore* st =
+      (cache_ && !flat.empty()) ? cache_->store().get() : nullptr;
+  std::uint64_t pk = 0;
+  std::optional<gadgets::ResolvedPlan> loaded;
+  if (st) {
+    pk = pool_.plan_key(flat);  // before plan_batch consumes ordinals
+    rm.plan_store_probe = true;
+    if (std::optional<std::vector<std::uint8_t>> payload =
+            st->get(store::Kind::kResolvedPlan, pk)) {
+      loaded = pool_.plan_from_payload(*payload, flat.size());
+      if (loaded) {
+        rm.plan_store_hit = true;
+      } else {
+        // Container digest fine, payload unparseable (stale encoder,
+        // rot that re-hashed): evict and re-plan, byte-identically.
+        st->evict(store::Kind::kResolvedPlan, pk);
+        rm.plan_store_corrupt = true;
+      }
+    }
+  }
+  if (loaded) {
+    rm.plan = std::move(*loaded);
+  } else {
+    rm.plan = pool_.plan_batch(flat, shards, threads, pool);
+    if (st)
+      st->put(store::Kind::kResolvedPlan, pk,
+              gadgets::GadgetPool::serialize_plan(rm.plan));
+  }
   rm.resolve_seconds = watch.seconds();
   return rm;
 }
@@ -639,6 +673,17 @@ ModuleResult ObfuscationEngine::materialize_module(ResolvedModule&& rm) {
       }
       if (cf.store_corruption_recovered) ++out.store_corrupt_evictions;
     }
+  }
+  // The phase-2a plan record folds into the same counters: a probe
+  // either served the whole plan from disk or spilled the fresh one.
+  if (rm.plan_store_probe) {
+    if (rm.plan_store_hit) {
+      ++out.store_hits;
+    } else {
+      ++out.store_misses;
+      ++out.store_spills;
+    }
+    if (rm.plan_store_corrupt) ++out.store_corrupt_evictions;
   }
   std::size_t lookups = out.analysis_cache_hits + out.analysis_cache_misses;
   out.analysis_cache_hit_rate =

@@ -230,6 +230,13 @@ struct ResolvedModule {
   double resolve_seconds = 0.0;
   int commit_shards = 0;
   std::size_t craft_retries = 0;
+  // Disk-tier telemetry for the phase-2a plan record (DESIGN.md §13):
+  // whether resolve probed the store for a spilled ResolvedPlan, and
+  // whether the probe served it / evicted a corrupt record. Folded into
+  // ModuleResult's store counters by materialize_module.
+  bool plan_store_probe = false;
+  bool plan_store_hit = false;
+  bool plan_store_corrupt = false;
   // Scheduler telemetry passthrough (see ModuleResult).
   double queue_seconds = 0.0;
   double overlap_seconds = 0.0;

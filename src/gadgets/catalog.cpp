@@ -400,6 +400,156 @@ std::vector<std::uint64_t> GadgetPool::resolve_batch(
   return commit_plan(plan_batch(reqs, shards, threads, pool));
 }
 
+// -- Plan disk tier (DESIGN.md §13) -------------------------------------
+
+std::uint64_t GadgetPool::plan_key(
+    std::span<const GadgetRequest* const> reqs) const {
+  // fingerprint() already folds the variant budget and every catalog
+  // fact the plan phase can observe (bank contents and addresses).
+  std::uint64_t h = 0x706c616e2d726563ull;  // plan-record tag
+  h = AnalysisCache::fold(h, fingerprint());
+  h = AnalysisCache::fold(h, resolve_seed_);
+  h = AnalysisCache::fold(h, next_request_ordinal_);
+  h = AnalysisCache::fold(h, reqs.size());
+  for (const GadgetRequest* req : reqs) {
+    // key_of() is an injective encoding of (core, jop, jop_target), so
+    // hashing the key covers the core bytes make_body would re-encode.
+    h = AnalysisCache::fold(h, fnv1a(req->key));
+    h = AnalysisCache::fold(h, req->allowed_clobbers.raw());
+    h = AnalysisCache::fold(
+        h, (req->jop ? 1u : 0u) |
+               (static_cast<std::uint64_t>(req->jop_target) << 1));
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> GadgetPool::serialize_plan(
+    const ResolvedPlan& plan) {
+  const ResolvedPlan::Impl& p = *plan.impl_;
+  // Canonicalize: planned gadgets in global request (ordinal) order --
+  // the order commit_plan appends them -- with a (shard, index) -> flat
+  // index remap for the slots. Ordinals are unique per planned gadget
+  // (each is created by exactly one request), so the order is total.
+  struct Ref {
+    const Planned* pl;
+    std::size_t shard, idx;
+  };
+  std::vector<Ref> order;
+  for (std::size_t s = 0; s < p.shard_planned.size(); ++s)
+    for (std::size_t j = 0; j < p.shard_planned[s].size(); ++j)
+      order.push_back({&p.shard_planned[s][j], s, j});
+  std::sort(order.begin(), order.end(), [](const Ref& a, const Ref& b) {
+    return a.pl->ordinal < b.pl->ordinal;
+  });
+  std::vector<std::vector<std::uint64_t>> remap(p.shard_planned.size());
+  for (std::size_t s = 0; s < p.shard_planned.size(); ++s)
+    remap[s].resize(p.shard_planned[s].size());
+  for (std::size_t k = 0; k < order.size(); ++k)
+    remap[order[k].shard][order[k].idx] = k;
+
+  binio::Writer w;
+  w.vu64(p.addrs.size());
+  for (std::size_t i = 0; i < p.addrs.size(); ++i) {
+    if (p.slots[i].shard < 0) {
+      w.u8(0);  // served by a persistent gadget: address is final
+      w.vu64(p.addrs[i]);
+    } else {
+      w.u8(1);  // served by a planned gadget: flat index, addr at commit
+      w.vu64(remap[static_cast<std::size_t>(p.slots[i].shard)]
+                  [p.slots[i].planned]);
+    }
+  }
+  w.vu64(order.size());
+  for (const Ref& ref : order) {
+    const Planned& pl = *ref.pl;
+    w.vu64(pl.ordinal);
+    w.vu64(pl.key.size());
+    for (char c : pl.key) w.u8(static_cast<std::uint8_t>(c));
+    w.vu64(pl.bytes.size());
+    for (std::uint8_t b : pl.bytes) w.u8(b);
+    w.vu64(pl.g.body.size());
+    for (const Insn& insn : pl.g.body) raindrop::store::write_insn(w, insn);
+    w.u8(pl.g.jop ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(pl.g.jop_target));
+    raindrop::store::write_regset(w, pl.g.extra_clobbers);
+  }
+  return w.take();
+}
+
+std::optional<ResolvedPlan> GadgetPool::plan_from_payload(
+    std::span<const std::uint8_t> payload, std::size_t nreqs) {
+  // Same fault site, same ordering contract as plan_batch: fire before
+  // any pool state changes, so a faulted load leaves the catalog
+  // untouched and the service's resolve-stage fault handling sees the
+  // two planning paths identically.
+  fault::maybe_throw("pool.plan");
+  ResolvedPlan plan;
+  ResolvedPlan::Impl& p = *plan.impl_;
+  try {
+    binio::Reader r(payload);
+    if (r.vu64() != nreqs) return std::nullopt;
+    p.addrs.assign(nreqs, 0);
+    p.slots.resize(nreqs);
+    for (std::size_t i = 0; i < nreqs; ++i) {
+      std::uint8_t tag = r.u8();
+      if (tag == 0) {
+        p.addrs[i] = r.vu64();
+      } else if (tag == 1) {
+        std::uint64_t flat = r.vu64();
+        if (flat >= nreqs) return std::nullopt;  // <= one planned per req
+        p.slots[i] = {0, static_cast<std::uint32_t>(flat)};
+      } else {
+        return std::nullopt;
+      }
+    }
+    std::uint64_t nplanned = r.vu64();
+    if (nplanned > nreqs) return std::nullopt;
+    // The canonical form is a single "shard": commit_plan's ordinal sort
+    // and slot patching are layout-agnostic.
+    p.shard_planned.resize(1);
+    std::vector<Planned>& planned = p.shard_planned[0];
+    std::uint64_t prev_ordinal = 0;
+    for (std::uint64_t k = 0; k < nplanned; ++k) {
+      Planned pl;
+      pl.ordinal = r.vu64();
+      if (pl.ordinal >= nreqs || (k > 0 && pl.ordinal <= prev_ordinal))
+        return std::nullopt;  // ordinal order is what commit relies on
+      prev_ordinal = pl.ordinal;
+      std::uint64_t key_len = r.vu64();
+      if (key_len > r.remaining()) return std::nullopt;
+      pl.key.reserve(key_len);
+      for (std::uint64_t c = 0; c < key_len; ++c)
+        pl.key.push_back(static_cast<char>(r.u8()));
+      std::uint64_t n_bytes = r.vu64();
+      if (n_bytes > r.remaining()) return std::nullopt;
+      pl.bytes.reserve(n_bytes);
+      for (std::uint64_t b = 0; b < n_bytes; ++b) pl.bytes.push_back(r.u8());
+      std::uint64_t n_body = r.vu64();
+      if (n_body * 5 > r.remaining()) return std::nullopt;  // >= 5 B/insn
+      for (std::uint64_t j = 0; j < n_body; ++j)
+        pl.g.body.push_back(raindrop::store::read_insn(r));
+      pl.g.jop = r.u8() != 0;
+      std::uint8_t tgt = r.u8();
+      if (tgt >= isa::kNumRegs) return std::nullopt;
+      pl.g.jop_target = static_cast<Reg>(tgt);
+      pl.g.extra_clobbers = raindrop::store::read_regset(r);
+      planned.push_back(std::move(pl));
+    }
+    for (std::size_t i = 0; i < nreqs; ++i)
+      if (p.slots[i].shard == 0 && p.slots[i].planned >= planned.size())
+        return std::nullopt;
+    if (r.remaining() != 0) return std::nullopt;  // trailing garbage
+    p.planned_total = planned.size();
+  } catch (const binio::Error&) {
+    return std::nullopt;
+  }
+  // Only a fully-validated plan mutates pool state, exactly as the
+  // plan_batch it replaces would have.
+  frozen_ = true;
+  next_request_ordinal_ += nreqs;
+  return plan;
+}
+
 // -- Harvesting ---------------------------------------------------------
 
 namespace {

@@ -182,6 +182,30 @@ class GadgetPool {
                           int shards, int threads, ThreadPool* pool = nullptr);
   std::vector<std::uint64_t> commit_plan(ResolvedPlan&& plan);
 
+  // -- Disk tier for plans (DESIGN.md §13) -----------------------------
+  // Content hash over every input plan_batch would read for this batch
+  // at the pool's current state: the catalog fingerprint, the
+  // per-request stream base (resolve seed + the batch's base ordinal),
+  // and each request's key/clobbers/termination. Equal plan keys mean
+  // plan_batch produces bit-identical ResolvedPlans, so a plan spilled
+  // to the artifact store (Kind::kResolvedPlan) by one process replays
+  // in another. Shard and thread counts are deliberately absent: the
+  // plan content is bit-identical across them.
+  std::uint64_t plan_key(std::span<const GadgetRequest* const> reqs) const;
+  // Canonical (shard-independent) encoding of a plan: per-request slots
+  // plus the planned gadgets in global request order, so the payload of
+  // a plan is a pure function of plan_key's inputs no matter how many
+  // shards planned it.
+  static std::vector<std::uint8_t> serialize_plan(const ResolvedPlan& plan);
+  // Rebuilds a ResolvedPlan from a spilled payload, reproducing the pool
+  // side effects of the plan_batch it replaces (catalog freeze +
+  // consumption of `nreqs` request ordinals) so commit_plan treats the
+  // two identically. Returns nullopt on any malformed payload WITHOUT
+  // touching pool state; the caller evicts the record and falls back to
+  // plan_batch.
+  std::optional<ResolvedPlan> plan_from_payload(
+      std::span<const std::uint8_t> payload, std::size_t nreqs);
+
   // Single-request resolution (pool must be unfrozen); the batch path
   // above is what the engine uses. Kept for one-off callers.
   std::uint64_t resolve(const GadgetRequest& req);

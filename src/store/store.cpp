@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -86,7 +87,7 @@ std::optional<std::vector<std::uint8_t>> read_file(const fs::path& p) {
 
 std::optional<Kind> kind_of_dir(const std::string& name) {
   for (Kind k : {Kind::kAnalysis, Kind::kCraftMemo, Kind::kHarvest,
-                 Kind::kModule})
+                 Kind::kModule, Kind::kResolvedPlan})
     if (name == kind_name(k)) return k;
   return std::nullopt;
 }
@@ -103,6 +104,8 @@ const char* kind_name(Kind k) {
       return "harvest";
     case Kind::kModule:
       return "module";
+    case Kind::kResolvedPlan:
+      return "resolvedplan";
   }
   return "unknown";
 }
@@ -111,7 +114,7 @@ ArtifactStore::ArtifactStore(std::string dir, bool async_spill)
     : dir_(std::move(dir)) {
   std::error_code ec;
   for (Kind k : {Kind::kAnalysis, Kind::kCraftMemo, Kind::kHarvest,
-                 Kind::kModule})
+                 Kind::kModule, Kind::kResolvedPlan})
     fs::create_directories(fs::path(dir_) / kind_name(k), ec);
   if (async_spill) {
     async_ = true;
@@ -158,6 +161,12 @@ std::optional<std::vector<std::uint8_t>> ArtifactStore::get(
     return std::nullopt;
   }
   file->erase(file->begin(), file->begin() + kHeaderSize);
+  // LRU clock for the retention prune: a hit refreshes the record's
+  // mtime, so prune(dir, max_bytes, max_age_s) evicts by last use
+  // rather than by spill time. Best-effort (read-only mounts just
+  // degrade the LRU order to spill order).
+  std::error_code ec;
+  fs::last_write_time(p, fs::file_time_type::clock::now(), ec);
   std::lock_guard<std::mutex> lk(stats_mu_);
   ++stats_.hits;
   return file;
@@ -323,6 +332,58 @@ std::size_t ArtifactStore::prune(const std::string& dir) {
   }
   for (const EntryInfo& e : scan(dir, /*verify=*/true))
     if (!e.valid && fs::remove(e.path, ec)) ++removed;
+  return removed;
+}
+
+std::size_t ArtifactStore::prune(const std::string& dir,
+                                 std::uint64_t max_bytes,
+                                 std::uint64_t max_age_s) {
+  std::size_t removed = prune(dir);  // invalid records + stray temps first
+  std::error_code ec;
+  struct Rec {
+    std::string path;
+    std::uint64_t bytes = 0;  // whole record file (header + payload)
+    fs::file_time_type mtime;
+  };
+  std::vector<Rec> recs;
+  std::uint64_t total = 0;
+  for (const EntryInfo& e : scan(dir, /*verify=*/false)) {
+    Rec r;
+    r.path = e.path;
+    r.bytes = fs::file_size(e.path, ec);
+    if (ec) continue;  // raced with another pruner/writer: skip
+    r.mtime = fs::last_write_time(e.path, ec);
+    if (ec) continue;
+    total += r.bytes;
+    recs.push_back(std::move(r));
+  }
+  const fs::file_time_type now = fs::file_time_type::clock::now();
+  if (max_age_s) {
+    const fs::file_time_type cutoff =
+        now - std::chrono::seconds(max_age_s);
+    std::vector<Rec> kept;
+    for (Rec& r : recs) {
+      if (r.mtime < cutoff) {
+        if (fs::remove(r.path, ec)) ++removed;
+        total -= r.bytes;
+      } else {
+        kept.push_back(std::move(r));
+      }
+    }
+    recs = std::move(kept);
+  }
+  if (max_bytes && total > max_bytes) {
+    // Oldest last use first; path breaks ties so the sweep is
+    // deterministic across runs.
+    std::sort(recs.begin(), recs.end(), [](const Rec& a, const Rec& b) {
+      return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+    });
+    for (const Rec& r : recs) {
+      if (total <= max_bytes) break;
+      if (fs::remove(r.path, ec)) ++removed;
+      total -= r.bytes;
+    }
+  }
   return removed;
 }
 

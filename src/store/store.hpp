@@ -50,10 +50,11 @@ namespace raindrop::store {
 inline constexpr std::uint32_t kStoreFormatVersion = 1;
 
 enum class Kind : std::uint32_t {
-  kAnalysis = 1,   // AnalysisCache entry (artifacts + dependency facts)
-  kCraftMemo = 2,  // whole CraftArtifact (engine craft memo)
-  kHarvest = 3,    // HarvestLayer (gadget-finder scan result)
-  kModule = 4,     // whole obfuscated Image
+  kAnalysis = 1,      // AnalysisCache entry (artifacts + dependency facts)
+  kCraftMemo = 2,     // whole CraftArtifact (engine craft memo)
+  kHarvest = 3,       // HarvestLayer (gadget-finder scan result)
+  kModule = 4,        // whole obfuscated Image
+  kResolvedPlan = 5,  // phase-2a ResolvedPlan (gadget-request planning)
 };
 const char* kind_name(Kind k);
 
@@ -118,6 +119,14 @@ class ArtifactStore {
   // Removes invalid records and stray temp files; returns how many
   // filesystem entries were deleted.
   static std::size_t prune(const std::string& dir);
+  // Retention sweep: the validity pass above, then records whose last
+  // use (file mtime -- get() refreshes it on every hit, so mtime orders
+  // by last access, not creation) is older than `max_age_s`, then the
+  // least-recently-used records until the total record bytes on disk fit
+  // `max_bytes`. Pass 0 to disable either bound; (0, 0) degenerates to
+  // the plain validity prune. Returns how many entries were deleted.
+  static std::size_t prune(const std::string& dir, std::uint64_t max_bytes,
+                           std::uint64_t max_age_s);
 
  private:
   struct Pending {

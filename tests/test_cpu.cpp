@@ -846,7 +846,7 @@ std::vector<std::uint8_t> make_fuzz_program(std::uint64_t seed) {
   std::int64_t trace_id = 0;
   std::size_t n_insns = 24 + rng() % 32;
   for (std::size_t k = 0; k < n_insns; ++k) {
-    switch (rng() % 34) {
+    switch (rng() % 35) {
       case 0:
         emit(ib::mov(reg(), reg()));
         break;
@@ -974,6 +974,44 @@ std::vector<std::uint8_t> make_fuzz_program(std::uint64_t seed) {
         emit(ib::jcc(cond(), -static_cast<std::int64_t>(dec_len + jcc_len)));
         break;
       }
+      case 33: {
+        // Adjacent flags-producer + jcc: the fused macro-op shapes
+        // (DESIGN.md §14). Backward pairs become hot-loop fusion
+        // candidates once packed; forward pairs exercise consumer-slot
+        // entry demotion; case 30's SMC stores can smash either half of
+        // a packed pair mid-run.
+        Reg r = reg();
+        isa::Insn prod;
+        switch (rng() % 4) {
+          case 0:
+            prod = ib::cmp_i(r, static_cast<std::int64_t>(rng() % 7));
+            break;
+          case 1:
+            prod = ib::cmp(r, reg());
+            break;
+          case 2:
+            prod = ib::test(r, reg());
+            break;
+          default:
+            prod = ib::add_i(r, 1);
+            break;
+        }
+        std::size_t prod_len = isa::encoded_length(prod);
+        std::size_t jcc_len = isa::encoded_length(ib::jcc(Cond::NE, 0));
+        if (rng() % 2) {
+          emit(prod);
+          emit(ib::jcc(cond(),
+                       -static_cast<std::int64_t>(prod_len + jcc_len)));
+        } else {
+          std::vector<std::uint8_t> over;
+          isa::encode(ib::mov_i32(reg(), static_cast<std::int32_t>(rng())),
+                      over);
+          emit(prod);
+          emit(ib::jcc(cond(), static_cast<std::int64_t>(over.size())));
+          bytes.insert(bytes.end(), over.begin(), over.end());
+        }
+        break;
+      }
       default: {
         // Wild transfers and faults: indirect jumps through run-driven
         // registers/memory, bare RET into the seeded pad, UD. Whatever
@@ -1064,18 +1102,240 @@ TEST(Cpu, LoweredDifferentialFuzz) {
 
 TEST(Cpu, LoweredBudgetPauseFuzz) {
   // Tiny budgets force pauses at arbitrary µop positions -- mid-block,
-  // on block entry, inside backward loops. The paused architectural
-  // state (rip, insn_count, regs) must match the reference exactly.
+  // on block entry, inside backward loops, and (budget 2 with the
+  // adjacent-pair generator) exactly between the halves of a fused
+  // macro-op, which must demote and pause at the consumer's address.
+  // The paused architectural state (rip, insn_count, regs) must match
+  // the chained-unlowered and central references exactly.
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     auto bytes = make_fuzz_program(seed);
-    for (std::uint64_t budget : {1ull, 3ull, 17ull, 101ull}) {
+    for (std::uint64_t budget : {1ull, 2ull, 3ull, 17ull, 101ull}) {
       FuzzOutcome lowered =
           run_fuzz(bytes, seed, FuzzMode::kLowered, budget);
+      FuzzOutcome chained =
+          run_fuzz(bytes, seed, FuzzMode::kChainedUnlowered, budget);
       FuzzOutcome central =
           run_fuzz(bytes, seed, FuzzMode::kCentral, budget);
+      EXPECT_EQ(lowered, chained) << "seed " << seed << " budget " << budget;
       EXPECT_EQ(lowered, central) << "seed " << seed << " budget " << budget;
+      if (seed % 4 == 0) {
+        FuzzOutcome imported =
+            run_fuzz(bytes, seed, FuzzMode::kImported, budget);
+        EXPECT_EQ(lowered, imported)
+            << "seed " << seed << " budget " << budget;
+      }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Trace-arena + macro-op fusion regressions (DESIGN.md §14): the
+// demotion matrix pinned deterministically.
+
+// Single-stepping across a fused pair boundary. After any budget pause
+// -- including one that lands between the producer and the consumer of
+// a packed cmp+jcc -- both Cpu::step() and run(1) must observe exactly
+// the reference interpreter's per-instruction states.
+TEST(Cpu, FusedPairBudgetPauseSingleStep) {
+  std::size_t body_len = isa::encoded_length(ib::add_i(Reg::RAX, 3)) +
+                         isa::encoded_length(ib::dec(Reg::RCX)) +
+                         isa::encoded_length(ib::cmp_i(Reg::RCX, 0)) +
+                         isa::encoded_length(ib::jcc(Cond::NE, 0));
+  std::vector<isa::Insn> prog = {
+      ib::mov_i32(Reg::RCX, 60), ib::mov_i32(Reg::RAX, 0),
+      // L: add rax,3 ; dec rcx ; cmp rcx,0 ; jne L -- cmp+jne fuse.
+      ib::add_i(Reg::RAX, 3), ib::dec(Reg::RCX), ib::cmp_i(Reg::RCX, 0),
+      ib::jcc(Cond::NE, -static_cast<std::int64_t>(body_len)), ib::hlt()};
+
+  Machine subject;  // lowered fast path (the default)
+  subject.load(prog);
+  Machine ref;  // central per-instruction reference
+  ref.load(prog);
+  ref.cpu.set_threaded_dispatch(false);
+
+  // Warm phase: enough full loop turns to cross kTraceHeat and pack the
+  // loop block (fused cmp+jne in the arena stream).
+  EXPECT_EQ(subject.cpu.run(100), CpuStatus::kBudgetExceeded);
+  EXPECT_EQ(ref.cpu.run(100), CpuStatus::kBudgetExceeded);
+  EXPECT_GT(subject.cpu.cache_stats().arena_dispatches, 0u);
+  EXPECT_GT(subject.cpu.cache_stats().fused_execs, 0u);
+
+  // Step phase: alternate run(1) budget pauses and Cpu::step() so every
+  // µop boundary of the packed loop -- producer entry, mid-pair, the
+  // consumer slot -- is hit by both resume paths.
+  for (int k = 0; k < 120; ++k) {
+    CpuStatus ss, rs;
+    if (k % 3 == 2) {
+      ss = subject.cpu.step();
+      rs = ref.cpu.step();
+    } else {
+      ss = subject.cpu.run(1);
+      rs = ref.cpu.run(1);
+    }
+    ASSERT_EQ(ss, rs) << "advance " << k;
+    ASSERT_EQ(subject.cpu.rip(), ref.cpu.rip()) << "advance " << k;
+    ASSERT_EQ(subject.cpu.insn_count(), ref.cpu.insn_count())
+        << "advance " << k;
+    ASSERT_EQ(subject.cpu.flags(), ref.cpu.flags()) << "advance " << k;
+    ASSERT_EQ(subject.r(Reg::RAX), ref.r(Reg::RAX)) << "advance " << k;
+    ASSERT_EQ(subject.r(Reg::RCX), ref.r(Reg::RCX)) << "advance " << k;
+    if (ss == CpuStatus::kHalted) break;
+  }
+  EXPECT_EQ(subject.cpu.run(100000), ref.cpu.run(100000));
+  EXPECT_EQ(subject.r(Reg::RAX), ref.r(Reg::RAX));
+}
+
+// An external write smashing the consumer (jcc) half of a packed fused
+// pair: the next dispatch must revalidate, drop the stale block, and
+// execute the new bytes -- identically to the central interpreter under
+// the same pause/smash/resume script.
+TEST(Cpu, SmcSmashesFusedConsumer) {
+  std::size_t body_len = isa::encoded_length(ib::dec(Reg::RCX)) +
+                         isa::encoded_length(ib::cmp_i(Reg::RCX, 0)) +
+                         isa::encoded_length(ib::jcc(Cond::NE, 0));
+  std::vector<isa::Insn> prog = {
+      ib::mov_i64(Reg::RCX, 100000), ib::dec(Reg::RCX),
+      ib::cmp_i(Reg::RCX, 0),
+      ib::jcc(Cond::NE, -static_cast<std::int64_t>(body_len)), ib::hlt()};
+  std::uint64_t jcc_addr = kCode +
+                           isa::encoded_length(ib::mov_i64(Reg::RCX, 100000)) +
+                           body_len - isa::encoded_length(ib::jcc(Cond::NE, 0));
+  std::vector<std::uint8_t> hlt_fill;
+  while (hlt_fill.size() < isa::encoded_length(ib::jcc(Cond::NE, 0)))
+    isa::encode(ib::hlt(), hlt_fill);
+
+  auto script = [&](bool threaded) {
+    Machine m;
+    m.load(prog);
+    m.cpu.set_threaded_dispatch(threaded);
+    // Warm past kTraceHeat so dec/cmp+jne are packed and fusing, then
+    // smash the jne with HLT bytes while paused mid-trace.
+    CpuStatus warm = m.cpu.run(200);
+    EXPECT_EQ(warm, CpuStatus::kBudgetExceeded);
+    m.mem.write_bytes(jcc_addr, hlt_fill);
+    CpuStatus done = m.cpu.run(1000);
+    return std::tuple{warm, done, m.cpu.rip(), m.cpu.insn_count(),
+                      m.r(Reg::RCX), m.cpu.flags()};
+  };
+  auto lowered = script(true);
+  auto central = script(false);
+  EXPECT_EQ(lowered, central);
+  EXPECT_EQ(std::get<1>(lowered), CpuStatus::kHalted);
+}
+
+// A packed run whose seam-fused pair spans a page boundary: block A
+// (capped at kMaxBlockInsns, ending with cmp) lives on one page, its
+// lone-jcc fall successor B on the next. Smashing only B's page must
+// demote the seam -- A finishes from its unfused tail, the fall link
+// revalidation fails, and the new bytes execute -- while A's own arena
+// residency survives.
+TEST(Cpu, ArenaSeamSpansPageBoundary) {
+  std::vector<isa::Insn> body;
+  for (int i = 0; i < 62; ++i) body.push_back(ib::add_i(Reg::RAX, 1));
+  body.push_back(ib::dec(Reg::RCX));
+  body.push_back(ib::cmp_i(Reg::RCX, 0));  // 64th insn: cap split after it
+  std::vector<std::uint8_t> a_bytes;
+  for (const auto& i : body) isa::encode(i, a_bytes);
+  ASSERT_LE(a_bytes.size(), 512u) << "block A must fit the byte cap";
+  const std::uint64_t kPage = Memory::kPageSize;
+  std::uint64_t b_addr = 3 * kPage;           // B: lone jne, page-aligned
+  std::uint64_t a_addr = b_addr - a_bytes.size();  // A ends at the page line
+  std::int64_t back =
+      -static_cast<std::int64_t>(a_bytes.size() +
+                                 isa::encoded_length(ib::jcc(Cond::NE, 0)));
+  std::vector<std::uint8_t> b_bytes;
+  isa::encode(ib::jcc(Cond::NE, back), b_bytes);
+  isa::encode(ib::hlt(), b_bytes);
+
+  auto script = [&](bool threaded, Cpu::CacheStats* stats_out) {
+    Memory mem;
+    mem.map_region(0, 1 << 20, kPermRWX, "all");
+    mem.write_bytes(a_addr, a_bytes);
+    mem.write_bytes(b_addr, b_bytes);
+    Cpu cpu(&mem);
+    cpu.set_threaded_dispatch(threaded);
+    cpu.set_reg(Reg::RCX, 1000);
+    cpu.set_reg(Reg::RAX, 0);
+    cpu.set_rip(a_addr);
+    // ~26 A+B turns: A crosses kTraceHeat, packs, and seam-fuses the
+    // cmp with B's jne across the page line.
+    CpuStatus warm = cpu.run(1700);
+    EXPECT_EQ(warm, CpuStatus::kBudgetExceeded);
+    // Smash only B's page: overwrite the jne with HLT bytes.
+    std::vector<std::uint8_t> fill;
+    while (fill.size() < b_bytes.size()) isa::encode(ib::hlt(), fill);
+    mem.write_bytes(b_addr, fill);
+    CpuStatus done = cpu.run(200000);
+    if (stats_out) *stats_out = cpu.cache_stats();
+    return std::tuple{warm, done, cpu.rip(), cpu.insn_count(),
+                      cpu.reg(Reg::RAX), cpu.reg(Reg::RCX), cpu.flags()};
+  };
+  Cpu::CacheStats stats;
+  auto lowered = script(true, &stats);
+  auto central = script(false, nullptr);
+  EXPECT_EQ(lowered, central);
+  EXPECT_EQ(std::get<1>(lowered), CpuStatus::kHalted);
+  EXPECT_GT(stats.arena_segments, 0u);
+  EXPECT_GT(stats.fused_execs, 0u);
+}
+
+// Hook attach/detach while paused mid-trace: an installed hook demotes
+// dispatch to the central loop (zero arena/chain activity, hook fires);
+// detaching re-enters the packed arena stream. Architectural state must
+// track the always-central reference through both transitions.
+TEST(Cpu, HookAttachDetachMidTrace) {
+  std::size_t body_len = isa::encoded_length(ib::add_i(Reg::RAX, 7)) +
+                         isa::encoded_length(ib::dec(Reg::RCX)) +
+                         isa::encoded_length(ib::jcc(Cond::NE, 0));
+  std::vector<isa::Insn> prog = {
+      ib::mov_i32(Reg::RCX, 500), ib::mov_i32(Reg::RAX, 0),
+      ib::add_i(Reg::RAX, 7), ib::dec(Reg::RCX),
+      ib::jcc(Cond::NE, -static_cast<std::int64_t>(body_len)), ib::hlt()};
+
+  Machine subject;
+  subject.load(prog);
+  Machine ref;
+  ref.load(prog);
+  ref.cpu.set_threaded_dispatch(false);
+
+  auto states_equal = [&](const char* where) {
+    EXPECT_EQ(subject.cpu.rip(), ref.cpu.rip()) << where;
+    EXPECT_EQ(subject.cpu.insn_count(), ref.cpu.insn_count()) << where;
+    EXPECT_EQ(subject.r(Reg::RAX), ref.r(Reg::RAX)) << where;
+    EXPECT_EQ(subject.r(Reg::RCX), ref.r(Reg::RCX)) << where;
+  };
+
+  // Phase 1: warm until packed and fusing.
+  EXPECT_EQ(subject.cpu.run(100), CpuStatus::kBudgetExceeded);
+  EXPECT_EQ(ref.cpu.run(100), CpuStatus::kBudgetExceeded);
+  Cpu::CacheStats warm_stats = subject.cpu.cache_stats();
+  EXPECT_GT(warm_stats.arena_dispatches, 0u);
+  EXPECT_GT(warm_stats.fused_execs, 0u);
+  states_equal("after warm");
+
+  // Phase 2: attach a block hook mid-trace; dispatch demotes to the
+  // central loop, the hook observes every block, fusion stays off.
+  std::uint64_t blocks_seen = 0;
+  HookSet hooks;
+  hooks.block = [&](Cpu&, std::uint64_t) { ++blocks_seen; };
+  subject.cpu.set_hooks(hooks);
+  EXPECT_EQ(subject.cpu.run(300), CpuStatus::kBudgetExceeded);
+  EXPECT_EQ(ref.cpu.run(300), CpuStatus::kBudgetExceeded);
+  Cpu::CacheStats hooked_stats = subject.cpu.cache_stats();
+  EXPECT_GT(blocks_seen, 0u);
+  EXPECT_EQ(hooked_stats.arena_dispatches, warm_stats.arena_dispatches)
+      << "a hook must demote dispatch out of the arena";
+  EXPECT_EQ(hooked_stats.fused_execs, warm_stats.fused_execs);
+  states_equal("hooked");
+
+  // Phase 3: detach mid-trace; the packed stream resumes.
+  subject.cpu.set_hooks({});
+  EXPECT_EQ(subject.cpu.run(1000000), CpuStatus::kHalted);
+  EXPECT_EQ(ref.cpu.run(1000000), CpuStatus::kHalted);
+  Cpu::CacheStats final_stats = subject.cpu.cache_stats();
+  EXPECT_GT(final_stats.arena_dispatches, hooked_stats.arena_dispatches);
+  EXPECT_GT(final_stats.fused_execs, hooked_stats.fused_execs);
+  states_equal("final");
 }
 
 }  // namespace

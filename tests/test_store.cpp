@@ -6,7 +6,9 @@
 // perfect store hit rate.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -15,7 +17,9 @@
 #include "analysis/cache.hpp"
 #include "engine/engine.hpp"
 #include "engine/service.hpp"
+#include "gadgets/catalog.hpp"
 #include "image/image.hpp"
+#include "isa/insn.hpp"
 #include "minic/codegen.hpp"
 #include "store/serialize.hpp"
 #include "store/store.hpp"
@@ -339,6 +343,149 @@ TEST(ArtifactStoreTest, WarmRestartIsByteIdenticalWithPerfectHitRate) {
   EXPECT_DOUBLE_EQ(m.mod.store_hit_rate, 1.0);
   EXPECT_DOUBLE_EQ(disk->stats().hit_rate(), 1.0);
   EXPECT_EQ(disk->stats().corrupt_evictions, 0u);
+}
+
+TEST(ArtifactStoreTest, ResolvedPlanRecordRoundTripReplaysAcrossPools) {
+  // The plan codec contract: serialize_plan(plan_batch(R)) replayed via
+  // plan_from_payload on a second pool with equal plan_key produces the
+  // same committed addresses and catalog state as planning from scratch.
+  using gadgets::GadgetPool;
+  using gadgets::GadgetRequest;
+  namespace ib = isa::ib;
+  using isa::Reg;
+
+  auto cp = workload::make_corpus(5, 8);
+  Image img_a = minic::compile(cp.module);
+  Image img_b = minic::compile(cp.module);
+  GadgetPool pool_a(&img_a, 99);
+  GadgetPool pool_b(&img_b, 99);
+
+  analysis::RegSet clob;
+  clob.add(Reg::R10);
+  clob.add(Reg::R11);
+  std::vector<GadgetRequest> reqs;
+  auto mk = [&](std::vector<isa::Insn> core, bool jop, Reg tgt) {
+    GadgetRequest r;
+    r.core = std::move(core);
+    r.jop = jop;
+    r.jop_target = tgt;
+    r.allowed_clobbers = clob;
+    r.key = GadgetPool::key_of(r.core, jop, tgt);
+    reqs.push_back(std::move(r));
+  };
+  mk({ib::mov(Reg::RDX, Reg::RSI)}, false, Reg::RAX);
+  mk({ib::add(Reg::RAX, Reg::RBX)}, false, Reg::RAX);
+  mk({ib::mov(Reg::RDX, Reg::RSI)}, false, Reg::RAX);  // bank reuse/growth
+  mk({ib::mov(Reg::RDX, Reg::RSI)}, false, Reg::RAX);
+  mk({ib::pop(Reg::RDI)}, true, Reg::RCX);  // JOP request
+  mk({}, false, Reg::RAX);                  // plain ret
+  std::vector<const GadgetRequest*> flat;
+  for (const auto& r : reqs) flat.push_back(&r);
+
+  // Key purity: two virgin pools over identical images agree.
+  const std::uint64_t key = pool_a.plan_key(flat);
+  EXPECT_EQ(key, pool_b.plan_key(flat));
+
+  gadgets::ResolvedPlan plan = pool_a.plan_batch(flat, 3, 2);
+  std::vector<std::uint8_t> payload = GadgetPool::serialize_plan(plan);
+
+  // A truncated payload is rejected WITHOUT touching pool state: no
+  // freeze, no ordinal consumption (the plan key is unchanged).
+  std::vector<std::uint8_t> torn(payload.begin(), payload.end() - 1);
+  EXPECT_FALSE(pool_b.plan_from_payload(torn, flat.size()).has_value());
+  EXPECT_FALSE(pool_b.frozen());
+  EXPECT_EQ(key, pool_b.plan_key(flat));
+
+  // Round-trip through a real store record, then replay on pool B.
+  fs::path dir = fresh_dir("store_plan_roundtrip");
+  ArtifactStore st(dir.string(), /*async_spill=*/false);
+  st.put(Kind::kResolvedPlan, key, payload);
+  auto back = st.get(Kind::kResolvedPlan, key);
+  ASSERT_TRUE(back.has_value());
+  auto loaded = pool_b.plan_from_payload(*back, flat.size());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(pool_b.frozen());  // plan_batch's side effects reproduced
+  EXPECT_EQ(loaded->size(), plan.size());
+  EXPECT_EQ(loaded->planned_count(), plan.planned_count());
+  EXPECT_GT(plan.planned_count(), 0u);
+
+  std::vector<std::uint64_t> addrs_a = pool_a.commit_plan(std::move(plan));
+  std::vector<std::uint64_t> addrs_b =
+      pool_b.commit_plan(std::move(*loaded));
+  EXPECT_EQ(addrs_a, addrs_b);
+  EXPECT_EQ(pool_a.fingerprint(), pool_b.fingerprint());
+  EXPECT_EQ(img_a.section_bytes(".text"), img_b.section_bytes(".text"));
+}
+
+TEST(ArtifactStoreTest, ResolvedPlanWarmRestartReplaysPhase2aFromDisk) {
+  // End-to-end: a populate pass spills the phase-2a plan as its own
+  // record kind; a fresh process replays resolve from that record with a
+  // perfect hit rate and byte-identical output.
+  auto cp = workload::make_corpus(19, 20);
+  StoreRun ref = run_corpus(cp, std::make_shared<AnalysisCache>());
+
+  fs::path dir = fresh_dir("store_plan_restart");
+  {
+    auto cache = std::make_shared<AnalysisCache>();
+    cache->attach_store(std::make_shared<ArtifactStore>(dir.string()));
+    StoreRun a = run_corpus(cp, cache, /*record_tier_only=*/true);
+    expect_same_image(ref.img, a.img, "plan populate pass");
+  }  // store flushed + closed; files remain
+
+  bool plan_record = false;
+  for (const auto& e : ArtifactStore::scan(dir.string(), /*verify=*/true))
+    if (e.kind == Kind::kResolvedPlan && e.valid && e.payload_size > 0)
+      plan_record = true;
+  EXPECT_TRUE(plan_record) << "no ResolvedPlan record spilled";
+
+  auto cache = std::make_shared<AnalysisCache>();
+  auto disk = std::make_shared<ArtifactStore>(dir.string());
+  cache->attach_store(disk);
+  StoreRun b = run_corpus(cp, cache, /*record_tier_only=*/true);
+  expect_same_image(ref.img, b.img, "plan restart pass");
+  EXPECT_GT(b.mod.store_hits, 0u);
+  EXPECT_EQ(b.mod.store_misses, 0u);
+  EXPECT_DOUBLE_EQ(b.mod.store_hit_rate, 1.0);
+  EXPECT_EQ(disk->stats().corrupt_evictions, 0u);
+  EXPECT_DOUBLE_EQ(disk->stats().hit_rate(), 1.0);
+}
+
+TEST(ArtifactStoreTest, RetentionPruneEvictsByAgeThenLru) {
+  fs::path dir = fresh_dir("store_retention");
+  ArtifactStore st(dir.string(), /*async_spill=*/false);
+  // Four records of 200 bytes each on disk (160 payload + 40 header).
+  for (std::uint64_t k = 1; k <= 4; ++k)
+    st.put(Kind::kAnalysis, k, sample_payload(160));
+  auto path_of = [&](std::uint64_t k) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.art",
+                  static_cast<unsigned long long>(k));
+    return dir / "analysis" / name;
+  };
+  auto age = [&](std::uint64_t k, int seconds) {
+    fs::last_write_time(path_of(k), fs::file_time_type::clock::now() -
+                                        std::chrono::seconds(seconds));
+  };
+
+  // Age policy: records last used beyond max_age_s are expired.
+  age(1, 7200);
+  EXPECT_EQ(ArtifactStore::prune(dir.string(), 0, 3600), 1u);
+  EXPECT_FALSE(fs::exists(path_of(1)));
+  EXPECT_TRUE(fs::exists(path_of(2)));
+
+  // LRU policy: 2 is the stalest on disk, but a get() refreshes its
+  // mtime, so the byte cap evicts 3 (now least recently used) instead.
+  // 3 x 200 = 600 bytes against a 450-byte cap: exactly one eviction.
+  age(2, 600);
+  age(3, 300);
+  EXPECT_TRUE(st.get(Kind::kAnalysis, 2).has_value());
+  EXPECT_EQ(ArtifactStore::prune(dir.string(), 450, 0), 1u);
+  EXPECT_FALSE(fs::exists(path_of(3)));
+  EXPECT_TRUE(fs::exists(path_of(2)));
+  EXPECT_TRUE(fs::exists(path_of(4)));
+
+  // (0, 0) degenerates to the plain validity prune: nothing to remove.
+  EXPECT_EQ(ArtifactStore::prune(dir.string(), 0, 0), 0u);
 }
 
 TEST(ArtifactStoreTest, ServiceStoreDirWiresTheDiskTier) {

@@ -4,14 +4,19 @@
 // instance, so it is safe to point at a directory another process is
 // actively spilling into (it only ever sees fully-published records).
 //
-//   store_inspect <dir> [list|verify|prune]
+//   store_inspect <dir> [list|verify|prune [--max-bytes N] [--max-age-s N]]
 //
 //   list    header-validate every record, print kind/key/size (default)
 //   verify  additionally read + digest-check payloads; exit 1 if any
 //           record is invalid
-//   prune   delete invalid records and stray temp files
+//   prune   delete invalid records and stray temp files; with
+//           --max-bytes, additionally evict least-recently-used records
+//           until the store fits N bytes on disk; with --max-age-s,
+//           evict records last used more than N seconds ago (get()
+//           refreshes a record's mtime, so "used" means read or written)
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 
@@ -22,7 +27,10 @@ using raindrop::store::ArtifactStore;
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s <store-dir> [list|verify|prune]\n", argv0);
+  std::fprintf(stderr,
+               "usage: %s <store-dir> "
+               "[list|verify|prune [--max-bytes N] [--max-age-s N]]\n",
+               argv0);
   return 2;
 }
 
@@ -48,17 +56,28 @@ int list_or_verify(const std::string& dir, bool verify) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) return usage(argv[0]);
+  if (argc < 2) return usage(argv[0]);
   std::string dir = argv[1];
-  std::string cmd = argc == 3 ? argv[2] : "list";
+  std::string cmd = argc >= 3 ? argv[2] : "list";
   if (!std::filesystem::is_directory(dir)) {
     std::fprintf(stderr, "store_inspect: not a directory: %s\n", dir.c_str());
     return 2;
   }
-  if (cmd == "list") return list_or_verify(dir, false);
-  if (cmd == "verify") return list_or_verify(dir, true);
+  if (cmd == "list") return argc > 3 ? usage(argv[0]) : list_or_verify(dir, false);
+  if (cmd == "verify") return argc > 3 ? usage(argv[0]) : list_or_verify(dir, true);
   if (cmd == "prune") {
-    std::size_t removed = ArtifactStore::prune(dir);
+    std::uint64_t max_bytes = 0, max_age_s = 0;
+    for (int i = 3; i < argc; ++i) {
+      char* end = nullptr;
+      if (std::strcmp(argv[i], "--max-bytes") == 0 && i + 1 < argc)
+        max_bytes = std::strtoull(argv[++i], &end, 10);
+      else if (std::strcmp(argv[i], "--max-age-s") == 0 && i + 1 < argc)
+        max_age_s = std::strtoull(argv[++i], &end, 10);
+      else
+        return usage(argv[0]);
+      if (end == nullptr || *end != '\0') return usage(argv[0]);
+    }
+    std::size_t removed = ArtifactStore::prune(dir, max_bytes, max_age_s);
     std::printf("pruned %zu entr%s\n", removed, removed == 1 ? "y" : "ies");
     return 0;
   }
